@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks of the substrate hot paths: the components
+//! every simulated cycle exercises, plus compile and end-to-end runs.
+//! Figure regeneration itself lives in the `bin/` harnesses (see
+//! `EXPERIMENTS.md`); these benches guard the simulator's own speed.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lightwsp_compiler::{instrument, CompilerConfig};
+use lightwsp_mem::cache::{SetAssocCache, VictimPolicy};
+use lightwsp_mem::persist_path::{PersistEntry, PersistKind, PersistPath};
+use lightwsp_mem::wpq::{Wpq, WpqEntry};
+use lightwsp_sim::{Machine, Scheme, SimConfig};
+use lightwsp_workloads::workload;
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1_hit", |b| {
+        let mut l1 = SetAssocCache::new(128, 8, 64);
+        l1.access(0x1000, false, VictimPolicy::Full, |_| false);
+        b.iter(|| l1.access(black_box(0x1000), false, VictimPolicy::Full, |_| false))
+    });
+    c.bench_function("cache/l1_miss_evict", |b| {
+        let mut l1 = SetAssocCache::new(128, 8, 64);
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64 * 128); // same set, new tag
+            l1.access(black_box(addr), true, VictimPolicy::Full, |_| false)
+        })
+    });
+}
+
+fn bench_wpq(c: &mut Criterion) {
+    c.bench_function("wpq/insert_take", |b| {
+        let mut q = Wpq::new(64);
+        b.iter(|| {
+            q.insert(WpqEntry {
+                addr: 0x40,
+                val: 1,
+                region: 1,
+                is_boundary: false,
+                home: true,
+                core: 0,
+            });
+            q.take_one_of_region(1)
+        })
+    });
+    c.bench_function("wpq/cam_search_full", |b| {
+        let mut q = Wpq::new(64);
+        for i in 0..63 {
+            q.insert(WpqEntry {
+                addr: i * 8,
+                val: i,
+                region: 1,
+                is_boundary: false,
+                home: true,
+                core: 0,
+            });
+        }
+        b.iter(|| q.search_line(black_box(0x10_0000), 64))
+    });
+}
+
+fn bench_persist_path(c: &mut Criterion) {
+    c.bench_function("persist_path/issue_deliver", |b| {
+        let mut p = PersistPath::new(40, 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            if p.can_issue(now) {
+                p.issue(
+                    now,
+                    PersistEntry {
+                        addr: 0x40,
+                        val: 1,
+                        region: 1,
+                        kind: PersistKind::Data,
+                        core: 0,
+                    },
+                );
+            }
+            if p.head_arrived(now).is_some() {
+                p.pop_head();
+            }
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let program = workload("hmmer").unwrap().scaled_to(20_000).generate();
+    c.bench_function("compiler/instrument_hmmer", |b| {
+        b.iter_batched(
+            || program.clone(),
+            |p| instrument(black_box(&p), &CompilerConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let program = workload("hmmer").unwrap().scaled_to(5_000).generate();
+    let compiled = instrument(&program, &CompilerConfig::default());
+    c.bench_function("machine/run_hmmer_5k", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::new(Scheme::LightWsp);
+            cfg.mem.l1_bytes = 16 * 1024;
+            cfg.mem.l2_bytes = 512 * 1024;
+            let mut m = Machine::new(
+                compiled.program.clone(),
+                compiled.recipes.clone(),
+                cfg,
+                1,
+            );
+            m.run()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_wpq,
+    bench_persist_path,
+    bench_compile,
+    bench_machine
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates every table and figure of the paper's evaluation into
+//! `results/`. Run with `--quick` for a fast smoke pass.
+use lightwsp_bench::{emit, emit_text, figures};
+use std::time::Instant;
+
+fn main() {
+    let opts = lightwsp_bench::common_options();
+    let t0 = Instant::now();
+    emit(&figures::fig07(&opts));
+    emit(&figures::fig08(&opts));
+    emit(&figures::fig09(&opts));
+    emit(&figures::fig10(&opts));
+    emit(&figures::fig11(&opts));
+    emit(&figures::fig12(&opts));
+    emit(&figures::fig13(&opts));
+    emit(&figures::fig14(&opts));
+    emit(&figures::fig15(&opts));
+    let (fig16, overflow) = figures::fig16(&opts);
+    emit(&fig16);
+    emit_text("secVF5_overflow", &overflow);
+    emit(&figures::fig17(&opts));
+    emit(&figures::fig18(&opts));
+    emit(&figures::tab02(&opts));
+    emit_text("secVG2_cam", &figures::tab_cam());
+    emit_text("secVG3_regions", &figures::tab_region_stats(&opts));
+    emit_text("secVG4_hwcost", &figures::tab_hw_cost());
+    eprintln!("all figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §V-G2 CAM-latency analysis.
+fn main() {
+    lightwsp_bench::emit_text("secVG2_cam", &lightwsp_bench::figures::tab_cam());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §V-G4 hardware-cost comparison.
+fn main() {
+    lightwsp_bench::emit_text("secVG4_hwcost", &lightwsp_bench::figures::tab_hw_cost());
+}

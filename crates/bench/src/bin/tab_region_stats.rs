@@ -1,0 +1,8 @@
+//! Regenerates the §V-G3 instruction/region statistics.
+fn main() {
+    let opts = lightwsp_bench::common_options();
+    lightwsp_bench::emit_text(
+        "secVG3_regions",
+        &lightwsp_bench::figures::tab_region_stats(&opts),
+    );
+}

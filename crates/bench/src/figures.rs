@@ -1,0 +1,400 @@
+//! The figure/table generators. Each function reproduces one evaluation
+//! artifact of the paper and returns it ready for rendering; the `bin/`
+//! wrappers (and `all_figures`) drive them.
+
+use lightwsp_core::report::Figure;
+use lightwsp_core::{Experiment, ExperimentOptions, Scheme};
+use lightwsp_mem::cache::VictimPolicy;
+use lightwsp_mem::{cam, CxlDevice};
+use lightwsp_workloads::{all_workloads, memory_intensive, suite_workloads, Suite};
+
+/// Fig. 7: slowdown of Capri, PPA and LightWSP vs the memory-mode
+/// baseline across every workload.
+pub fn fig07(opts: &ExperimentOptions) -> Figure {
+    let mut exp = Experiment::new(opts.clone());
+    let mut fig = Figure::new(
+        "fig07",
+        "Slowdown of Capri, PPA and LightWSP (baseline: Optane memory mode)",
+        "slowdown",
+    );
+    for w in all_workloads() {
+        for scheme in [Scheme::Capri, Scheme::Ppa, Scheme::LightWsp] {
+            let s = exp.slowdown(&w, scheme);
+            fig.push(w.suite, w.name, scheme.name(), s);
+        }
+    }
+    fig
+}
+
+/// Fig. 8: region-level persistence efficiency (Eq. 1) of PPA and
+/// LightWSP, averaged per suite.
+pub fn fig08(opts: &ExperimentOptions) -> Figure {
+    let mut exp = Experiment::new(opts.clone());
+    let mut fig = Figure::new("fig08", "Region-level persistence efficiency", "%");
+    for suite in Suite::all() {
+        for scheme in [Scheme::Ppa, Scheme::LightWsp] {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for w in suite_workloads(suite) {
+                let r = exp.run(&w, scheme);
+                sum += r.stats.persistence_efficiency();
+                n += 1;
+            }
+            fig.push(suite, suite.name(), scheme.name(), sum / n as f64);
+        }
+    }
+    fig
+}
+
+/// Fig. 9: ideal PSP (no DRAM cache) vs LightWSP on the
+/// memory-intensive subset.
+pub fn fig09(opts: &ExperimentOptions) -> Figure {
+    let mut exp = Experiment::new(opts.clone());
+    let mut fig = Figure::new(
+        "fig09",
+        "Ideal PSP vs LightWSP, memory-intensive applications",
+        "slowdown",
+    );
+    for w in memory_intensive() {
+        for scheme in [Scheme::PspIdeal, Scheme::LightWsp] {
+            let s = exp.slowdown(&w, scheme);
+            fig.push(w.suite, w.name, scheme.name(), s);
+        }
+    }
+    fig
+}
+
+/// Fig. 10: cWSP vs LightWSP per suite (NPB excluded, as in the paper).
+pub fn fig10(opts: &ExperimentOptions) -> Figure {
+    let mut exp = Experiment::new(opts.clone());
+    let mut fig = Figure::new("fig10", "LightWSP vs cWSP (NPB excluded)", "slowdown");
+    for suite in Suite::all() {
+        if suite == Suite::Npb {
+            continue;
+        }
+        for scheme in [Scheme::Cwsp, Scheme::LightWsp] {
+            let vals: Vec<f64> = suite_workloads(suite)
+                .iter()
+                .map(|w| exp.slowdown(w, scheme))
+                .collect();
+            fig.push(suite, suite.name(), scheme.name(), lightwsp_workloads::geomean(vals));
+        }
+    }
+    fig
+}
+
+/// Fig. 11: WPQ-size sensitivity (256/128/64 entries, threshold = half
+/// the WPQ), per suite.
+pub fn fig11(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig11", "WPQ size sensitivity (LightWSP)", "slowdown");
+    for wpq in [256usize, 128, 64] {
+        let mut o = opts.clone();
+        o.sim.mem = o.sim.mem.with_wpq_entries(wpq);
+        o.compiler.store_threshold = (wpq / 2) as u32;
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let vals: Vec<f64> = suite_workloads(suite)
+                .iter()
+                .map(|w| exp.slowdown(w, Scheme::LightWsp))
+                .collect();
+            fig.push(
+                suite,
+                suite.name(),
+                &format!("WPQ-{wpq}"),
+                lightwsp_workloads::geomean(vals),
+            );
+        }
+    }
+    fig
+}
+
+/// Fig. 12: store-threshold sensitivity (16/32/64) at a fixed 64-entry
+/// WPQ, per suite.
+pub fn fig12(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig12", "Store-threshold sensitivity (WPQ 64)", "slowdown");
+    for thr in [16u32, 32, 64] {
+        let mut o = opts.clone();
+        o.compiler.store_threshold = thr;
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let vals: Vec<f64> = suite_workloads(suite)
+                .iter()
+                .map(|w| exp.slowdown(w, Scheme::LightWsp))
+                .collect();
+            fig.push(
+                suite,
+                suite.name(),
+                &format!("St-Threshold-{thr}"),
+                lightwsp_workloads::geomean(vals),
+            );
+        }
+    }
+    fig
+}
+
+/// Fig. 13: victim-selection-policy sensitivity (full/half/zero).
+pub fn fig13(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig13", "Victim selection policies (LightWSP)", "slowdown");
+    for policy in [VictimPolicy::Full, VictimPolicy::Half, VictimPolicy::Zero] {
+        let mut o = opts.clone();
+        o.sim.victim_policy = policy;
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let vals: Vec<f64> = suite_workloads(suite)
+                .iter()
+                .map(|w| exp.slowdown(w, Scheme::LightWsp))
+                .collect();
+            fig.push(suite, suite.name(), policy.name(), lightwsp_workloads::geomean(vals));
+        }
+    }
+    fig
+}
+
+/// Fig. 14: L1 miss rate under the three victim policies plus the
+/// no-snooping stale-load configuration.
+pub fn fig14(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig14", "L1 miss rate with/without buffer snooping", "%");
+    for policy in [
+        VictimPolicy::Full,
+        VictimPolicy::Half,
+        VictimPolicy::Zero,
+        VictimPolicy::StaleLoad,
+    ] {
+        let mut o = opts.clone();
+        o.sim.victim_policy = policy;
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let mut misses = 0u64;
+            let mut total = 0u64;
+            let mut stale = 0u64;
+            for w in suite_workloads(suite) {
+                let r = exp.run(&w, Scheme::LightWsp);
+                misses += r.stats.l1_misses;
+                total += r.stats.l1_hits + r.stats.l1_misses;
+                stale += r.stats.stale_loads;
+            }
+            // Stale loads force refetches: they surface as additional
+            // effective misses, exactly the Fig. 14 penalty.
+            let rate = (misses + stale) as f64 / total.max(1) as f64 * 100.0;
+            fig.push(suite, suite.name(), policy.name(), rate);
+        }
+    }
+    fig
+}
+
+/// Fig. 15: persist-path bandwidth sensitivity (4/2/1 GB/s).
+pub fn fig15(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig15", "Persist-path bandwidth sensitivity", "slowdown");
+    for gbps in [4u64, 2, 1] {
+        let mut o = opts.clone();
+        o.sim.mem = o.sim.mem.with_persist_bandwidth_gbps(gbps);
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let vals: Vec<f64> = suite_workloads(suite)
+                .iter()
+                .map(|w| exp.slowdown(w, Scheme::LightWsp))
+                .collect();
+            fig.push(
+                suite,
+                suite.name(),
+                &format!("{gbps}GB/s"),
+                lightwsp_workloads::geomean(vals),
+            );
+        }
+    }
+    fig
+}
+
+/// Fig. 16 + §V-F5: thread-count scaling on the multi-threaded suites,
+/// plus WPQ-overflow rates.
+pub fn fig16(opts: &ExperimentOptions) -> (Figure, String) {
+    let mut fig = Figure::new("fig16", "Thread-count scaling (LightWSP)", "slowdown");
+    let mut overflow_text = String::from(
+        "== §V-F5 — WPQ overflow rate (overflows per 10k instructions) ==\n",
+    );
+    for threads in [8usize, 16, 32, 64] {
+        let mut o = opts.clone();
+        o.threads = Some(threads);
+        // Keep total simulated work bounded at high thread counts.
+        if threads > 8 {
+            o.insts_per_thread = (o.insts_per_thread * 8 / threads as u64).max(4_000);
+        }
+        let mut exp = Experiment::new(o);
+        for suite in [Suite::Stamp, Suite::Npb, Suite::Splash3, Suite::Whisper] {
+            let mut vals = Vec::new();
+            let mut ovf = 0.0;
+            let mut n = 0;
+            for w in suite_workloads(suite) {
+                let (sd, r) = exp.slowdown_with_stats(&w, Scheme::LightWsp);
+                vals.push(sd);
+                ovf += r.stats.overflows_per_10k_insts();
+                n += 1;
+            }
+            fig.push(
+                suite,
+                suite.name(),
+                &format!("{threads}-thread"),
+                lightwsp_workloads::geomean(vals),
+            );
+            overflow_text.push_str(&format!(
+                "{:<10} {:>2} threads: {:.3}\n",
+                suite.name(),
+                threads,
+                ovf / n as f64
+            ));
+        }
+    }
+    // §V-F5 claim: enlarging the WPQ to 256 reduces the 64-thread
+    // overflow rate several-fold.
+    let mut o = opts.clone();
+    o.threads = Some(64);
+    o.insts_per_thread = (o.insts_per_thread / 8).max(4_000);
+    o.sim.mem = o.sim.mem.with_wpq_entries(256);
+    o.compiler.store_threshold = 128;
+    let mut exp = Experiment::new(o);
+    let mut ovf = 0.0;
+    let mut n = 0;
+    for suite in [Suite::Stamp, Suite::Npb, Suite::Splash3, Suite::Whisper] {
+        for w in suite_workloads(suite) {
+            let r = exp.run(&w, Scheme::LightWsp);
+            ovf += r.stats.overflows_per_10k_insts();
+            n += 1;
+        }
+    }
+    overflow_text.push_str(&format!(
+        "all MT     64 threads, WPQ-256: {:.3}\n",
+        ovf / n as f64
+    ));
+    (fig, overflow_text)
+}
+
+/// Fig. 17 + Table III: CXL-device sensitivity.
+pub fn fig17(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig17", "CXL device sensitivity (LightWSP)", "slowdown");
+    for dev in CxlDevice::all() {
+        let mut o = opts.clone();
+        o.sim.mem = o.sim.mem.with_cxl(dev);
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let vals: Vec<f64> = suite_workloads(suite)
+                .iter()
+                .map(|w| exp.slowdown(w, Scheme::LightWsp))
+                .collect();
+            fig.push(suite, suite.name(), dev.name(), lightwsp_workloads::geomean(vals));
+        }
+    }
+    fig
+}
+
+/// Fig. 18: WPQ load-hit rate (hits per million instructions) for WPQ
+/// sizes 256/128/64.
+pub fn fig18(opts: &ExperimentOptions) -> Figure {
+    let mut fig = Figure::new("fig18", "WPQ hit rate on LLC load misses", "hits/Minst");
+    for wpq in [256usize, 128, 64] {
+        let mut o = opts.clone();
+        o.sim.mem = o.sim.mem.with_wpq_entries(wpq);
+        o.compiler.store_threshold = (wpq / 2) as u32;
+        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            let mut hits = 0.0;
+            let mut n = 0;
+            for w in suite_workloads(suite) {
+                let r = exp.run(&w, Scheme::LightWsp);
+                hits += r.stats.wpq_hits_per_minsts();
+                n += 1;
+            }
+            fig.push(suite, suite.name(), &format!("WPQ-{wpq}"), hits / n as f64);
+        }
+    }
+    fig
+}
+
+/// Table II: buffer-conflict rate per suite (conflicts per snoop, ‰).
+pub fn tab02(opts: &ExperimentOptions) -> Figure {
+    let mut exp = Experiment::new(opts.clone());
+    let mut fig = Figure::new("tab02", "Buffer-conflict rate", "permille");
+    for suite in Suite::all() {
+        let mut snoops = 0u64;
+        let mut conflicts = 0u64;
+        for w in suite_workloads(suite) {
+            let r = exp.run(&w, Scheme::LightWsp);
+            snoops += r.stats.snoops;
+            conflicts += r.stats.snoop_conflicts;
+        }
+        let rate = conflicts as f64 / snoops.max(1) as f64 * 1000.0;
+        fig.push(suite, suite.name(), "conflict-rate", rate);
+    }
+    fig
+}
+
+/// §V-G2: CAM search-latency table (the CACTI-substitute model).
+pub fn tab_cam() -> String {
+    let mut out = String::from("== §V-G2 — CAM search latency (analytical model) ==\n");
+    out.push_str("entries  bytes  latency_ns  cycles@2GHz\n");
+    for (entries, bytes) in [(16usize, 8usize), (64, 8), (128, 8), (256, 8), (64, 64)] {
+        out.push_str(&format!(
+            "{entries:>7}  {bytes:>5}  {:>10.3}  {:>11}\n",
+            cam::search_latency_ns(entries, bytes),
+            cam::search_latency_cycles(entries, bytes)
+        ));
+    }
+    out.push_str("paper: 64-entry 8-byte search = 0.99 ns (2 cycles)\n");
+    out
+}
+
+/// §V-G3: dynamic instruction-count and region statistics.
+pub fn tab_region_stats(opts: &ExperimentOptions) -> String {
+    let mut exp = Experiment::new(opts.clone());
+    let mut out = String::from("== §V-G3 — instruction count and region statistics ==\n");
+    out.push_str(&format!(
+        "{:<14}{:>10}{:>14}{:>14}\n",
+        "workload", "instr %", "insts/region", "stores/region"
+    ));
+    let (mut fi, mut fr, mut fs, mut n) = (0.0, 0.0, 0.0, 0usize);
+    for w in all_workloads() {
+        let r = exp.run(&w, Scheme::LightWsp);
+        let s = &r.stats;
+        out.push_str(&format!(
+            "{:<14}{:>9.2}%{:>14.2}{:>14.2}\n",
+            w.name,
+            s.instrumentation_fraction() * 100.0,
+            s.insts_per_region(),
+            s.stores_per_region()
+        ));
+        fi += s.instrumentation_fraction() * 100.0;
+        fr += s.insts_per_region();
+        fs += s.stores_per_region();
+        n += 1;
+    }
+    out.push_str(&format!(
+        "{:<14}{:>9.2}%{:>14.2}{:>14.2}\n",
+        "average",
+        fi / n as f64,
+        fr / n as f64,
+        fs / n as f64
+    ));
+    out.push_str("paper: +7.03% instructions, 91.33 insts/region, 11.29 stores/region\n");
+    out
+}
+
+/// §V-G4: hardware-cost comparison (analytical, from the designs).
+pub fn tab_hw_cost() -> String {
+    let cores = 8u64;
+    let mcs = 2u64;
+    // LightWSP: a 2-byte flush-ID register per MC; the front-end buffer
+    // reuses the existing 1 KB write-combining buffer and the WPQ is the
+    // commodity 512 B iMC structure.
+    let lightwsp_total = 2 * mcs;
+    let mut out = String::from("== §V-G4 — hardware cost ==\n");
+    out.push_str(&format!(
+        "LightWSP : {} B total ({} B flush-ID per MC × {} MCs) → {:.1} B/core\n",
+        lightwsp_total,
+        2,
+        mcs,
+        lightwsp_total as f64 / cores as f64
+    ));
+    out.push_str("PPA      : 337 B/core (store-integrity bookkeeping in rename/PRF)\n");
+    out.push_str("Capri    : 54 KB/core (front-end + back-end undo/redo buffers)\n");
+    out.push_str("paper: LightWSP 0.5 B/core, PPA 337 B/core, Capri 54 KB/core\n");
+    out
+}

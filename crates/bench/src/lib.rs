@@ -1,0 +1,75 @@
+//! # lightwsp-bench — the evaluation harness
+//!
+//! One binary per paper artifact regenerates the rows/series of that
+//! figure or table (see `DESIGN.md` §4 for the full index):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig07_slowdown` | Fig. 7 — Capri/PPA/LightWSP slowdown, 39 entries |
+//! | `fig08_efficiency` | Fig. 8 — region-level persistence efficiency |
+//! | `fig09_psp_vs_wsp` | Fig. 9 — ideal PSP vs LightWSP, memory-intensive |
+//! | `fig10_cwsp` | Fig. 10 — cWSP vs LightWSP per suite (no NPB) |
+//! | `fig11_wpq_size` | Fig. 11 — WPQ 256/128/64 sensitivity |
+//! | `fig12_threshold` | Fig. 12 — store threshold 16/32/64 |
+//! | `fig13_victim` | Fig. 13 — victim-selection policies |
+//! | `fig14_missrate` | Fig. 14 — L1 miss rate incl. stale-load |
+//! | `fig15_bandwidth` | Fig. 15 — persist-path bandwidth 4/2/1 GB/s |
+//! | `fig16_threads` | Fig. 16 + §V-F5 — 8/16/32/64 threads, overflow |
+//! | `fig17_cxl` | Fig. 17 + Table III — CXL devices |
+//! | `fig18_wpq_hits` | Fig. 18 — WPQ hit rate per WPQ size |
+//! | `tab02_conflicts` | Table II — buffer-conflict rate |
+//! | `tab_cam_latency` | §V-G2 — CAM search latency |
+//! | `tab_region_stats` | §V-G3 — instruction count & region statistics |
+//! | `tab_hw_cost` | §V-G4 — hardware cost comparison |
+//! | `recovery_check` | §IV-F — crash-consistency validation sweep |
+//! | `all_figures` | everything above, into `results/` |
+//!
+//! Every binary accepts `--quick` (reduced instruction budget for smoke
+//! runs) and writes both stdout and `results/<id>.txt`.
+
+use lightwsp_core::report::Figure;
+use lightwsp_core::{Experiment, ExperimentOptions};
+use std::fs;
+use std::path::PathBuf;
+
+/// Parses the common CLI flags (`--quick`).
+pub fn common_options() -> ExperimentOptions {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        ExperimentOptions::quick()
+    } else {
+        ExperimentOptions::paper_default()
+    }
+}
+
+/// Creates an [`Experiment`] from the common CLI flags.
+pub fn experiment() -> Experiment {
+    Experiment::new(common_options())
+}
+
+/// The `results/` output directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Prints a rendered figure and persists it under `results/<id>.txt`.
+pub fn emit(figure: &Figure) {
+    let text = figure.render();
+    print!("{text}");
+    let path = results_dir().join(format!("{}.txt", figure.id));
+    if let Err(e) = fs::write(&path, &text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Prints free-form table text and persists it under `results/<id>.txt`.
+pub fn emit_text(id: &str, text: &str) {
+    print!("{text}");
+    let path = results_dir().join(format!("{id}.txt"));
+    if let Err(e) = fs::write(&path, text) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+pub mod figures;

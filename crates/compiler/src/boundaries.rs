@@ -1,0 +1,491 @@
+//! Initial region-boundary insertion and the store-count threshold
+//! analysis (§III-C, §IV-A).
+//!
+//! Boundaries are placed at:
+//!
+//! * **function entry** (after the structural `checkpoint sp` prologue,
+//!   so the stack pointer pushed by the caller is saved with the caller's
+//!   region — see the crate docs for the SP protocol),
+//! * **function exits** (immediately before `ret`/`halt` terminators),
+//! * **call sites** (immediately before each `call`), followed by a
+//!   structural `checkpoint sp` after the call to cover the `ret`'s SP
+//!   update,
+//! * **loop headers** of loops that contain stores (one region per
+//!   iteration, later widened by unrolling), and
+//! * **synchronisation instructions** (fences, atomics, lock ops), which
+//!   establish the happens-before order multi-threaded persists must
+//!   follow (§III-D).
+//!
+//! On top of those, [`enforce_threshold`] runs a forward max-store-count
+//! dataflow over the CFG and inserts [`BoundaryKind::Threshold`]
+//! boundaries wherever the count could otherwise exceed the configured
+//! threshold on *any* path, which is the WPQ-overflow guarantee of
+//! §III-C. The count is conservative: every WPQ-occupying instruction
+//! (data stores, atomics, checkpoint stores, call pushes, and the
+//! region-ending boundary's own PC store) takes one slot.
+
+use crate::stats::CompileStats;
+use crate::CompilerConfig;
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::dom::DomTree;
+use lightwsp_ir::inst::BoundaryKind;
+use lightwsp_ir::loops::LoopForest;
+use lightwsp_ir::program::Block;
+use lightwsp_ir::{BlockId, Function, Inst, Reg, Terminator};
+
+/// Inserts the structural boundaries (entry/exit/call/loop-header/sync)
+/// into `func` and the first round of threshold boundaries.
+pub fn insert_initial_boundaries(
+    func: &mut Function,
+    config: &CompilerConfig,
+    stats: &mut CompileStats,
+) {
+    insert_sync_and_call_boundaries(func, stats);
+    insert_entry_exit_boundaries(func, stats);
+    insert_loop_header_boundaries(func, stats);
+    enforce_threshold(func, config.store_threshold, stats);
+}
+
+/// Boundary before every call site and synchronisation instruction, plus
+/// the structural `checkpoint sp` after each call (covering the matching
+/// `ret`'s SP update; see module docs).
+fn insert_sync_and_call_boundaries(func: &mut Function, stats: &mut CompileStats) {
+    for block in &mut func.blocks {
+        let mut out: Vec<Inst> = Vec::with_capacity(block.insts.len() + 4);
+        for inst in block.insts.drain(..) {
+            if inst.forces_boundary_before() {
+                let kind = if matches!(inst, Inst::Call { .. }) {
+                    BoundaryKind::CallSite
+                } else {
+                    BoundaryKind::Sync
+                };
+                out.push(Inst::RegionBoundary { kind });
+                stats.record_boundary(kind);
+            }
+            let was_call = matches!(inst, Inst::Call { .. });
+            out.push(inst);
+            if was_call {
+                out.push(Inst::CheckpointStore { reg: Reg::SP });
+                stats.checkpoints_inserted += 1;
+            }
+        }
+        block.insts = out;
+    }
+}
+
+/// `checkpoint sp` + entry boundary at the top of the function; exit
+/// boundary before each `ret`/`halt`.
+fn insert_entry_exit_boundaries(func: &mut Function, stats: &mut CompileStats) {
+    let entry = func.entry;
+    let eb = func.block_mut(entry);
+    eb.insts.insert(0, Inst::RegionBoundary { kind: BoundaryKind::FuncEntry });
+    eb.insts.insert(0, Inst::CheckpointStore { reg: Reg::SP });
+    stats.record_boundary(BoundaryKind::FuncEntry);
+    stats.checkpoints_inserted += 1;
+
+    for block in &mut func.blocks {
+        if matches!(block.term, Terminator::Ret | Terminator::Halt) {
+            block.insts.push(Inst::RegionBoundary { kind: BoundaryKind::FuncExit });
+            stats.record_boundary(BoundaryKind::FuncExit);
+        }
+    }
+}
+
+/// Boundary at the header of every loop that contains at least one
+/// store-like instruction ("unless it has no stores", §IV-A).
+fn insert_loop_header_boundaries(func: &mut Function, stats: &mut CompileStats) {
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let forest = LoopForest::compute(func, &cfg, &dom);
+    let mut headers: Vec<BlockId> = Vec::new();
+    for l in &forest.loops {
+        let has_store = l
+            .blocks
+            .iter()
+            .any(|&b| func.block(b).insts.iter().any(Inst::is_store_like));
+        if has_store {
+            headers.push(l.header);
+        }
+    }
+    for h in headers {
+        let block = func.block_mut(h);
+        // Avoid doubling up if a boundary is already first (e.g. the
+        // function entry block is also a loop header).
+        if !matches!(block.insts.first(), Some(Inst::RegionBoundary { .. })) {
+            block.insts.insert(0, Inst::RegionBoundary { kind: BoundaryKind::LoopHeader });
+            stats.record_boundary(BoundaryKind::LoopHeader);
+        }
+    }
+}
+
+/// Upper bound used to detect a diverging count (a store-carrying cycle
+/// with no boundary); such cycles get a boundary at the offending block.
+const DIVERGE_CAP: u64 = 1 << 20;
+
+/// Forward max-store-count dataflow: `in(b) = max over preds of out(p)`,
+/// with the count resetting to zero after each boundary. Returns one
+/// count per block (entry of the block), or the block at which the count
+/// diverged.
+fn max_count_fixpoint(func: &Function, cfg: &Cfg) -> Result<Vec<u64>, BlockId> {
+    let n = func.blocks.len();
+    let mut cin = vec![0u64; n];
+    let mut cout = vec![0u64; n];
+    // Seed outs.
+    for &b in cfg.reverse_post_order() {
+        cout[b.index()] = walk_count(func.block(b), cin[b.index()]);
+    }
+    for _round in 0..(2 * n + 8) {
+        let mut changed = false;
+        for &b in cfg.reverse_post_order() {
+            let mut max_in = 0;
+            for &p in cfg.preds(b) {
+                max_in = max_in.max(cout[p.index()]);
+            }
+            if max_in != cin[b.index()] {
+                cin[b.index()] = max_in;
+                changed = true;
+            }
+            let out = walk_count(func.block(b), max_in);
+            if out != cout[b.index()] {
+                if out > DIVERGE_CAP {
+                    return Err(b);
+                }
+                cout[b.index()] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(cin);
+        }
+    }
+    // Still changing after the bound: find a block whose count grew.
+    let worst = cfg
+        .reverse_post_order()
+        .iter()
+        .copied()
+        .max_by_key(|b| cout[b.index()])
+        .expect("non-empty cfg");
+    Err(worst)
+}
+
+/// Applies the in-block transfer of the count dataflow.
+fn walk_count(block: &Block, mut count: u64) -> u64 {
+    for inst in &block.insts {
+        if let Inst::RegionBoundary { .. } = inst {
+            count = 0;
+        } else if inst.is_store_like() {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Inserts [`BoundaryKind::Threshold`] boundaries so that no path through
+/// a region carries more than `threshold` store-like instructions
+/// (including the region-ending boundary's own PC store). Returns `true`
+/// if any boundary was inserted.
+pub fn enforce_threshold(func: &mut Function, threshold: u32, stats: &mut CompileStats) -> bool {
+    let threshold = threshold as u64;
+    let mut any = false;
+    // Boundaries inserted with stale in-counts are conservative, but the
+    // reset they introduce can reveal further violations downstream only
+    // through *smaller* counts, so a few rounds settle it.
+    for _round in 0..64 {
+        let cfg = Cfg::compute(func);
+        let cin = match max_count_fixpoint(func, &cfg) {
+            Ok(cin) => cin,
+            Err(b) => {
+                // Store-carrying cycle without a boundary: break it.
+                func.block_mut(b)
+                    .insts
+                    .insert(0, Inst::RegionBoundary { kind: BoundaryKind::Threshold });
+                stats.record_boundary(BoundaryKind::Threshold);
+                any = true;
+                continue;
+            }
+        };
+        let mut inserted = false;
+        for bi in 0..func.blocks.len() {
+            let b = BlockId::from_index(bi);
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let mut count = cin[bi];
+            let block = func.block_mut(b);
+            let mut i = 0;
+            while i < block.insts.len() {
+                match &block.insts[i] {
+                    Inst::RegionBoundary { .. } => {
+                        // The boundary's PC store belongs to the region it
+                        // ends; it fits because insertion below reserves a
+                        // slot for it.
+                        count = 0;
+                    }
+                    inst if inst.is_store_like() => {
+                        // +1 for this store, +1 reserved for the eventual
+                        // region-ending boundary store.
+                        if count + 2 > threshold {
+                            block.insts.insert(
+                                i,
+                                Inst::RegionBoundary { kind: BoundaryKind::Threshold },
+                            );
+                            stats.record_boundary(BoundaryKind::Threshold);
+                            inserted = true;
+                            count = 0;
+                            // Re-examine the same store in the new region.
+                            i += 1;
+                            continue;
+                        }
+                        count += 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        if !inserted {
+            return any;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Splits blocks so that every region boundary is the final instruction
+/// of its block ("regions always start at the beginning of basic
+/// blocks", §IV-A). Idempotent.
+pub fn split_at_boundaries(func: &mut Function) {
+    let mut bi = 0;
+    while bi < func.blocks.len() {
+        let b = BlockId::from_index(bi);
+        let split_pos = {
+            let block = func.block(b);
+            block
+                .insts
+                .iter()
+                .position(|i| matches!(i, Inst::RegionBoundary { .. }))
+                .filter(|&p| p + 1 < block.insts.len())
+        };
+        if let Some(p) = split_pos {
+            let (tail, term) = {
+                let block = func.block_mut(b);
+                let tail: Vec<Inst> = block.insts.split_off(p + 1);
+                let term = block.term.clone();
+                (tail, term)
+            };
+            let new_id = func.add_block(Block { insts: tail, term });
+            func.block_mut(b).term = Terminator::Jump { target: new_id };
+            // Loop hints pointing at `b` keep pointing at the header
+            // (the boundary stays with the original block).
+        }
+        // Re-check the same block: there may have been several
+        // boundaries; after a split the current block has exactly one,
+        // at the end, so this advances.
+        if split_pos.is_none() {
+            bi += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_store_threshold;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::inst::Cond;
+    use lightwsp_ir::{FuncId, Program};
+
+    fn count_boundaries(func: &Function, kind: BoundaryKind) -> usize {
+        func.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::RegionBoundary { kind: k } if *k == kind))
+            .count()
+    }
+
+    #[test]
+    fn entry_and_exit_boundaries() {
+        let mut b = FuncBuilder::new("f");
+        b.nop();
+        b.ret();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_entry_exit_boundaries(&mut f, &mut stats);
+        assert_eq!(count_boundaries(&f, BoundaryKind::FuncEntry), 1);
+        assert_eq!(count_boundaries(&f, BoundaryKind::FuncExit), 1);
+        // Prologue order: checkpoint sp, then the entry boundary.
+        assert!(matches!(f.block(f.entry).insts[0], Inst::CheckpointStore { reg: Reg::SP }));
+        assert!(matches!(
+            f.block(f.entry).insts[1],
+            Inst::RegionBoundary { kind: BoundaryKind::FuncEntry }
+        ));
+    }
+
+    #[test]
+    fn call_gets_boundary_and_sp_checkpoint() {
+        let mut b = FuncBuilder::new("f");
+        b.call(FuncId::from_index(1));
+        b.nop();
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_sync_and_call_boundaries(&mut f, &mut stats);
+        let insts = &f.block(f.entry).insts;
+        assert!(matches!(insts[0], Inst::RegionBoundary { kind: BoundaryKind::CallSite }));
+        assert!(matches!(insts[1], Inst::Call { .. }));
+        assert!(matches!(insts[2], Inst::CheckpointStore { reg: Reg::SP }));
+    }
+
+    #[test]
+    fn sync_instructions_get_boundaries() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0x3000_0000);
+        b.lock_acquire(Reg::R1);
+        b.fence();
+        b.lock_release(Reg::R1);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_sync_and_call_boundaries(&mut f, &mut stats);
+        assert_eq!(count_boundaries(&f, BoundaryKind::Sync), 3);
+    }
+
+    #[test]
+    fn store_loop_header_gets_boundary_storeless_does_not() {
+        // Loop A stores, loop B does not.
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, 0x4000_0000);
+        let ha = b.new_block();
+        let hb = b.new_block();
+        let exit = b.new_block();
+        b.jump(ha);
+        b.switch_to(ha);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.alu_imm(lightwsp_ir::AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 10, ha, hb);
+        b.switch_to(hb);
+        b.alu_imm(lightwsp_ir::AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.branch_imm(Cond::Ne, Reg::R3, 10, hb, exit);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_loop_header_boundaries(&mut f, &mut stats);
+        assert!(matches!(f.block(ha).insts[0], Inst::RegionBoundary { kind: BoundaryKind::LoopHeader }));
+        assert!(!matches!(f.block(hb).insts.first(), Some(Inst::RegionBoundary { .. })));
+    }
+
+    #[test]
+    fn threshold_splits_straight_line_stores() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0x4000_0000);
+        for i in 0..20 {
+            b.store(Reg::R1, Reg::R1, i * 8);
+        }
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        let changed = enforce_threshold(&mut f, 8, &mut stats);
+        assert!(changed);
+        let p = Program::from_single(f);
+        check_store_threshold(&p, 8).unwrap();
+    }
+
+    #[test]
+    fn threshold_respects_existing_boundaries() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0x4000_0000);
+        for i in 0..4 {
+            b.store(Reg::R1, Reg::R1, i * 8);
+        }
+        b.region_boundary();
+        for i in 0..4 {
+            b.store(Reg::R1, Reg::R1, 32 + i * 8);
+        }
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        let changed = enforce_threshold(&mut f, 8, &mut stats);
+        assert!(!changed, "both halves already fit");
+    }
+
+    #[test]
+    fn threshold_handles_store_cycle_without_header_boundary() {
+        // A self-loop with stores and no pre-existing boundary: the count
+        // would diverge, so the pass must break the cycle itself.
+        let mut b = FuncBuilder::new("f");
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.branch_imm(Cond::Eq, Reg::R1, 0, exit, l);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        enforce_threshold(&mut f, 8, &mut stats);
+        let p = Program::from_single(f);
+        check_store_threshold(&p, 8).unwrap();
+    }
+
+    #[test]
+    fn max_path_not_shortest_path_governs() {
+        // Diamond where one arm has 6 stores and the other none; with a
+        // threshold of 8 and 4 more stores after the merge, the long arm
+        // forces a split even though the short arm would fit.
+        let mut b = FuncBuilder::new("f");
+        let heavy = b.new_block();
+        let light = b.new_block();
+        let merge = b.new_block();
+        b.branch_imm(Cond::Eq, Reg::R9, 0, heavy, light);
+        b.switch_to(heavy);
+        for i in 0..6 {
+            b.store(Reg::R1, Reg::R2, i * 8);
+        }
+        b.jump(merge);
+        b.switch_to(light);
+        b.jump(merge);
+        b.switch_to(merge);
+        for i in 0..4 {
+            b.store(Reg::R1, Reg::R2, 100 + i * 8);
+        }
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        let changed = enforce_threshold(&mut f, 8, &mut stats);
+        assert!(changed, "6 + 4 + closing boundary exceeds 8 on the heavy path");
+        let p = Program::from_single(f);
+        check_store_threshold(&p, 8).unwrap();
+    }
+
+    #[test]
+    fn split_at_boundaries_moves_boundary_to_block_end() {
+        let mut b = FuncBuilder::new("f");
+        b.nop();
+        b.region_boundary();
+        b.nop();
+        b.region_boundary();
+        b.nop();
+        b.halt();
+        let mut f = b.finish();
+        split_at_boundaries(&mut f);
+        for (_, block) in f.iter_blocks() {
+            let n_bdry = block
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::RegionBoundary { .. }))
+                .count();
+            assert!(n_bdry <= 1);
+            if n_bdry == 1 {
+                assert!(matches!(block.insts.last(), Some(Inst::RegionBoundary { .. })));
+            }
+        }
+        assert_eq!(f.blocks.len(), 3);
+        // Idempotent.
+        let before = f.blocks.len();
+        split_at_boundaries(&mut f);
+        assert_eq!(f.blocks.len(), before);
+    }
+}

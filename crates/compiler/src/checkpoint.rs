@@ -1,0 +1,335 @@
+//! Checkpoint-store insertion (§IV-A "Checkpoint Store Insertion").
+//!
+//! For every register whose value is live into some region boundary, the
+//! pass inserts a [`Inst::CheckpointStore`] *right after the last update
+//! point* of that value, so the checkpoint persists together with the
+//! region that produced the value. On recovery, reloading every register
+//! from its checkpoint slot then yields exactly the live-in state of the
+//! resumed region.
+//!
+//! The analysis is a backward dataflow over "checkpoint-obligation" sets
+//! `CB`: at a region boundary, `CB` becomes the set of registers live at
+//! that boundary (their current values must be in their slots); walking
+//! backward, a definition of `r ∈ CB` discharges the obligation by
+//! inserting a checkpoint immediately after the definition and removing
+//! `r` from `CB`. Obligations that survive to a block entry propagate to
+//! predecessors. Registers never defined inside the function (thread
+//! seeds, caller-saved values) are covered by the caller's checkpoints or
+//! by the machine's initial checkpoint image.
+//!
+//! The stack pointer is excluded: its updates (`call`/`ret`) are covered
+//! by the structural checkpoints placed in [`crate::boundaries`].
+
+use crate::stats::CompileStats;
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::liveness::Liveness;
+use lightwsp_ir::reg::RegSet;
+use lightwsp_ir::{BlockId, Function, Inst, Reg};
+
+/// Removes every checkpoint store except the structural SP checkpoints
+/// (function prologues and post-call), so the analysis can re-run from a
+/// clean slate during region formation.
+pub fn remove_non_structural_checkpoints(func: &mut Function) {
+    for block in &mut func.blocks {
+        block.insts.retain(|i| !matches!(i, Inst::CheckpointStore { reg } if !reg.is_sp()));
+    }
+}
+
+/// Runs the obligation analysis and inserts the checkpoint stores.
+/// Returns the number of checkpoints inserted.
+pub fn insert_checkpoints(func: &mut Function, stats: &mut CompileStats) -> usize {
+    let cfg = Cfg::compute(func);
+    let live = Liveness::compute(func, &cfg);
+    let n = func.blocks.len();
+
+    // Block-level fixpoint of CB_in (obligations at block entry).
+    let mut cb_in = vec![RegSet::new(); n];
+    let order: Vec<BlockId> = cfg.reverse_post_order().iter().rev().copied().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut cb_out = RegSet::new();
+            for &s in cfg.succs(b) {
+                cb_out.union_with(&cb_in[s.index()]);
+            }
+            let cb = transfer_block(func, &live, b, cb_out, None);
+            if cb != cb_in[b.index()] {
+                cb_in[b.index()] = cb;
+                changed = true;
+            }
+        }
+    }
+
+    // Insertion pass: re-walk each block backward with its final CB_out
+    // and record insertion points.
+    let mut inserted = 0;
+    for bi in 0..n {
+        let b = BlockId::from_index(bi);
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let mut cb_out = RegSet::new();
+        for &s in cfg.succs(b) {
+            cb_out.union_with(&cb_in[s.index()]);
+        }
+        let mut sites: Vec<(usize, Reg)> = Vec::new();
+        transfer_block(func, &live, b, cb_out, Some(&mut sites));
+        // Insert from the back so indices stay valid.
+        sites.sort_by(|a, b| b.0.cmp(&a.0));
+        let block = func.block_mut(b);
+        for (idx, reg) in sites {
+            block.insts.insert(idx + 1, Inst::CheckpointStore { reg });
+            inserted += 1;
+        }
+    }
+    stats.checkpoints_inserted += inserted as u64;
+    inserted
+}
+
+/// Backward transfer of the obligation set through block `b`. When
+/// `sites` is provided, records `(inst_index, reg)` pairs where a
+/// checkpoint must be inserted *after* the instruction at `inst_index`.
+fn transfer_block(
+    func: &Function,
+    live: &Liveness,
+    b: BlockId,
+    cb_out: RegSet,
+    mut sites: Option<&mut Vec<(usize, Reg)>>,
+) -> RegSet {
+    let block = func.block(b);
+    let live_after = live.live_after_insts(func, b);
+    let mut cb = cb_out;
+    for i in (0..block.insts.len()).rev() {
+        let inst = &block.insts[i];
+        if let Inst::RegionBoundary { .. } = inst {
+            // Everything live at the boundary must be in its slot. The
+            // boundary's own live-after set is the live set at the
+            // boundary point.
+            cb = live_after[i];
+            cb.remove(Reg::SP);
+            continue;
+        }
+        // A checkpoint store already present satisfies the obligation for
+        // its register (it rewrites the slot with the current value).
+        if let Inst::CheckpointStore { reg } = inst {
+            cb.remove(*reg);
+            continue;
+        }
+        let defs = inst.defs();
+        for r in defs.iter() {
+            if r.is_sp() {
+                continue; // structural SP protocol
+            }
+            if cb.remove(r) {
+                if let Some(sites) = sites.as_deref_mut() {
+                    sites.push((i, r));
+                }
+            }
+        }
+    }
+    cb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::inst::{AluOp, Cond};
+    use lightwsp_ir::layout;
+
+    fn checkpoints_of(func: &Function, b: BlockId) -> Vec<(usize, Reg)> {
+        func.block(b)
+            .insts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, inst)| match inst {
+                Inst::CheckpointStore { reg } => Some((i, *reg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn live_value_checkpointed_after_def() {
+        // r1 = 7; boundary; [r2] = r1  → r1 live at boundary, needs ckpt
+        // right after its def.
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 7);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        let n = insert_checkpoints(&mut f, &mut stats);
+        assert!(n >= 1);
+        let cks = checkpoints_of(&f, f.entry);
+        // Checkpoint of r1 placed directly after the mov (index 0).
+        assert!(cks.contains(&(1, Reg::R1)), "got {cks:?}");
+        // r2 is also live at the boundary (base of the store) but never
+        // defined here, so no checkpoint for it.
+        assert!(!cks.iter().any(|&(_, r)| r == Reg::R2));
+    }
+
+    #[test]
+    fn dead_value_not_checkpointed() {
+        // r1 dead at the boundary (redefined after it before use).
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 7);
+        b.region_boundary();
+        b.mov_imm(Reg::R1, 8);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_checkpoints(&mut f, &mut stats);
+        let cks = checkpoints_of(&f, f.entry);
+        assert!(
+            !cks.iter().any(|&(i, r)| r == Reg::R1 && i == 1),
+            "dead def of r1 must not be checkpointed: {cks:?}"
+        );
+    }
+
+    #[test]
+    fn obligation_propagates_across_blocks() {
+        // def in entry block, boundary in a later block.
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R5, 11);
+        let mid = b.new_block();
+        b.jump(mid);
+        b.switch_to(mid);
+        b.region_boundary();
+        b.store(Reg::R5, Reg::R6, 0);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_checkpoints(&mut f, &mut stats);
+        let cks = checkpoints_of(&f, f.entry);
+        assert!(cks.contains(&(1, Reg::R5)), "{cks:?}");
+    }
+
+    #[test]
+    fn loop_carried_register_checkpointed_each_iteration() {
+        // header has the boundary; r1 updated in the body and live across
+        // the back edge → checkpoint after the update, inside the loop.
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, layout::HEAP_BASE as i64);
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 10, header, exit);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_checkpoints(&mut f, &mut stats);
+        let cks = checkpoints_of(&f, header);
+        let add_idx = f
+            .block(header)
+            .insts
+            .iter()
+            .position(|i| matches!(i, Inst::AluImm { .. }))
+            .unwrap();
+        assert!(
+            cks.iter().any(|&(i, r)| r == Reg::R1 && i == add_idx + 1),
+            "r1 checkpoint after its in-loop update: {cks:?}"
+        );
+    }
+
+    #[test]
+    fn sp_handled_structurally_not_by_analysis() {
+        let mut b = FuncBuilder::new("f");
+        b.region_boundary();
+        b.store(Reg::R1, Reg::SP, 0); // SP live at boundary
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_checkpoints(&mut f, &mut stats);
+        let cks = checkpoints_of(&f, f.entry);
+        assert!(cks.iter().all(|&(_, r)| !r.is_sp()));
+    }
+
+    #[test]
+    fn existing_checkpoint_discharges_obligation() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 7);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        let n = insert_checkpoints(&mut f, &mut stats);
+        assert_eq!(n, 0, "hand-written checkpoint already covers r1");
+    }
+
+    #[test]
+    fn remove_non_structural_keeps_sp_checkpoints() {
+        let mut b = FuncBuilder::new("f");
+        b.checkpoint(Reg::SP);
+        b.checkpoint(Reg::R1);
+        b.halt();
+        let mut f = b.finish();
+        remove_non_structural_checkpoints(&mut f);
+        let insts = &f.block(f.entry).insts;
+        assert_eq!(insts.len(), 1);
+        assert!(matches!(insts[0], Inst::CheckpointStore { reg: Reg::SP }));
+    }
+
+    #[test]
+    fn diamond_obligation_from_both_arms() {
+        // Boundary in each arm; r1 defined before the branch and live in
+        // both → single checkpoint after the def.
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 3);
+        let left = b.new_block();
+        let right = b.new_block();
+        b.branch_imm(Cond::Eq, Reg::R9, 0, left, right);
+        b.switch_to(left);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        b.switch_to(right);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R3, 0);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        let n = insert_checkpoints(&mut f, &mut stats);
+        assert_eq!(n, 1);
+        assert!(checkpoints_of(&f, f.entry).contains(&(1, Reg::R1)));
+    }
+
+    /// The checkpoint-correctness invariant used by higher-level tests:
+    /// at each boundary, every live register (except SP) has a checkpoint
+    /// after its last def on every backward path. We spot-check via the
+    /// analysis itself: re-running insertion must be a no-op.
+    #[test]
+    fn insertion_is_idempotent() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, layout::HEAP_BASE as i64);
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 10, header, exit);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        insert_checkpoints(&mut f, &mut stats);
+        let before = f.clone();
+        let n = insert_checkpoints(&mut f, &mut stats);
+        assert_eq!(n, 0);
+        assert_eq!(f.blocks.len(), before.blocks.len());
+    }
+}

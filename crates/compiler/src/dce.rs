@@ -1,0 +1,146 @@
+//! Dead-code elimination — one of Fig. 3's "other code optimizations"
+//! that run before region partitioning.
+//!
+//! Removes instructions whose results are never used: pure computations
+//! (`Alu`, `AluImm`, `MovImm`) and loads whose destination is dead
+//! before any redefinition. Stores, calls, fences, atomics, lock
+//! operations, and LightWSP instrumentation are never removed (they have
+//! memory or synchronisation effects).
+//!
+//! The pass is a utility for front ends that emit naive code; the
+//! workload generators already emit lean code, so the default
+//! [`crate::instrument`] pipeline does not run it — callers invoke
+//! [`eliminate_dead_code`] explicitly beforehand when needed.
+
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::liveness::Liveness;
+use lightwsp_ir::{Function, Inst, Program};
+
+/// True for instructions DCE may remove when their definition is dead.
+fn is_removable(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Alu { .. } | Inst::AluImm { .. } | Inst::MovImm { .. } | Inst::Load { .. }
+    )
+}
+
+/// Removes dead pure instructions from one function; returns how many
+/// were eliminated. Iterates to a fixpoint (removing one instruction can
+/// kill its operands' last uses).
+pub fn eliminate_dead_code_in(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let cfg = Cfg::compute(func);
+        let live = Liveness::compute(func, &cfg);
+        let mut removed = 0;
+        for bi in 0..func.blocks.len() {
+            let b = lightwsp_ir::BlockId::from_index(bi);
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let after = live.live_after_insts(func, b);
+            let block = func.block_mut(b);
+            // Walk backwards so indices stay valid while removing.
+            for i in (0..block.insts.len()).rev() {
+                let inst = &block.insts[i];
+                if !is_removable(inst) {
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    if !after[i].contains(d) {
+                        block.insts.remove(i);
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+/// Runs DCE over every function of `program`; returns the total count.
+pub fn eliminate_dead_code(program: &mut Program) -> usize {
+    program.funcs.iter_mut().map(eliminate_dead_code_in).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::inst::{AluOp, Cond};
+    use lightwsp_ir::interp::{Interp, Memory};
+    use lightwsp_ir::Reg;
+
+    #[test]
+    fn removes_dead_mov_and_chain() {
+        // r1 = 1 (dead); r2 = r1+1 (dead); r3 = 7; [r4] = r3
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 1);
+        b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, 1);
+        b.mov_imm(Reg::R3, 7);
+        b.store(Reg::R3, Reg::R4, 0);
+        b.halt();
+        let mut f = b.finish();
+        let n = eliminate_dead_code_in(&mut f);
+        assert_eq!(n, 2, "the mov and its dependent add are both dead");
+        assert_eq!(f.block(f.entry).insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_live_and_effectful_instructions() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 1);
+        b.store(Reg::R1, Reg::R2, 0); // uses r1; store never removed
+        b.load(Reg::R3, Reg::R2, 0); // dead load → removable
+        b.fence(); // never removed
+        b.halt();
+        let mut f = b.finish();
+        let n = eliminate_dead_code_in(&mut f);
+        assert_eq!(n, 1);
+        let insts = &f.block(f.entry).insts;
+        assert_eq!(insts.len(), 3);
+        assert!(matches!(insts[2], Inst::Fence));
+    }
+
+    #[test]
+    fn loop_carried_values_survive() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0);
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 10, l, exit);
+        b.switch_to(exit);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let mut f = b.finish();
+        assert_eq!(eliminate_dead_code_in(&mut f), 0);
+    }
+
+    #[test]
+    fn semantics_preserved_on_program_with_dead_code() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R9, 111); // dead
+        b.mov_imm(Reg::R1, 5);
+        b.alu_imm(AluOp::Mul, Reg::R10, Reg::R1, 3); // dead
+        b.mov_imm(Reg::R2, 0x4000_0000);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let mut p = lightwsp_ir::Program::from_single(b.finish());
+        let run = |p: &lightwsp_ir::Program| {
+            let mut mem = Memory::new();
+            let mut t = Interp::new(p, 0);
+            t.run(p, &mut mem, 1000);
+            mem.read_word(0x4000_0000)
+        };
+        let before = run(&p);
+        let n = eliminate_dead_code(&mut p);
+        assert_eq!(n, 2);
+        assert_eq!(run(&p), before);
+    }
+}

@@ -1,0 +1,372 @@
+//! Checkpoint pruning (§IV-A): removing checkpoint stores whose values
+//! the recovery runtime can *reconstruct* from other checkpointed values
+//! or constants, trading a store at run time for a little recomputation
+//! at recovery time.
+//!
+//! A pruned checkpoint is replaced by one [`Recipe`] per region
+//! boundary it covered; the recipes are keyed by the boundary's recovery
+//! point (the encoded program point the boundary's PC store writes), and
+//! the recovery runtime applies them after reloading the register file
+//! from the checkpoint slots.
+//!
+//! Pruning is deliberately conservative — all of the following must hold
+//! for a checkpoint of `r` at index `i` of block `B`:
+//!
+//! * the instruction at `i - 1` defines `r` as `MovImm` (constant) or
+//!   `AluImm` whose source register has an **unpruned** checkpoint
+//!   earlier in `B` with the source unmodified through the covered range;
+//! * the covered range (from `i` to the first redefinition of `r` in `B`,
+//!   or the block end) contains no `Call` (power failure inside a callee
+//!   would otherwise resume at a callee boundary that has no recipe); and
+//! * if `r` is never redefined in the rest of `B`, `r` is not live out of
+//!   `B` (otherwise boundaries in later blocks would depend on the slot).
+
+use crate::stats::CompileStats;
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::liveness::Liveness;
+use lightwsp_ir::program::ProgramPoint;
+use lightwsp_ir::{AluOp, BlockId, FuncId, Function, Inst, Reg};
+use std::collections::HashMap;
+
+/// How to reconstruct one pruned register at recovery time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recipe {
+    /// The register held a compile-time constant.
+    Const(i64),
+    /// The register held `op(slot(src), imm)` where `slot(src)` is the
+    /// (unpruned) checkpointed value of `src`.
+    AluImm {
+        /// The ALU operation.
+        op: AluOp,
+        /// The checkpointed source register.
+        src: Reg,
+        /// The immediate operand.
+        imm: i64,
+    },
+}
+
+/// All reconstruction recipes of a compiled program, keyed by encoded
+/// recovery point.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryRecipes {
+    map: HashMap<u64, Vec<(Reg, Recipe)>>,
+}
+
+impl RecoveryRecipes {
+    /// Registers a recipe for the recovery point `point`.
+    pub fn add(&mut self, point: ProgramPoint, reg: Reg, recipe: Recipe) {
+        self.map.entry(point.encode()).or_default().push((reg, recipe));
+    }
+
+    /// The recipes to apply when resuming at `encoded_point` (empty slice
+    /// if none).
+    pub fn for_point(&self, encoded_point: u64) -> &[(Reg, Recipe)] {
+        self.map.get(&encoded_point).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Applies the recipes for `encoded_point` to a register file that
+    /// has just been reloaded from the checkpoint slots.
+    pub fn apply(&self, encoded_point: u64, regs: &mut [u64]) {
+        for &(reg, recipe) in self.for_point(encoded_point) {
+            regs[reg.index()] = match recipe {
+                Recipe::Const(c) => c as u64,
+                Recipe::AluImm { op, src, imm } => op.apply(regs[src.index()], imm as u64),
+            };
+        }
+    }
+
+    /// Total number of registered recipes.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// True if no recipes were registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Runs pruning over one function, appending recipes to `recipes`.
+pub fn prune_checkpoints(
+    fid: FuncId,
+    func: &mut Function,
+    recipes: &mut RecoveryRecipes,
+    stats: &mut CompileStats,
+) {
+    let cfg = Cfg::compute(func);
+    let live = Liveness::compute(func, &cfg);
+    for bi in 0..func.blocks.len() {
+        let b = BlockId::from_index(bi);
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        prune_block(fid, func, b, &live, recipes, stats);
+    }
+}
+
+fn prune_block(
+    fid: FuncId,
+    func: &mut Function,
+    b: BlockId,
+    live: &Liveness,
+    recipes: &mut RecoveryRecipes,
+    stats: &mut CompileStats,
+) {
+    let live_out = *live.live_out(b);
+    // Plan prunes on the original index space.
+    let mut pruned: Vec<usize> = Vec::new();
+    // (original boundary index, reg, recipe) registrations.
+    let mut pending: Vec<(usize, Reg, Recipe)> = Vec::new();
+
+    let insts = func.block(b).insts.clone();
+    for i in 0..insts.len() {
+        let Inst::CheckpointStore { reg: r } = insts[i] else { continue };
+        if r.is_sp() {
+            continue; // structural SP checkpoints are never pruned
+        }
+        if i == 0 {
+            continue;
+        }
+        // The candidate recipe from the defining instruction.
+        let recipe = match insts[i - 1] {
+            Inst::MovImm { dst, imm } if dst == r => Some(Recipe::Const(imm)),
+            Inst::AluImm { op, dst, src, imm } if dst == r && src != r => {
+                // src must have an unpruned checkpoint earlier in this
+                // block, with src untouched in between.
+                let src_ok = (0..i - 1).rev().find_map(|j| match insts[j] {
+                    Inst::CheckpointStore { reg } if reg == src && !pruned.contains(&j) => {
+                        Some(j)
+                    }
+                    ref inst if inst.defs().contains(src) => Some(usize::MAX),
+                    _ => None,
+                });
+                match src_ok {
+                    Some(j) if j != usize::MAX => Some(Recipe::AluImm { op, src, imm }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some(recipe) = recipe else { continue };
+
+        // Covered range: i+1 .. first redef of r (or of the recipe's src).
+        let mut covered_boundaries: Vec<usize> = Vec::new();
+        let mut blocked = false;
+        let mut reaches_block_end = true;
+        for (k, inst) in insts.iter().enumerate().skip(i + 1) {
+            if matches!(inst, Inst::Call { .. }) {
+                blocked = true; // callee boundaries would lack recipes
+                break;
+            }
+            if let Inst::RegionBoundary { .. } = inst {
+                covered_boundaries.push(k);
+            }
+            let mut stop = inst.defs().contains(r);
+            if let Recipe::AluImm { src, .. } = recipe {
+                if inst.defs().contains(src)
+                    || matches!(inst, Inst::CheckpointStore { reg } if *reg == src)
+                {
+                    // src's slot would change under the recipe's feet.
+                    stop = true;
+                    blocked = !covered_boundaries.is_empty() && false;
+                    // Boundaries collected so far are still valid: src's
+                    // slot only changes *after* them. Stop extending.
+                }
+            }
+            if stop {
+                reaches_block_end = false;
+                break;
+            }
+        }
+        if blocked {
+            continue;
+        }
+        if reaches_block_end && live_out.contains(r) {
+            continue; // later blocks rely on the slot
+        }
+
+        pruned.push(i);
+        for k in covered_boundaries {
+            pending.push((k, r, recipe));
+        }
+    }
+
+    if pruned.is_empty() {
+        return;
+    }
+
+    // Translate original indices to final (post-removal) indices.
+    let final_idx = |orig: usize| orig - pruned.iter().filter(|&&p| p < orig).count();
+    for (k, r, recipe) in pending {
+        let point = ProgramPoint {
+            func: fid,
+            block: b,
+            // Recovery point = the instruction after the boundary.
+            inst: (final_idx(k) + 1) as u32,
+        };
+        recipes.add(point, r, recipe);
+    }
+    let block = func.block_mut(b);
+    for &p in pruned.iter().rev() {
+        block.insts.remove(p);
+    }
+    stats.checkpoints_pruned += pruned.len() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::Program;
+
+    fn prune_single(func: Function) -> (Function, RecoveryRecipes, CompileStats) {
+        let mut p = Program::from_single(func);
+        let mut recipes = RecoveryRecipes::default();
+        let mut stats = CompileStats::default();
+        prune_checkpoints(FuncId::from_index(0), &mut p.funcs[0], &mut recipes, &mut stats);
+        (p.funcs.remove(0), recipes, stats)
+    }
+
+    fn count_checkpoints(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::CheckpointStore { .. }))
+            .count()
+    }
+
+    #[test]
+    fn constant_checkpoint_pruned_with_recipe() {
+        // r1 = 42; ckpt r1; boundary; store uses r1
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 42);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let (f, recipes, stats) = prune_single(b.finish());
+        assert_eq!(stats.checkpoints_pruned, 1);
+        assert_eq!(count_checkpoints(&f), 0);
+        // Recipe registered at the boundary's recovery point. After the
+        // removal the boundary sits at index 1; recovery point inst = 2.
+        let pt = ProgramPoint {
+            func: FuncId::from_index(0),
+            block: f.entry,
+            inst: 2,
+        };
+        let rs = recipes.for_point(pt.encode());
+        assert_eq!(rs, &[(Reg::R1, Recipe::Const(42))]);
+        let mut regs = [0u64; 32];
+        recipes.apply(pt.encode(), &mut regs);
+        assert_eq!(regs[Reg::R1.index()], 42);
+    }
+
+    #[test]
+    fn live_out_checkpoint_not_pruned() {
+        // r1 = 42; ckpt; boundary; (r1 used in the NEXT block)
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 42);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let (f, _, stats) = prune_single(b.finish());
+        // r1 is live-out of the entry block and never redefined → keep.
+        assert_eq!(stats.checkpoints_pruned, 0);
+        assert_eq!(count_checkpoints(&f), 1);
+    }
+
+    #[test]
+    fn alu_imm_checkpoint_pruned_when_src_checkpointed() {
+        // r2 = 100; ckpt r2; r3 = r2 + 8; ckpt r3; boundary; uses
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R2, 100);
+        b.checkpoint(Reg::R2);
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R2, 8);
+        b.checkpoint(Reg::R3);
+        b.region_boundary();
+        b.store(Reg::R3, Reg::R2, 0);
+        b.halt();
+        let (f, recipes, stats) = prune_single(b.finish());
+        // r2's own ckpt follows a MovImm → pruned (Const). r3's ckpt may
+        // then NOT use r2's slot... the pass processes in order: r2's
+        // checkpoint is pruned first, so r3's AluImm recipe must be
+        // rejected (src checkpoint gone).
+        assert_eq!(stats.checkpoints_pruned, 1);
+        assert_eq!(count_checkpoints(&f), 1, "r3 checkpoint kept");
+        assert_eq!(recipes.len(), 1);
+    }
+
+    #[test]
+    fn alu_imm_pruned_when_src_slot_genuinely_valid() {
+        // r2 loaded (not constant) → its ckpt survives; r3 = r2+8 → prunable.
+        let mut b = FuncBuilder::new("f");
+        b.load(Reg::R2, Reg::R9, 0);
+        b.checkpoint(Reg::R2);
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R2, 8);
+        b.checkpoint(Reg::R3);
+        b.region_boundary();
+        b.store(Reg::R3, Reg::R2, 0);
+        b.halt();
+        let (f, recipes, stats) = prune_single(b.finish());
+        assert_eq!(stats.checkpoints_pruned, 1);
+        assert_eq!(count_checkpoints(&f), 1);
+        let pt = ProgramPoint { func: FuncId::from_index(0), block: f.entry, inst: 4 };
+        let rs = recipes.for_point(pt.encode());
+        assert_eq!(rs, &[(Reg::R3, Recipe::AluImm { op: AluOp::Add, src: Reg::R2, imm: 8 })]);
+        // Applying after slot reload: r2 slot = 1000 → r3 = 1008.
+        let mut regs = [0u64; 32];
+        regs[Reg::R2.index()] = 1000;
+        recipes.apply(pt.encode(), &mut regs);
+        assert_eq!(regs[Reg::R3.index()], 1008);
+    }
+
+    #[test]
+    fn call_in_covered_range_blocks_pruning() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 42);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        b.call(FuncId::from_index(0));
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let (f, _, stats) = prune_single(b.finish());
+        assert_eq!(stats.checkpoints_pruned, 0);
+        assert_eq!(count_checkpoints(&f), 1);
+    }
+
+    #[test]
+    fn redefined_register_prunable_with_local_recipes() {
+        // r1 = 42; ckpt; boundary; r1 = 43 (redef) → coverage ends at the
+        // redef; r1 live-out does not block pruning.
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 42);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        b.mov_imm(Reg::R1, 43);
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let (f, recipes, stats) = prune_single(b.finish());
+        assert_eq!(stats.checkpoints_pruned, 1);
+        assert_eq!(count_checkpoints(&f), 0);
+        assert_eq!(recipes.len(), 1);
+    }
+
+    #[test]
+    fn sp_checkpoints_never_pruned() {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::SP, 0x5000);
+        b.checkpoint(Reg::SP);
+        b.region_boundary();
+        b.halt();
+        let (f, _, stats) = prune_single(b.finish());
+        assert_eq!(stats.checkpoints_pruned, 0);
+        assert_eq!(count_checkpoints(&f), 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Static region inspection: enumerates the recoverable regions of an
+//! instrumented function and summarises their shape (the static
+//! counterpart of the dynamic §V-G3 statistics).
+//!
+//! A *region start* is a program point right after a boundary (or the
+//! function entry); its region extends along the CFG to the next
+//! boundary on every path. Because regions are path-dependent, a block
+//! can belong to several regions; the summary therefore reports, per
+//! region start, the **maximum** store count and instruction count over
+//! all paths to the region's ends — exactly the quantities the
+//! threshold analysis bounds.
+
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::inst::BoundaryKind;
+use lightwsp_ir::program::ProgramPoint;
+use lightwsp_ir::{BlockId, FuncId, Function, Inst, Program};
+use std::collections::HashMap;
+
+/// Summary of one static region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// The region's start (a boundary's recovery point or the entry).
+    pub start: ProgramPoint,
+    /// Why the region's *opening* boundary exists (`None` for the
+    /// function-entry region).
+    pub opened_by: Option<BoundaryKind>,
+    /// Maximum store-like instructions on any path to a region end
+    /// (including the closing boundary's PC store).
+    pub max_stores: u32,
+    /// Maximum instructions on any path to a region end.
+    pub max_insts: u32,
+    /// Checkpoint stores inside the region (max over paths).
+    pub max_checkpoints: u32,
+}
+
+/// Enumerates the static regions of `func`.
+///
+/// The walk is bounded: each block is visited once per region (regions
+/// are acyclic between boundaries — loop headers carrying stores always
+/// hold boundaries after instrumentation; a store-free cycle contributes
+/// no stores and is cut off at revisit).
+pub fn function_regions(fid: FuncId, func: &Function) -> Vec<RegionSummary> {
+    let cfg = Cfg::compute(func);
+    let mut out = Vec::new();
+
+    // Region starts: function entry + after every boundary.
+    let mut starts: Vec<(ProgramPoint, Option<BoundaryKind>)> =
+        vec![(ProgramPoint { func: fid, block: func.entry, inst: 0 }, None)];
+    for (b, block) in func.iter_blocks() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Inst::RegionBoundary { kind } = inst {
+                starts.push((
+                    ProgramPoint { func: fid, block: b, inst: (i + 1) as u32 },
+                    Some(*kind),
+                ));
+            }
+        }
+    }
+
+    for (start, opened_by) in starts {
+        let (max_stores, max_insts, max_checkpoints) = walk_region(func, &cfg, start);
+        out.push(RegionSummary { start, opened_by, max_stores, max_insts, max_checkpoints });
+    }
+    out
+}
+
+/// Max-path (stores, insts, checkpoints) from `start` to the region's
+/// closing boundaries.
+fn walk_region(func: &Function, cfg: &Cfg, start: ProgramPoint) -> (u32, u32, u32) {
+    // Memoised DFS over block entries; `tail` handles the partial first
+    // block.
+    fn block_cost(
+        func: &Function,
+        cfg: &Cfg,
+        b: BlockId,
+        from: usize,
+        memo: &mut HashMap<(usize, usize), (u32, u32, u32)>,
+        depth: usize,
+    ) -> (u32, u32, u32) {
+        if let Some(&c) = memo.get(&(b.index(), from)) {
+            return c;
+        }
+        // Cycle guard (store-free loops): cut off at generous depth.
+        if depth > 4 * func.blocks.len() + 8 {
+            return (0, 0, 0);
+        }
+        memo.insert((b.index(), from), (0, 0, 0)); // provisional (cycle cut)
+        let block = func.block(b);
+        let mut stores = 0u32;
+        let mut insts = 0u32;
+        let mut ckpts = 0u32;
+        for i in from..block.insts.len() {
+            let inst = &block.insts[i];
+            insts += 1;
+            if let Inst::RegionBoundary { .. } = inst {
+                stores += 1; // the closing PC store
+                let r = (stores, insts, ckpts);
+                memo.insert((b.index(), from), r);
+                return r;
+            }
+            if inst.is_store_like() {
+                stores += 1;
+            }
+            if matches!(inst, Inst::CheckpointStore { .. }) {
+                ckpts += 1;
+            }
+        }
+        insts += 1; // terminator
+        let mut best = (0u32, 0u32, 0u32);
+        for &s in cfg.succs(b) {
+            let c = block_cost(func, cfg, s, 0, memo, depth + 1);
+            best = (best.0.max(c.0), best.1.max(c.1), best.2.max(c.2));
+        }
+        let r = (stores + best.0, insts + best.1, ckpts + best.2);
+        memo.insert((b.index(), from), r);
+        r
+    }
+
+    let mut memo = HashMap::new();
+    block_cost(func, cfg, start.block, start.inst as usize, &mut memo, 0)
+}
+
+/// Region summaries for every function of `program`.
+pub fn program_regions(program: &Program) -> Vec<RegionSummary> {
+    program
+        .funcs
+        .iter()
+        .enumerate()
+        .flat_map(|(fi, f)| function_regions(FuncId::from_index(fi), f))
+        .collect()
+}
+
+/// Renders a static-region report with aggregate statistics.
+pub fn render_report(program: &Program) -> String {
+    let regions = program_regions(program);
+    let mut out = String::from("start              opened-by      max-insts  max-stores  ckpts\n");
+    for r in &regions {
+        out.push_str(&format!(
+            "{:<19}{:<15}{:>9}{:>12}{:>7}\n",
+            format!("{:?}", r.start),
+            r.opened_by.map_or("entry".to_string(), |k| format!("{k:?}")),
+            r.max_insts,
+            r.max_stores,
+            r.max_checkpoints
+        ));
+    }
+    let n = regions.len().max(1);
+    let avg_st: f64 = regions.iter().map(|r| r.max_stores as f64).sum::<f64>() / n as f64;
+    let avg_in: f64 = regions.iter().map(|r| r.max_insts as f64).sum::<f64>() / n as f64;
+    let max_st = regions.iter().map(|r| r.max_stores).max().unwrap_or(0);
+    out.push_str(&format!(
+        "{} static regions; avg max-path {:.1} insts / {:.1} stores; worst region {} stores\n",
+        regions.len(),
+        avg_in,
+        avg_st,
+        max_st
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{instrument, CompilerConfig};
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::inst::{AluOp, Cond};
+    use lightwsp_ir::Reg;
+
+    fn instrumented_loop() -> Program {
+        let mut b = FuncBuilder::new("f");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, 0x4000_0000);
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 64, l, exit);
+        b.switch_to(exit);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        instrument(&p, &CompilerConfig::default()).program
+    }
+
+    #[test]
+    fn regions_enumerated_and_bounded() {
+        let p = instrumented_loop();
+        let regions = program_regions(&p);
+        assert!(regions.len() >= 3, "entry + loop + exit regions at least");
+        for r in &regions {
+            assert!(
+                r.max_stores <= 32,
+                "region at {:?} exceeds the threshold: {}",
+                r.start,
+                r.max_stores
+            );
+        }
+        // Exactly one region has no opening boundary (the entry region).
+        assert_eq!(regions.iter().filter(|r| r.opened_by.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn report_renders() {
+        let p = instrumented_loop();
+        let text = render_report(&p);
+        assert!(text.contains("static regions"));
+        assert!(text.contains("entry"));
+        assert!(text.contains("LoopHeader"));
+    }
+
+    #[test]
+    fn store_free_cycles_terminate() {
+        // A store-free loop has no boundary; the walker must not hang.
+        let mut b = FuncBuilder::new("spin");
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 1000, l, exit);
+        b.switch_to(exit);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let regions = program_regions(&p);
+        assert_eq!(regions.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Static compile statistics (§V-G3 reports the dynamic counterparts;
+//! those are measured by the simulator).
+
+use lightwsp_ir::inst::BoundaryKind;
+use lightwsp_ir::{Inst, Program};
+
+/// Counters accumulated across the pass pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Total region boundaries inserted.
+    pub boundaries_inserted: u64,
+    /// Boundaries at function entries.
+    pub boundaries_func_entry: u64,
+    /// Boundaries at function exits.
+    pub boundaries_func_exit: u64,
+    /// Boundaries at call sites.
+    pub boundaries_call_site: u64,
+    /// Boundaries at loop headers.
+    pub boundaries_loop_header: u64,
+    /// Boundaries at synchronisation instructions.
+    pub boundaries_sync: u64,
+    /// Threshold-split boundaries.
+    pub boundaries_threshold: u64,
+    /// Checkpoint stores inserted (cumulative across formation rounds;
+    /// see [`CompileStats::final_checkpoints`] for the surviving count).
+    pub checkpoints_inserted: u64,
+    /// Checkpoints removed by the pruning pass.
+    pub checkpoints_pruned: u64,
+    /// Threshold boundaries merged away by region combining.
+    pub boundaries_combined: u64,
+    /// Loops unrolled (classic, known trip count).
+    pub loops_unrolled: u64,
+    /// Loops speculatively unrolled (unknown trip count).
+    pub loops_speculatively_unrolled: u64,
+    /// Static instruction count of the final program.
+    pub static_insts: u64,
+    /// Boundaries present in the final program.
+    pub final_boundaries: u64,
+    /// Checkpoint stores present in the final program.
+    pub final_checkpoints: u64,
+    /// Functions whose regions could not all be shrunk under the store
+    /// threshold (the §IV-D overflow fallback covers them at run time).
+    pub threshold_relaxations: u64,
+}
+
+impl CompileStats {
+    /// Records one inserted boundary of the given kind.
+    pub fn record_boundary(&mut self, kind: BoundaryKind) {
+        self.boundaries_inserted += 1;
+        match kind {
+            BoundaryKind::FuncEntry => self.boundaries_func_entry += 1,
+            BoundaryKind::FuncExit => self.boundaries_func_exit += 1,
+            BoundaryKind::CallSite => self.boundaries_call_site += 1,
+            BoundaryKind::LoopHeader => self.boundaries_loop_header += 1,
+            BoundaryKind::Sync => self.boundaries_sync += 1,
+            BoundaryKind::Threshold => self.boundaries_threshold += 1,
+            BoundaryKind::Manual => {}
+        }
+    }
+
+    /// Fills in the final-program counters.
+    pub fn finalize(&mut self, program: &Program) {
+        self.static_insts = program.static_size() as u64;
+        self.final_boundaries = 0;
+        self.final_checkpoints = 0;
+        for func in &program.funcs {
+            for block in &func.blocks {
+                for inst in &block.insts {
+                    match inst {
+                        Inst::RegionBoundary { .. } => self.final_boundaries += 1,
+                        Inst::CheckpointStore { .. } => self.final_checkpoints += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::Reg;
+
+    #[test]
+    fn record_boundary_updates_totals_and_kind() {
+        let mut s = CompileStats::default();
+        s.record_boundary(BoundaryKind::Sync);
+        s.record_boundary(BoundaryKind::Sync);
+        s.record_boundary(BoundaryKind::Threshold);
+        assert_eq!(s.boundaries_inserted, 3);
+        assert_eq!(s.boundaries_sync, 2);
+        assert_eq!(s.boundaries_threshold, 1);
+    }
+
+    #[test]
+    fn finalize_counts_final_program() {
+        let mut b = FuncBuilder::new("f");
+        b.region_boundary();
+        b.checkpoint(Reg::R1);
+        b.checkpoint(Reg::R2);
+        b.halt();
+        let p = lightwsp_ir::Program::from_single(b.finish());
+        let mut s = CompileStats::default();
+        s.finalize(&p);
+        assert_eq!(s.final_boundaries, 1);
+        assert_eq!(s.final_checkpoints, 2);
+        assert_eq!(s.static_insts, 4);
+    }
+}

@@ -1,0 +1,345 @@
+//! Region size extension via loop unrolling (§IV-A "Region Size
+//! Extension and Checkpoint Pruning").
+//!
+//! Placing a region boundary at every store-containing loop header makes
+//! each iteration its own region; if the body has only a few stores this
+//! creates many tiny regions and many live-out checkpoints. The paper
+//! addresses this by:
+//!
+//! * **classic unrolling** for loops with statically known trip counts
+//!   (trip-count knowledge is conveyed via [`lightwsp_ir::program::LoopHint`],
+//!   this reproduction's stand-in for LLVM's scalar-evolution analysis), and
+//! * **speculative unrolling** for unknown trip counts: the loop body
+//!   *and its exit condition* are duplicated, so semantics are preserved
+//!   exactly while the header boundary now covers several iterations.
+//!
+//! Classic unrolling applies to single-block (self-latching) loops;
+//! speculative unrolling handles arbitrary (innermost, call-free)
+//! natural loops by cloning the whole body subgraph. Both are bounded
+//! by the store-count threshold so the enlarged body still forms a
+//! legal single region.
+
+use crate::stats::CompileStats;
+use crate::CompilerConfig;
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::dom::DomTree;
+use lightwsp_ir::loops::LoopForest;
+use lightwsp_ir::{BlockId, Function, Inst};
+
+/// Applies region-size extension to every eligible loop of `func`.
+pub fn extend_regions(func: &mut Function, config: &CompilerConfig, stats: &mut CompileStats) {
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let forest = LoopForest::compute(func, &cfg, &dom);
+
+    // Innermost loops only (no other loop's header inside them);
+    // transforms invalidate the forest, so collect headers first.
+    let headers: Vec<BlockId> = forest
+        .loops
+        .iter()
+        .filter(|l| {
+            forest
+                .loops
+                .iter()
+                .all(|o| o.header == l.header || !l.contains(o.header))
+        })
+        .map(|l| l.header)
+        .collect();
+
+    for header in headers {
+        let Some(l) = forest.loop_with_header(header) else { continue };
+        let blocks = l.blocks.clone();
+        let Some(plan) = plan_unroll(func, header, &blocks, config) else { continue };
+        match plan {
+            UnrollPlan::Classic { factor } => {
+                classic_unroll(func, header, factor);
+                stats.loops_unrolled += 1;
+            }
+            UnrollPlan::Speculative { factor } => {
+                speculative_unroll_subgraph(func, header, &blocks, factor);
+                stats.loops_speculatively_unrolled += 1;
+            }
+        }
+    }
+}
+
+enum UnrollPlan {
+    Classic { factor: u32 },
+    Speculative { factor: u32 },
+}
+
+/// Decides whether and how to unroll the loop at `header` with body
+/// `blocks`.
+fn plan_unroll(
+    func: &Function,
+    header: BlockId,
+    blocks: &[BlockId],
+    config: &CompilerConfig,
+) -> Option<UnrollPlan> {
+    // Keep the transform bounded: very large bodies gain little.
+    if blocks.len() > 8 {
+        return None;
+    }
+    let mut stores: u32 = 0;
+    let mut insts = 0usize;
+    for &b in blocks {
+        let block = func.block(b);
+        insts += block.insts.len() + 1;
+        // Calls and sync ops force boundaries inside the loop, defeating
+        // the purpose; pre-existing boundaries too.
+        if block.insts.iter().any(|i| {
+            i.forces_boundary_before() || matches!(i, Inst::RegionBoundary { .. })
+        }) {
+            return None;
+        }
+        stores += block.insts.iter().filter(|i| i.is_store_like()).count() as u32;
+    }
+    if stores == 0 || insts > 200 {
+        return None; // store-free loops get no header boundary anyway
+    }
+    // Keep headroom: unrolled stores + closing boundary + checkpoints.
+    let budget = config.store_threshold.saturating_sub(4);
+    let max_by_stores = (budget / stores).max(1);
+    let cap = config.max_unroll_factor.min(max_by_stores);
+    if cap < 2 {
+        return None;
+    }
+
+    let single_block = blocks.len() == 1;
+    let hint = func
+        .loop_hints
+        .iter()
+        .find(|h| h.header == header)
+        .and_then(|h| h.trip_count);
+    match hint {
+        Some(tc) if tc >= 2 && single_block => {
+            // Largest factor ≤ cap dividing the trip count; trip counts
+            // with no small divisor (primes) fall back to speculative
+            // unrolling.
+            match (2..=cap).rev().find(|f| tc % f == 0) {
+                Some(factor) => Some(UnrollPlan::Classic { factor }),
+                None => Some(UnrollPlan::Speculative { factor: cap }),
+            }
+        }
+        _ => Some(UnrollPlan::Speculative { factor: cap }),
+    }
+}
+
+/// Repeats the body `factor` times inside the header block (legal only
+/// when the trip count is a known multiple of `factor`, which
+/// [`plan_unroll`] guarantees).
+fn classic_unroll(func: &mut Function, header: BlockId, factor: u32) {
+    let body: Vec<Inst> = func.block(header).insts.clone();
+    let block = func.block_mut(header);
+    for _ in 1..factor {
+        block.insts.extend(body.iter().cloned());
+    }
+    // Keep the hint consistent for any later pass.
+    if let Some(h) = func.loop_hints.iter_mut().find(|h| h.header == header) {
+        if let Some(tc) = h.trip_count.as_mut() {
+            *tc /= factor;
+        }
+    }
+}
+
+/// Duplicates the whole loop-body subgraph *including every exit test*
+/// `factor - 1` times, chaining the copies so the loop's semantics are
+/// preserved exactly while the back edge to the original header is
+/// taken once per `factor` iterations (the paper's speculative
+/// unrolling generalised to multi-block bodies).
+fn speculative_unroll_subgraph(
+    func: &mut Function,
+    header: BlockId,
+    blocks: &[BlockId],
+    factor: u32,
+) {
+    if factor < 2 {
+        return;
+    }
+    // Copies are built front-to-back; back edges are patched afterwards
+    // once every copy's header id is known.
+    let mut copy_headers: Vec<BlockId> = Vec::with_capacity(factor as usize - 1);
+    let mut copy_maps: Vec<std::collections::HashMap<BlockId, BlockId>> = Vec::new();
+
+    for _ in 1..factor {
+        let mut map = std::collections::HashMap::new();
+        for &b in blocks {
+            let cloned = func.block(b).clone();
+            let nb = func.add_block(cloned);
+            map.insert(b, nb);
+        }
+        // Intra-copy edges: targets inside the loop map into the copy;
+        // back edges (→ header) are patched below; exits unchanged.
+        for &b in blocks {
+            let nb = map[&b];
+            let map_ref = &map;
+            func.block_mut(nb).term.map_targets(|t| {
+                if t == header {
+                    t // patched below
+                } else {
+                    map_ref.get(&t).copied().unwrap_or(t)
+                }
+            });
+        }
+        copy_headers.push(map[&header]);
+        copy_maps.push(map);
+    }
+
+    // Chain the back edges: original body → copy 1's header; copy i →
+    // copy i+1's header; last copy → original header.
+    for (i, map) in copy_maps.iter().enumerate() {
+        let next_header = if i + 1 < copy_headers.len() {
+            copy_headers[i + 1]
+        } else {
+            header
+        };
+        for &b in blocks {
+            let nb = map[&b];
+            func.block_mut(nb).term.map_targets(|t| if t == header { next_header } else { t });
+        }
+    }
+    let first_copy = copy_headers[0];
+    for &b in blocks {
+        func.block_mut(b).term.map_targets(|t| if t == header { first_copy } else { t });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::inst::{AluOp, Cond};
+    use lightwsp_ir::interp::{Interp, Memory};
+    use lightwsp_ir::{layout, Program, Reg};
+
+    /// sum loop: for i in 0..tc { heap[i] = i; }
+    fn make_loop(tc: i64, hint: bool) -> Program {
+        let mut b = FuncBuilder::new("loop");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, layout::HEAP_BASE as i64);
+        let header = b.new_block();
+        let exit = b.new_block();
+        if hint {
+            b.hint_trip_count(header, tc as u32);
+        }
+        b.jump(header);
+        b.switch_to(header);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.alu_imm(AluOp::Add, Reg::R2, Reg::R2, 8);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, tc, header, exit);
+        b.switch_to(exit);
+        b.halt();
+        Program::from_single(b.finish())
+    }
+
+    fn final_mem(p: &Program) -> Memory {
+        let mut mem = Memory::new();
+        let mut t = Interp::new(p, 0);
+        t.run(p, &mut mem, 100_000);
+        assert!(t.finished());
+        mem
+    }
+
+    #[test]
+    fn classic_unroll_preserves_semantics() {
+        let p = make_loop(12, true);
+        let golden = final_mem(&p);
+        let mut unrolled = p.clone();
+        let mut stats = CompileStats::default();
+        extend_regions(
+            &mut unrolled.funcs[0],
+            &CompilerConfig::default(),
+            &mut stats,
+        );
+        assert_eq!(stats.loops_unrolled, 1);
+        assert!(golden.same_contents(&final_mem(&unrolled)));
+        // Body actually duplicated.
+        let header_len = unrolled.funcs[0]
+            .iter_blocks()
+            .map(|(_, b)| b.insts.len())
+            .max()
+            .unwrap();
+        assert!(header_len >= 6, "body should be at least doubled");
+    }
+
+    #[test]
+    fn speculative_unroll_preserves_semantics_any_trip_count() {
+        for tc in [1, 2, 3, 5, 7, 13] {
+            let p = make_loop(tc, false);
+            let golden = final_mem(&p);
+            let mut unrolled = p.clone();
+            let mut stats = CompileStats::default();
+            extend_regions(
+                &mut unrolled.funcs[0],
+                &CompilerConfig::default(),
+                &mut stats,
+            );
+            assert_eq!(stats.loops_speculatively_unrolled, 1, "tc={tc}");
+            let got = final_mem(&unrolled);
+            if let Some((a, x, y)) = golden.first_difference(&got) {
+                panic!("tc={tc}: mismatch at {a:#x}: golden {x} vs unrolled {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn loops_with_calls_not_unrolled() {
+        let mut b = FuncBuilder::new("callloop");
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.call(lightwsp_ir::FuncId::from_index(0));
+        b.branch_imm(Cond::Eq, Reg::R1, 0, exit, header);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        extend_regions(&mut f, &CompilerConfig::default(), &mut stats);
+        assert_eq!(stats.loops_unrolled + stats.loops_speculatively_unrolled, 0);
+    }
+
+    #[test]
+    fn store_free_loops_not_unrolled() {
+        let mut b = FuncBuilder::new("nostore");
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 100, header, exit);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let mut stats = CompileStats::default();
+        extend_regions(&mut f, &CompilerConfig::default(), &mut stats);
+        assert_eq!(stats.loops_unrolled + stats.loops_speculatively_unrolled, 0);
+    }
+
+    #[test]
+    fn unroll_factor_respects_store_budget() {
+        // 10 stores per iteration, threshold 32 → budget 28 → factor 2.
+        let mut b = FuncBuilder::new("fat");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, layout::HEAP_BASE as i64);
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        for k in 0..10 {
+            b.store(Reg::R1, Reg::R2, k * 8);
+        }
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 8, header, exit);
+        b.switch_to(exit);
+        b.halt();
+        let mut f = b.finish();
+        let before_blocks = f.blocks.len();
+        let mut stats = CompileStats::default();
+        extend_regions(&mut f, &CompilerConfig::default(), &mut stats);
+        assert_eq!(stats.loops_speculatively_unrolled, 1);
+        assert_eq!(f.blocks.len(), before_blocks + 1, "factor 2 → one extra block");
+    }
+}

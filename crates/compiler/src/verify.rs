@@ -1,0 +1,427 @@
+//! Post-pass validation of the compiler's central invariants.
+//!
+//! These checks back the property-based tests and guard the simulator's
+//! assumptions: if [`check_store_threshold`] passes, a region's stores
+//! can never overflow a WPQ of `2 × threshold` entries (§III-C), which is
+//! what makes the WPQ gating scheme failure-atomic.
+
+use crate::prune::RecoveryRecipes;
+use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::liveness::Liveness;
+use lightwsp_ir::program::{Block, ProgramPoint};
+use lightwsp_ir::reg::RegSet;
+use lightwsp_ir::{BlockId, FuncId, Function, Inst, Program, Reg};
+use std::fmt;
+
+/// A violated compiler invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks the store-threshold invariant for every function of `program`:
+/// on no path between two consecutive region boundaries do more than
+/// `threshold` store-like instructions occur (counting the region-ending
+/// boundary's own PC store).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] naming the first offending function/block.
+pub fn check_store_threshold(program: &Program, threshold: u32) -> Result<(), VerifyError> {
+    for func in &program.funcs {
+        check_function_threshold(func, threshold)?;
+    }
+    Ok(())
+}
+
+/// Per-function version of [`check_store_threshold`].
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] naming the offending block.
+pub fn check_function_threshold(func: &Function, threshold: u32) -> Result<(), VerifyError> {
+    let threshold = threshold as u64;
+    let cfg = Cfg::compute(func);
+    let n = func.blocks.len();
+    let mut cin = vec![0u64; n];
+    let mut cout = vec![0u64; n];
+    let cap = 4 * threshold + 16;
+
+    for _round in 0..(2 * n + 8) {
+        let mut changed = false;
+        for &b in cfg.reverse_post_order() {
+            let mut max_in = 0u64;
+            for &p in cfg.preds(b) {
+                max_in = max_in.max(cout[p.index()]);
+            }
+            if max_in != cin[b.index()] {
+                cin[b.index()] = max_in;
+                changed = true;
+            }
+            let out = walk(func.block(b), max_in, threshold, func, b)?;
+            if out != cout[b.index()] {
+                if out > cap {
+                    return Err(VerifyError {
+                        message: format!(
+                            "store count diverges at {b:?} in '{}' (no boundary on a store cycle)",
+                            func.name
+                        ),
+                    });
+                }
+                cout[b.index()] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+    Err(VerifyError {
+        message: format!("threshold dataflow failed to converge in '{}'", func.name),
+    })
+}
+
+fn walk(
+    block: &Block,
+    mut count: u64,
+    threshold: u64,
+    func: &Function,
+    b: BlockId,
+) -> Result<u64, VerifyError> {
+    for (i, inst) in block.insts.iter().enumerate() {
+        if let Inst::RegionBoundary { .. } = inst {
+            // The ending boundary's PC store occupies a slot in the
+            // region it closes.
+            if count + 1 > threshold {
+                return Err(VerifyError {
+                    message: format!(
+                        "region ending at {b:?}[{i}] in '{}' has {} stores (threshold {threshold})",
+                        func.name,
+                        count + 1
+                    ),
+                });
+            }
+            count = 0;
+        } else if inst.is_store_like() {
+            count += 1;
+            if count + 1 > threshold {
+                return Err(VerifyError {
+                    message: format!(
+                        "open region at {b:?}[{i}] in '{}' reaches {} stores (threshold {threshold})",
+                        func.name,
+                        count + 1
+                    ),
+                });
+            }
+        }
+    }
+    Ok(count)
+}
+
+/// Checks that every region boundary is the last instruction of its
+/// block (the post-split invariant the checkpoint analysis relies on).
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] naming the first misplaced boundary.
+pub fn check_blocks_split(program: &Program) -> Result<(), VerifyError> {
+    for func in &program.funcs {
+        for (b, block) in func.iter_blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if matches!(inst, Inst::RegionBoundary { .. }) && i + 1 != block.insts.len() {
+                    return Err(VerifyError {
+                        message: format!(
+                            "boundary at {b:?}[{i}] in '{}' is not block-final",
+                            func.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks **checkpoint coverage**, the invariant power-failure recovery
+/// rests on (§IV-A): for every region boundary `b` and every register
+/// `r` live at `b` (SP excluded — it follows the structural protocol),
+/// either a pruning recipe reconstructs `r` at `b`'s recovery point, or
+/// on *every* backward path from `b` a `CheckpointStore(r)` appears
+/// before any other definition of `r`. Registers with no reaching
+/// definition in the function are the caller's/installer's
+/// responsibility (covered by the ABI convention) and are skipped.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] naming the first uncovered (boundary,
+/// register) pair.
+pub fn check_checkpoint_coverage(
+    program: &Program,
+    recipes: &RecoveryRecipes,
+) -> Result<(), VerifyError> {
+    for (fi, func) in program.funcs.iter().enumerate() {
+        check_function_coverage(FuncId::from_index(fi), func, recipes)?;
+    }
+    Ok(())
+}
+
+fn check_function_coverage(
+    fid: FuncId,
+    func: &Function,
+    recipes: &RecoveryRecipes,
+) -> Result<(), VerifyError> {
+    let cfg = Cfg::compute(func);
+    let live = Liveness::compute(func, &cfg);
+
+    for (b, block) in func.iter_blocks() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let live_after = live.live_after_insts(func, b);
+        for (i, inst) in block.insts.iter().enumerate() {
+            if !matches!(inst, Inst::RegionBoundary { .. }) {
+                continue;
+            }
+            let recovery = ProgramPoint { func: fid, block: b, inst: (i + 1) as u32 };
+            let recipe_regs: RegSet =
+                recipes.for_point(recovery.encode()).iter().map(|&(r, _)| r).collect();
+            let mut need = live_after[i];
+            need.remove(Reg::SP);
+            need.subtract(&recipe_regs);
+            for r in need.iter() {
+                if let Some(path_desc) = uncovered_path(func, &cfg, b, i, r) {
+                    return Err(VerifyError {
+                        message: format!(
+                            "register {r} live at boundary {b:?}[{i}] in '{}' lacks                              checkpoint coverage ({path_desc})",
+                            func.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Searches for a backward path from just before instruction `from` of
+/// block `b` that meets a definition of `r` (or a call clobbering it)
+/// before meeting `CheckpointStore(r)`. Returns a description of the
+/// offending path, or `None` if every path is covered.
+fn uncovered_path(
+    func: &Function,
+    cfg: &Cfg,
+    b: BlockId,
+    from: usize,
+    r: Reg,
+) -> Option<String> {
+    // Walk the tail of the starting block.
+    match scan_backward(func, b, from, r) {
+        Scan::Covered => return None,
+        Scan::Uncovered(i) => return Some(format!("def at {b:?}[{i}] reaches the boundary")),
+        Scan::Transparent => {}
+    }
+    // DFS through predecessors; a block is *transparent* when it neither
+    // defines nor checkpoints `r`.
+    let mut stack: Vec<BlockId> = cfg.preds(b).to_vec();
+    let mut visited = vec![false; func.blocks.len()];
+    while let Some(p) = stack.pop() {
+        if visited[p.index()] {
+            continue;
+        }
+        visited[p.index()] = true;
+        match scan_backward(func, p, func.block(p).insts.len(), r) {
+            Scan::Covered => {}
+            Scan::Uncovered(i) => {
+                return Some(format!("def at {p:?}[{i}] reaches the boundary"))
+            }
+            Scan::Transparent => {
+                if cfg.preds(p).is_empty() {
+                    // Entry reached with no def: caller/installer covers it.
+                } else {
+                    stack.extend_from_slice(cfg.preds(p));
+                }
+            }
+        }
+    }
+    None
+}
+
+enum Scan {
+    /// Met `CheckpointStore(r)` first — this path is covered.
+    Covered,
+    /// Met a def of `r` (index) with no checkpoint after it.
+    Uncovered(usize),
+    /// Neither — keep walking predecessors.
+    Transparent,
+}
+
+fn scan_backward(func: &Function, b: BlockId, from: usize, r: Reg) -> Scan {
+    let block = func.block(b);
+    for i in (0..from.min(block.insts.len())).rev() {
+        match &block.insts[i] {
+            Inst::CheckpointStore { reg } if *reg == r => return Scan::Covered,
+            inst if inst.defs().contains(r) => return Scan::Uncovered(i),
+            _ => {}
+        }
+    }
+    Scan::Transparent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::Reg;
+
+    #[test]
+    fn accepts_compliant_function() {
+        let mut b = FuncBuilder::new("ok");
+        b.store(Reg::R1, Reg::R2, 0);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 8);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        check_store_threshold(&p, 4).unwrap();
+    }
+
+    #[test]
+    fn rejects_overfull_region() {
+        let mut b = FuncBuilder::new("bad");
+        for i in 0..10 {
+            b.store(Reg::R1, Reg::R2, i * 8);
+        }
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let err = check_store_threshold(&p, 4).unwrap_err();
+        assert!(err.message.contains("stores"), "{err}");
+    }
+
+    #[test]
+    fn rejects_boundaryless_store_cycle() {
+        use lightwsp_ir::inst::Cond;
+        let mut b = FuncBuilder::new("cycle");
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.branch_imm(Cond::Eq, Reg::R3, 0, exit, l);
+        b.switch_to(exit);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        assert!(check_store_threshold(&p, 4).is_err());
+    }
+
+    #[test]
+    fn split_check() {
+        let mut b = FuncBuilder::new("unsplit");
+        b.region_boundary();
+        b.nop();
+        b.halt();
+        let p = Program::from_single(b.finish());
+        assert!(check_blocks_split(&p).is_err());
+
+        let mut b2 = FuncBuilder::new("split");
+        b2.nop();
+        b2.region_boundary();
+        b2.halt();
+        let p2 = Program::from_single(b2.finish());
+        check_blocks_split(&p2).unwrap();
+    }
+
+    #[test]
+    fn coverage_accepts_instrumented_program() {
+        use crate::{instrument, CompilerConfig};
+        use lightwsp_ir::inst::AluOp;
+        let mut b = FuncBuilder::new("cov");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, 0x4000_0000);
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(lightwsp_ir::inst::Cond::Ne, Reg::R1, 40, l, exit);
+        b.switch_to(exit);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let out = instrument(&p, &CompilerConfig::default());
+        check_checkpoint_coverage(&out.program, &out.recipes).unwrap();
+    }
+
+    #[test]
+    fn coverage_rejects_missing_checkpoint() {
+        // r1 defined, live across a boundary, never checkpointed.
+        let mut b = FuncBuilder::new("bad");
+        b.mov_imm(Reg::R1, 7);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let err =
+            check_checkpoint_coverage(&p, &crate::prune::RecoveryRecipes::default()).unwrap_err();
+        assert!(err.message.contains("r1"), "{err}");
+    }
+
+    #[test]
+    fn coverage_accepts_recipe_substitute() {
+        use crate::prune::{Recipe, RecoveryRecipes};
+        use lightwsp_ir::program::ProgramPoint;
+        let mut b = FuncBuilder::new("recipe");
+        b.mov_imm(Reg::R1, 7);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let mut recipes = RecoveryRecipes::default();
+        let point = ProgramPoint {
+            func: FuncId::from_index(0),
+            block: p.funcs[0].entry,
+            inst: 2,
+        };
+        recipes.add(point, Reg::R1, Recipe::Const(7));
+        check_checkpoint_coverage(&p, &recipes).unwrap();
+    }
+
+    #[test]
+    fn coverage_accepts_undefined_registers() {
+        // r2 (the store base) is never defined in the function: the ABI
+        // convention makes it the caller's responsibility.
+        let mut b = FuncBuilder::new("undef");
+        b.mov_imm(Reg::R1, 7);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        check_checkpoint_coverage(&p, &crate::prune::RecoveryRecipes::default()).unwrap();
+    }
+
+    #[test]
+    fn counts_boundary_own_store() {
+        // threshold 2: one store + the closing boundary = 2 → ok;
+        // two stores + boundary = 3 → error.
+        let mut ok = FuncBuilder::new("ok");
+        ok.store(Reg::R1, Reg::R2, 0);
+        ok.region_boundary();
+        ok.halt();
+        check_store_threshold(&Program::from_single(ok.finish()), 2).unwrap();
+
+        let mut bad = FuncBuilder::new("bad");
+        bad.store(Reg::R1, Reg::R2, 0);
+        bad.store(Reg::R1, Reg::R2, 8);
+        bad.region_boundary();
+        bad.halt();
+        assert!(check_store_threshold(&Program::from_single(bad.finish()), 2).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # lightwsp-core — the public facade of the LightWSP reproduction
+//!
+//! Ties the compiler ([`lightwsp_compiler`]), the simulator
+//! ([`lightwsp_sim`]) and the workload roster ([`lightwsp_workloads`])
+//! into the experiment API the evaluation harness and downstream users
+//! consume:
+//!
+//! * [`ExperimentOptions`] — the evaluation configuration (experiment-
+//!   scaled cache hierarchy, instruction budget, every sensitivity
+//!   knob);
+//! * [`Experiment`] — runs workloads under schemes, normalises against
+//!   cached baseline runs, and aggregates per-suite geomeans;
+//! * [`report`] — serialisable result tables with paper-style
+//!   formatting;
+//! * [`recovery`] — the public crash-consistency test API (golden run
+//!   vs fail-and-recover run).
+//!
+//! ```no_run
+//! use lightwsp_core::{Experiment, ExperimentOptions};
+//! use lightwsp_sim::Scheme;
+//! use lightwsp_workloads::workload;
+//!
+//! let mut exp = Experiment::new(ExperimentOptions::paper_default());
+//! let lbm = workload("lbm").unwrap();
+//! let slowdown = exp.slowdown(&lbm, Scheme::LightWsp);
+//! println!("lbm LightWSP slowdown: {slowdown:.3}");
+//! ```
+
+pub mod experiment;
+pub mod recovery;
+pub mod report;
+
+pub use experiment::{Experiment, ExperimentOptions, RunResult};
+pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
+pub use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};
+pub use lightwsp_workloads::{Suite, WorkloadSpec};

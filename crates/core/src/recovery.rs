@@ -1,0 +1,56 @@
+//! Public crash-consistency testing API.
+//!
+//! Wraps [`lightwsp_sim::consistency`] for workload-level use: pick a
+//! benchmark, pick failure points, and verify that power failure plus
+//! the §IV-F recovery protocol reproduces the failure-free durable
+//! state byte-for-byte.
+
+use crate::experiment::{Experiment, ExperimentOptions};
+use lightwsp_sim::consistency::{check_crash_consistency, ConsistencyError, ConsistencyReport};
+use lightwsp_sim::Scheme;
+use lightwsp_workloads::WorkloadSpec;
+
+/// Runs the crash-consistency oracle on `spec` with failures injected
+/// at the given cycles.
+///
+/// # Errors
+///
+/// Returns the underlying [`ConsistencyError`] if the recovered durable
+/// state diverges from the golden run or a run fails to complete.
+pub fn check_workload_recovery(
+    spec: &WorkloadSpec,
+    opts: &ExperimentOptions,
+    failure_cycles: &[u64],
+) -> Result<ConsistencyReport, ConsistencyError> {
+    let exp = Experiment::new(opts.clone());
+    let compiled = exp.compile(spec, Scheme::LightWsp);
+    let mut cfg = opts.sim.clone();
+    cfg.scheme = Scheme::LightWsp;
+    let threads = opts.threads.unwrap_or(spec.threads);
+    cfg.num_cores = threads;
+    check_crash_consistency(&compiled, &cfg, threads, failure_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_workloads::workload;
+
+    #[test]
+    fn single_threaded_workload_recovers() {
+        let w = workload("hmmer").unwrap();
+        let opts = ExperimentOptions::quick();
+        let report = check_workload_recovery(&w, &opts, &[2_000, 9_000]).unwrap();
+        assert!(report.words_compared > 100);
+    }
+
+    #[test]
+    fn multithreaded_workload_recovers() {
+        let mut w = workload("vacation").unwrap();
+        w.threads = 4;
+        let mut opts = ExperimentOptions::quick();
+        opts.insts_per_thread = 6_000;
+        let report = check_workload_recovery(&w, &opts, &[1_500]).unwrap();
+        assert!(report.failures <= 1);
+    }
+}

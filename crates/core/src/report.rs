@@ -1,0 +1,210 @@
+//! Result tables: serialisable records plus paper-style text rendering
+//! used by every figure harness.
+
+use lightwsp_workloads::{geomean, Suite};
+use serde::Serialize;
+
+/// Aggregates values for display: geometric mean when all values are
+/// positive (slowdowns), arithmetic mean otherwise (rates that can be
+/// zero, e.g. WPQ hits per million instructions).
+fn aggregate(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    if values.iter().all(|&v| v > 0.0) {
+        geomean(values.iter().copied())
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// One (workload, series) cell of a figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    /// Workload name (x-axis position).
+    pub workload: String,
+    /// Suite the workload belongs to.
+    pub suite: String,
+    /// Series name (e.g. a scheme or a configuration).
+    pub series: String,
+    /// The value (slowdown, efficiency, rate …).
+    pub value: f64,
+}
+
+/// A whole figure/table: a tagged collection of cells.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Figure {
+    /// Figure identifier, e.g. `"fig7"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Unit of `value` (e.g. `"slowdown"`, `"%"`).
+    pub unit: String,
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Figure {
+    /// Creates an empty figure.
+    pub fn new(id: &str, title: &str, unit: &str) -> Figure {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            unit: unit.to_string(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds one cell.
+    pub fn push(&mut self, suite: Suite, workload: &str, series: &str, value: f64) {
+        self.cells.push(Cell {
+            workload: workload.to_string(),
+            suite: suite.name().to_string(),
+            series: series.to_string(),
+            value,
+        });
+    }
+
+    /// Distinct series names in insertion order.
+    pub fn series(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.series) {
+                out.push(c.series.clone());
+            }
+        }
+        out
+    }
+
+    /// Geometric mean of a series across all workloads.
+    pub fn series_geomean(&self, series: &str) -> f64 {
+        geomean(
+            self.cells
+                .iter()
+                .filter(|c| c.series == series)
+                .map(|c| c.value),
+        )
+    }
+
+    /// Geometric mean of a series within one suite.
+    pub fn suite_geomean(&self, series: &str, suite: Suite) -> f64 {
+        geomean(
+            self.cells
+                .iter()
+                .filter(|c| c.series == series && c.suite == suite.name())
+                .map(|c| c.value),
+        )
+    }
+
+    /// Renders the figure as an aligned text table, one row per
+    /// workload, one column per series, with per-suite and overall
+    /// geomean rows — the same rows/series the paper plots.
+    pub fn render(&self) -> String {
+        let series = self.series();
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ({}) ==\n", self.id, self.title, self.unit));
+        out.push_str(&format!("{:<22}", "workload"));
+        for s in &series {
+            out.push_str(&format!("{s:>14}"));
+        }
+        out.push('\n');
+
+        // Rows in first-series insertion order.
+        let mut seen: Vec<(String, String)> = Vec::new();
+        for c in &self.cells {
+            let key = (c.suite.clone(), c.workload.clone());
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        let mut last_suite = String::new();
+        for (suite, workload) in &seen {
+            if suite != &last_suite {
+                if !last_suite.is_empty() {
+                    self.render_suite_geomean(&mut out, &series, &last_suite);
+                }
+                out.push_str(&format!("-- {suite} --\n"));
+                last_suite = suite.clone();
+            }
+            out.push_str(&format!("{workload:<22}"));
+            for s in &series {
+                let v = self
+                    .cells
+                    .iter()
+                    .find(|c| &c.workload == workload && &c.series == s && &c.suite == suite)
+                    .map(|c| c.value);
+                match v {
+                    Some(v) => out.push_str(&format!("{v:>14.3}")),
+                    None => out.push_str(&format!("{:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        if !last_suite.is_empty() {
+            self.render_suite_geomean(&mut out, &series, &last_suite);
+        }
+        out.push_str(&format!("{:<22}", "geomean(all)"));
+        for s in &series {
+            let vals: Vec<f64> = self
+                .cells
+                .iter()
+                .filter(|c| &c.series == s)
+                .map(|c| c.value)
+                .collect();
+            out.push_str(&format!("{:>14.3}", aggregate(&vals)));
+        }
+        out.push('\n');
+        out
+    }
+
+    fn render_suite_geomean(&self, out: &mut String, series: &[String], suite: &str) {
+        out.push_str(&format!("{:<22}", format!("geomean({suite})")));
+        for s in series {
+            let vals: Vec<f64> = self
+                .cells
+                .iter()
+                .filter(|c| &c.series == s && c.suite == suite)
+                .map(|c| c.value)
+                .collect();
+            out.push_str(&format!("{:>14.3}", aggregate(&vals)));
+        }
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut f = Figure::new("figX", "test", "slowdown");
+        f.push(Suite::Cpu2006, "a", "S1", 1.1);
+        f.push(Suite::Cpu2006, "a", "S2", 1.2);
+        f.push(Suite::Cpu2006, "b", "S1", 1.3);
+        f.push(Suite::Cpu2006, "b", "S2", 1.4);
+        f.push(Suite::Stamp, "c", "S1", 2.0);
+        f.push(Suite::Stamp, "c", "S2", 1.0);
+        f
+    }
+
+    #[test]
+    fn series_order_and_geomeans() {
+        let f = sample();
+        assert_eq!(f.series(), vec!["S1", "S2"]);
+        let g = f.series_geomean("S1");
+        assert!((g - (1.1f64 * 1.3 * 2.0).powf(1.0 / 3.0)).abs() < 1e-9);
+        let sg = f.suite_geomean("S1", Suite::Cpu2006);
+        assert!((sg - (1.1f64 * 1.3).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_rows_and_geomeans() {
+        let f = sample();
+        let text = f.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("-- CPU2006 --"));
+        assert!(text.contains("geomean(CPU2006)"));
+        assert!(text.contains("geomean(all)"));
+        assert!(text.contains("2.000"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Ergonomic construction of IR functions.
+//!
+//! Used throughout the test suite and by the synthetic workload
+//! generators. The builder keeps a *current block*; instruction-emitting
+//! methods append to it, and terminator-emitting methods seal it.
+
+use crate::inst::{AluOp, BoundaryKind, BranchRhs, Cond, Inst, Terminator};
+use crate::program::{Block, BlockId, FuncId, Function, LoopHint};
+use crate::reg::Reg;
+
+/// Builds one [`Function`] incrementally.
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Function,
+    current: BlockId,
+    sealed: Vec<bool>,
+}
+
+impl FuncBuilder {
+    /// Starts a new function; the current block is its entry block.
+    pub fn new(name: impl Into<String>) -> FuncBuilder {
+        let func = Function::new(name);
+        let current = func.entry;
+        FuncBuilder { func, current, sealed: vec![false] }
+    }
+
+    /// Creates a new (empty, unsealed) block and returns its id without
+    /// switching to it.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = self.func.add_block(Block { insts: Vec::new(), term: Terminator::Halt });
+        self.sealed.push(false);
+        id
+    }
+
+    /// Makes `block` the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` has already been sealed with a terminator.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(!self.sealed[block.index()], "cannot append to sealed {block:?}");
+        self.current = block;
+    }
+
+    /// The current block.
+    pub fn current(&self) -> BlockId {
+        self.current
+    }
+
+    /// Records a trip-count hint for the loop headed at `header`.
+    pub fn hint_trip_count(&mut self, header: BlockId, trip_count: u32) {
+        self.func.loop_hints.push(LoopHint { header, trip_count: Some(trip_count) });
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(!self.sealed[self.current.index()], "current block already sealed");
+        self.func.block_mut(self.current).insts.push(inst);
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        assert!(!self.sealed[self.current.index()], "current block already sealed");
+        self.func.block_mut(self.current).term = term;
+        self.sealed[self.current.index()] = true;
+    }
+
+    /// Emits `dst = op(lhs, rhs)`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, lhs: Reg, rhs: Reg) {
+        self.push(Inst::Alu { op, dst, lhs, rhs });
+    }
+
+    /// Emits `dst = op(src, imm)`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, src: Reg, imm: i64) {
+        self.push(Inst::AluImm { op, dst, src, imm });
+    }
+
+    /// Emits `dst = imm`.
+    pub fn mov_imm(&mut self, dst: Reg, imm: i64) {
+        self.push(Inst::MovImm { dst, imm });
+    }
+
+    /// Emits an 8-byte load `dst = [base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.push(Inst::Load { dst, base, offset });
+    }
+
+    /// Emits an 8-byte store `[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) {
+        self.push(Inst::Store { src, base, offset });
+    }
+
+    /// Emits a call to `callee`.
+    pub fn call(&mut self, callee: FuncId) {
+        self.push(Inst::Call { callee });
+    }
+
+    /// Emits a memory fence.
+    pub fn fence(&mut self) {
+        self.push(Inst::Fence);
+    }
+
+    /// Emits an atomic read-modify-write.
+    pub fn atomic_rmw(&mut self, op: AluOp, dst: Reg, addr: Reg, src: Reg) {
+        self.push(Inst::AtomicRmw { op, dst, addr, src });
+    }
+
+    /// Emits a lock acquire on the lock word addressed by `lock`.
+    pub fn lock_acquire(&mut self, lock: Reg) {
+        self.push(Inst::LockAcquire { lock });
+    }
+
+    /// Emits a lock release on the lock word addressed by `lock`.
+    pub fn lock_release(&mut self, lock: Reg) {
+        self.push(Inst::LockRelease { lock });
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    /// Emits an irrevocable I/O output of `src` (§IV-A "I/O Functions").
+    pub fn io_out(&mut self, src: Reg) {
+        self.push(Inst::Io { src });
+    }
+
+    /// Emits a region boundary (normally inserted by the LightWSP
+    /// compiler; exposed for tests and hand-written examples).
+    pub fn region_boundary(&mut self) {
+        self.push(Inst::RegionBoundary { kind: BoundaryKind::Manual });
+    }
+
+    /// Emits a checkpoint store of `reg` (normally inserted by the
+    /// LightWSP compiler; exposed for tests and hand-written examples).
+    pub fn checkpoint(&mut self, reg: Reg) {
+        self.push(Inst::CheckpointStore { reg });
+    }
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump { target });
+    }
+
+    /// Seals the current block with `if cond(src, imm) goto then_bb else
+    /// else_bb`.
+    pub fn branch_imm(&mut self, cond: Cond, src: Reg, imm: i64, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch { cond, src, rhs: BranchRhs::Imm(imm), then_bb, else_bb });
+    }
+
+    /// Seals the current block with a register-register conditional branch.
+    pub fn branch_reg(&mut self, cond: Cond, src: Reg, rhs: Reg, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch { cond, src, rhs: BranchRhs::Reg(rhs), then_bb, else_bb });
+    }
+
+    /// Seals the current block with a function return.
+    pub fn ret(&mut self) {
+        self.seal(Terminator::Ret);
+    }
+
+    /// Seals the current block with a thread halt.
+    pub fn halt(&mut self) {
+        self.seal(Terminator::Halt);
+    }
+
+    /// Finishes construction and returns the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was left unsealed (no terminator emitted).
+    pub fn finish(self) -> Function {
+        for (i, sealed) in self.sealed.iter().enumerate() {
+            assert!(*sealed, "block bb{i} in '{}' left unsealed", self.func.name);
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_blocks_and_terminators() {
+        let mut b = FuncBuilder::new("x");
+        b.mov_imm(Reg::R1, 42);
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.block(f.entry).insts.len(), 1);
+        assert!(matches!(f.block(next).term, Terminator::Ret));
+    }
+
+    #[test]
+    #[should_panic(expected = "left unsealed")]
+    fn finish_rejects_unsealed_blocks() {
+        let mut b = FuncBuilder::new("bad");
+        b.nop();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn cannot_append_after_seal() {
+        let mut b = FuncBuilder::new("bad2");
+        b.ret();
+        b.nop();
+    }
+
+    #[test]
+    fn trip_count_hints_recorded() {
+        let mut b = FuncBuilder::new("h");
+        let header = b.new_block();
+        b.hint_trip_count(header, 16);
+        b.jump(header);
+        b.switch_to(header);
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.loop_hints.len(), 1);
+        assert_eq!(f.loop_hints[0].trip_count, Some(16));
+    }
+}

@@ -1,0 +1,177 @@
+//! Control-flow-graph utilities: predecessors, successors, traversal
+//! orders.
+//!
+//! The region-formation pass (§IV-A) traverses the CFG "in topological
+//! order" when combining regions; [`Cfg::reverse_post_order`] provides that
+//! order (topological on the acyclic condensation, with loop headers
+//! visited before their bodies).
+
+use crate::program::{BlockId, Function};
+
+/// Predecessor/successor maps and traversal orders for one function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    pub fn compute(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (id, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+
+        // Iterative DFS post-order from the entry block.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // Stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let mut rpo = post;
+        rpo.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg { preds, succs, rpo, rpo_index, reachable: visited }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse post-order (entry first); unreachable blocks are
+    /// omitted.
+    pub fn reverse_post_order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse post-order, if reachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        let i = self.rpo_index[b.index()];
+        (i != usize::MAX).then_some(i)
+    }
+
+    /// True if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Number of blocks in the underlying function (including unreachable).
+    pub fn num_blocks(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    /// Diamond: entry -> (left|right) -> merge.
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("diamond");
+        let left = b.new_block();
+        let right = b.new_block();
+        let merge = b.new_block();
+        b.branch_imm(Cond::Eq, Reg::R0, 0, left, right);
+        b.switch_to(left);
+        b.jump(merge);
+        b.switch_to(right);
+        b.jump(merge);
+        b.switch_to(merge);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_preds_succs() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let entry = f.entry;
+        assert_eq!(cfg.succs(entry).len(), 2);
+        let merge = BlockId::from_index(3);
+        assert_eq!(cfg.preds(merge).len(), 2);
+        assert!(cfg.preds(entry).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_ends_at_exit() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(*rpo.last().unwrap(), BlockId::from_index(3));
+        // RPO index is consistent.
+        for (i, b) in rpo.iter().enumerate() {
+            assert_eq!(cfg.rpo_index(*b), Some(i));
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded_from_rpo() {
+        let mut b = FuncBuilder::new("unreachable");
+        b.ret();
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.reverse_post_order().len(), 1);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo_index(dead), None);
+    }
+
+    #[test]
+    fn loop_rpo_header_before_body() {
+        let mut b = FuncBuilder::new("loop");
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch_imm(Cond::Eq, Reg::R0, 0, exit, body);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let hi = cfg.rpo_index(header).unwrap();
+        let bi = cfg.rpo_index(body).unwrap();
+        assert!(hi < bi, "header must precede body in RPO");
+    }
+}

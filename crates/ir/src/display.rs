@@ -1,0 +1,80 @@
+//! Human-readable disassembly of IR programs.
+//!
+//! The format is stable enough for snapshot-style assertions in tests
+//! and for the worked examples; it is not a parseable interchange
+//! format.
+
+use crate::inst::Terminator;
+use crate::program::{Function, Program};
+use std::fmt;
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump { target } => write!(f, "jump {target:?}"),
+            Terminator::Branch { cond, src, rhs, then_bb, else_bb } => {
+                write!(f, "if {cond:?}({src}, {rhs:?}) -> {then_bb:?} else {else_bb:?}")
+            }
+            Terminator::Ret => write!(f, "ret"),
+            Terminator::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {} (entry {:?}):", self.name, self.entry)?;
+        for (id, block) in self.iter_blocks() {
+            writeln!(f, "  {id:?}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program (entry f{}):", self.entry.index())?;
+        for func in &self.funcs {
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FuncBuilder;
+    use crate::inst::Cond;
+    use crate::{Program, Reg};
+
+    #[test]
+    fn function_disassembly_lists_blocks_and_instructions() {
+        let mut b = FuncBuilder::new("demo");
+        b.mov_imm(Reg::R1, 5);
+        let exit = b.new_block();
+        b.branch_imm(Cond::Eq, Reg::R1, 5, exit, exit);
+        b.switch_to(exit);
+        b.store(Reg::R1, Reg::R2, 8);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let text = p.to_string();
+        assert!(text.contains("program (entry f0):"));
+        assert!(text.contains("func demo (entry bb0):"));
+        assert!(text.contains("r1 = #5"));
+        assert!(text.contains("[r2 + 8] = r1"));
+        assert!(text.contains("if Eq(r1, Imm(5)) -> bb1 else bb1"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn terminator_display_forms() {
+        let mut b = FuncBuilder::new("t");
+        b.ret();
+        let f = b.finish();
+        assert!(f.to_string().contains("ret"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Dominator tree, via the Cooper–Harvey–Kennedy iterative algorithm.
+//!
+//! Natural-loop detection ([`crate::loops`]) identifies back edges as edges
+//! whose target dominates their source, which is what the initial-boundary
+//! pass needs to find loop headers (§IV-A "Initial Region Boundary
+//! Insertion").
+
+use crate::cfg::Cfg;
+use crate::program::{BlockId, Function};
+
+/// The dominator tree of a function's reachable blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`; unreachable
+    /// blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes dominators for `func` given its `cfg`.
+    pub fn compute(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.blocks.len();
+        let rpo = cfg.reverse_post_order();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry.index()] = Some(func.entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            // Walk up by RPO index until the fingers meet.
+            while a != b {
+                while cfg.rpo_index(a).unwrap() > cfg.rpo_index(b).unwrap() {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while cfg.rpo_index(b).unwrap() > cfg.rpo_index(a).unwrap() {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree { idom, entry: func.entry }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].expect("reachable block has idom");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    fn diamond_with_loop() -> (Function, [BlockId; 5]) {
+        // entry -> header; header -> (body | exit); body -> header
+        // exit -> tail
+        let mut b = FuncBuilder::new("t");
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        let tail = b.new_block();
+        let entry = b.current();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch_imm(Cond::Eq, Reg::R0, 0, exit, body);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.jump(tail);
+        b.switch_to(tail);
+        b.ret();
+        (b.finish(), [entry, header, body, exit, tail])
+    }
+
+    #[test]
+    fn idoms_in_loop_cfg() {
+        let (f, [entry, header, body, exit, tail]) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(header), Some(entry));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert_eq!(dom.idom(tail), Some(exit));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (f, [entry, header, body, _exit, tail]) = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        assert!(dom.dominates(header, header));
+        assert!(dom.dominates(entry, tail));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, header));
+        assert!(!dom.dominates(tail, body));
+    }
+
+    #[test]
+    fn diamond_merge_dominated_only_by_entry() {
+        let mut b = FuncBuilder::new("d");
+        let left = b.new_block();
+        let right = b.new_block();
+        let merge = b.new_block();
+        b.branch_imm(Cond::Eq, Reg::R0, 0, left, right);
+        b.switch_to(left);
+        b.jump(merge);
+        b.switch_to(right);
+        b.jump(merge);
+        b.switch_to(merge);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        assert_eq!(dom.idom(merge), Some(f.entry));
+        assert!(!dom.dominates(left, merge));
+    }
+}

@@ -1,0 +1,475 @@
+//! Instructions and block terminators of the machine IR.
+//!
+//! The set is intentionally small but covers everything the LightWSP
+//! compiler passes and the timing simulator need to distinguish:
+//!
+//! * plain ALU work (timing slot accounting),
+//! * loads and stores (the persist path and WPQ consume store events;
+//!   loads drive the cache hierarchy),
+//! * control flow (region boundaries are placed along CFG structure),
+//! * calls/returns (always region boundaries per §IV-A),
+//! * fences and atomics (region boundaries for multi-threaded
+//!   happens-before order, §III-D), and
+//! * the two instructions the LightWSP compiler *inserts*:
+//!   [`Inst::RegionBoundary`] (the PC-checkpointing store) and
+//!   [`Inst::CheckpointStore`] (a live-out register checkpoint, a plain
+//!   store to the PM-resident checkpoint array).
+
+use crate::program::{BlockId, FuncId};
+use crate::reg::{Reg, RegSet};
+use std::fmt;
+
+/// Why a region boundary exists (§IV-A): used by the region-formation
+/// pass to decide which boundaries may be merged away (only
+/// [`BoundaryKind::Threshold`] boundaries are removable; the rest are
+/// required for correctness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BoundaryKind {
+    /// Function entry.
+    FuncEntry,
+    /// Function exit.
+    FuncExit,
+    /// Immediately before a call site.
+    CallSite,
+    /// Loop header (of a loop containing stores).
+    LoopHeader,
+    /// Before a synchronisation instruction (fence/atomic/lock), §III-D.
+    Sync,
+    /// Inserted to keep the in-region store count below the threshold.
+    Threshold,
+    /// Hand-placed (tests, examples).
+    Manual,
+}
+
+/// Binary ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Logical shift left (by rhs & 63).
+    Shl,
+    /// Logical shift right (by rhs & 63).
+    Shr,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit values.
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+        }
+    }
+}
+
+/// Branch conditions, evaluated against an immediate or register operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition on two 64-bit values.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cond::Eq => lhs == rhs,
+            Cond::Ne => lhs != rhs,
+            Cond::Lt => lhs < rhs,
+            Cond::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A non-terminator machine instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = op(lhs, rhs)`.
+    Alu { op: AluOp, dst: Reg, lhs: Reg, rhs: Reg },
+    /// `dst = op(src, imm)`.
+    AluImm { op: AluOp, dst: Reg, src: Reg, imm: i64 },
+    /// `dst = imm`.
+    MovImm { dst: Reg, imm: i64 },
+    /// `dst = mem[base + offset]` (8-byte load).
+    Load { dst: Reg, base: Reg, offset: i64 },
+    /// `mem[base + offset] = src` (8-byte store).
+    Store { src: Reg, base: Reg, offset: i64 },
+    /// Calls `callee`; pushes the return point on the in-memory stack via
+    /// the architectural stack pointer, so return addresses persist like
+    /// any other data (whole-system persistence).
+    Call { callee: FuncId },
+    /// Memory fence; the LightWSP compiler places a region boundary
+    /// immediately before it (§III-D).
+    Fence,
+    /// Atomic read-modify-write: `dst = mem[addr]; mem[addr] = op(dst, src)`.
+    /// Treated as a synchronisation point (region boundary before it).
+    AtomicRmw { op: AluOp, dst: Reg, addr: Reg, src: Reg },
+    /// Spin-acquires the lock word addressed by `lock`. A synchronisation
+    /// point: establishes happens-before with the previous release.
+    LockAcquire { lock: Reg },
+    /// Releases the lock word addressed by `lock`. A synchronisation point.
+    LockRelease { lock: Reg },
+    /// No operation (occupies a pipeline slot).
+    Nop,
+    /// An irrevocable I/O operation emitting the value of `src` to an
+    /// output port (§IV-A "I/O Functions"). The compiler places a region
+    /// boundary immediately before it so necessary state is checkpointed
+    /// and an interrupted operation restarts from the I/O itself.
+    Io { src: Reg },
+    /// LightWSP-inserted region boundary: the PC-checkpointing store
+    /// (§IV-A). Broadcasts the current region ID to all memory controllers
+    /// and samples a fresh one. The operand-free form stores the encoded
+    /// address of the *next* program point into the per-thread PC slot of
+    /// the checkpoint array.
+    RegionBoundary {
+        /// Why the boundary was inserted.
+        kind: BoundaryKind,
+    },
+    /// LightWSP-inserted checkpoint of a live-out register: a plain store
+    /// of `reg` into its dedicated slot of the PM-resident checkpoint
+    /// array (§IV-A "Checkpoint Storage Management").
+    CheckpointStore { reg: Reg },
+}
+
+/// The modelled calling convention.
+///
+/// Calls communicate through registers `r16..=r23` (arguments and return
+/// values) and may clobber `r16..=r30`; `r1..=r15` are callee-preserved
+/// (generated callees never touch them). This keeps liveness analysis
+/// intraprocedural while staying sound: a [`Inst::Call`] *uses* the
+/// argument registers and *defines* (clobbers) every caller-saved
+/// register, and [`Terminator::Ret`] uses the return registers so values
+/// handed back to the caller stay live to the callee's exit boundary.
+pub mod abi {
+    use crate::reg::{Reg, RegSet};
+
+    /// Argument/return registers (`r16..=r23`).
+    pub fn arg_regs() -> RegSet {
+        (16..=23).map(Reg::from_index).collect()
+    }
+
+    /// Registers a call may clobber (`r16..=r30`).
+    pub fn clobbered_regs() -> RegSet {
+        (16..=30).map(Reg::from_index).collect()
+    }
+
+    /// Callee-preserved registers (`r0..=r15`).
+    pub fn preserved_regs() -> RegSet {
+        (0..=15).map(Reg::from_index).collect()
+    }
+}
+
+impl Inst {
+    /// The single register this instruction computes into, if any
+    /// (clobbers from calls are excluded; see [`Inst::defs`]).
+    pub fn def(&self) -> Option<Reg> {
+        match *self {
+            Inst::Alu { dst, .. }
+            | Inst::AluImm { dst, .. }
+            | Inst::MovImm { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::AtomicRmw { dst, .. } => Some(dst),
+            // Call/Ret adjust SP; modelled as a def of SP.
+            Inst::Call { .. } => Some(Reg::SP),
+            _ => None,
+        }
+    }
+
+    /// Every register this instruction may write, including call clobbers.
+    pub fn defs(&self) -> RegSet {
+        let mut s = RegSet::new();
+        if let Inst::Call { .. } = self {
+            s = abi::clobbered_regs();
+        }
+        if let Some(d) = self.def() {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// The registers this instruction reads.
+    pub fn uses(&self) -> RegSet {
+        let mut s = RegSet::new();
+        match *self {
+            Inst::Alu { lhs, rhs, .. } => {
+                s.insert(lhs);
+                s.insert(rhs);
+            }
+            Inst::AluImm { src, .. } => {
+                s.insert(src);
+            }
+            Inst::MovImm { .. } | Inst::Nop | Inst::Fence | Inst::RegionBoundary { .. } => {}
+            Inst::Load { base, .. } => {
+                s.insert(base);
+            }
+            Inst::Store { src, base, .. } => {
+                s.insert(src);
+                s.insert(base);
+            }
+            Inst::Call { .. } => {
+                s.insert(Reg::SP);
+                s.union_with(&abi::arg_regs());
+            }
+            Inst::AtomicRmw { addr, src, .. } => {
+                s.insert(addr);
+                s.insert(src);
+            }
+            Inst::LockAcquire { lock } | Inst::LockRelease { lock } => {
+                s.insert(lock);
+            }
+            Inst::Io { src } => {
+                s.insert(src);
+            }
+            Inst::CheckpointStore { reg } => {
+                s.insert(reg);
+            }
+        }
+        s
+    }
+
+    /// True for instructions that perform a data store on the persist path
+    /// (plain stores, atomics, checkpoint stores, boundaries, calls — the
+    /// latter push a return address).
+    ///
+    /// This is the store count used by the region-partitioning threshold
+    /// (§III-C): every one of these occupies a WPQ entry.
+    pub fn is_store_like(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::AtomicRmw { .. }
+                | Inst::CheckpointStore { .. }
+                | Inst::RegionBoundary { .. }
+                | Inst::Call { .. }
+                | Inst::LockAcquire { .. }
+                | Inst::LockRelease { .. }
+        )
+    }
+
+    /// True for the *program's own* stores (excluding compiler-inserted
+    /// checkpoints and boundaries); used by compiler statistics.
+    pub fn is_program_store(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::AtomicRmw { .. }
+                | Inst::Call { .. }
+                | Inst::LockAcquire { .. }
+                | Inst::LockRelease { .. }
+        )
+    }
+
+    /// True if this instruction must start a new region *before* it
+    /// executes (synchronisation points and call sites, §III-D & §IV-A).
+    pub fn forces_boundary_before(&self) -> bool {
+        matches!(
+            self,
+            Inst::Call { .. }
+                | Inst::Fence
+                | Inst::AtomicRmw { .. }
+                | Inst::LockAcquire { .. }
+                | Inst::LockRelease { .. }
+                | Inst::Io { .. }
+        )
+    }
+
+    /// True for the instructions the LightWSP compiler inserts.
+    pub fn is_instrumentation(&self) -> bool {
+        matches!(self, Inst::RegionBoundary { .. } | Inst::CheckpointStore { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, dst, lhs, rhs } => write!(f, "{dst} = {op:?}({lhs}, {rhs})"),
+            Inst::AluImm { op, dst, src, imm } => write!(f, "{dst} = {op:?}({src}, #{imm})"),
+            Inst::MovImm { dst, imm } => write!(f, "{dst} = #{imm}"),
+            Inst::Load { dst, base, offset } => write!(f, "{dst} = [{base} + {offset}]"),
+            Inst::Store { src, base, offset } => write!(f, "[{base} + {offset}] = {src}"),
+            Inst::Call { callee } => write!(f, "call f{}", callee.index()),
+            Inst::Fence => write!(f, "fence"),
+            Inst::AtomicRmw { op, dst, addr, src } => {
+                write!(f, "{dst} = atomic_{op:?}([{addr}], {src})")
+            }
+            Inst::LockAcquire { lock } => write!(f, "lock_acquire [{lock}]"),
+            Inst::LockRelease { lock } => write!(f, "lock_release [{lock}]"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Io { src } => write!(f, "io.out {src}"),
+            Inst::RegionBoundary { .. } => write!(f, "region_boundary"),
+            Inst::CheckpointStore { reg } => write!(f, "checkpoint {reg}"),
+        }
+    }
+}
+
+/// Block terminators; every basic block ends in exactly one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump { target: BlockId },
+    /// Two-way conditional branch comparing `src` against `rhs`.
+    Branch { cond: Cond, src: Reg, rhs: BranchRhs, then_bb: BlockId, else_bb: BlockId },
+    /// Function return: pops the return point from the in-memory stack.
+    Ret,
+    /// Thread exit (only valid in a thread's entry function).
+    Halt,
+}
+
+/// The right-hand side of a branch comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BranchRhs {
+    /// Compare against an immediate.
+    Imm(i64),
+    /// Compare against a register.
+    Reg(Reg),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in (then, else) order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump { target } => vec![target],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![then_bb, else_bb],
+            Terminator::Ret | Terminator::Halt => vec![],
+        }
+    }
+
+    /// Registers read by this terminator.
+    pub fn uses(&self) -> RegSet {
+        let mut s = RegSet::new();
+        match *self {
+            Terminator::Branch { src, rhs, .. } => {
+                s.insert(src);
+                if let BranchRhs::Reg(r) = rhs {
+                    s.insert(r);
+                }
+            }
+            Terminator::Ret => {
+                s.insert(Reg::SP);
+                // Return values flow back to the caller through the ABI
+                // registers; treating them as used keeps them live to the
+                // function-exit boundary so they get checkpointed there.
+                s.union_with(&abi::arg_regs());
+            }
+            _ => {}
+        }
+        s
+    }
+
+    /// Rewrites successor block ids through `map` (used by unrolling).
+    pub fn map_targets(&mut self, mut map: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump { target } => *target = map(*target),
+            Terminator::Branch { then_bb, else_bb, .. } => {
+                *then_bb = map(*then_bb);
+                *else_bb = map(*else_bb);
+            }
+            Terminator::Ret | Terminator::Halt => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(3, 5), 15);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Shl.apply(1, 65), 2, "shift counts wrap mod 64");
+        assert_eq!(AluOp::Shr.apply(8, 2), 2);
+    }
+
+    #[test]
+    fn cond_semantics_are_unsigned() {
+        assert!(Cond::Lt.eval(1, u64::MAX));
+        assert!(Cond::Ge.eval(u64::MAX, 1));
+        assert!(Cond::Eq.eval(7, 7));
+        assert!(Cond::Ne.eval(7, 8));
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, lhs: Reg::R2, rhs: Reg::R3 };
+        assert_eq!(i.def(), Some(Reg::R1));
+        assert!(i.uses().contains(Reg::R2) && i.uses().contains(Reg::R3));
+
+        let s = Inst::Store { src: Reg::R4, base: Reg::R5, offset: 8 };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses().len(), 2);
+
+        let c = Inst::Call { callee: FuncId::from_index(0) };
+        assert_eq!(c.def(), Some(Reg::SP), "call pushes a return address via SP");
+    }
+
+    #[test]
+    fn store_like_classification() {
+        assert!(Inst::Store { src: Reg::R0, base: Reg::R1, offset: 0 }.is_store_like());
+        assert!(Inst::RegionBoundary { kind: BoundaryKind::Manual }.is_store_like());
+        assert!(Inst::CheckpointStore { reg: Reg::R0 }.is_store_like());
+        assert!(!Inst::Nop.is_store_like());
+        assert!(!Inst::Load { dst: Reg::R0, base: Reg::R1, offset: 0 }.is_store_like());
+        assert!(!Inst::RegionBoundary { kind: BoundaryKind::Manual }.is_program_store());
+    }
+
+    #[test]
+    fn sync_points_force_boundaries() {
+        assert!(Inst::Fence.forces_boundary_before());
+        assert!(Inst::LockAcquire { lock: Reg::R1 }.forces_boundary_before());
+        assert!(Inst::Call { callee: FuncId::from_index(1) }.forces_boundary_before());
+        assert!(!Inst::Nop.forces_boundary_before());
+    }
+
+    #[test]
+    fn terminator_successors_and_uses() {
+        let b0 = BlockId::from_index(0);
+        let b1 = BlockId::from_index(1);
+        let t = Terminator::Branch {
+            cond: Cond::Eq,
+            src: Reg::R2,
+            rhs: BranchRhs::Reg(Reg::R3),
+            then_bb: b0,
+            else_bb: b1,
+        };
+        assert_eq!(t.successors(), vec![b0, b1]);
+        assert!(t.uses().contains(Reg::R2) && t.uses().contains(Reg::R3));
+        assert!(Terminator::Ret.uses().contains(Reg::SP));
+        assert!(Terminator::Halt.successors().is_empty());
+    }
+
+    #[test]
+    fn map_targets_rewrites() {
+        let b0 = BlockId::from_index(0);
+        let b9 = BlockId::from_index(9);
+        let mut t = Terminator::Jump { target: b0 };
+        t.map_targets(|_| b9);
+        assert_eq!(t.successors(), vec![b9]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Address-space layout of the modelled whole-system-persistent machine.
+//!
+//! Everything is persistent main memory (PM) in LightWSP — there is no
+//! volatile main memory. The layout carves PM into:
+//!
+//! * the per-thread **checkpoint storage** (§IV-A "Checkpoint Storage
+//!   Management"): a PM-resident array with one 8-byte slot per
+//!   architectural register, plus a PC slot written by every region
+//!   boundary;
+//! * per-thread **stacks** (return addresses are ordinary stores, so the
+//!   call stack survives power failure);
+//! * a **lock region** for synchronisation words; and
+//! * the **heap/globals** region used by workloads.
+
+use crate::reg::{Reg, NUM_REGS};
+
+/// Base address of the checkpoint storage.
+pub const CHECKPOINT_BASE: u64 = 0x1000_0000;
+/// Bytes of checkpoint storage per thread (32 register slots + PC slot,
+/// rounded to a power of two).
+pub const CHECKPOINT_STRIDE: u64 = 0x200;
+/// Offset of the PC slot inside a thread's checkpoint area.
+pub const PC_SLOT_OFFSET: u64 = (NUM_REGS as u64) * 8;
+
+/// Base address of thread stacks (grow downward from the top of each
+/// thread's window).
+pub const STACK_BASE: u64 = 0x2000_0000;
+/// Stack bytes reserved per thread.
+pub const STACK_STRIDE: u64 = 0x1_0000;
+
+/// Base address of the lock region.
+pub const LOCK_BASE: u64 = 0x3000_0000;
+
+/// Base address of the workload heap/global region.
+pub const HEAP_BASE: u64 = 0x4000_0000;
+
+/// Address of the checkpoint slot for register `reg` of thread `tid`.
+pub fn checkpoint_slot(tid: usize, reg: Reg) -> u64 {
+    CHECKPOINT_BASE + tid as u64 * CHECKPOINT_STRIDE + reg.index() as u64 * 8
+}
+
+/// Address of the PC checkpoint slot of thread `tid` (written by every
+/// region boundary).
+pub fn pc_slot(tid: usize) -> u64 {
+    CHECKPOINT_BASE + tid as u64 * CHECKPOINT_STRIDE + PC_SLOT_OFFSET
+}
+
+/// Initial stack-pointer value for thread `tid` (stacks grow downward).
+pub fn initial_sp(tid: usize) -> u64 {
+    STACK_BASE + (tid as u64 + 1) * STACK_STRIDE
+}
+
+/// Address of lock word `n`.
+pub fn lock_addr(n: usize) -> u64 {
+    LOCK_BASE + n as u64 * 64 // one lock per cache line to avoid false sharing
+}
+
+/// True if `addr` lies inside any thread's checkpoint storage.
+pub fn is_checkpoint_addr(addr: u64) -> bool {
+    (CHECKPOINT_BASE..STACK_BASE).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_slots_disjoint_across_threads() {
+        let t0_last = checkpoint_slot(0, Reg::SP);
+        let t1_first = checkpoint_slot(1, Reg::R0);
+        assert!(t0_last < t1_first);
+        assert!(pc_slot(0) < t1_first);
+        assert!(pc_slot(0) > t0_last);
+    }
+
+    #[test]
+    fn slots_are_8_byte_aligned() {
+        for tid in 0..4 {
+            assert_eq!(pc_slot(tid) % 8, 0);
+            for r in Reg::all() {
+                assert_eq!(checkpoint_slot(tid, r) % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_windows_disjoint() {
+        assert!(initial_sp(0) <= STACK_BASE + STACK_STRIDE);
+        assert_eq!(initial_sp(1) - initial_sp(0), STACK_STRIDE);
+        assert!(initial_sp(63) <= LOCK_BASE);
+    }
+
+    #[test]
+    fn region_predicates() {
+        assert!(is_checkpoint_addr(checkpoint_slot(0, Reg::R5)));
+        assert!(is_checkpoint_addr(pc_slot(3)));
+        assert!(!is_checkpoint_addr(HEAP_BASE));
+        assert!(!is_checkpoint_addr(lock_addr(0)));
+    }
+
+    #[test]
+    fn locks_are_cacheline_separated() {
+        assert_eq!(lock_addr(1) - lock_addr(0), 64);
+    }
+}

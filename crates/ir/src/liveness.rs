@@ -1,0 +1,186 @@
+//! Backward liveness dataflow analysis.
+//!
+//! The checkpoint-insertion pass (§IV-A "Checkpoint Store Insertion")
+//! computes the live-out registers of each region and checkpoints them
+//! after their last update point. Regions start at block boundaries after
+//! the block-splitting step, so block-level live-in/live-out sets plus a
+//! per-instruction backward walk give everything the pass needs.
+
+use crate::cfg::Cfg;
+use crate::program::{BlockId, Function};
+use crate::reg::RegSet;
+
+/// Block-level liveness results for one function.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Runs the backward dataflow to a fixpoint.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Liveness {
+        let n = func.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![RegSet::new(); n];
+        let mut kill = vec![RegSet::new(); n];
+        for (id, block) in func.iter_blocks() {
+            let (g, k) = (&mut gen[id.index()], &mut kill[id.index()]);
+            for inst in &block.insts {
+                let mut uses = inst.uses();
+                uses.subtract(k);
+                g.union_with(&uses);
+                k.union_with(&inst.defs());
+            }
+            let mut uses = block.term.uses();
+            uses.subtract(k);
+            g.union_with(&uses);
+        }
+
+        let mut live_in = vec![RegSet::new(); n];
+        let mut live_out = vec![RegSet::new(); n];
+        // Iterate in post-order (reverse RPO) for fast convergence.
+        let order: Vec<BlockId> = cfg.reverse_post_order().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = RegSet::new();
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inp = out;
+                inp.subtract(&kill[b.index()]);
+                inp.union_with(&gen[b.index()]);
+                if out != live_out[b.index()] || inp != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inp;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live at entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Per-instruction live-after sets for block `b`: element `i` is the
+    /// set of registers live immediately after instruction `i` (index
+    /// `insts.len()` is not included; use [`Liveness::live_out`] for the
+    /// set after the terminator).
+    pub fn live_after_insts(&self, func: &Function, b: BlockId) -> Vec<RegSet> {
+        let block = func.block(b);
+        let mut cur = *self.live_out(b);
+        // Terminator uses are live before the terminator, i.e. after the
+        // last instruction.
+        cur.union_with(&block.term.uses());
+        let mut result = vec![RegSet::new(); block.insts.len()];
+        for i in (0..block.insts.len()).rev() {
+            result[i] = cur;
+            let inst = &block.insts[i];
+            cur.subtract(&inst.defs());
+            cur.union_with(&inst.uses());
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::{AluOp, Cond};
+    use crate::reg::Reg;
+
+    #[test]
+    fn straight_line_liveness() {
+        // r1 = 1; r2 = r1 + 1; [r2] = r1; ret
+        let mut b = FuncBuilder::new("s");
+        b.mov_imm(Reg::R1, 1);
+        b.alu_imm(AluOp::Add, Reg::R2, Reg::R1, 1);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let l = Liveness::compute(&f, &cfg);
+        assert!(l.live_in(f.entry).contains(Reg::SP), "ret reads sp");
+        assert!(!l.live_in(f.entry).contains(Reg::R1), "r1 defined before use");
+        assert!(l.live_out(f.entry).is_empty());
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // r1 = 0; loop: r1 = r1 + 1; if r1 != 10 goto loop; exit: [r2] = r1
+        let mut b = FuncBuilder::new("l");
+        b.mov_imm(Reg::R1, 0);
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 10, header, exit);
+        b.switch_to(exit);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let l = Liveness::compute(&f, &cfg);
+        assert!(l.live_in(header).contains(Reg::R1), "loop-carried r1 live into header");
+        assert!(l.live_out(header).contains(Reg::R1));
+        assert!(l.live_in(header).contains(Reg::R2), "r2 used after the loop");
+        assert!(l.live_in(f.entry).contains(Reg::R2));
+    }
+
+    #[test]
+    fn per_instruction_live_after() {
+        // r1 = 1; r2 = 2; [r1] = r2
+        let mut b = FuncBuilder::new("p");
+        b.mov_imm(Reg::R1, 1);
+        b.mov_imm(Reg::R2, 2);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let l = Liveness::compute(&f, &cfg);
+        let after = l.live_after_insts(&f, f.entry);
+        assert_eq!(after.len(), 3);
+        // After r1 = 1: r1 live (used by store), r2 about to be defined.
+        assert!(after[0].contains(Reg::R1));
+        assert!(!after[0].contains(Reg::R2));
+        // After r2 = 2: both live.
+        assert!(after[1].contains(Reg::R1) && after[1].contains(Reg::R2));
+        // After the store: nothing but SP (for ret).
+        assert!(!after[2].contains(Reg::R1) && !after[2].contains(Reg::R2));
+        assert!(after[2].contains(Reg::SP));
+    }
+
+    #[test]
+    fn branch_merges_successor_liveins() {
+        let mut b = FuncBuilder::new("m");
+        let left = b.new_block();
+        let right = b.new_block();
+        b.branch_imm(Cond::Eq, Reg::R9, 0, left, right);
+        b.switch_to(left);
+        b.store(Reg::R3, Reg::R4, 0);
+        b.ret();
+        b.switch_to(right);
+        b.store(Reg::R5, Reg::R6, 0);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let l = Liveness::compute(&f, &cfg);
+        let lo = l.live_out(f.entry);
+        for r in [Reg::R3, Reg::R4, Reg::R5, Reg::R6] {
+            assert!(lo.contains(r), "{r} live out of the branch block");
+        }
+        assert!(l.live_in(f.entry).contains(Reg::R9));
+    }
+}

@@ -1,0 +1,210 @@
+//! Natural-loop detection.
+//!
+//! A back edge is an edge `latch -> header` where `header` dominates
+//! `latch`; the natural loop of that edge is the set of blocks that can
+//! reach the latch without passing through the header. The
+//! initial-boundary pass places a region boundary at every loop header
+//! that contains stores (§IV-A), and the unrolling pass enlarges loops to
+//! reduce checkpoint pressure.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::program::{BlockId, Function};
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the loop).
+    pub header: BlockId,
+    /// Latch blocks (sources of back edges into the header).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// True if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function. Loops sharing a header are merged
+/// (standard practice), so headers are unique.
+#[derive(Clone, Debug, Default)]
+pub struct LoopForest {
+    /// The loops, in discovery order.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `func`.
+    pub fn compute(func: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        let mut by_header: Vec<Option<NaturalLoop>> = vec![None; func.blocks.len()];
+        for (b, block) in func.iter_blocks() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for succ in block.term.successors() {
+                if dom.dominates(succ, b) {
+                    // b -> succ is a back edge; succ is the header.
+                    let body = natural_loop_body(cfg, succ, b);
+                    let slot = &mut by_header[succ.index()];
+                    match slot {
+                        Some(l) => {
+                            l.latches.push(b);
+                            for nb in body {
+                                if !l.blocks.contains(&nb) {
+                                    l.blocks.push(nb);
+                                }
+                            }
+                        }
+                        None => {
+                            *slot = Some(NaturalLoop { header: succ, latches: vec![b], blocks: body });
+                        }
+                    }
+                }
+            }
+        }
+        LoopForest { loops: by_header.into_iter().flatten().collect() }
+    }
+
+    /// The loop headed at `header`, if any.
+    pub fn loop_with_header(&self, header: BlockId) -> Option<&NaturalLoop> {
+        self.loops.iter().find(|l| l.header == header)
+    }
+
+    /// True if `b` is a loop header.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.loop_with_header(b).is_some()
+    }
+
+    /// The innermost loop containing `b`, by smallest block count.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.blocks.len())
+    }
+}
+
+/// Blocks that can reach `latch` without passing through `header`, plus
+/// the header itself.
+fn natural_loop_body(cfg: &Cfg, header: BlockId, latch: BlockId) -> Vec<BlockId> {
+    let mut body = vec![header];
+    if latch == header {
+        return body;
+    }
+    let mut stack = vec![latch];
+    body.push(latch);
+    while let Some(b) = stack.pop() {
+        for &p in cfg.preds(b) {
+            if !body.contains(&p) {
+                body.push(p);
+                stack.push(p);
+            }
+        }
+        if b == header {
+            unreachable!("header is never pushed");
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::Cond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn simple_loop_detected() {
+        let mut b = FuncBuilder::new("l");
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch_imm(Cond::Eq, Reg::R0, 0, exit, body);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        let l = &forest.loops[0];
+        assert_eq!(l.header, header);
+        assert_eq!(l.latches, vec![body]);
+        assert!(l.contains(header) && l.contains(body));
+        assert!(!l.contains(exit));
+        assert!(forest.is_header(header));
+        assert!(!forest.is_header(body));
+    }
+
+    #[test]
+    fn nested_loops_innermost() {
+        // outer_header -> inner_header -> inner_body -> inner_header
+        //              ^--------------- outer_latch <- inner exit
+        let mut b = FuncBuilder::new("nested");
+        let outer_h = b.new_block();
+        let inner_h = b.new_block();
+        let inner_b = b.new_block();
+        let outer_latch = b.new_block();
+        let exit = b.new_block();
+        b.jump(outer_h);
+        b.switch_to(outer_h);
+        b.jump(inner_h);
+        b.switch_to(inner_h);
+        b.branch_imm(Cond::Eq, Reg::R1, 0, outer_latch, inner_b);
+        b.switch_to(inner_b);
+        b.jump(inner_h);
+        b.switch_to(outer_latch);
+        b.branch_imm(Cond::Eq, Reg::R2, 0, exit, outer_h);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        let inner = forest.innermost_containing(inner_b).unwrap();
+        assert_eq!(inner.header, inner_h);
+        let outer = forest.loop_with_header(outer_h).unwrap();
+        assert!(outer.contains(inner_h) && outer.contains(inner_b) && outer.contains(outer_latch));
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut b = FuncBuilder::new("selfloop");
+        let l = b.new_block();
+        let exit = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.branch_imm(Cond::Eq, Reg::R0, 0, exit, l);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].blocks, vec![l]);
+        assert_eq!(forest.loops[0].latches, vec![l]);
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let mut b = FuncBuilder::new("line");
+        b.nop();
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        assert!(forest.loops.is_empty());
+    }
+}

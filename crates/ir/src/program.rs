@@ -1,0 +1,272 @@
+//! Programs, functions, basic blocks, and program points.
+
+use crate::inst::{Inst, Terminator};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Constructs the id from a dense index.
+            pub fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+
+            /// The dense index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a basic block within its function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies a function within its program.
+    FuncId,
+    "f"
+);
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line (non-terminator) instructions.
+    pub insts: Vec<Inst>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty block falling through to `target`.
+    pub fn jump_to(target: BlockId) -> Block {
+        Block { insts: Vec::new(), term: Terminator::Jump { target } }
+    }
+}
+
+/// Per-loop metadata attached by the front end / workload generator.
+///
+/// Plays the role of LLVM's scalar-evolution trip-count analysis for the
+/// unrolling pass (§IV-A "Region Size Extension"): a loop whose trip count
+/// the front end knows statically is eligible for classic unrolling;
+/// others use speculative unrolling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoopHint {
+    /// The loop header block.
+    pub header: BlockId,
+    /// Statically-known trip count, if any.
+    pub trip_count: Option<u32>,
+}
+
+/// A function: an entry block plus a body of basic blocks.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// The entry block (by convention index 0 after construction).
+    pub entry: BlockId,
+    /// All basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Trip-count hints for loops whose bounds the front end knows.
+    pub loop_hints: Vec<LoopHint>,
+}
+
+impl Function {
+    /// Creates an empty function with a single `Halt` entry block.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            entry: BlockId::from_index(0),
+            blocks: vec![Block { insts: Vec::new(), term: Terminator::Halt }],
+            loop_hints: Vec::new(),
+        }
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Appends a new block and returns its id.
+    pub fn add_block(&mut self, block: Block) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(block);
+        id
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_index(i), b))
+    }
+
+    /// Total static instruction count (instructions plus terminators).
+    pub fn static_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + 1).sum()
+    }
+}
+
+/// A whole program: functions plus the entry function id.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// The entry function executed by each thread.
+    pub entry: FuncId,
+}
+
+impl Program {
+    /// Creates a program from its functions; `entry` must be in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range.
+    pub fn new(funcs: Vec<Function>, entry: FuncId) -> Program {
+        assert!(entry.index() < funcs.len(), "entry function out of range");
+        Program { funcs, entry }
+    }
+
+    /// Convenience constructor for a single-function program.
+    pub fn from_single(func: Function) -> Program {
+        Program::new(vec![func], FuncId::from_index(0))
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Mutable access to a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn static_size(&self) -> usize {
+        self.funcs.iter().map(Function::static_size).sum()
+    }
+}
+
+/// A precise location in the program: function, block, instruction index.
+///
+/// An `inst` index equal to the block's instruction count denotes the
+/// terminator. Program points encode to a single `u64` so the boundary
+/// instruction can *store* the recovery PC into the checkpoint array
+/// (§IV-A) and the recovery runtime can decode it after power failure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProgramPoint {
+    /// The containing function.
+    pub func: FuncId,
+    /// The containing block.
+    pub block: BlockId,
+    /// Index into the block (`== insts.len()` means the terminator).
+    pub inst: u32,
+}
+
+impl ProgramPoint {
+    /// The entry point of a function.
+    pub fn func_entry(program: &Program, func: FuncId) -> ProgramPoint {
+        ProgramPoint { func, block: program.func(func).entry, inst: 0 }
+    }
+
+    /// Encodes the point as a 64-bit word (what the boundary store writes).
+    pub fn encode(self) -> u64 {
+        ((self.func.index() as u64) << 48)
+            | ((self.block.index() as u64) << 24)
+            | self.inst as u64
+    }
+
+    /// Decodes a point previously produced by [`ProgramPoint::encode`].
+    pub fn decode(word: u64) -> ProgramPoint {
+        ProgramPoint {
+            func: FuncId::from_index(((word >> 48) & 0xffff) as usize),
+            block: BlockId::from_index(((word >> 24) & 0xff_ffff) as usize),
+            inst: (word & 0xff_ffff) as u32,
+        }
+    }
+}
+
+impl fmt::Debug for ProgramPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}:{:?}:{}", self.func, self.block, self.inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn ids_roundtrip() {
+        assert_eq!(BlockId::from_index(7).index(), 7);
+        assert_eq!(FuncId::from_index(3).index(), 3);
+        assert_eq!(format!("{:?}", BlockId::from_index(2)), "bb2");
+        assert_eq!(format!("{:?}", FuncId::from_index(2)), "f2");
+    }
+
+    #[test]
+    fn function_block_management() {
+        let mut f = Function::new("t");
+        assert_eq!(f.blocks.len(), 1);
+        let b = f.add_block(Block::jump_to(f.entry));
+        assert_eq!(b.index(), 1);
+        f.block_mut(b).insts.push(Inst::Nop);
+        assert_eq!(f.block(b).insts.len(), 1);
+        assert_eq!(f.static_size(), 3, "two terminators + one nop");
+    }
+
+    #[test]
+    fn program_point_encode_decode() {
+        let p = ProgramPoint {
+            func: FuncId::from_index(12),
+            block: BlockId::from_index(34567),
+            inst: 89,
+        };
+        assert_eq!(ProgramPoint::decode(p.encode()), p);
+        let zero = ProgramPoint {
+            func: FuncId::from_index(0),
+            block: BlockId::from_index(0),
+            inst: 0,
+        };
+        assert_eq!(ProgramPoint::decode(zero.encode()), zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function out of range")]
+    fn program_validates_entry() {
+        let _ = Program::new(vec![], FuncId::from_index(0));
+    }
+}

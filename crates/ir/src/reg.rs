@@ -1,0 +1,261 @@
+//! Physical registers of the modelled ISA.
+//!
+//! The LightWSP compiler operates after register allocation, so every
+//! operand in this IR is a *physical* register. We model a 32-register
+//! general-purpose file (the paper's checkpoint storage is "indexed by
+//! register number" and sized by "the number of architectural registers
+//! already defined by the ISA", §IV-A).
+//!
+//! Register `R31` is the architectural stack pointer ([`Reg::SP`]): calls
+//! and returns spill/reload return addresses through it, which places the
+//! call stack in (persistent) memory exactly as whole-system persistence
+//! requires.
+
+use std::fmt;
+
+/// Number of architectural general-purpose registers in the modelled ISA.
+pub const NUM_REGS: usize = 32;
+
+/// A physical register.
+///
+/// `Reg` is a dense index type: `Reg::from_index` / [`Reg::index`] convert
+/// to and from `0..NUM_REGS`, which the checkpoint-storage layout (§IV-A)
+/// uses directly as the slot index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The architectural stack pointer (register 31).
+    pub const SP: Reg = Reg(31);
+
+    /// Constructs a register from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < NUM_REGS, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// The dense index of this register in `0..NUM_REGS`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over every architectural register, `r0..r31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS).map(Reg::from_index)
+    }
+
+    /// True if this is the stack pointer.
+    pub fn is_sp(self) -> bool {
+        self == Reg::SP
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_sp() {
+            write!(f, "sp")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("General-purpose register ", stringify!($idx), ".")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30,
+}
+
+/// A dense set of registers, used by the liveness analysis and the
+/// checkpoint-insertion pass.
+///
+/// Backed by a single `u32` bit mask, so all set operations are O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RegSet(u32);
+
+impl RegSet {
+    /// The empty register set.
+    pub fn new() -> RegSet {
+        RegSet(0)
+    }
+
+    /// The set containing every architectural register.
+    pub fn full() -> RegSet {
+        RegSet(u32::MAX)
+    }
+
+    /// Inserts `r`; returns `true` if it was not already present.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let bit = 1u32 << r.index();
+        let was = self.0 & bit != 0;
+        self.0 |= bit;
+        !was
+    }
+
+    /// Removes `r`; returns `true` if it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        let bit = 1u32 << r.index();
+        let was = self.0 & bit != 0;
+        self.0 &= !bit;
+        was
+    }
+
+    /// True if `r` is in the set.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1u32 << r.index()) != 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Removes every register in `other` from `self`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        self.0 &= !other.0;
+    }
+
+    /// The intersection of the two sets.
+    pub fn intersection(&self, other: &RegSet) -> RegSet {
+        RegSet(self.0 & other.0)
+    }
+
+    /// Iterates over the members in ascending register order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let bits = self.0;
+        (0..NUM_REGS).filter(move |i| bits & (1u32 << i) != 0).map(Reg::from_index)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut set = RegSet::new();
+        for r in iter {
+            set.insert(r);
+        }
+        set
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<T: IntoIterator<Item = Reg>>(&mut self, iter: T) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..NUM_REGS {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::from_index(NUM_REGS);
+    }
+
+    #[test]
+    fn sp_is_r31() {
+        assert_eq!(Reg::SP.index(), 31);
+        assert!(Reg::SP.is_sp());
+        assert!(!Reg::R0.is_sp());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Reg::R3), "r3");
+        assert_eq!(format!("{}", Reg::SP), "sp");
+    }
+
+    #[test]
+    fn regset_insert_remove_contains() {
+        let mut s = RegSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Reg::R5));
+        assert!(!s.insert(Reg::R5));
+        assert!(s.contains(Reg::R5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(Reg::R5));
+        assert!(!s.remove(Reg::R5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn regset_union_and_subtract() {
+        let a: RegSet = [Reg::R1, Reg::R2].into_iter().collect();
+        let b: RegSet = [Reg::R2, Reg::R3].into_iter().collect();
+        let mut u = a;
+        assert!(u.union_with(&b));
+        assert!(!u.union_with(&b));
+        assert_eq!(u.len(), 3);
+        let mut d = u;
+        d.subtract(&a);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![Reg::R3]);
+    }
+
+    #[test]
+    fn regset_intersection_and_iter_order() {
+        let a: RegSet = [Reg::R9, Reg::R1, Reg::R4].into_iter().collect();
+        let b: RegSet = [Reg::R4, Reg::R9, Reg::R30].into_iter().collect();
+        let i = a.intersection(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![Reg::R4, Reg::R9]);
+    }
+
+    #[test]
+    fn regset_full_has_all() {
+        let s = RegSet::full();
+        assert_eq!(s.len(), NUM_REGS);
+        for r in Reg::all() {
+            assert!(s.contains(r));
+        }
+    }
+}

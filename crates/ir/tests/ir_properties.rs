@@ -1,0 +1,150 @@
+//! Property-based tests of IR fundamentals: encodings, register sets,
+//! ALU semantics, and interpreter determinism.
+
+use lightwsp_ir::inst::AluOp;
+use lightwsp_ir::program::{BlockId, FuncId, ProgramPoint};
+use lightwsp_ir::reg::{Reg, RegSet, NUM_REGS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Program points encode/decode losslessly across the full field
+    /// widths the encoding reserves.
+    #[test]
+    fn program_point_roundtrip(
+        func in 0usize..0xffff,
+        block in 0usize..0xff_ffff,
+        inst in 0u32..0xff_ffff,
+    ) {
+        let p = ProgramPoint {
+            func: FuncId::from_index(func),
+            block: BlockId::from_index(block),
+            inst,
+        };
+        prop_assert_eq!(ProgramPoint::decode(p.encode()), p);
+    }
+
+    /// RegSet behaves like a reference `HashSet<usize>` under a random
+    /// operation sequence.
+    #[test]
+    fn regset_matches_reference(ops in prop::collection::vec((0usize..NUM_REGS, 0u8..3), 0..64)) {
+        let mut set = RegSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for (idx, op) in ops {
+            let r = Reg::from_index(idx);
+            match op {
+                0 => {
+                    prop_assert_eq!(set.insert(r), reference.insert(idx));
+                }
+                1 => {
+                    prop_assert_eq!(set.remove(r), reference.remove(&idx));
+                }
+                _ => {
+                    prop_assert_eq!(set.contains(r), reference.contains(&idx));
+                }
+            }
+            prop_assert_eq!(set.len(), reference.len());
+        }
+        let collected: Vec<usize> = set.iter().map(Reg::index).collect();
+        let expected: Vec<usize> = reference.into_iter().collect();
+        prop_assert_eq!(collected, expected, "iteration order is ascending");
+    }
+
+    /// Set algebra laws.
+    #[test]
+    fn regset_algebra(
+        a in prop::collection::vec(0usize..NUM_REGS, 0..16),
+        b in prop::collection::vec(0usize..NUM_REGS, 0..16),
+    ) {
+        let sa: RegSet = a.iter().map(|&i| Reg::from_index(i)).collect();
+        let sb: RegSet = b.iter().map(|&i| Reg::from_index(i)).collect();
+        // A ∩ B ⊆ A and ⊆ B
+        let inter = sa.intersection(&sb);
+        for r in inter.iter() {
+            prop_assert!(sa.contains(r) && sb.contains(r));
+        }
+        // (A ∪ B) \ B ⊆ A
+        let mut u = sa;
+        u.union_with(&sb);
+        let mut diff = u;
+        diff.subtract(&sb);
+        for r in diff.iter() {
+            prop_assert!(sa.contains(r) && !sb.contains(r));
+        }
+    }
+
+    /// ALU operations agree with native u64 arithmetic.
+    #[test]
+    fn alu_matches_native(lhs in any::<u64>(), rhs in any::<u64>()) {
+        prop_assert_eq!(AluOp::Add.apply(lhs, rhs), lhs.wrapping_add(rhs));
+        prop_assert_eq!(AluOp::Sub.apply(lhs, rhs), lhs.wrapping_sub(rhs));
+        prop_assert_eq!(AluOp::Mul.apply(lhs, rhs), lhs.wrapping_mul(rhs));
+        prop_assert_eq!(AluOp::Xor.apply(lhs, rhs), lhs ^ rhs);
+        prop_assert_eq!(AluOp::And.apply(lhs, rhs), lhs & rhs);
+        prop_assert_eq!(AluOp::Or.apply(lhs, rhs), lhs | rhs);
+        prop_assert_eq!(AluOp::Shl.apply(lhs, rhs), lhs.wrapping_shl((rhs & 63) as u32));
+        prop_assert_eq!(AluOp::Shr.apply(lhs, rhs), lhs.wrapping_shr((rhs & 63) as u32));
+    }
+}
+
+/// Interpreter determinism on a straight-line random program: two runs
+/// produce identical memory and register outcomes.
+mod interp_determinism {
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::inst::AluOp;
+    use lightwsp_ir::interp::{Interp, Memory};
+    use lightwsp_ir::{layout, Program, Reg};
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Mov(u8, i64),
+        Alu(u8, u8, u8),
+        Store(u8, i64),
+        Load(u8, i64),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u8..15, any::<i64>()).prop_map(|(d, i)| Op::Mov(d, i)),
+            (1u8..15, 1u8..15, 1u8..15).prop_map(|(d, a, b)| Op::Alu(d, a, b)),
+            (1u8..15, 0i64..512).prop_map(|(s, o)| Op::Store(s, o * 8)),
+            (1u8..15, 0i64..512).prop_map(|(d, o)| Op::Load(d, o * 8)),
+        ]
+    }
+
+    fn build(ops: &[Op]) -> Program {
+        let mut b = FuncBuilder::new("rand");
+        b.mov_imm(Reg::R15, layout::HEAP_BASE as i64);
+        for o in ops {
+            match *o {
+                Op::Mov(d, i) => b.mov_imm(Reg::from_index(d as usize), i),
+                Op::Alu(d, x, y) => b.alu(
+                    AluOp::Add,
+                    Reg::from_index(d as usize),
+                    Reg::from_index(x as usize),
+                    Reg::from_index(y as usize),
+                ),
+                Op::Store(s, off) => b.store(Reg::from_index(s as usize), Reg::R15, off),
+                Op::Load(d, off) => b.load(Reg::from_index(d as usize), Reg::R15, off),
+            }
+        }
+        b.halt();
+        Program::from_single(b.finish())
+    }
+
+    proptest! {
+        #[test]
+        fn two_runs_agree(ops in prop::collection::vec(op(), 1..200)) {
+            let p = build(&ops);
+            let run = || {
+                let mut mem = Memory::new();
+                let mut t = Interp::new(&p, 0);
+                t.run(&p, &mut mem, 10_000);
+                let mut v: Vec<(u64, u64)> = mem.iter().collect();
+                v.sort_unstable();
+                (v, (0..32).map(|i| t.reg(Reg::from_index(i))).collect::<Vec<_>>())
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! System configuration (Table I of the paper, plus the Table III CXL
+//! variants and every sensitivity-study knob).
+//!
+//! All latencies are core cycles at 2 GHz (1 ns = 2 cycles).
+
+/// Converts nanoseconds to 2 GHz core cycles.
+pub const fn ns(n: u64) -> u64 {
+    n * 2
+}
+
+/// A CXL-attached memory device (Table III); replaces the iMC-attached
+/// PM timing when selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CxlDevice {
+    /// Hard IP, DDR5-4800: 38.4 GB/s, 158 ns read / 120 ns write.
+    CxlI,
+    /// Hard IP, DDR4-2400: 19.2 GB/s, 223 ns read / 139 ns write.
+    CxlII,
+    /// Soft IP, DDR4-3200: 25.6 GB/s, 348 ns read / 241 ns write.
+    CxlIII,
+    /// Simulated CXL-attached Optane PMem: 6.6/2.3 GB/s, 245/160 ns
+    /// (Optane latencies plus 70 ns CXL interconnect latency).
+    CxlPmem,
+}
+
+impl CxlDevice {
+    /// `(read_latency, write_latency)` in cycles.
+    pub fn latencies(self) -> (u64, u64) {
+        match self {
+            CxlDevice::CxlI => (ns(158), ns(120)),
+            CxlDevice::CxlII => (ns(223), ns(139)),
+            CxlDevice::CxlIII => (ns(348), ns(241)),
+            CxlDevice::CxlPmem => (ns(245), ns(160)),
+        }
+    }
+
+    /// Cycles of channel occupancy per 8-byte write, derived from the
+    /// device's write bandwidth (per channel, 2 channels/MC × 2 MCs).
+    pub fn write_occupancy(self) -> u64 {
+        // occupancy = 8 B / (per-channel write bandwidth) in cycles.
+        // Total device write BW split over 4 channels.
+        let total_gbps = match self {
+            CxlDevice::CxlI => 38.4,
+            CxlDevice::CxlII => 19.2,
+            CxlDevice::CxlIII => 25.6,
+            CxlDevice::CxlPmem => 2.3,
+        };
+        let per_channel: f64 = total_gbps / 4.0; // GB/s
+        // 8 bytes at `per_channel` GB/s → ns = 8 / per_channel; ×2 cycles.
+        ((8.0 / per_channel) * 2.0).ceil() as u64
+    }
+
+    /// Display name used in the evaluation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CxlDevice::CxlI => "CXL-I",
+            CxlDevice::CxlII => "CXL-II",
+            CxlDevice::CxlIII => "CXL-III",
+            CxlDevice::CxlPmem => "CXL-PMem",
+        }
+    }
+
+    /// All four devices, in Table III order.
+    pub fn all() -> [CxlDevice; 4] {
+        [CxlDevice::CxlI, CxlDevice::CxlII, CxlDevice::CxlIII, CxlDevice::CxlPmem]
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemConfig {
+    /// Number of integrated memory controllers (Table I: 2).
+    pub num_mcs: usize,
+    /// PM channels per MC (Table I: 2).
+    pub channels_per_mc: usize,
+    /// WPQ entries per MC, 8-byte granularity (Table I: 64 → 512 B).
+    pub wpq_entries: usize,
+    /// Front-end buffer entries per core (aligned with the WPQ size).
+    pub front_buffer_entries: usize,
+    /// Store-buffer entries per core (Table I SQ: 56).
+    pub store_buffer_entries: usize,
+    /// Persist-path transit latency (Table I: 20 ns worst case).
+    pub persist_path_latency: u64,
+    /// Persist-path cycles per 8-byte entry (bandwidth gate; 4 GB/s →
+    /// one entry per 2 ns → 4 cycles).
+    pub persist_path_cycles_per_entry: u64,
+    /// PM read latency (Table I: 175 ns).
+    pub pm_read_latency: u64,
+    /// PM write latency (Table I: 90 ns).
+    pub pm_write_latency: u64,
+    /// Channel occupancy per 8-byte PM write (write-bandwidth model).
+    pub pm_write_occupancy: u64,
+    /// L1D hit latency (Table I: 4 cycles).
+    pub l1_latency: u64,
+    /// L2 hit latency (Table I: 44 cycles).
+    pub l2_latency: u64,
+    /// DRAM-cache hit latency (DDR4-2400 row access ≈ 50 ns).
+    pub dram_cache_latency: u64,
+    /// L1D size in bytes (Table I: 64 KB/core).
+    pub l1_bytes: usize,
+    /// L1D associativity (Table I: 8).
+    pub l1_ways: usize,
+    /// L2 size in bytes (Table I: 16 MB shared; the model keeps the full
+    /// tag array sparse, so the paper value is affordable).
+    pub l2_bytes: usize,
+    /// L2 associativity (Table I: 16).
+    pub l2_ways: usize,
+    /// Direct-mapped DRAM-cache capacity in bytes (Table I: 4 GB; the
+    /// tag store is sparse).
+    pub dram_cache_bytes: u64,
+    /// One-way NoC latency for boundary broadcasts and ACKs between MCs
+    /// (QPI-class interconnect).
+    pub noc_latency: u64,
+    /// Cache-line size in bytes.
+    pub line_bytes: u64,
+    /// Shared-L2 port occupancy per access (cycles); all cores contend.
+    pub l2_occupancy: u64,
+    /// DRAM-cache bus occupancy per line access (DDR4-2400 ≈ 64 B per
+    /// 3.3 ns ≈ 6 cycles).
+    pub dram_occupancy: u64,
+    /// PM read-channel occupancy per line fetch (Optane-class read
+    /// bandwidth).
+    pub pm_read_occupancy: u64,
+    /// Selected CXL device, if the persist path terminates in a CXL
+    /// memory instead of the iMC-attached PM (§V-F6).
+    pub cxl: Option<CxlDevice>,
+}
+
+impl MemConfig {
+    /// The paper's Table I system.
+    pub fn table1() -> MemConfig {
+        MemConfig {
+            num_mcs: 2,
+            channels_per_mc: 2,
+            wpq_entries: 64,
+            front_buffer_entries: 64,
+            store_buffer_entries: 56,
+            persist_path_latency: ns(20),
+            persist_path_cycles_per_entry: 4,
+            pm_read_latency: ns(175),
+            pm_write_latency: ns(90),
+            // WPQ→DIMM issue rate. The ADR persistence domain includes
+            // the DIMM's internal buffers, so a flush is durable once it
+            // leaves the WPQ at DDR-T bus speed (~8 GB/s/channel → 8 B
+            // per 1 ns), not at Optane media speed; the 90 ns media
+            // latency applies to the write's completion depth, not the
+            // channel issue rate.
+            pm_write_occupancy: 2,
+            l1_latency: 4,
+            l2_latency: 44,
+            dram_cache_latency: ns(50),
+            l1_bytes: 64 * 1024,
+            l1_ways: 8,
+            l2_bytes: 16 * 1024 * 1024,
+            l2_ways: 16,
+            dram_cache_bytes: 4 << 30,
+            noc_latency: 10, // 5 ns MC↔MC ACK hop (on-package link)
+            line_bytes: 64,
+            l2_occupancy: 1,
+            dram_occupancy: 6,
+            pm_read_occupancy: 20,
+            cxl: None,
+        }
+    }
+
+    /// Table I with the persist-path bandwidth set in GB/s (Fig. 15
+    /// sensitivity: 4, 2, 1).
+    pub fn with_persist_bandwidth_gbps(mut self, gbps: u64) -> MemConfig {
+        assert!(gbps > 0, "persist-path bandwidth must be positive");
+        // 8 bytes per entry: entry time = 8/gbps ns = 16/gbps cycles.
+        self.persist_path_cycles_per_entry = (16 / gbps).max(1);
+        self
+    }
+
+    /// Table I with a different WPQ size (Fig. 11: 64/128/256). The
+    /// front-end buffer tracks the WPQ size, as in §IV-E.
+    pub fn with_wpq_entries(mut self, entries: usize) -> MemConfig {
+        assert!(entries >= 8, "WPQ must have at least 8 entries");
+        self.wpq_entries = entries;
+        self.front_buffer_entries = entries;
+        self
+    }
+
+    /// Table I with the PM replaced by a CXL device (Fig. 17).
+    pub fn with_cxl(mut self, device: CxlDevice) -> MemConfig {
+        let (r, w) = device.latencies();
+        self.pm_read_latency = r;
+        self.pm_write_latency = w;
+        self.pm_write_occupancy = device.write_occupancy();
+        self.cxl = Some(device);
+        self
+    }
+
+    /// Effective PM read latency (CXL-aware).
+    pub fn read_latency(&self) -> u64 {
+        self.pm_read_latency
+    }
+
+    /// Number of L1 sets.
+    pub fn l1_sets(&self) -> usize {
+        self.l1_bytes / (self.line_bytes as usize * self.l1_ways)
+    }
+
+    /// Number of L2 sets.
+    pub fn l2_sets(&self) -> usize {
+        self.l2_bytes / (self.line_bytes as usize * self.l2_ways)
+    }
+
+    /// The memory controller that owns `addr` (line-interleaved).
+    pub fn mc_of(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) % self.num_mcs as u64) as usize
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let c = MemConfig::table1();
+        assert_eq!(c.num_mcs, 2);
+        assert_eq!(c.wpq_entries, 64);
+        assert_eq!(c.persist_path_latency, 40, "20 ns at 2 GHz");
+        assert_eq!(c.pm_read_latency, 350, "175 ns");
+        assert_eq!(c.pm_write_latency, 180, "90 ns");
+        assert_eq!(c.l1_latency, 4);
+        assert_eq!(c.l2_latency, 44);
+        assert_eq!(c.l1_sets(), 128);
+        assert_eq!(c.l2_sets(), 16384);
+    }
+
+    #[test]
+    fn persist_bandwidth_scaling() {
+        let c4 = MemConfig::table1().with_persist_bandwidth_gbps(4);
+        let c2 = MemConfig::table1().with_persist_bandwidth_gbps(2);
+        let c1 = MemConfig::table1().with_persist_bandwidth_gbps(1);
+        assert_eq!(c4.persist_path_cycles_per_entry, 4);
+        assert_eq!(c2.persist_path_cycles_per_entry, 8);
+        assert_eq!(c1.persist_path_cycles_per_entry, 16);
+    }
+
+    #[test]
+    fn wpq_size_tracks_front_buffer() {
+        let c = MemConfig::table1().with_wpq_entries(256);
+        assert_eq!(c.wpq_entries, 256);
+        assert_eq!(c.front_buffer_entries, 256);
+    }
+
+    #[test]
+    fn cxl_devices_follow_table3() {
+        let (r, w) = CxlDevice::CxlI.latencies();
+        assert_eq!((r, w), (316, 240));
+        let c = MemConfig::table1().with_cxl(CxlDevice::CxlPmem);
+        assert_eq!(c.pm_read_latency, 490, "245 ns");
+        assert_eq!(c.pm_write_latency, 320, "160 ns");
+        assert!(c.pm_write_occupancy > MemConfig::table1().pm_write_occupancy / 2,
+            "PMem-class write bandwidth stays low");
+        // Faster devices persist faster.
+        assert!(CxlDevice::CxlI.write_occupancy() < CxlDevice::CxlPmem.write_occupancy());
+    }
+
+    #[test]
+    fn mc_interleaving_covers_all_mcs() {
+        let c = MemConfig::table1();
+        assert_eq!(c.mc_of(0), 0);
+        assert_eq!(c.mc_of(64), 1);
+        assert_eq!(c.mc_of(128), 0);
+        // Same line → same MC.
+        assert_eq!(c.mc_of(8), c.mc_of(56));
+    }
+}

@@ -1,0 +1,112 @@
+//! Residual-energy feasibility model for JIT-checkpointing WSP
+//! (§II-C1).
+//!
+//! JIT-checkpoint approaches (Narayanan & Hodson's whole-system
+//! persistence, LightPC) flush *all* volatile state to PM on the power
+//! supply's residual energy. The paper's motivation quotes LightPC's
+//! feasibility limits: a server-class PSU can persist **at most 64 cores
+//! with 40 MB of cache**, a standard ATX PSU **at most 32 cores with
+//! 16 KB** — and no PSU can cover a terabyte-class DRAM cache, which is
+//! why LightWSP buffers redo state in the tiny battery-backed WPQ
+//! instead.
+//!
+//! The model is first-order: flushing costs a per-byte energy (PM write
+//! plus datapath) and a per-core quiesce/drain energy. The two constants
+//! are calibrated so the LightPC feasibility points above sit exactly on
+//! the boundary of their respective PSU budgets.
+
+/// Energy to persist one byte of volatile state (PM write + datapath).
+pub const FLUSH_NJ_PER_BYTE: f64 = 25.0;
+
+/// Energy to quiesce and drain one core's pipeline/private state.
+pub const QUIESCE_MJ_PER_CORE: f64 = 10.0;
+
+/// A power supply with usable residual (hold-up) energy after failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerSupply {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Usable residual energy in joules.
+    pub residual_joules: f64,
+}
+
+impl PowerSupply {
+    /// Server-class PSU: calibrated so (64 cores, 40 MB) is just
+    /// feasible, matching LightPC's reported limit.
+    pub fn server() -> PowerSupply {
+        PowerSupply {
+            name: "server PSU",
+            residual_joules: required_joules(64, 40 * 1024 * 1024),
+        }
+    }
+
+    /// Standard ATX PSU: calibrated so (32 cores, 16 KB) is just
+    /// feasible, matching LightPC's reported limit.
+    pub fn atx() -> PowerSupply {
+        PowerSupply { name: "ATX PSU", residual_joules: required_joules(32, 16 * 1024) }
+    }
+
+    /// True if this PSU can JIT-checkpoint the given volatile state.
+    pub fn can_checkpoint(&self, cores: u64, volatile_bytes: u64) -> bool {
+        required_joules(cores, volatile_bytes) <= self.residual_joules + 1e-9
+    }
+}
+
+/// Energy needed to JIT-checkpoint `cores` cores plus `volatile_bytes`
+/// of cache/DRAM state.
+pub fn required_joules(cores: u64, volatile_bytes: u64) -> f64 {
+    cores as f64 * QUIESCE_MJ_PER_CORE * 1e-3
+        + volatile_bytes as f64 * FLUSH_NJ_PER_BYTE * 1e-9
+}
+
+/// Energy the LightWSP battery must cover instead: the WPQ contents and
+/// in-flight ACKs (§IV-B) — `wpq_bytes` per MC across `num_mcs` MCs.
+pub fn lightwsp_battery_joules(num_mcs: u64, wpq_bytes: u64) -> f64 {
+    // Same per-byte flush cost; no core quiesce needed (roll-back
+    // recovery, not roll-forward).
+    (num_mcs * wpq_bytes) as f64 * FLUSH_NJ_PER_BYTE * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lightpc_feasibility_points_are_boundary() {
+        let server = PowerSupply::server();
+        assert!(server.can_checkpoint(64, 40 * 1024 * 1024));
+        assert!(!server.can_checkpoint(65, 40 * 1024 * 1024));
+        assert!(!server.can_checkpoint(64, 41 * 1024 * 1024));
+
+        let atx = PowerSupply::atx();
+        assert!(atx.can_checkpoint(32, 16 * 1024));
+        assert!(!atx.can_checkpoint(33, 16 * 1024));
+    }
+
+    #[test]
+    fn dram_cache_is_infeasible_for_any_psu() {
+        // §II-C: "it is impossible to persist the huge DRAM of typical
+        // servers with the residual energy of PSU."
+        let server = PowerSupply::server();
+        let four_gb = 4u64 << 30;
+        assert!(!server.can_checkpoint(8, four_gb));
+        assert!(
+            required_joules(8, four_gb) > 50.0 * server.residual_joules,
+            "a 4 GB DRAM cache needs orders of magnitude more energy"
+        );
+    }
+
+    #[test]
+    fn lightwsp_battery_is_tiny() {
+        // Two 512 B WPQs: microjoule-class, vs joule-class PSU budgets.
+        let j = lightwsp_battery_joules(2, 512);
+        assert!(j < 1e-4, "{j}");
+        assert!(j < PowerSupply::atx().residual_joules / 1_000.0);
+    }
+
+    #[test]
+    fn required_energy_is_monotone() {
+        assert!(required_joules(16, 1 << 20) < required_joules(32, 1 << 20));
+        assert!(required_joules(16, 1 << 20) < required_joules(16, 1 << 21));
+    }
+}

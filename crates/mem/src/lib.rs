@@ -1,0 +1,52 @@
+//! # lightwsp-mem — the memory-system substrate
+//!
+//! Cycle-level models of every memory-side component the LightWSP
+//! hardware (§III, §IV of the paper) touches, built from scratch:
+//!
+//! * [`pm`] — persistent main memory: functional 8-byte-word contents
+//!   plus a channel-occupancy timing model (read/write latencies from
+//!   Table I) and the CXL device variants of Table III;
+//! * [`cache`] — generic set-associative caches (L1D, L2) with LRU and
+//!   the pluggable victim-selection used by buffer snooping (§IV-G), and
+//!   a sparse direct-mapped model of the 4 GB off-chip DRAM cache;
+//! * [`store_buffer`] / [`front_buffer`] — the per-core store buffer and
+//!   the repurposed write-combining buffer ("front-end buffer") that
+//!   feeds the persist path, CAM-searchable for eviction snooping;
+//! * [`persist_path`] — the non-temporal FIFO persist path: per-core
+//!   bandwidth gate plus transit delay, with head-of-line blocking into
+//!   the WPQs (this is where back-pressure originates);
+//! * [`wpq`] — the battery-backed write pending queue used as a redo
+//!   buffer: region-tagged entries, flush-ID gating, CAM search for LLC
+//!   load misses (§IV-H), deadlock detection and the undo-logged
+//!   overflow fallback (§IV-D);
+//! * [`controller`] — the integrated memory controller: address
+//!   interleaving, flush scheduling onto PM channels, per-MC flush ID;
+//! * [`protocol`] — the boundary-broadcast / bdry-ACK / flush-ACK
+//!   ordering protocol between MCs (§IV-B) with explicit NoC timing and
+//!   battery-covered in-flight delivery on power failure;
+//! * [`cam`] — an analytical CAM search-latency model standing in for
+//!   the paper's CACTI 7.0 runs (§V-G2);
+//! * [`energy`] — the §II-C1 residual-energy feasibility model showing
+//!   why JIT-checkpointing cannot cover a DRAM cache while LightWSP's
+//!   WPQ battery is microjoule-class.
+//!
+//! All latencies are in **core cycles at 2 GHz** (1 ns = 2 cycles), so
+//! Table I's 20 ns persist path is 40 cycles, PM reads 175 ns are 350
+//! cycles, and so on. [`MemConfig::table1`] is the paper's default
+//! system.
+
+pub mod cache;
+pub mod cam;
+pub mod config;
+pub mod controller;
+pub mod energy;
+pub mod front_buffer;
+pub mod persist_path;
+pub mod pm;
+pub mod protocol;
+pub mod store_buffer;
+pub mod wpq;
+
+pub use config::{CxlDevice, MemConfig};
+pub use controller::MemController;
+pub use protocol::{RegionId, RegionTracker};

@@ -1,0 +1,175 @@
+//! Property-based tests of the ordering protocol and WPQ gating: for
+//! random multi-core schedules, the memory system must uphold the epoch
+//! invariants LightWSP's crash consistency rests on (§III-A, §IV-B):
+//!
+//! * **per-MC epoch order**: entries flush to PM in non-decreasing
+//!   region order at every MC (except the §IV-D undo-logged fallback,
+//!   which these schedules never trigger);
+//! * **commit order**: regions commit in strictly increasing global ID
+//!   order, and only after their boundary reached every MC;
+//! * **drain**: once every region's boundary is delivered and enough
+//!   cycles pass, every WPQ empties and every region commits.
+
+use lightwsp_mem::controller::MemController;
+use lightwsp_mem::persist_path::{PersistEntry, PersistKind};
+use lightwsp_mem::pm::PersistentMemory;
+use lightwsp_mem::{MemConfig, RegionTracker};
+use proptest::prelude::*;
+
+/// One virtual core's scripted work: regions of `stores_per_region`
+/// stores each, to pseudo-random addresses.
+#[derive(Clone, Debug)]
+struct CoreScript {
+    regions: u32,
+    stores_per_region: u32,
+    addr_seed: u64,
+}
+
+fn core_script() -> impl Strategy<Value = CoreScript> {
+    (1u32..6, 1u32..12, 0u64..u64::MAX).prop_map(|(regions, stores_per_region, addr_seed)| {
+        CoreScript { regions, stores_per_region, addr_seed }
+    })
+}
+
+/// Drives the MCs + tracker with interleaved per-core FIFO streams and
+/// checks the invariants.
+fn run_schedule(scripts: Vec<CoreScript>, interleave_seed: u64) -> Result<(), TestCaseError> {
+    let cfg = MemConfig::table1();
+    let mut tracker = RegionTracker::new(cfg.num_mcs, cfg.noc_latency);
+    let mut mcs: Vec<MemController> =
+        (0..cfg.num_mcs).map(|i| MemController::new(i, &cfg)).collect();
+    let mut pm = PersistentMemory::new();
+
+    // Build each core's in-order stream: per region, stores then the
+    // boundary token. Region IDs are sampled lazily per store batch to
+    // mirror the machine.
+    struct Stream {
+        items: Vec<PersistEntry>,
+        next: usize,
+        bdry_progress: Vec<bool>,
+    }
+    let mut streams: Vec<Stream> = Vec::new();
+    for (core, sc) in scripts.iter().enumerate() {
+        streams.push(Stream {
+            items: Vec::new(),
+            next: 0,
+            bdry_progress: vec![false; cfg.num_mcs],
+        });
+        let mut x = sc.addr_seed | 1;
+        for _ in 0..sc.regions {
+            let region = tracker.alloc_region();
+            let s = &mut streams[core];
+            for _ in 0..sc.stores_per_region {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let addr = 0x4000_0000 + (x >> 20) % 0x10000 * 8;
+                s.items.push(PersistEntry {
+                    addr,
+                    val: x,
+                    region,
+                    kind: PersistKind::Data,
+                    core,
+                });
+            }
+            s.items.push(PersistEntry {
+                addr: 0x1000_0100 + core as u64 * 0x200,
+                val: region,
+                region,
+                kind: PersistKind::Boundary,
+                core,
+            });
+        }
+    }
+
+    let mut rng = interleave_seed | 1;
+    let mut flushed: Vec<lightwsp_mem::wpq::WpqEntry> = Vec::new();
+    let mut last_flushed_region = vec![0u64; cfg.num_mcs];
+    let mut last_commit = 0u64;
+
+    for now in 1..200_000u64 {
+        // MC work first.
+        flushed.clear();
+        for mc in &mut mcs {
+            let before = flushed.len();
+            mc.tick(now, &mut tracker, &mut pm, &mut flushed);
+            // Per-MC epoch order: this MC's flushes are non-decreasing.
+            for e in &flushed[before..] {
+                prop_assert!(
+                    e.region >= last_flushed_region[mc.id()],
+                    "MC{} flushed region {} after {}",
+                    mc.id(),
+                    e.region,
+                    last_flushed_region[mc.id()]
+                );
+                last_flushed_region[mc.id()] = e.region;
+            }
+        }
+        if let Some(k) = tracker.tick(now) {
+            prop_assert!(k > last_commit, "commit order violated: {k} after {last_commit}");
+            prop_assert!(
+                tracker.survivable_regions().first().copied().unwrap_or(k + 1) > k,
+                "committed region still listed as pending"
+            );
+            last_commit = k;
+            for mc in &mut mcs {
+                mc.on_region_committed(k);
+            }
+        }
+
+        // Randomly advance one stream by one delivery (per-core FIFO).
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let pick = (rng >> 33) as usize % streams.len();
+        let s = &mut streams[pick];
+        if s.next < s.items.len() {
+            let e = s.items[s.next];
+            match e.kind {
+                PersistKind::Data => {
+                    let mc = cfg.mc_of(e.addr);
+                    if mcs[mc].try_insert(&e, true, now, &mut tracker) {
+                        s.next += 1;
+                    }
+                }
+                PersistKind::Boundary => {
+                    let home = cfg.mc_of(e.addr);
+                    let mut all = true;
+                    for m in 0..mcs.len() {
+                        if s.bdry_progress[m] {
+                            continue;
+                        }
+                        if mcs[m].try_insert(&e, m == home, now, &mut tracker) {
+                            s.bdry_progress[m] = true;
+                        } else {
+                            all = false;
+                        }
+                    }
+                    if all {
+                        s.bdry_progress.iter_mut().for_each(|f| *f = false);
+                        s.next += 1;
+                    }
+                }
+            }
+        }
+
+        if streams.iter().all(|s| s.next == s.items.len())
+            && mcs.iter().all(|mc| mc.wpq().is_empty())
+            && tracker.commit_frontier() > tracker.last_allocated()
+        {
+            // Drained: every allocated region committed.
+            prop_assert_eq!(tracker.committed(), tracker.last_allocated());
+            return Ok(());
+        }
+    }
+    prop_assert!(false, "schedule failed to drain");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn epoch_order_and_drain_hold_for_random_schedules(
+        scripts in prop::collection::vec(core_script(), 1..5),
+        seed in 0u64..u64::MAX,
+    ) {
+        run_schedule(scripts, seed)?;
+    }
+}

@@ -1,0 +1,949 @@
+//! The whole-machine cycle-level simulator.
+//!
+//! One [`Machine`] owns the functional state (per-thread interpreters +
+//! the volatile memory view) and the timing state (cores, caches, store
+//! buffers, front-end buffers, persist paths, memory controllers, the
+//! region-ordering tracker, and persistent memory). Each call to
+//! [`Machine::step_cycle`] advances one 2 GHz cycle:
+//!
+//! 1. memory controllers flush WPQ entries onto PM channels and the
+//!    tracker commits regions whose flush-ACKs completed;
+//! 2. each core moves its persist machinery: path head → WPQ (boundary
+//!    tokens must enter *every* WPQ), front-end buffer → path (bandwidth
+//!    gate), store buffer → L1 + front-end buffer;
+//! 3. each core retires up to `width` instructions from its active
+//!    thread, stalling on load misses, full store buffers (the persist
+//!    back-pressure chain), Capri/PPA boundary waits, or lock spins.
+//!
+//! Two liveness mechanisms keep the global flush frontier moving in
+//! multi-threaded runs, both hardware analogues of §IV-C's region-ID
+//! virtualisation: a spinning thread ends its open region at every
+//! (backed-off) retry — each retry is a fresh synchronisation point —
+//! and any region open longer than `region_timeout` cycles is
+//! force-ended. A halting thread broadcasts its trailing region so the
+//! frontier can drain past it.
+
+use crate::config::{Scheme, SimConfig};
+use crate::stats::SimStats;
+use crate::trace::RegionTraceLog;
+use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_ir::reg::NUM_REGS;
+use lightwsp_ir::{layout, DynEvent, Interp, Memory, Program, Reg, StoreKind};
+use lightwsp_mem::cache::{DirectMappedCache, SetAssocCache, VictimPolicy};
+use lightwsp_mem::controller::FlushMode;
+use lightwsp_mem::front_buffer::FrontBuffer;
+use lightwsp_mem::persist_path::{PersistEntry, PersistKind, PersistPath};
+use lightwsp_mem::pm::PersistentMemory;
+use lightwsp_mem::store_buffer::StoreBuffer;
+use lightwsp_mem::wpq::WpqEntry;
+use lightwsp_mem::{MemController, RegionId, RegionTracker};
+use std::collections::HashMap;
+
+/// What the §IV-F recovery protocol did at a power failure.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Regions whose boundary had reached every WPQ — flushed on battery
+    /// and treated as persisted (steps 1–5).
+    pub survivable_regions: Vec<RegionId>,
+    /// WPQ entries written to PM during recovery.
+    pub entries_flushed: u64,
+    /// WPQ entries discarded (unpersisted regions, step 6).
+    pub entries_discarded: u64,
+    /// Undo-log rollbacks applied (§IV-D overflow fallback).
+    pub undo_rolled_back: u64,
+    /// Recovery PC of each thread (decoded from its PM checkpoint slot).
+    pub resume_points: Vec<lightwsp_ir::ProgramPoint>,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Completion {
+    /// All threads halted and the persist machinery drained.
+    Finished,
+    /// The configured cycle cap was reached first.
+    MaxCycles,
+}
+
+/// Per-thread software state.
+#[derive(Debug)]
+struct ThreadCtx {
+    interp: Interp,
+    /// The open region its stores are tagged with (§IV-B). `None`
+    /// between a boundary and the next tagged store: the region ID is
+    /// sampled *lazily* at the first store that needs it, so a thread
+    /// scheduled out at a boundary never holds an ID that would block
+    /// the global flush frontier (the model's realisation of §IV-C's
+    /// region-ID virtualisation).
+    cur_region: Option<RegionId>,
+    region_open_since: u64,
+    region_insts: u64,
+    region_stores: u64,
+    spin_until: u64,
+    halted: bool,
+}
+
+/// Per-core hardware state.
+#[derive(Debug)]
+struct CoreCtx {
+    sb: StoreBuffer,
+    feb: FrontBuffer,
+    path: PersistPath,
+    l1: SetAssocCache,
+    stall_until: u64,
+    /// Capri stop-and-wait: stall until this region commits.
+    wait_for_commit: Option<RegionId>,
+    /// PPA: stall until every outstanding persist of this core drains.
+    wait_outstanding: bool,
+    /// Persist entries issued by this core not yet flushed to PM.
+    outstanding: u64,
+    /// Thread ids assigned to this core (round-robin multiplexed).
+    threads: Vec<usize>,
+    active: usize,
+    /// Cycle of the last thread switch (preemption quantum).
+    last_switch: u64,
+    /// Boundary-token fan-out progress (which MCs accepted the head).
+    bdry_progress: Vec<bool>,
+}
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: SimConfig,
+    program: Program,
+    recipes: RecoveryRecipes,
+    threads: Vec<ThreadCtx>,
+    cores: Vec<CoreCtx>,
+    l2: SetAssocCache,
+    dram: DirectMappedCache,
+    mcs: Vec<MemController>,
+    tracker: RegionTracker,
+    pm: PersistentMemory,
+    vmem: Memory,
+    now: u64,
+    stats: SimStats,
+    region_broadcast_at: HashMap<RegionId, u64>,
+    flushed_scratch: Vec<WpqEntry>,
+    /// Region-lifetime trace (enabled via `SimConfig::trace_regions`).
+    trace: RegionTraceLog,
+    /// Output port log: `(cycle, thread, value)` per executed I/O op.
+    /// Survives power failure conceptually as the external world's view;
+    /// §IV-A's boundary-before-I/O placement bounds replay to at most
+    /// the interrupted operation.
+    io_log: Vec<(u64, usize, u64)>,
+    /// Shared-resource contention: next-free cycle of the L2 port, the
+    /// DRAM-cache bus, and the PM read channels.
+    l2_free: u64,
+    dram_free: u64,
+    pm_read_free: u64,
+}
+
+impl Machine {
+    /// Builds a machine running `num_threads` copies of `program`'s
+    /// entry function (thread id in `r0` differentiates them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(
+        program: Program,
+        recipes: RecoveryRecipes,
+        cfg: SimConfig,
+        num_threads: usize,
+    ) -> Machine {
+        assert!(num_threads > 0, "need at least one thread");
+        let mem = &cfg.mem;
+        let mut vmem = Memory::new();
+        let mut pm_img = Memory::new();
+
+        // Install-time image: every thread's initial register file and
+        // recovery PC are checkpointed so a failure before the first
+        // boundary recovers to the program start.
+        let mut threads = Vec::with_capacity(num_threads);
+        for tid in 0..num_threads {
+            let interp = Interp::new(&program, tid);
+            for r in Reg::all() {
+                let v = interp.reg(r);
+                pm_img.write_word(layout::checkpoint_slot(tid, r), v);
+                vmem.write_word(layout::checkpoint_slot(tid, r), v);
+            }
+            let pc = interp.point().encode();
+            pm_img.write_word(layout::pc_slot(tid), pc);
+            vmem.write_word(layout::pc_slot(tid), pc);
+            threads.push(ThreadCtx {
+                interp,
+                cur_region: None,
+                region_open_since: 0,
+                region_insts: 0,
+                region_stores: 0,
+                spin_until: 0,
+                halted: false,
+            });
+        }
+
+        let mut cores: Vec<CoreCtx> = (0..cfg.num_cores)
+            .map(|_| CoreCtx {
+                sb: StoreBuffer::new(mem.store_buffer_entries),
+                feb: FrontBuffer::new(mem.front_buffer_entries),
+                path: PersistPath::new(
+                    mem.persist_path_latency,
+                    mem.persist_path_cycles_per_entry,
+                ),
+                l1: SetAssocCache::new(mem.l1_sets(), mem.l1_ways, mem.line_bytes),
+                stall_until: 0,
+                wait_for_commit: None,
+                wait_outstanding: false,
+                outstanding: 0,
+                threads: Vec::new(),
+                active: 0,
+                last_switch: 0,
+                bdry_progress: vec![false; mem.num_mcs],
+            })
+            .collect();
+        for tid in 0..num_threads {
+            cores[tid % cfg.num_cores].threads.push(tid);
+        }
+
+        let tracker = RegionTracker::new(mem.num_mcs, mem.noc_latency);
+
+        let mut mcs: Vec<MemController> =
+            (0..mem.num_mcs).map(|i| MemController::new(i, mem)).collect();
+        for mc in &mut mcs {
+            mc.set_mode(cfg.scheme.flush_mode());
+            if cfg.scheme == Scheme::Cwsp {
+                mc.set_extra_write_occupancy(cfg.cwsp_extra_occupancy);
+            }
+        }
+
+        let mut dram = DirectMappedCache::new(mem.dram_cache_bytes, mem.line_bytes);
+        for &(start, end) in &cfg.warm_dram {
+            dram.prefill_range(start, end);
+        }
+        Machine {
+            l2: SetAssocCache::new(mem.l2_sets(), mem.l2_ways, mem.line_bytes),
+            dram,
+            mcs,
+            tracker,
+            pm: PersistentMemory::with_image(pm_img),
+            vmem,
+            now: 0,
+            stats: SimStats::default(),
+            region_broadcast_at: HashMap::new(),
+            flushed_scratch: Vec::new(),
+            trace: RegionTraceLog::new(cfg.trace_regions),
+            io_log: Vec::new(),
+            l2_free: 0,
+            dram_free: 0,
+            pm_read_free: 0,
+            threads,
+            cores,
+            program,
+            recipes,
+            cfg,
+        }
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Accumulated statistics (cache/queue counters are folded in when a
+    /// run completes).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The durable PM contents.
+    pub fn pm_contents(&self) -> &Memory {
+        self.pm.contents()
+    }
+
+    /// The volatile (architectural) memory view.
+    pub fn volatile_contents(&self) -> &Memory {
+        &self.vmem
+    }
+
+    /// The external I/O port log (`(cycle, thread, value)` per emitted
+    /// operation, including any §IV-A replays after power failure).
+    pub fn io_log(&self) -> &[(u64, usize, u64)] {
+        &self.io_log
+    }
+
+    /// The region-lifetime trace (empty unless `SimConfig::trace_regions`
+    /// is set).
+    pub fn region_trace(&self) -> &RegionTraceLog {
+        &self.trace
+    }
+
+    /// Per-MC WPQ occupancy diagnostics: `(mean, max, inserts)`.
+    pub fn wpq_occupancy(&self) -> Vec<(f64, usize, u64)> {
+        self.mcs
+            .iter()
+            .map(|mc| {
+                let (inserts, _, _, max) = mc.wpq().stats();
+                (mc.wpq().mean_occupancy(), max, inserts)
+            })
+            .collect()
+    }
+
+    /// True once every thread has halted.
+    pub fn all_halted(&self) -> bool {
+        self.threads.iter().all(|t| t.halted)
+    }
+
+    /// Runs until completion (threads halted + persist machinery
+    /// drained) or the cycle cap.
+    pub fn run(&mut self) -> Completion {
+        loop {
+            if self.all_halted() && self.drained() {
+                self.finish_stats();
+                return Completion::Finished;
+            }
+            if self.now >= self.cfg.max_cycles {
+                self.finish_stats();
+                return Completion::MaxCycles;
+            }
+            self.step_cycle();
+        }
+    }
+
+    /// Runs until cycle `target` (or completion, whichever comes
+    /// first); returns true if the workload completed.
+    pub fn run_until(&mut self, target: u64) -> bool {
+        while self.now < target {
+            if self.all_halted() && self.drained() {
+                self.finish_stats();
+                return true;
+            }
+            self.step_cycle();
+        }
+        false
+    }
+
+    fn finish_stats(&mut self) {
+        self.stats.cycles = self.now;
+        let (l2h, l2m) = self.l2.hit_miss();
+        self.stats.l2_hits = l2h;
+        self.stats.l2_misses = l2m;
+        let (dh, dm) = self.dram.hit_miss();
+        self.stats.dram_hits = dh;
+        self.stats.dram_misses = dm;
+        self.stats.l1_hits = 0;
+        self.stats.l1_misses = 0;
+        self.stats.snoops = 0;
+        self.stats.snoop_conflicts = 0;
+        self.stats.hol_blocked_cycles = 0;
+        for c in &self.cores {
+            let (h, m) = c.l1.hit_miss();
+            self.stats.l1_hits += h;
+            self.stats.l1_misses += m;
+            let (s, cf) = c.l1.snoop_stats();
+            self.stats.snoops += s;
+            self.stats.snoop_conflicts += cf;
+            self.stats.hol_blocked_cycles += c.path.stats().1;
+        }
+        self.stats.wpq_overflows = 0;
+        let mut occ_sum = 0.0;
+        self.stats.wpq_max_occupancy = 0;
+        for mc in &self.mcs {
+            self.stats.wpq_overflows += mc.stats().1;
+            occ_sum += mc.wpq().mean_occupancy();
+            self.stats.wpq_max_occupancy =
+                self.stats.wpq_max_occupancy.max(mc.wpq().stats().3);
+        }
+        self.stats.wpq_mean_occupancy = occ_sum / self.mcs.len().max(1) as f64;
+        self.stats.io_ops = self.io_log.len() as u64;
+    }
+
+    /// True when no store is anywhere in the persist machinery.
+    pub fn drained(&self) -> bool {
+        let queues_empty = self
+            .cores
+            .iter()
+            .all(|c| c.sb.is_empty() && c.feb.is_empty() && c.path.is_empty());
+        if !queues_empty {
+            return false;
+        }
+        if !self.cfg.scheme.uses_persist_path() {
+            return true;
+        }
+        let wpqs_empty = self.mcs.iter().all(|mc| mc.wpq().is_empty());
+        if self.cfg.scheme.flush_mode() == FlushMode::Gated {
+            wpqs_empty && self.tracker.commit_frontier() > self.tracker.last_allocated()
+        } else {
+            wpqs_empty
+        }
+    }
+
+    /// Advances one cycle.
+    pub fn step_cycle(&mut self) {
+        self.now += 1;
+        let now = self.now;
+
+        // --- 1. memory controllers + region commits -------------------
+        if self.cfg.scheme.uses_persist_path() {
+            let mut flushed = std::mem::take(&mut self.flushed_scratch);
+            flushed.clear();
+            for mc in &mut self.mcs {
+                mc.tick(now, &mut self.tracker, &mut self.pm, &mut flushed);
+            }
+            for e in flushed.drain(..) {
+                if let Some(c) = self.cores.get_mut(e.core) {
+                    c.outstanding = c.outstanding.saturating_sub(1);
+                }
+            }
+            self.flushed_scratch = flushed;
+
+            if let Some(k) = self.tracker.tick(now) {
+                for mc in &mut self.mcs {
+                    mc.on_region_committed(k);
+                }
+                self.trace.note_committed(k, now);
+                self.stats.regions_committed += 1;
+                if let Some(t0) = self.region_broadcast_at.remove(&k) {
+                    self.stats.persist_latency_sum += now.saturating_sub(t0);
+                }
+            }
+        }
+
+        // --- 2. persist machinery movement per core -------------------
+        for ci in 0..self.cores.len() {
+            if self.cfg.scheme.uses_persist_path() {
+                self.move_persist_queues(ci, now);
+            } else if let Some(e) = self.cores[ci].sb.pop() {
+                // Regular-path-only schemes still drain the store buffer
+                // into L1 one store per cycle.
+                self.regular_path_store(ci, e.addr);
+            }
+        }
+
+        // --- 3. retire ------------------------------------------------
+        for ci in 0..self.cores.len() {
+            self.retire_core(ci, now);
+        }
+    }
+
+    /// Path head → WPQ(s); FEB → path; SB → L1 + FEB.
+    fn move_persist_queues(&mut self, ci: usize, now: u64) {
+        // Deliver at most one path head per cycle.
+        if let Some(head) = self.cores[ci].path.head_arrived(now).copied() {
+            match head.kind {
+                PersistKind::Data => {
+                    let mc = self.cfg.mem.mc_of(head.addr);
+                    if self.mcs[mc].try_insert(&head, true, now, &mut self.tracker) {
+                        self.cores[ci].path.pop_head();
+                    } else {
+                        self.cores[ci].path.note_hol_block();
+                    }
+                }
+                PersistKind::Boundary => {
+                    // The token must enter every WPQ (the broadcast).
+                    let home_mc = self.cfg.mem.mc_of(head.addr);
+                    let mut all_in = true;
+                    for m in 0..self.mcs.len() {
+                        if self.cores[ci].bdry_progress[m] {
+                            continue;
+                        }
+                        if self.mcs[m].try_insert(&head, m == home_mc, now, &mut self.tracker)
+                        {
+                            self.cores[ci].bdry_progress[m] = true;
+                        } else {
+                            all_in = false;
+                        }
+                    }
+                    if all_in {
+                        for f in &mut self.cores[ci].bdry_progress {
+                            *f = false;
+                        }
+                        self.trace.note_delivered(head.region, now);
+                        self.cores[ci].path.pop_head();
+                    } else {
+                        self.cores[ci].path.note_hol_block();
+                    }
+                }
+            }
+        }
+
+        // FEB → path (bandwidth gate).
+        if self.cores[ci].path.can_issue(now) && !self.cores[ci].feb.is_empty() {
+            let weight = self.cfg.scheme.persist_weight();
+            let e = self.cores[ci].feb.pop().expect("front buffer non-empty");
+            self.cores[ci].path.issue_weighted(now, e, weight);
+        }
+
+        // SB → L1 (regular path) + FEB (persist copy), one per cycle.
+        if !self.cores[ci].sb.is_empty() && self.cores[ci].feb.has_room() {
+            let e = self.cores[ci].sb.pop().expect("store buffer non-empty");
+            self.regular_path_store(ci, e.addr);
+            self.cores[ci].feb.push(e);
+            self.cores[ci].outstanding += 1;
+        }
+    }
+
+    /// Write `addr` through the cache hierarchy (regular path). Returns
+    /// true if the L1 eviction was conflict-delayed.
+    fn regular_path_store(&mut self, ci: usize, addr: u64) -> bool {
+        let line_bytes = self.cfg.mem.line_bytes;
+        let policy = self.effective_policy();
+        let core = &mut self.cores[ci];
+        let CoreCtx { l1, feb, path, .. } = core;
+        let res = l1.access(addr, true, policy, |la| {
+            feb.search_line(la, line_bytes) || path.conflicts_with_line(la, line_bytes)
+        });
+        if let Some((evicted, true)) = res.evicted {
+            self.writeback(evicted);
+        }
+        res.conflict_delayed
+    }
+
+    fn effective_policy(&self) -> VictimPolicy {
+        if self.cfg.scheme.uses_persist_path() {
+            self.cfg.victim_policy
+        } else {
+            VictimPolicy::StaleLoad // no front end to snoop
+        }
+    }
+
+    /// A dirty line leaving L1 writes back into L2 (and cascades to the
+    /// DRAM cache; dirty LLC evictions are silently dropped in
+    /// persist-path schemes, §IV-G — the persist path already carried
+    /// the data).
+    fn writeback(&mut self, addr: u64) {
+        let res = self.l2.access(addr, true, VictimPolicy::StaleLoad, |_| false);
+        if let Some((evicted, true)) = res.evicted {
+            if self.cfg.scheme.uses_dram_cache() {
+                self.dram.access(evicted, true);
+            }
+        }
+    }
+
+    /// Queueing delay at a shared resource: waits for the port and
+    /// occupies it for `occupancy` cycles.
+    fn contend(free: &mut u64, now: u64, occupancy: u64) -> u64 {
+        let wait = free.saturating_sub(now);
+        *free = now.max(*free) + occupancy;
+        wait
+    }
+
+    /// Load timing through the hierarchy; returns total latency.
+    fn load_latency(&mut self, ci: usize, addr: u64) -> u64 {
+        let line_bytes = self.cfg.mem.line_bytes;
+        let policy = self.effective_policy();
+        {
+            let core = &mut self.cores[ci];
+            let CoreCtx { l1, feb, path, .. } = core;
+            let l1res = l1.access(addr, false, policy, |la| {
+                feb.search_line(la, line_bytes) || path.conflicts_with_line(la, line_bytes)
+            });
+            let evicted = l1res.evicted;
+            if l1res.hit {
+                return self.cfg.mem.l1_latency;
+            }
+            if let Some((ev, true)) = evicted {
+                self.writeback(ev);
+            }
+        }
+        let now = self.now;
+        let l2_wait = Self::contend(&mut self.l2_free, now, self.cfg.mem.l2_occupancy);
+        let l2res = self.l2.access(addr, false, VictimPolicy::StaleLoad, |_| false);
+        if let Some((evicted, true)) = l2res.evicted {
+            if self.cfg.scheme.uses_dram_cache() {
+                self.dram.access(evicted, true);
+            }
+        }
+        if l2res.hit {
+            return self.cfg.mem.l2_latency + l2_wait;
+        }
+        if !self.cfg.scheme.uses_dram_cache() {
+            // Ideal PSP: every L2 miss pays full PM latency (Fig. 9).
+            let pm_wait =
+                Self::contend(&mut self.pm_read_free, now, self.cfg.mem.pm_read_occupancy);
+            return self.cfg.mem.l2_latency + l2_wait + self.cfg.mem.pm_read_latency + pm_wait;
+        }
+        let dram_wait = Self::contend(&mut self.dram_free, now, self.cfg.mem.dram_occupancy);
+        let (dram_hit, _) = self.dram.access(addr, false);
+        if dram_hit {
+            return self.cfg.mem.l2_latency + l2_wait + self.cfg.mem.dram_cache_latency + dram_wait;
+        }
+        // LLC miss → PM, with the WPQ CAM search of §IV-H.
+        self.stats.llc_load_misses += 1;
+        let pm_wait =
+            Self::contend(&mut self.pm_read_free, now, self.cfg.mem.pm_read_occupancy);
+        let mut lat = self.cfg.mem.l2_latency
+            + l2_wait
+            + self.cfg.mem.dram_cache_latency
+            + dram_wait
+            + self.cfg.mem.pm_read_latency
+            + pm_wait;
+        if self.cfg.scheme.uses_persist_path() {
+            let mc = self.cfg.mem.mc_of(addr);
+            if self.mcs[mc].wpq_mut().search_line(addr, line_bytes) {
+                // WPQ hit: drop the PM load, wait for the entry to
+                // flush, reload (§IV-H).
+                self.stats.wpq_load_hits += 1;
+                lat += self.cfg.mem.pm_write_latency + self.cfg.mem.pm_read_latency;
+            }
+            // Stale-load accounting: with snooping disabled, data still
+            // in the volatile front end is missed entirely and must be
+            // refetched once it lands (Fig. 6).
+            if self.cfg.victim_policy == VictimPolicy::StaleLoad {
+                let core = &mut self.cores[ci];
+                let CoreCtx { feb, path, .. } = core;
+                if feb.search_line(addr, line_bytes)
+                    || path.conflicts_with_line(addr, line_bytes)
+                {
+                    self.stats.stale_loads += 1;
+                    lat += self.cfg.mem.persist_path_latency + self.cfg.mem.pm_read_latency;
+                }
+            }
+        }
+        lat
+    }
+
+    /// Estimated serialized persist cost of a region with `stores`
+    /// stores (the `Tp` contribution of Eq. 1).
+    fn region_tp(&self, stores: u64) -> u64 {
+        let mem = &self.cfg.mem;
+        let channels = (mem.channels_per_mc * mem.num_mcs).max(1) as u64;
+        let per_store = mem
+            .persist_path_cycles_per_entry
+            .max(mem.pm_write_occupancy / channels);
+        // Serialized exposure per region: path transit, per-store drain,
+        // the PM media write of the last store, and the ACK exchanges.
+        mem.persist_path_latency
+            + (stores + 1) * per_store
+            + mem.pm_write_latency
+            + 2 * mem.noc_latency
+    }
+
+    /// Ends thread `tid`'s open region: emits the (possibly synthetic)
+    /// boundary token through the store buffer of core `ci`. The next
+    /// region's ID will be sampled lazily by the first store needing a
+    /// tag. Returns false if the store buffer is full (caller retries
+    /// later).
+    fn end_region(&mut self, ci: usize, tid: usize, pc_val: u64, now: u64) -> bool {
+        if !self.cores[ci].sb.has_room() {
+            return false;
+        }
+        // The boundary's own PC store needs a tag even when the region
+        // had no other stores.
+        let ending = match self.threads[tid].cur_region.take() {
+            Some(r) => r,
+            None => self.tracker.alloc_region(),
+        };
+        let entry = PersistEntry {
+            addr: layout::pc_slot(tid) & !7,
+            val: pc_val,
+            region: ending,
+            kind: PersistKind::Boundary,
+            core: ci,
+        };
+        self.cores[ci].sb.push(entry);
+        self.cores[ci].outstanding += 1;
+        self.trace.note_boundary(ending, tid, now);
+        let (insts, stores) = {
+            let th = &self.threads[tid];
+            (th.region_insts, th.region_stores)
+        };
+        self.stats.regions += 1;
+        self.stats.region_insts_sum += insts;
+        self.stats.region_stores_sum += stores;
+        let tp = self.region_tp(stores);
+        self.stats.tp_estimate += tp;
+        if self.cfg.scheme.flush_mode() == FlushMode::Gated {
+            self.region_broadcast_at.insert(ending, now);
+        }
+        if self.cfg.scheme.waits_at_boundary() || self.cfg.disable_lrpo {
+            self.cores[ci].wait_for_commit = Some(ending);
+        }
+        let th = &mut self.threads[tid];
+        th.region_insts = 0;
+        th.region_stores = 0;
+        th.region_open_since = now;
+        true
+    }
+
+    /// Retire up to `width` events on core `ci`.
+    fn retire_core(&mut self, ci: usize, now: u64) {
+        if self.cores[ci].threads.is_empty() {
+            return;
+        }
+        if self.cores[ci].stall_until > now {
+            self.stats.stall_load_miss += 1;
+            return;
+        }
+        if let Some(region) = self.cores[ci].wait_for_commit {
+            if self.tracker.flush_frontier() > region {
+                self.cores[ci].wait_for_commit = None;
+            } else {
+                self.stats.stall_boundary_wait += 1;
+                return;
+            }
+        }
+        if self.cores[ci].wait_outstanding {
+            let c = &self.cores[ci];
+            if c.outstanding == 0 && c.sb.is_empty() && c.feb.is_empty() && c.path.is_empty() {
+                self.cores[ci].wait_outstanding = false;
+            } else {
+                self.stats.stall_boundary_wait += 1;
+                return;
+            }
+        }
+
+        let gated = self.cfg.scheme.uses_persist_path()
+            && self.cfg.scheme.flush_mode() == FlushMode::Gated;
+
+        let mut slots = self.cfg.width;
+        while slots > 0 {
+            let Some(tid) = self.pick_thread(ci, now) else { break };
+
+            // Persist back-pressure: a full store buffer blocks retire.
+            if !self.cores[ci].sb.has_room() {
+                self.stats.stall_sb_full += 1;
+                break;
+            }
+
+            // Liveness: force-end regions that have been open too long.
+            if gated
+                && self.threads[tid].cur_region.is_some()
+                && now.saturating_sub(self.threads[tid].region_open_since)
+                    > self.cfg.region_timeout
+            {
+                // Synthetic boundaries release the region's stores for
+                // persistence but do NOT create a new recovery point:
+                // compiler checkpoints and pruning recipes only cover
+                // compiler-placed boundaries, so recovery must restart
+                // from the region's own start (already in the PC slot).
+                let pc = self.vmem.read_word(layout::pc_slot(tid));
+                self.end_region(ci, tid, pc, now);
+                slots -= 1;
+                continue;
+            }
+
+            let ev = self.threads[tid].interp.step(&self.program, &mut self.vmem);
+            match ev {
+                DynEvent::Alu | DynEvent::Fence => {
+                    self.stats.insts += 1;
+                    self.threads[tid].region_insts += 1;
+                    slots -= 1;
+                }
+                DynEvent::Load { addr } => {
+                    self.stats.insts += 1;
+                    self.threads[tid].region_insts += 1;
+                    let lat = self.load_latency(ci, addr);
+                    if lat > self.cfg.mem.l1_latency {
+                        let extra =
+                            (lat - self.cfg.mem.l1_latency) / self.cfg.miss_overlap_div.max(1);
+                        self.cores[ci].stall_until = now + extra;
+                        slots = 0;
+                    } else {
+                        slots -= 1;
+                    }
+                }
+                DynEvent::Store { addr, val, kind } => {
+                    self.stats.insts += 1;
+                    if kind == StoreKind::Checkpoint {
+                        self.stats.instrumentation_insts += 1;
+                    }
+                    if self.cfg.scheme.uses_persist_path() {
+                        self.stats.persist_stores += 1;
+                    }
+                    let region = match self.threads[tid].cur_region {
+                        Some(r) => r,
+                        None => {
+                            let r = self.tracker.alloc_region();
+                            let th = &mut self.threads[tid];
+                            th.cur_region = Some(r);
+                            th.region_open_since = now;
+                            self.trace.note_sampled(r, tid, now);
+                            r
+                        }
+                    };
+                    self.trace.note_store(region);
+                    {
+                        let th = &mut self.threads[tid];
+                        th.region_insts += 1;
+                        th.region_stores += 1;
+                    }
+                    let entry = PersistEntry {
+                        addr: addr & !7,
+                        val,
+                        region,
+                        kind: PersistKind::Data,
+                        core: ci,
+                    };
+                    self.cores[ci].sb.push(entry);
+                    slots -= 1;
+
+                    // PPA: hardware-delineated region boundary when the
+                    // PRF-pressure budget is exhausted.
+                    if self.cfg.scheme == Scheme::Ppa
+                        && self.threads[tid].region_stores >= self.cfg.ppa_region_stores
+                    {
+                        let (insts, stores) = {
+                            let th = &self.threads[tid];
+                            (th.region_insts, th.region_stores)
+                        };
+                        self.stats.regions += 1;
+                        self.stats.region_insts_sum += insts;
+                        self.stats.region_stores_sum += stores;
+                        let tp = self.region_tp(stores);
+                        self.stats.tp_estimate += tp;
+                        let th = &mut self.threads[tid];
+                        th.region_insts = 0;
+                        th.region_stores = 0;
+                        th.region_open_since = now;
+                        self.cores[ci].wait_outstanding = true;
+                        slots = 0;
+                    }
+                }
+                DynEvent::Boundary { addr: _, pc_val } => {
+                    self.stats.insts += 1;
+                    self.stats.instrumentation_insts += 1;
+                    self.threads[tid].region_insts += 1;
+                    if self.cfg.scheme.uses_persist_path() {
+                        self.end_region(ci, tid, pc_val, now);
+                    }
+                    slots -= 1;
+                    if self.cfg.scheme.waits_at_boundary() {
+                        slots = 0;
+                    }
+                }
+                DynEvent::Io { val } => {
+                    self.stats.insts += 1;
+                    self.threads[tid].region_insts += 1;
+                    self.io_log.push((now, tid, val));
+                    slots -= 1;
+                }
+                DynEvent::LockSpin { addr: _ } => {
+                    self.threads[tid].spin_until = now + self.cfg.spin_retry_interval;
+                    self.stats.stall_lock_spin += 1;
+                    // Each retry is a fresh synchronisation point: end
+                    // the open region so the spinner never blocks the
+                    // flush frontier (§IV-C liveness).
+                    if gated && self.threads[tid].cur_region.is_some() {
+                        // Synthetic boundary: reuse the region-start
+                        // recovery PC (see the timeout case above).
+                        let pc = self.vmem.read_word(layout::pc_slot(tid));
+                        self.end_region(ci, tid, pc, now);
+                    }
+                    slots = 0;
+                }
+                DynEvent::Halt => {
+                    if gated && self.threads[tid].cur_region.is_some() {
+                        // Broadcast the trailing region so the frontier
+                        // can drain past this thread (synthetic: reuse
+                        // the region-start recovery PC); retry while the
+                        // store buffer is full.
+                        let pc = self.vmem.read_word(layout::pc_slot(tid));
+                        if self.end_region(ci, tid, pc, now) {
+                            self.threads[tid].halted = true;
+                        }
+                    } else {
+                        self.threads[tid].halted = true;
+                    }
+                    slots = 0;
+                }
+            }
+        }
+    }
+
+    /// Picks the runnable thread for core `ci`: sticks with the active
+    /// thread until it halts, spins, or — once the preemption quantum
+    /// expires — reaches a safe point (closed region); then rotates.
+    fn pick_thread(&mut self, ci: usize, now: u64) -> Option<usize> {
+        let n = self.cores[ci].threads.len();
+        if n == 0 {
+            return None;
+        }
+        let active = self.cores[ci].active;
+        let cur_tid = self.cores[ci].threads[active];
+        let cur_runnable = {
+            let th = &self.threads[cur_tid];
+            !th.halted && th.spin_until <= now
+        };
+        let quantum_expired = now.saturating_sub(self.cores[ci].last_switch)
+            >= self.cfg.timeslice;
+        let at_safe_point = self.threads[cur_tid].cur_region.is_none();
+        if cur_runnable && !(quantum_expired && at_safe_point && n > 1) {
+            return Some(cur_tid);
+        }
+        for off in 1..=n {
+            let idx = (active + off) % n;
+            let tid = self.cores[ci].threads[idx];
+            let th = &self.threads[tid];
+            if !th.halted && th.spin_until <= now {
+                self.cores[ci].active = idx;
+                self.cores[ci].last_switch = now;
+                return Some(tid);
+            }
+        }
+        // No other runnable thread; stay on the active one if possible.
+        cur_runnable.then_some(cur_tid)
+    }
+
+    /// Injects a power failure at the current cycle and performs the
+    /// §IV-F recovery protocol: battery-covered WPQ resolution, volatile
+    /// state loss, and per-thread restart from the checkpoint storage.
+    /// Returns a step-by-step account of what recovery did.
+    pub fn inject_power_failure(&mut self) -> RecoveryReport {
+        self.stats.failures += 1;
+        let mut report = RecoveryReport::default();
+
+        // §IV-F steps 1–6 on the persistence domain.
+        let survivable = self.tracker.survivable_regions();
+        report.survivable_regions = survivable.clone();
+        for mc in &mut self.mcs {
+            let (f, d, u) = mc.on_power_failure(&survivable, &mut self.pm);
+            report.entries_flushed += f;
+            report.entries_discarded += d;
+            report.undo_rolled_back += u;
+        }
+
+        // Everything volatile disappears.
+        for c in &mut self.cores {
+            c.sb.clear();
+            c.feb.clear();
+            c.path.clear();
+            c.l1.invalidate_all();
+            c.stall_until = 0;
+            c.wait_for_commit = None;
+            c.wait_outstanding = false;
+            c.outstanding = 0;
+            c.bdry_progress.iter_mut().for_each(|f| *f = false);
+        }
+        self.l2.invalidate_all();
+        self.dram.invalidate_all();
+        self.region_broadcast_at.clear();
+
+        // The architectural memory now *is* PM.
+        self.vmem = self.pm.snapshot();
+
+        // Fresh ordering epoch: allocated-but-lost region IDs die here.
+        self.tracker = RegionTracker::new(self.cfg.mem.num_mcs, self.cfg.mem.noc_latency);
+
+        // Each thread resumes from its checkpointed recovery point with
+        // registers reloaded (and pruned ones reconstructed, §IV-A).
+        for tid in 0..self.threads.len() {
+            let mut interp = Interp::resume_from_checkpoint(&self.vmem, tid);
+            let enc = interp.point().encode();
+            let mut regs = [0u64; NUM_REGS];
+            for r in Reg::all() {
+                regs[r.index()] = interp.reg(r);
+            }
+            self.recipes.apply(enc, &mut regs);
+            for r in Reg::all() {
+                interp.set_reg(r, regs[r.index()]);
+            }
+            let th = &mut self.threads[tid];
+            th.interp = interp;
+            th.halted = false;
+            th.spin_until = 0;
+            th.region_insts = 0;
+            th.region_stores = 0;
+            th.region_open_since = self.now;
+            th.cur_region = None;
+            report.resume_points.push(th.interp.point());
+        }
+        report
+    }
+}

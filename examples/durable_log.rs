@@ -1,0 +1,106 @@
+//! A durable append-only log with external I/O acknowledgements —
+//! exercising §IV-A's "I/O Functions" story: each record is appended to
+//! persistent memory and then *acknowledged* over an output port. The
+//! compiler places a region boundary before every I/O operation, so an
+//! interrupted acknowledgement restarts cleanly after power failure; the
+//! log itself recovers exactly. Acks of *unpersisted* regions may replay
+//! (the paper notes irrevocable I/O remains an open problem and opts for
+//! restart semantics) — replays are bounded by the regions in flight at
+//! each outage, which this example measures.
+//!
+//! ```sh
+//! cargo run --release --example durable_log
+//! ```
+
+use lightwsp_core::{instrument, CompilerConfig, Machine, Scheme, SimConfig};
+use lightwsp_ir::builder::FuncBuilder;
+use lightwsp_ir::inst::{AluOp, Cond};
+use lightwsp_ir::{layout, Program, Reg};
+
+const RECORDS: i64 = 24;
+
+fn log_program() -> Program {
+    let mut b = FuncBuilder::new("durable_log");
+    let (n, rec, tail, base) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
+    b.mov_imm(n, 0);
+    b.mov_imm(base, layout::HEAP_BASE as i64);
+    b.mov_imm(tail, 0);
+    let body = b.new_block();
+    let exit = b.new_block();
+    b.jump(body);
+    b.switch_to(body);
+    // record = 0xA000 | n
+    b.alu_imm(AluOp::Or, rec, n, 0xA000);
+    // log[tail] = record; tail++
+    b.alu_imm(AluOp::Shl, Reg::R5, tail, 3);
+    b.alu(AluOp::Add, Reg::R5, Reg::R5, base);
+    b.store(rec, Reg::R5, 8); // slot 0 reserved for the tail pointer
+    b.alu_imm(AluOp::Add, tail, tail, 1);
+    b.store(tail, base, 0); // publish the new tail
+    // acknowledge externally (boundary inserted before by the compiler)
+    b.io_out(rec);
+    b.alu_imm(AluOp::Add, n, n, 1);
+    b.branch_imm(Cond::Ne, n, RECORDS, body, exit);
+    b.switch_to(exit);
+    b.halt();
+    Program::from_single(b.finish())
+}
+
+fn read_log(pm: &lightwsp_ir::Memory) -> Vec<u64> {
+    let tail = pm.read_word(layout::HEAP_BASE);
+    (0..tail).map(|i| pm.read_word(layout::HEAP_BASE + 8 + i * 8)).collect()
+}
+
+fn main() {
+    let compiled = instrument(&log_program(), &CompilerConfig::default());
+    let cfg = SimConfig::new(Scheme::LightWsp);
+
+    // Golden run.
+    let mut g = Machine::new(
+        compiled.program.clone(),
+        compiled.recipes.clone(),
+        cfg.clone(),
+        1,
+    );
+    g.run();
+    let golden = read_log(g.pm_contents());
+    println!("golden log: {} records, {} acks", golden.len(), g.io_log().len());
+
+    // Power-failure run: three outages while appending.
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
+    for k in 1..=3u64 {
+        if m.run_until(k * 600) {
+            break;
+        }
+        let durable = read_log(m.pm_contents()).len();
+        let report = m.inject_power_failure();
+        println!(
+            "outage #{k}: {durable} records durable; recovery flushed {} entries, \
+             discarded {}, resumes at {:?}",
+            report.entries_flushed, report.entries_discarded, report.resume_points[0]
+        );
+    }
+    m.run();
+
+    let recovered = read_log(m.pm_contents());
+    assert_eq!(recovered, golden, "log diverged");
+    println!("recovered log matches golden ({} records) ✓", recovered.len());
+
+    // Ack analysis: every record acknowledged at least once; duplicates
+    // are bounded by the number of outages (one replayable I/O each).
+    let acks: Vec<u64> = m.io_log().iter().map(|&(_, _, v)| v).collect();
+    let mut unique = acks.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len() as i64, RECORDS, "every record acknowledged");
+    let dupes = acks.len() - unique.len();
+    println!(
+        "{} acks for {} records ({} §IV-A restart replays across 3 outages — \
+         bounded by the in-flight region window) ✓",
+        acks.len(),
+        RECORDS,
+        dupes
+    );
+    // Each outage can replay at most the regions in flight (WPQ-bounded).
+    assert!(dupes <= 3 * 16, "replays must stay within the in-flight window");
+}

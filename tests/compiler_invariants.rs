@@ -1,0 +1,124 @@
+//! Property-based compiler invariants: for random workload programs and
+//! random thresholds, the LightWSP pass pipeline must
+//!
+//! 1. **preserve semantics** — the instrumented program computes exactly
+//!    the same final memory state (outside the checkpoint storage) as
+//!    the original;
+//! 2. **uphold the store-threshold invariant** (§III-C), unless the
+//!    documented §IV-D relaxation fired; and
+//! 3. leave every boundary block-final (the split invariant the
+//!    checkpoint analysis relies on).
+
+use lightwsp_compiler::{instrument, verify, CompilerConfig};
+use lightwsp_ir::interp::{Interp, Memory};
+use lightwsp_ir::{layout, Program};
+use lightwsp_workloads::{Suite, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        0u32..4,
+        0u32..5,
+        0u32..10,
+        10u64..16,
+        0.0f64..1.0,
+        1u32..5,
+        8u32..80,
+        prop_oneof![Just(0u32), Just(2u32), Just(4u32)], // call_every
+        0u64..u64::MAX,
+    )
+        .prop_map(
+            |(loads, stores, alu, ws_log2, seq, phases, iters, call_every, seed)| WorkloadSpec {
+                name: "prop",
+                suite: Suite::Cpu2017,
+                seed,
+                loads_per_iter: loads,
+                stores_per_iter: stores,
+                alu_per_iter: alu,
+                working_set: 1 << ws_log2,
+                seq_fraction: seq,
+                phases,
+                iters_per_phase: iters,
+                call_every,
+                sync_every: 0,
+                threads: 1,
+                locks: 4,
+                seq_stride: 8,
+            },
+        )
+}
+
+/// Runs `p` functionally and returns its final memory restricted to
+/// program data (locks + heap). The checkpoint storage is compiler-owned
+/// and the stack holds encoded return points whose numeric values are
+/// representation-dependent (instrumentation renumbers blocks), so both
+/// are excluded from the semantic comparison.
+fn final_program_memory(p: &Program) -> Vec<(u64, u64)> {
+    let mut mem = Memory::new();
+    let mut t = Interp::new(p, 0);
+    t.run(p, &mut mem, 20_000_000);
+    assert!(t.finished(), "program did not halt");
+    let mut words: Vec<(u64, u64)> = mem
+        .iter()
+        .filter(|(a, _)| *a >= layout::LOCK_BASE)
+        .collect();
+    words.sort_unstable();
+    words
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn instrumentation_preserves_semantics(
+        spec in arbitrary_spec(),
+        threshold in prop_oneof![Just(8u32), Just(16u32), Just(32u32), Just(64u32)],
+    ) {
+        let original = spec.generate();
+        let golden = final_program_memory(&original);
+
+        let mut cfg = CompilerConfig::default();
+        cfg.store_threshold = threshold;
+        let compiled = instrument(&original, &cfg);
+        let instrumented = final_program_memory(&compiled.program);
+
+        prop_assert_eq!(golden, instrumented, "semantics changed by instrumentation");
+    }
+
+    #[test]
+    fn threshold_invariant_holds_or_relaxation_recorded(
+        spec in arbitrary_spec(),
+        threshold in prop_oneof![Just(8u32), Just(16u32), Just(32u32), Just(64u32)],
+    ) {
+        let original = spec.generate();
+        let mut cfg = CompilerConfig::default();
+        cfg.store_threshold = threshold;
+        let compiled = instrument(&original, &cfg);
+        let check = verify::check_store_threshold(&compiled.program, threshold);
+        if compiled.stats.threshold_relaxations == 0 {
+            prop_assert!(check.is_ok(), "invariant violated: {:?}", check.err());
+        }
+        // Boundaries are always block-final either way.
+        verify::check_blocks_split(&compiled.program)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        // Every live register at every boundary is checkpoint-covered
+        // (or recipe-covered) — the static form of recoverability.
+        verify::check_checkpoint_coverage(&compiled.program, &compiled.recipes)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn unrolling_disabled_still_correct(spec in arbitrary_spec()) {
+        let original = spec.generate();
+        let golden = final_program_memory(&original);
+        let cfg = CompilerConfig {
+            unroll: false,
+            prune_checkpoints: false,
+            ..CompilerConfig::default()
+        };
+        let compiled = instrument(&original, &cfg);
+        prop_assert_eq!(golden, final_program_memory(&compiled.program));
+        verify::check_store_threshold(&compiled.program, cfg.store_threshold)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based crash-consistency tests — the paper's central claim
+//! (§III-A): *no matter when power failure happens, NVM is never
+//! corrupted by the stores of the power-interrupted region, facilitating
+//! correct recovery*.
+//!
+//! Strategy: generate random workloads (instruction mix, working set,
+//! locality, phase structure, synchronisation, thread count) and random
+//! failure points; compile with random thresholds; fail-and-recover; the
+//! final durable memory must be byte-identical to the failure-free
+//! golden run.
+
+use lightwsp_compiler::{instrument, CompilerConfig};
+use lightwsp_sim::consistency::check_crash_consistency;
+use lightwsp_sim::{Scheme, SimConfig};
+use lightwsp_workloads::{Suite, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1u32..4,     // loads
+        1u32..4,     // stores
+        0u32..8,     // alu
+        12u64..18,   // log2 working set (4 KB .. 128 KB)
+        0.0f64..1.0, // seq fraction
+        1u32..4,     // phases
+        20u32..60,   // iters per phase
+        prop_oneof![Just(0u32), Just(8u32), Just(16u32)], // sync_every
+        0u64..u64::MAX, // seed
+    )
+        .prop_map(
+            |(loads, stores, alu, ws_log2, seq, phases, iters, sync_every, seed)| WorkloadSpec {
+                name: "prop",
+                suite: Suite::Cpu2006,
+                seed,
+                loads_per_iter: loads,
+                stores_per_iter: stores,
+                alu_per_iter: alu,
+                working_set: 1 << ws_log2,
+                seq_fraction: seq,
+                phases,
+                iters_per_phase: iters,
+                call_every: 2,
+                sync_every,
+                threads: 1,
+                locks: 4,
+                seq_stride: 8,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs three full simulations
+        .. ProptestConfig::default()
+    })]
+
+    /// Single-threaded: any program, any failure points, any threshold —
+    /// recovery must reproduce the golden durable state byte-for-byte.
+    #[test]
+    fn single_thread_recovery_is_exact(
+        spec in arbitrary_spec(),
+        threshold in prop_oneof![Just(16u32), Just(32u32), Just(64u32)],
+        f1 in 100u64..4_000,
+        f2 in 4_000u64..20_000,
+    ) {
+        let program = spec.generate();
+        let mut ccfg = CompilerConfig::default();
+        ccfg.store_threshold = threshold;
+        let compiled = instrument(&program, &ccfg);
+        let mut cfg = SimConfig::new(Scheme::LightWsp);
+        cfg.mem.l1_bytes = 16 * 1024;
+        cfg.mem.l2_bytes = 128 * 1024;
+        let report = check_crash_consistency(&compiled, &cfg, 1, &[f1, f2])
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(report.words_compared > 0);
+    }
+
+    /// Multi-threaded with lock-striped commutative shared updates:
+    /// still byte-exact.
+    #[test]
+    fn multi_thread_recovery_is_exact(
+        mut spec in arbitrary_spec(),
+        threads in 2usize..5,
+        f1 in 200u64..3_000,
+    ) {
+        spec.sync_every = 8;
+        spec.suite = Suite::Stamp;
+        spec.threads = threads;
+        let program = spec.generate();
+        let compiled = instrument(&program, &CompilerConfig::default());
+        let mut cfg = SimConfig::new(Scheme::LightWsp);
+        cfg.mem.l1_bytes = 16 * 1024;
+        cfg.mem.l2_bytes = 128 * 1024;
+        cfg.num_cores = threads;
+        let report = check_crash_consistency(&compiled, &cfg, threads, &[f1])
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(report.words_compared > 0);
+    }
+
+    /// Back-to-back failures (including during recovery re-execution)
+    /// still converge to the golden state.
+    #[test]
+    fn failure_storms_converge(
+        spec in arbitrary_spec(),
+        start in 50u64..500,
+        stride in 150u64..700,
+    ) {
+        let program = spec.generate();
+        let compiled = instrument(&program, &CompilerConfig::default());
+        let mut cfg = SimConfig::new(Scheme::LightWsp);
+        cfg.mem.l1_bytes = 16 * 1024;
+        cfg.mem.l2_bytes = 128 * 1024;
+        let points: Vec<u64> = (0..8).map(|i| start + i * stride).collect();
+        check_crash_consistency(&compiled, &cfg, 1, &points)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}
