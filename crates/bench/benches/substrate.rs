@@ -103,12 +103,7 @@ fn bench_machine(c: &mut Criterion) {
             let mut cfg = SimConfig::new(Scheme::LightWsp);
             cfg.mem.l1_bytes = 16 * 1024;
             cfg.mem.l2_bytes = 512 * 1024;
-            let mut m = Machine::new(
-                compiled.program.clone(),
-                compiled.recipes.clone(),
-                cfg,
-                1,
-            );
+            let mut m = Machine::new(compiled.program.clone(), compiled.recipes.clone(), cfg, 1);
             m.run()
         })
     });

@@ -23,28 +23,56 @@ fn geo(exp: &mut Experiment, names: &[&str]) -> f64 {
 fn main() {
     let base_opts = lightwsp_bench::common_options();
     let names = [
-        "bzip2", "hmmer", "lbm", "libquantum", "mcf", "xz", "vacation", "radix", "tpcc",
+        "bzip2",
+        "hmmer",
+        "lbm",
+        "libquantum",
+        "mcf",
+        "xz",
+        "vacation",
+        "radix",
+        "tpcc",
     ];
     let mut fig = Figure::new("ablations", "LightWSP design ablations", "slowdown");
     let suite = lightwsp_workloads::Suite::Cpu2006; // single grouping row
 
     let mut exp = Experiment::new(base_opts.clone());
-    fig.push(suite, "geomean(9 apps)", "LightWSP (full)", geo(&mut exp, &names));
+    fig.push(
+        suite,
+        "geomean(9 apps)",
+        "LightWSP (full)",
+        geo(&mut exp, &names),
+    );
 
     let mut o = base_opts.clone();
     o.sim.disable_lrpo = true;
     let mut exp = Experiment::new(o);
-    fig.push(suite, "geomean(9 apps)", "no LRPO (sfence)", geo(&mut exp, &names));
+    fig.push(
+        suite,
+        "geomean(9 apps)",
+        "no LRPO (sfence)",
+        geo(&mut exp, &names),
+    );
 
     let mut o = base_opts.clone();
     o.compiler.unroll = false;
     let mut exp = Experiment::new(o);
-    fig.push(suite, "geomean(9 apps)", "no unrolling", geo(&mut exp, &names));
+    fig.push(
+        suite,
+        "geomean(9 apps)",
+        "no unrolling",
+        geo(&mut exp, &names),
+    );
 
     let mut o = base_opts.clone();
     o.compiler.prune_checkpoints = false;
     let mut exp = Experiment::new(o);
-    fig.push(suite, "geomean(9 apps)", "no pruning", geo(&mut exp, &names));
+    fig.push(
+        suite,
+        "geomean(9 apps)",
+        "no pruning",
+        geo(&mut exp, &names),
+    );
 
     let mut o = base_opts;
     o.compiler.max_unroll_factor = 2;

@@ -1,28 +1,108 @@
 //! Regenerates every table and figure of the paper's evaluation into
-//! `results/`. Run with `--quick` for a fast smoke pass.
+//! `results/`, fanning all simulations across one shared [`Campaign`]
+//! (so baselines and compilations are reused across figures). Run with
+//! `--quick` for a fast smoke pass; set `LIGHTWSP_THREADS` to pin the
+//! worker count.
+//!
+//! Also writes `BENCH_eval.json`: one machine-readable record per
+//! Fig. 7 run (workload, scheme, cycles, wall-clock ms, threads) plus
+//! campaign metadata — worker count, per-phase wall-clock, and the
+//! speedup over the recorded serial pre-optimization baseline.
+//!
+//! [`Campaign`]: lightwsp_core::Campaign
 use lightwsp_bench::{emit, emit_text, figures};
+use lightwsp_core::{Job, Scheme};
+use lightwsp_workloads::all_workloads;
+use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Serial, pre-optimization (SipHash maps, per-word memory, no shared
+/// caches, one thread) wall-clock of the fig07+fig11 `--quick` subset
+/// on the reference container (1 core): 4.39 s + 5.29 s. The
+/// acceptance speedup in `BENCH_eval.json` is measured against this.
+const SERIAL_SEED_FIG07_FIG11_QUICK_S: f64 = 9.68;
 
 fn main() {
     let opts = lightwsp_bench::common_options();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let c = lightwsp_bench::campaign();
     let t0 = Instant::now();
-    emit(&figures::fig07(&opts));
-    emit(&figures::fig08(&opts));
-    emit(&figures::fig09(&opts));
-    emit(&figures::fig10(&opts));
-    emit(&figures::fig11(&opts));
-    emit(&figures::fig12(&opts));
-    emit(&figures::fig13(&opts));
-    emit(&figures::fig14(&opts));
-    emit(&figures::fig15(&opts));
-    let (fig16, overflow) = figures::fig16(&opts);
+    emit(&figures::fig07(&c, &opts));
+    let fig07_s = t0.elapsed().as_secs_f64();
+    let t_fig11 = Instant::now();
+    emit(&figures::fig11(&c, &opts));
+    let fig11_s = t_fig11.elapsed().as_secs_f64();
+    emit(&figures::fig08(&c, &opts));
+    emit(&figures::fig09(&c, &opts));
+    emit(&figures::fig10(&c, &opts));
+    emit(&figures::fig12(&c, &opts));
+    emit(&figures::fig13(&c, &opts));
+    emit(&figures::fig14(&c, &opts));
+    emit(&figures::fig15(&c, &opts));
+    let (fig16, overflow) = figures::fig16(&c, &opts);
     emit(&fig16);
     emit_text("secVF5_overflow", &overflow);
-    emit(&figures::fig17(&opts));
-    emit(&figures::fig18(&opts));
-    emit(&figures::tab02(&opts));
+    emit(&figures::fig17(&c, &opts));
+    emit(&figures::fig18(&c, &opts));
+    emit(&figures::tab02(&c, &opts));
     emit_text("secVG2_cam", &figures::tab_cam());
-    emit_text("secVG3_regions", &figures::tab_region_stats(&opts));
+    emit_text("secVG3_regions", &figures::tab_region_stats(&c, &opts));
     emit_text("secVG4_hwcost", &figures::tab_hw_cost());
-    eprintln!("all figures regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    let total_s = t0.elapsed().as_secs_f64();
+
+    // Per-run benchmark records over the Fig. 7 matrix. The campaign's
+    // caches are warm from the figure passes, so these wall-clocks
+    // reflect the simulate-only cost of each (workload, scheme) cell.
+    let schemes = [Scheme::Capri, Scheme::Ppa, Scheme::LightWsp];
+    let jobs: Vec<Job> = all_workloads()
+        .iter()
+        .flat_map(|w| schemes.iter().map(|&s| Job::new(&opts, w, s)))
+        .collect();
+    let timed = c.run_many_timed(&jobs);
+
+    let mut json = String::from("{\n");
+    let fig_subset = fig07_s + fig11_s;
+    let (baseline, speedup) = if quick {
+        (
+            format!("{SERIAL_SEED_FIG07_FIG11_QUICK_S:.2}"),
+            format!(
+                "{:.2}",
+                SERIAL_SEED_FIG07_FIG11_QUICK_S / fig_subset.max(1e-9)
+            ),
+        )
+    } else {
+        ("null".to_string(), "null".to_string())
+    };
+    let _ = write!(
+        json,
+        "  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"total_wall_s\": {:.3},\n    \"fig07_wall_s\": {:.3},\n    \"fig11_wall_s\": {:.3},\n    \"serial_seed_fig07_fig11_quick_s\": {},\n    \"speedup_fig07_fig11_vs_serial_seed\": {}\n  }},\n",
+        c.workers(),
+        quick,
+        total_s,
+        fig07_s,
+        fig11_s,
+        baseline,
+        speedup,
+    );
+    json.push_str("  \"runs\": [\n");
+    for (i, (r, wall_ms)) in timed.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \"wall_ms\": {:.3}, \"threads\": {}}}{}",
+            r.workload,
+            r.scheme.name(),
+            r.stats.cycles,
+            wall_ms,
+            r.threads,
+            if i + 1 < timed.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_eval.json", &json) {
+        eprintln!("warning: could not write BENCH_eval.json: {e}");
+    }
+    eprintln!(
+        "all figures regenerated in {total_s:.1}s ({} workers; fig07 {fig07_s:.1}s, fig11 {fig11_s:.1}s)",
+        c.workers()
+    );
 }

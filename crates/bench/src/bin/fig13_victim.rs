@@ -1,5 +1,6 @@
 //! Regenerates Fig. 13 of the paper. See `lightwsp_bench::figures`.
 fn main() {
     let opts = lightwsp_bench::common_options();
-    lightwsp_bench::emit(&lightwsp_bench::figures::fig13(&opts));
+    let c = lightwsp_bench::campaign();
+    lightwsp_bench::emit(&lightwsp_bench::figures::fig13(&c, &opts));
 }

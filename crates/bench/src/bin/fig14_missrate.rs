@@ -1,5 +1,6 @@
 //! Regenerates Fig. 14 of the paper (L1 miss rate incl. stale loads).
 fn main() {
     let opts = lightwsp_bench::common_options();
-    lightwsp_bench::emit(&lightwsp_bench::figures::fig14(&opts));
+    let c = lightwsp_bench::campaign();
+    lightwsp_bench::emit(&lightwsp_bench::figures::fig14(&c, &opts));
 }

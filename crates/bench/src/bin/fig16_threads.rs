@@ -1,7 +1,8 @@
 //! Regenerates Fig. 16 and the §V-F5 overflow analysis.
 fn main() {
     let opts = lightwsp_bench::common_options();
-    let (fig, overflow) = lightwsp_bench::figures::fig16(&opts);
+    let c = lightwsp_bench::campaign();
+    let (fig, overflow) = lightwsp_bench::figures::fig16(&c, &opts);
     lightwsp_bench::emit(&fig);
     lightwsp_bench::emit_text("secVF5_overflow", &overflow);
 }

@@ -1,5 +1,6 @@
 //! Regenerates Fig. 18 of the paper (WPQ hit rate).
 fn main() {
     let opts = lightwsp_bench::common_options();
-    lightwsp_bench::emit(&lightwsp_bench::figures::fig18(&opts));
+    let c = lightwsp_bench::campaign();
+    lightwsp_bench::emit(&lightwsp_bench::figures::fig18(&c, &opts));
 }

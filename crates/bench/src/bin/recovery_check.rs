@@ -29,5 +29,8 @@ fn main() {
     }
     out.push_str(&format!("total injected failures: {failures_total}\n"));
     lightwsp_bench::emit_text("recovery_check", &out);
-    assert!(!out.contains("FAILED"), "crash-consistency violation detected");
+    assert!(
+        !out.contains("FAILED"),
+        "crash-consistency violation detected"
+    );
 }

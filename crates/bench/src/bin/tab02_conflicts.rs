@@ -1,5 +1,6 @@
 //! Regenerates Table II of the paper (buffer-conflict rate).
 fn main() {
     let opts = lightwsp_bench::common_options();
-    lightwsp_bench::emit(&lightwsp_bench::figures::tab02(&opts));
+    let c = lightwsp_bench::campaign();
+    lightwsp_bench::emit(&lightwsp_bench::figures::tab02(&c, &opts));
 }

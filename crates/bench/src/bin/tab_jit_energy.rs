@@ -21,8 +21,16 @@ fn main() {
             "{:<28}{:>12.3}{:>12}{:>12}\n",
             name,
             required_joules(cores, bytes),
-            if atx.can_checkpoint(cores, bytes) { "ok" } else { "INFEASIBLE" },
-            if server.can_checkpoint(cores, bytes) { "ok" } else { "INFEASIBLE" },
+            if atx.can_checkpoint(cores, bytes) {
+                "ok"
+            } else {
+                "INFEASIBLE"
+            },
+            if server.can_checkpoint(cores, bytes) {
+                "ok"
+            } else {
+                "INFEASIBLE"
+            },
         ));
     }
     out.push_str(&format!(

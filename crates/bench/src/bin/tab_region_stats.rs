@@ -1,8 +1,9 @@
 //! Regenerates the §V-G3 instruction/region statistics.
 fn main() {
     let opts = lightwsp_bench::common_options();
+    let c = lightwsp_bench::campaign();
     lightwsp_bench::emit_text(
         "secVG3_regions",
-        &lightwsp_bench::figures::tab_region_stats(&opts),
+        &lightwsp_bench::figures::tab_region_stats(&c, &opts),
     );
 }

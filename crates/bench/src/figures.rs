@@ -1,45 +1,92 @@
 //! The figure/table generators. Each function reproduces one evaluation
 //! artifact of the paper and returns it ready for rendering; the `bin/`
 //! wrappers (and `all_figures`) drive them.
+//!
+//! Every generator fans its simulations through a shared [`Campaign`]:
+//! jobs are built in the exact order the serial loops used to run, the
+//! campaign returns results in job order, and its caches only
+//! deduplicate bit-identical work — so figure numbers are byte-for-byte
+//! those of the serial `Experiment` path at any worker count. Passing
+//! one `Campaign` to several generators additionally shares baseline
+//! runs and compilations *across* figures (e.g. Figs. 7/13/15/17 all
+//! reuse the default-config compilations).
 
 use lightwsp_core::report::Figure;
-use lightwsp_core::{Experiment, ExperimentOptions, Scheme};
+use lightwsp_core::{Campaign, ExperimentOptions, Job, RunResult, Scheme};
 use lightwsp_mem::cache::VictimPolicy;
 use lightwsp_mem::{cam, CxlDevice};
-use lightwsp_workloads::{all_workloads, memory_intensive, suite_workloads, Suite};
+use lightwsp_workloads::{all_workloads, geomean, memory_intensive, suite_workloads, Suite};
+
+/// Cross-product of `specs` × `schemes` (spec-major), one job each.
+fn cross(
+    opts: &ExperimentOptions,
+    specs: &[lightwsp_core::WorkloadSpec],
+    schemes: &[Scheme],
+) -> Vec<Job> {
+    specs
+        .iter()
+        .flat_map(|w| schemes.iter().map(|&s| Job::new(opts, w, s)))
+        .collect()
+}
+
+/// The Fig. 11/12/13/15/17 shape: for each (series, options) variant,
+/// one LightWSP slowdown geomean per suite.
+fn suite_geomean_sweep(c: &Campaign, fig: &mut Figure, variants: &[(String, ExperimentOptions)]) {
+    let mut jobs = Vec::new();
+    for (_, o) in variants {
+        for suite in Suite::all() {
+            for w in suite_workloads(suite) {
+                jobs.push(Job::new(o, &w, Scheme::LightWsp));
+            }
+        }
+    }
+    let mut slowdowns = c.slowdowns(&jobs).into_iter();
+    for (series, _) in variants {
+        for suite in Suite::all() {
+            let vals: Vec<f64> = (&mut slowdowns)
+                .take(suite_workloads(suite).len())
+                .collect();
+            fig.push(suite, suite.name(), series, geomean(vals));
+        }
+    }
+}
 
 /// Fig. 7: slowdown of Capri, PPA and LightWSP vs the memory-mode
 /// baseline across every workload.
-pub fn fig07(opts: &ExperimentOptions) -> Figure {
-    let mut exp = Experiment::new(opts.clone());
+pub fn fig07(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new(
         "fig07",
         "Slowdown of Capri, PPA and LightWSP (baseline: Optane memory mode)",
         "slowdown",
     );
-    for w in all_workloads() {
-        for scheme in [Scheme::Capri, Scheme::Ppa, Scheme::LightWsp] {
-            let s = exp.slowdown(&w, scheme);
-            fig.push(w.suite, w.name, scheme.name(), s);
-        }
+    let schemes = [Scheme::Capri, Scheme::Ppa, Scheme::LightWsp];
+    let jobs = cross(opts, &all_workloads(), &schemes);
+    for (job, s) in jobs.iter().zip(c.slowdowns(&jobs)) {
+        fig.push(job.spec.suite, job.spec.name, job.scheme.name(), s);
     }
     fig
 }
 
 /// Fig. 8: region-level persistence efficiency (Eq. 1) of PPA and
 /// LightWSP, averaged per suite.
-pub fn fig08(opts: &ExperimentOptions) -> Figure {
-    let mut exp = Experiment::new(opts.clone());
+pub fn fig08(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig08", "Region-level persistence efficiency", "%");
+    let mut jobs = Vec::new();
     for suite in Suite::all() {
         for scheme in [Scheme::Ppa, Scheme::LightWsp] {
-            let mut sum = 0.0;
-            let mut n = 0usize;
             for w in suite_workloads(suite) {
-                let r = exp.run(&w, scheme);
-                sum += r.stats.persistence_efficiency();
-                n += 1;
+                jobs.push(Job::new(opts, &w, scheme));
             }
+        }
+    }
+    let mut results = c.run_many(&jobs).into_iter();
+    for suite in Suite::all() {
+        for scheme in [Scheme::Ppa, Scheme::LightWsp] {
+            let n = suite_workloads(suite).len();
+            let sum: f64 = (&mut results)
+                .take(n)
+                .map(|r| r.stats.persistence_efficiency())
+                .sum();
             fig.push(suite, suite.name(), scheme.name(), sum / n as f64);
         }
     }
@@ -48,36 +95,45 @@ pub fn fig08(opts: &ExperimentOptions) -> Figure {
 
 /// Fig. 9: ideal PSP (no DRAM cache) vs LightWSP on the
 /// memory-intensive subset.
-pub fn fig09(opts: &ExperimentOptions) -> Figure {
-    let mut exp = Experiment::new(opts.clone());
+pub fn fig09(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new(
         "fig09",
         "Ideal PSP vs LightWSP, memory-intensive applications",
         "slowdown",
     );
-    for w in memory_intensive() {
-        for scheme in [Scheme::PspIdeal, Scheme::LightWsp] {
-            let s = exp.slowdown(&w, scheme);
-            fig.push(w.suite, w.name, scheme.name(), s);
-        }
+    let jobs = cross(
+        opts,
+        &memory_intensive(),
+        &[Scheme::PspIdeal, Scheme::LightWsp],
+    );
+    for (job, s) in jobs.iter().zip(c.slowdowns(&jobs)) {
+        fig.push(job.spec.suite, job.spec.name, job.scheme.name(), s);
     }
     fig
 }
 
 /// Fig. 10: cWSP vs LightWSP per suite (NPB excluded, as in the paper).
-pub fn fig10(opts: &ExperimentOptions) -> Figure {
-    let mut exp = Experiment::new(opts.clone());
+pub fn fig10(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig10", "LightWSP vs cWSP (NPB excluded)", "slowdown");
-    for suite in Suite::all() {
-        if suite == Suite::Npb {
-            continue;
-        }
+    let suites: Vec<Suite> = Suite::all()
+        .into_iter()
+        .filter(|&s| s != Suite::Npb)
+        .collect();
+    let mut jobs = Vec::new();
+    for &suite in &suites {
         for scheme in [Scheme::Cwsp, Scheme::LightWsp] {
-            let vals: Vec<f64> = suite_workloads(suite)
-                .iter()
-                .map(|w| exp.slowdown(w, scheme))
+            for w in suite_workloads(suite) {
+                jobs.push(Job::new(opts, &w, scheme));
+            }
+        }
+    }
+    let mut slowdowns = c.slowdowns(&jobs).into_iter();
+    for &suite in &suites {
+        for scheme in [Scheme::Cwsp, Scheme::LightWsp] {
+            let vals: Vec<f64> = (&mut slowdowns)
+                .take(suite_workloads(suite).len())
                 .collect();
-            fig.push(suite, suite.name(), scheme.name(), lightwsp_workloads::geomean(vals));
+            fig.push(suite, suite.name(), scheme.name(), geomean(vals));
         }
     }
     fig
@@ -85,90 +141,80 @@ pub fn fig10(opts: &ExperimentOptions) -> Figure {
 
 /// Fig. 11: WPQ-size sensitivity (256/128/64 entries, threshold = half
 /// the WPQ), per suite.
-pub fn fig11(opts: &ExperimentOptions) -> Figure {
+pub fn fig11(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig11", "WPQ size sensitivity (LightWSP)", "slowdown");
-    for wpq in [256usize, 128, 64] {
-        let mut o = opts.clone();
-        o.sim.mem = o.sim.mem.with_wpq_entries(wpq);
-        o.compiler.store_threshold = (wpq / 2) as u32;
-        let mut exp = Experiment::new(o);
-        for suite in Suite::all() {
-            let vals: Vec<f64> = suite_workloads(suite)
-                .iter()
-                .map(|w| exp.slowdown(w, Scheme::LightWsp))
-                .collect();
-            fig.push(
-                suite,
-                suite.name(),
-                &format!("WPQ-{wpq}"),
-                lightwsp_workloads::geomean(vals),
-            );
-        }
-    }
+    let variants: Vec<(String, ExperimentOptions)> = [256usize, 128, 64]
+        .iter()
+        .map(|&wpq| {
+            let mut o = opts.clone();
+            o.sim.mem = o.sim.mem.with_wpq_entries(wpq);
+            o.compiler.store_threshold = (wpq / 2) as u32;
+            (format!("WPQ-{wpq}"), o)
+        })
+        .collect();
+    suite_geomean_sweep(c, &mut fig, &variants);
     fig
 }
 
 /// Fig. 12: store-threshold sensitivity (16/32/64) at a fixed 64-entry
 /// WPQ, per suite.
-pub fn fig12(opts: &ExperimentOptions) -> Figure {
+pub fn fig12(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig12", "Store-threshold sensitivity (WPQ 64)", "slowdown");
-    for thr in [16u32, 32, 64] {
-        let mut o = opts.clone();
-        o.compiler.store_threshold = thr;
-        let mut exp = Experiment::new(o);
-        for suite in Suite::all() {
-            let vals: Vec<f64> = suite_workloads(suite)
-                .iter()
-                .map(|w| exp.slowdown(w, Scheme::LightWsp))
-                .collect();
-            fig.push(
-                suite,
-                suite.name(),
-                &format!("St-Threshold-{thr}"),
-                lightwsp_workloads::geomean(vals),
-            );
-        }
-    }
+    let variants: Vec<(String, ExperimentOptions)> = [16u32, 32, 64]
+        .iter()
+        .map(|&thr| {
+            let mut o = opts.clone();
+            o.compiler.store_threshold = thr;
+            (format!("St-Threshold-{thr}"), o)
+        })
+        .collect();
+    suite_geomean_sweep(c, &mut fig, &variants);
     fig
 }
 
 /// Fig. 13: victim-selection-policy sensitivity (full/half/zero).
-pub fn fig13(opts: &ExperimentOptions) -> Figure {
+pub fn fig13(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig13", "Victim selection policies (LightWSP)", "slowdown");
-    for policy in [VictimPolicy::Full, VictimPolicy::Half, VictimPolicy::Zero] {
-        let mut o = opts.clone();
-        o.sim.victim_policy = policy;
-        let mut exp = Experiment::new(o);
-        for suite in Suite::all() {
-            let vals: Vec<f64> = suite_workloads(suite)
-                .iter()
-                .map(|w| exp.slowdown(w, Scheme::LightWsp))
-                .collect();
-            fig.push(suite, suite.name(), policy.name(), lightwsp_workloads::geomean(vals));
-        }
-    }
+    let variants: Vec<(String, ExperimentOptions)> =
+        [VictimPolicy::Full, VictimPolicy::Half, VictimPolicy::Zero]
+            .iter()
+            .map(|&policy| {
+                let mut o = opts.clone();
+                o.sim.victim_policy = policy;
+                (policy.name().to_string(), o)
+            })
+            .collect();
+    suite_geomean_sweep(c, &mut fig, &variants);
     fig
 }
 
 /// Fig. 14: L1 miss rate under the three victim policies plus the
 /// no-snooping stale-load configuration.
-pub fn fig14(opts: &ExperimentOptions) -> Figure {
+pub fn fig14(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig14", "L1 miss rate with/without buffer snooping", "%");
-    for policy in [
+    let policies = [
         VictimPolicy::Full,
         VictimPolicy::Half,
         VictimPolicy::Zero,
         VictimPolicy::StaleLoad,
-    ] {
+    ];
+    let mut jobs = Vec::new();
+    for &policy in &policies {
         let mut o = opts.clone();
         o.sim.victim_policy = policy;
-        let mut exp = Experiment::new(o);
+        for suite in Suite::all() {
+            for w in suite_workloads(suite) {
+                jobs.push(Job::new(&o, &w, Scheme::LightWsp));
+            }
+        }
+    }
+    let mut results = c.run_many(&jobs).into_iter();
+    for &policy in &policies {
         for suite in Suite::all() {
             let mut misses = 0u64;
             let mut total = 0u64;
             let mut stale = 0u64;
-            for w in suite_workloads(suite) {
-                let r = exp.run(&w, Scheme::LightWsp);
+            for r in (&mut results).take(suite_workloads(suite).len()) {
                 misses += r.stats.l1_misses;
                 total += r.stats.l1_hits + r.stats.l1_misses;
                 stale += r.stats.stale_loads;
@@ -183,58 +229,57 @@ pub fn fig14(opts: &ExperimentOptions) -> Figure {
 }
 
 /// Fig. 15: persist-path bandwidth sensitivity (4/2/1 GB/s).
-pub fn fig15(opts: &ExperimentOptions) -> Figure {
+pub fn fig15(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig15", "Persist-path bandwidth sensitivity", "slowdown");
-    for gbps in [4u64, 2, 1] {
-        let mut o = opts.clone();
-        o.sim.mem = o.sim.mem.with_persist_bandwidth_gbps(gbps);
-        let mut exp = Experiment::new(o);
-        for suite in Suite::all() {
-            let vals: Vec<f64> = suite_workloads(suite)
-                .iter()
-                .map(|w| exp.slowdown(w, Scheme::LightWsp))
-                .collect();
-            fig.push(
-                suite,
-                suite.name(),
-                &format!("{gbps}GB/s"),
-                lightwsp_workloads::geomean(vals),
-            );
-        }
-    }
+    let variants: Vec<(String, ExperimentOptions)> = [4u64, 2, 1]
+        .iter()
+        .map(|&gbps| {
+            let mut o = opts.clone();
+            o.sim.mem = o.sim.mem.with_persist_bandwidth_gbps(gbps);
+            (format!("{gbps}GB/s"), o)
+        })
+        .collect();
+    suite_geomean_sweep(c, &mut fig, &variants);
     fig
 }
 
 /// Fig. 16 + §V-F5: thread-count scaling on the multi-threaded suites,
 /// plus WPQ-overflow rates.
-pub fn fig16(opts: &ExperimentOptions) -> (Figure, String) {
+pub fn fig16(c: &Campaign, opts: &ExperimentOptions) -> (Figure, String) {
     let mut fig = Figure::new("fig16", "Thread-count scaling (LightWSP)", "slowdown");
-    let mut overflow_text = String::from(
-        "== §V-F5 — WPQ overflow rate (overflows per 10k instructions) ==\n",
-    );
-    for threads in [8usize, 16, 32, 64] {
+    let mut overflow_text =
+        String::from("== §V-F5 — WPQ overflow rate (overflows per 10k instructions) ==\n");
+    let mt_suites = [Suite::Stamp, Suite::Npb, Suite::Splash3, Suite::Whisper];
+    let thread_counts = [8usize, 16, 32, 64];
+    let mut jobs = Vec::new();
+    for &threads in &thread_counts {
         let mut o = opts.clone();
         o.threads = Some(threads);
         // Keep total simulated work bounded at high thread counts.
         if threads > 8 {
             o.insts_per_thread = (o.insts_per_thread * 8 / threads as u64).max(4_000);
         }
-        let mut exp = Experiment::new(o);
-        for suite in [Suite::Stamp, Suite::Npb, Suite::Splash3, Suite::Whisper] {
-            let mut vals = Vec::new();
-            let mut ovf = 0.0;
-            let mut n = 0;
+        for suite in mt_suites {
             for w in suite_workloads(suite) {
-                let (sd, r) = exp.slowdown_with_stats(&w, Scheme::LightWsp);
+                jobs.push(Job::new(&o, &w, Scheme::LightWsp));
+            }
+        }
+    }
+    let mut results = c.slowdown_many(&jobs).into_iter();
+    for &threads in &thread_counts {
+        for suite in mt_suites {
+            let n = suite_workloads(suite).len();
+            let mut vals = Vec::with_capacity(n);
+            let mut ovf = 0.0;
+            for (sd, r) in (&mut results).take(n) {
                 vals.push(sd);
                 ovf += r.stats.overflows_per_10k_insts();
-                n += 1;
             }
             fig.push(
                 suite,
                 suite.name(),
                 &format!("{threads}-thread"),
-                lightwsp_workloads::geomean(vals),
+                geomean(vals),
             );
             overflow_text.push_str(&format!(
                 "{:<10} {:>2} threads: {:.3}\n",
@@ -251,58 +296,59 @@ pub fn fig16(opts: &ExperimentOptions) -> (Figure, String) {
     o.insts_per_thread = (o.insts_per_thread / 8).max(4_000);
     o.sim.mem = o.sim.mem.with_wpq_entries(256);
     o.compiler.store_threshold = 128;
-    let mut exp = Experiment::new(o);
-    let mut ovf = 0.0;
-    let mut n = 0;
-    for suite in [Suite::Stamp, Suite::Npb, Suite::Splash3, Suite::Whisper] {
-        for w in suite_workloads(suite) {
-            let r = exp.run(&w, Scheme::LightWsp);
-            ovf += r.stats.overflows_per_10k_insts();
-            n += 1;
-        }
-    }
+    let big_jobs: Vec<Job> = mt_suites
+        .iter()
+        .flat_map(|&suite| suite_workloads(suite))
+        .map(|w| Job::new(&o, &w, Scheme::LightWsp))
+        .collect();
+    let big = c.run_many(&big_jobs);
+    let ovf: f64 = big.iter().map(|r| r.stats.overflows_per_10k_insts()).sum();
     overflow_text.push_str(&format!(
         "all MT     64 threads, WPQ-256: {:.3}\n",
-        ovf / n as f64
+        ovf / big.len() as f64
     ));
     (fig, overflow_text)
 }
 
 /// Fig. 17 + Table III: CXL-device sensitivity.
-pub fn fig17(opts: &ExperimentOptions) -> Figure {
+pub fn fig17(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig17", "CXL device sensitivity (LightWSP)", "slowdown");
-    for dev in CxlDevice::all() {
-        let mut o = opts.clone();
-        o.sim.mem = o.sim.mem.with_cxl(dev);
-        let mut exp = Experiment::new(o);
-        for suite in Suite::all() {
-            let vals: Vec<f64> = suite_workloads(suite)
-                .iter()
-                .map(|w| exp.slowdown(w, Scheme::LightWsp))
-                .collect();
-            fig.push(suite, suite.name(), dev.name(), lightwsp_workloads::geomean(vals));
-        }
-    }
+    let variants: Vec<(String, ExperimentOptions)> = CxlDevice::all()
+        .into_iter()
+        .map(|dev| {
+            let mut o = opts.clone();
+            o.sim.mem = o.sim.mem.with_cxl(dev);
+            (dev.name().to_string(), o)
+        })
+        .collect();
+    suite_geomean_sweep(c, &mut fig, &variants);
     fig
 }
 
 /// Fig. 18: WPQ load-hit rate (hits per million instructions) for WPQ
 /// sizes 256/128/64.
-pub fn fig18(opts: &ExperimentOptions) -> Figure {
+pub fn fig18(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("fig18", "WPQ hit rate on LLC load misses", "hits/Minst");
-    for wpq in [256usize, 128, 64] {
+    let wpqs = [256usize, 128, 64];
+    let mut jobs = Vec::new();
+    for &wpq in &wpqs {
         let mut o = opts.clone();
         o.sim.mem = o.sim.mem.with_wpq_entries(wpq);
         o.compiler.store_threshold = (wpq / 2) as u32;
-        let mut exp = Experiment::new(o);
         for suite in Suite::all() {
-            let mut hits = 0.0;
-            let mut n = 0;
             for w in suite_workloads(suite) {
-                let r = exp.run(&w, Scheme::LightWsp);
-                hits += r.stats.wpq_hits_per_minsts();
-                n += 1;
+                jobs.push(Job::new(&o, &w, Scheme::LightWsp));
             }
+        }
+    }
+    let mut results = c.run_many(&jobs).into_iter();
+    for &wpq in &wpqs {
+        for suite in Suite::all() {
+            let n = suite_workloads(suite).len();
+            let hits: f64 = (&mut results)
+                .take(n)
+                .map(|r| r.stats.wpq_hits_per_minsts())
+                .sum();
             fig.push(suite, suite.name(), &format!("WPQ-{wpq}"), hits / n as f64);
         }
     }
@@ -310,14 +356,19 @@ pub fn fig18(opts: &ExperimentOptions) -> Figure {
 }
 
 /// Table II: buffer-conflict rate per suite (conflicts per snoop, ‰).
-pub fn tab02(opts: &ExperimentOptions) -> Figure {
-    let mut exp = Experiment::new(opts.clone());
+pub fn tab02(c: &Campaign, opts: &ExperimentOptions) -> Figure {
     let mut fig = Figure::new("tab02", "Buffer-conflict rate", "permille");
+    let mut jobs = Vec::new();
+    for suite in Suite::all() {
+        for w in suite_workloads(suite) {
+            jobs.push(Job::new(opts, &w, Scheme::LightWsp));
+        }
+    }
+    let mut results = c.run_many(&jobs).into_iter();
     for suite in Suite::all() {
         let mut snoops = 0u64;
         let mut conflicts = 0u64;
-        for w in suite_workloads(suite) {
-            let r = exp.run(&w, Scheme::LightWsp);
+        for r in (&mut results).take(suite_workloads(suite).len()) {
             snoops += r.stats.snoops;
             conflicts += r.stats.snoop_conflicts;
         }
@@ -343,20 +394,23 @@ pub fn tab_cam() -> String {
 }
 
 /// §V-G3: dynamic instruction-count and region statistics.
-pub fn tab_region_stats(opts: &ExperimentOptions) -> String {
-    let mut exp = Experiment::new(opts.clone());
+pub fn tab_region_stats(c: &Campaign, opts: &ExperimentOptions) -> String {
     let mut out = String::from("== §V-G3 — instruction count and region statistics ==\n");
     out.push_str(&format!(
         "{:<14}{:>10}{:>14}{:>14}\n",
         "workload", "instr %", "insts/region", "stores/region"
     ));
+    let jobs: Vec<Job> = all_workloads()
+        .iter()
+        .map(|w| Job::new(opts, w, Scheme::LightWsp))
+        .collect();
+    let results: Vec<RunResult> = c.run_many(&jobs);
     let (mut fi, mut fr, mut fs, mut n) = (0.0, 0.0, 0.0, 0usize);
-    for w in all_workloads() {
-        let r = exp.run(&w, Scheme::LightWsp);
+    for (job, r) in jobs.iter().zip(&results) {
         let s = &r.stats;
         out.push_str(&format!(
             "{:<14}{:>9.2}%{:>14.2}{:>14.2}\n",
-            w.name,
+            job.spec.name,
             s.instrumentation_fraction() * 100.0,
             s.insts_per_region(),
             s.stores_per_region()

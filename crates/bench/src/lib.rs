@@ -28,7 +28,7 @@
 //! runs) and writes both stdout and `results/<id>.txt`.
 
 use lightwsp_core::report::Figure;
-use lightwsp_core::{Experiment, ExperimentOptions};
+use lightwsp_core::{Campaign, Experiment, ExperimentOptions};
 use std::fs;
 use std::path::PathBuf;
 
@@ -45,6 +45,12 @@ pub fn common_options() -> ExperimentOptions {
 /// Creates an [`Experiment`] from the common CLI flags.
 pub fn experiment() -> Experiment {
     Experiment::new(common_options())
+}
+
+/// Creates the parallel [`Campaign`] runner the figure generators fan
+/// out over (worker count: `LIGHTWSP_THREADS` env or all cores).
+pub fn campaign() -> Campaign {
+    Campaign::new()
 }
 
 /// The `results/` output directory (created on demand).

@@ -78,14 +78,21 @@ fn insert_sync_and_call_boundaries(func: &mut Function, stats: &mut CompileStats
 fn insert_entry_exit_boundaries(func: &mut Function, stats: &mut CompileStats) {
     let entry = func.entry;
     let eb = func.block_mut(entry);
-    eb.insts.insert(0, Inst::RegionBoundary { kind: BoundaryKind::FuncEntry });
+    eb.insts.insert(
+        0,
+        Inst::RegionBoundary {
+            kind: BoundaryKind::FuncEntry,
+        },
+    );
     eb.insts.insert(0, Inst::CheckpointStore { reg: Reg::SP });
     stats.record_boundary(BoundaryKind::FuncEntry);
     stats.checkpoints_inserted += 1;
 
     for block in &mut func.blocks {
         if matches!(block.term, Terminator::Ret | Terminator::Halt) {
-            block.insts.push(Inst::RegionBoundary { kind: BoundaryKind::FuncExit });
+            block.insts.push(Inst::RegionBoundary {
+                kind: BoundaryKind::FuncExit,
+            });
             stats.record_boundary(BoundaryKind::FuncExit);
         }
     }
@@ -112,7 +119,12 @@ fn insert_loop_header_boundaries(func: &mut Function, stats: &mut CompileStats) 
         // Avoid doubling up if a boundary is already first (e.g. the
         // function entry block is also a loop header).
         if !matches!(block.insts.first(), Some(Inst::RegionBoundary { .. })) {
-            block.insts.insert(0, Inst::RegionBoundary { kind: BoundaryKind::LoopHeader });
+            block.insts.insert(
+                0,
+                Inst::RegionBoundary {
+                    kind: BoundaryKind::LoopHeader,
+                },
+            );
             stats.record_boundary(BoundaryKind::LoopHeader);
         }
     }
@@ -196,21 +208,24 @@ pub fn enforce_threshold(func: &mut Function, threshold: u32, stats: &mut Compil
             Ok(cin) => cin,
             Err(b) => {
                 // Store-carrying cycle without a boundary: break it.
-                func.block_mut(b)
-                    .insts
-                    .insert(0, Inst::RegionBoundary { kind: BoundaryKind::Threshold });
+                func.block_mut(b).insts.insert(
+                    0,
+                    Inst::RegionBoundary {
+                        kind: BoundaryKind::Threshold,
+                    },
+                );
                 stats.record_boundary(BoundaryKind::Threshold);
                 any = true;
                 continue;
             }
         };
         let mut inserted = false;
-        for bi in 0..func.blocks.len() {
+        for (bi, &count_in) in cin.iter().enumerate() {
             let b = BlockId::from_index(bi);
             if !cfg.is_reachable(b) {
                 continue;
             }
-            let mut count = cin[bi];
+            let mut count = count_in;
             let block = func.block_mut(b);
             let mut i = 0;
             while i < block.insts.len() {
@@ -227,7 +242,9 @@ pub fn enforce_threshold(func: &mut Function, threshold: u32, stats: &mut Compil
                         if count + 2 > threshold {
                             block.insts.insert(
                                 i,
-                                Inst::RegionBoundary { kind: BoundaryKind::Threshold },
+                                Inst::RegionBoundary {
+                                    kind: BoundaryKind::Threshold,
+                                },
                             );
                             stats.record_boundary(BoundaryKind::Threshold);
                             inserted = true;
@@ -314,10 +331,15 @@ mod tests {
         assert_eq!(count_boundaries(&f, BoundaryKind::FuncEntry), 1);
         assert_eq!(count_boundaries(&f, BoundaryKind::FuncExit), 1);
         // Prologue order: checkpoint sp, then the entry boundary.
-        assert!(matches!(f.block(f.entry).insts[0], Inst::CheckpointStore { reg: Reg::SP }));
+        assert!(matches!(
+            f.block(f.entry).insts[0],
+            Inst::CheckpointStore { reg: Reg::SP }
+        ));
         assert!(matches!(
             f.block(f.entry).insts[1],
-            Inst::RegionBoundary { kind: BoundaryKind::FuncEntry }
+            Inst::RegionBoundary {
+                kind: BoundaryKind::FuncEntry
+            }
         ));
     }
 
@@ -331,7 +353,12 @@ mod tests {
         let mut stats = CompileStats::default();
         insert_sync_and_call_boundaries(&mut f, &mut stats);
         let insts = &f.block(f.entry).insts;
-        assert!(matches!(insts[0], Inst::RegionBoundary { kind: BoundaryKind::CallSite }));
+        assert!(matches!(
+            insts[0],
+            Inst::RegionBoundary {
+                kind: BoundaryKind::CallSite
+            }
+        ));
         assert!(matches!(insts[1], Inst::Call { .. }));
         assert!(matches!(insts[2], Inst::CheckpointStore { reg: Reg::SP }));
     }
@@ -372,8 +399,16 @@ mod tests {
         let mut f = b.finish();
         let mut stats = CompileStats::default();
         insert_loop_header_boundaries(&mut f, &mut stats);
-        assert!(matches!(f.block(ha).insts[0], Inst::RegionBoundary { kind: BoundaryKind::LoopHeader }));
-        assert!(!matches!(f.block(hb).insts.first(), Some(Inst::RegionBoundary { .. })));
+        assert!(matches!(
+            f.block(ha).insts[0],
+            Inst::RegionBoundary {
+                kind: BoundaryKind::LoopHeader
+            }
+        ));
+        assert!(!matches!(
+            f.block(hb).insts.first(),
+            Some(Inst::RegionBoundary { .. })
+        ));
     }
 
     #[test]
@@ -455,7 +490,10 @@ mod tests {
         let mut f = b.finish();
         let mut stats = CompileStats::default();
         let changed = enforce_threshold(&mut f, 8, &mut stats);
-        assert!(changed, "6 + 4 + closing boundary exceeds 8 on the heavy path");
+        assert!(
+            changed,
+            "6 + 4 + closing boundary exceeds 8 on the heavy path"
+        );
         let p = Program::from_single(f);
         check_store_threshold(&p, 8).unwrap();
     }
@@ -479,7 +517,10 @@ mod tests {
                 .count();
             assert!(n_bdry <= 1);
             if n_bdry == 1 {
-                assert!(matches!(block.insts.last(), Some(Inst::RegionBoundary { .. })));
+                assert!(matches!(
+                    block.insts.last(),
+                    Some(Inst::RegionBoundary { .. })
+                ));
             }
         }
         assert_eq!(f.blocks.len(), 3);

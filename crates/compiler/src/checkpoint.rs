@@ -31,7 +31,9 @@ use lightwsp_ir::{BlockId, Function, Inst, Reg};
 /// clean slate during region formation.
 pub fn remove_non_structural_checkpoints(func: &mut Function) {
     for block in &mut func.blocks {
-        block.insts.retain(|i| !matches!(i, Inst::CheckpointStore { reg } if !reg.is_sp()));
+        block
+            .insts
+            .retain(|i| !matches!(i, Inst::CheckpointStore { reg } if !reg.is_sp()));
     }
 }
 
@@ -76,7 +78,7 @@ pub fn insert_checkpoints(func: &mut Function, stats: &mut CompileStats) -> usiz
         let mut sites: Vec<(usize, Reg)> = Vec::new();
         transfer_block(func, &live, b, cb_out, Some(&mut sites));
         // Insert from the back so indices stay valid.
-        sites.sort_by(|a, b| b.0.cmp(&a.0));
+        sites.sort_by_key(|s| std::cmp::Reverse(s.0));
         let block = func.block_mut(b);
         for (idx, reg) in sites {
             block.insts.insert(idx + 1, Inst::CheckpointStore { reg });

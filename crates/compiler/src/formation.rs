@@ -66,8 +66,7 @@ fn combine_regions(func: &mut Function, config: &CompilerConfig, stats: &mut Com
     let cfg = Cfg::compute(func);
     let order: Vec<BlockId> = cfg.reverse_post_order().to_vec();
     for b in order {
-        loop {
-            let Some(pos) = removable_boundary_pos(func, b) else { break };
+        while let Some(pos) = removable_boundary_pos(func, b) {
             let mut candidate = func.clone();
             candidate.block_mut(b).insts.remove(pos);
             remove_non_structural_checkpoints(&mut candidate);
@@ -90,9 +89,14 @@ fn combine_regions(func: &mut Function, config: &CompilerConfig, stats: &mut Com
 
 /// Index of the first `Threshold` boundary in `b`, if any.
 fn removable_boundary_pos(func: &Function, b: BlockId) -> Option<usize> {
-    func.block(b).insts.iter().position(
-        |i| matches!(i, Inst::RegionBoundary { kind: BoundaryKind::Threshold }),
-    )
+    func.block(b).insts.iter().position(|i| {
+        matches!(
+            i,
+            Inst::RegionBoundary {
+                kind: BoundaryKind::Threshold
+            }
+        )
+    })
 }
 
 #[cfg(test)]
@@ -140,13 +144,18 @@ mod tests {
         // Plant a removable boundary by hand.
         f.block_mut(f.entry).insts.insert(
             1,
-            Inst::RegionBoundary { kind: BoundaryKind::Threshold },
+            Inst::RegionBoundary {
+                kind: BoundaryKind::Threshold,
+            },
         );
         let before = boundary_count(&f);
         let cfg = CompilerConfig::with_threshold(32);
         let mut stats = CompileStats::default();
         form_regions(&mut f, &cfg, &mut stats);
-        assert!(boundary_count(&f) < before, "threshold boundary merged away");
+        assert!(
+            boundary_count(&f) < before,
+            "threshold boundary merged away"
+        );
         assert!(stats.boundaries_combined >= 1);
     }
 

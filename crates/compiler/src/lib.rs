@@ -95,7 +95,10 @@ impl Default for CompilerConfig {
 impl CompilerConfig {
     /// A config with the given threshold and all optimisations enabled.
     pub fn with_threshold(store_threshold: u32) -> CompilerConfig {
-        CompilerConfig { store_threshold, ..CompilerConfig::default() }
+        CompilerConfig {
+            store_threshold,
+            ..CompilerConfig::default()
+        }
     }
 }
 
@@ -130,7 +133,10 @@ pub struct Compiled {
 /// Panics if `config.store_threshold < 4`: below that, a single call
 /// (boundary + stack push + entry boundary) cannot fit in a region.
 pub fn instrument(program: &Program, config: &CompilerConfig) -> Compiled {
-    assert!(config.store_threshold >= 4, "store threshold too small to fit a call");
+    assert!(
+        config.store_threshold >= 4,
+        "store threshold too small to fit a call"
+    );
     let mut program = program.clone();
     let mut stats = CompileStats::default();
 
@@ -159,7 +165,11 @@ pub fn instrument(program: &Program, config: &CompilerConfig) -> Compiled {
     }
 
     stats.finalize(&program);
-    Compiled { program, recipes, stats }
+    Compiled {
+        program,
+        recipes,
+        stats,
+    }
 }
 
 #[cfg(test)]

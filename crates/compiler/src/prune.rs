@@ -23,10 +23,10 @@
 
 use crate::stats::CompileStats;
 use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::fxhash::FxHashMap;
 use lightwsp_ir::liveness::Liveness;
 use lightwsp_ir::program::ProgramPoint;
 use lightwsp_ir::{AluOp, BlockId, FuncId, Function, Inst, Reg};
-use std::collections::HashMap;
 
 /// How to reconstruct one pruned register at recovery time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,19 +49,25 @@ pub enum Recipe {
 /// recovery point.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryRecipes {
-    map: HashMap<u64, Vec<(Reg, Recipe)>>,
+    map: FxHashMap<u64, Vec<(Reg, Recipe)>>,
 }
 
 impl RecoveryRecipes {
     /// Registers a recipe for the recovery point `point`.
     pub fn add(&mut self, point: ProgramPoint, reg: Reg, recipe: Recipe) {
-        self.map.entry(point.encode()).or_default().push((reg, recipe));
+        self.map
+            .entry(point.encode())
+            .or_default()
+            .push((reg, recipe));
     }
 
     /// The recipes to apply when resuming at `encoded_point` (empty slice
     /// if none).
     pub fn for_point(&self, encoded_point: u64) -> &[(Reg, Recipe)] {
-        self.map.get(&encoded_point).map(Vec::as_slice).unwrap_or(&[])
+        self.map
+            .get(&encoded_point)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Applies the recipes for `encoded_point` to a register file that
@@ -120,7 +126,9 @@ fn prune_block(
 
     let insts = func.block(b).insts.clone();
     for i in 0..insts.len() {
-        let Inst::CheckpointStore { reg: r } = insts[i] else { continue };
+        let Inst::CheckpointStore { reg: r } = insts[i] else {
+            continue;
+        };
         if r.is_sp() {
             continue; // structural SP checkpoints are never pruned
         }
@@ -134,9 +142,7 @@ fn prune_block(
                 // src must have an unpruned checkpoint earlier in this
                 // block, with src untouched in between.
                 let src_ok = (0..i - 1).rev().find_map(|j| match insts[j] {
-                    Inst::CheckpointStore { reg } if reg == src && !pruned.contains(&j) => {
-                        Some(j)
-                    }
+                    Inst::CheckpointStore { reg } if reg == src && !pruned.contains(&j) => Some(j),
                     ref inst if inst.defs().contains(src) => Some(usize::MAX),
                     _ => None,
                 });
@@ -167,10 +173,10 @@ fn prune_block(
                     || matches!(inst, Inst::CheckpointStore { reg } if *reg == src)
                 {
                     // src's slot would change under the recipe's feet.
-                    stop = true;
-                    blocked = !covered_boundaries.is_empty() && false;
                     // Boundaries collected so far are still valid: src's
-                    // slot only changes *after* them. Stop extending.
+                    // slot only changes *after* them. Stop extending
+                    // without blocking.
+                    stop = true;
                 }
             }
             if stop {
@@ -223,7 +229,12 @@ mod tests {
         let mut p = Program::from_single(func);
         let mut recipes = RecoveryRecipes::default();
         let mut stats = CompileStats::default();
-        prune_checkpoints(FuncId::from_index(0), &mut p.funcs[0], &mut recipes, &mut stats);
+        prune_checkpoints(
+            FuncId::from_index(0),
+            &mut p.funcs[0],
+            &mut recipes,
+            &mut stats,
+        );
         (p.funcs.remove(0), recipes, stats)
     }
 
@@ -314,9 +325,23 @@ mod tests {
         let (f, recipes, stats) = prune_single(b.finish());
         assert_eq!(stats.checkpoints_pruned, 1);
         assert_eq!(count_checkpoints(&f), 1);
-        let pt = ProgramPoint { func: FuncId::from_index(0), block: f.entry, inst: 4 };
+        let pt = ProgramPoint {
+            func: FuncId::from_index(0),
+            block: f.entry,
+            inst: 4,
+        };
         let rs = recipes.for_point(pt.encode());
-        assert_eq!(rs, &[(Reg::R3, Recipe::AluImm { op: AluOp::Add, src: Reg::R2, imm: 8 })]);
+        assert_eq!(
+            rs,
+            &[(
+                Reg::R3,
+                Recipe::AluImm {
+                    op: AluOp::Add,
+                    src: Reg::R2,
+                    imm: 8
+                }
+            )]
+        );
         // Applying after slot reload: r2 slot = 1000 → r3 = 1008.
         let mut regs = [0u64; 32];
         regs[Reg::R2.index()] = 1000;

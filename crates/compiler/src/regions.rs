@@ -11,10 +11,10 @@
 //! threshold analysis bounds.
 
 use lightwsp_ir::cfg::Cfg;
+use lightwsp_ir::fxhash::FxHashMap;
 use lightwsp_ir::inst::BoundaryKind;
 use lightwsp_ir::program::ProgramPoint;
 use lightwsp_ir::{BlockId, FuncId, Function, Inst, Program};
-use std::collections::HashMap;
 
 /// Summary of one static region.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,8 +44,14 @@ pub fn function_regions(fid: FuncId, func: &Function) -> Vec<RegionSummary> {
     let mut out = Vec::new();
 
     // Region starts: function entry + after every boundary.
-    let mut starts: Vec<(ProgramPoint, Option<BoundaryKind>)> =
-        vec![(ProgramPoint { func: fid, block: func.entry, inst: 0 }, None)];
+    let mut starts: Vec<(ProgramPoint, Option<BoundaryKind>)> = vec![(
+        ProgramPoint {
+            func: fid,
+            block: func.entry,
+            inst: 0,
+        },
+        None,
+    )];
     for (b, block) in func.iter_blocks() {
         if !cfg.is_reachable(b) {
             continue;
@@ -53,7 +59,11 @@ pub fn function_regions(fid: FuncId, func: &Function) -> Vec<RegionSummary> {
         for (i, inst) in block.insts.iter().enumerate() {
             if let Inst::RegionBoundary { kind } = inst {
                 starts.push((
-                    ProgramPoint { func: fid, block: b, inst: (i + 1) as u32 },
+                    ProgramPoint {
+                        func: fid,
+                        block: b,
+                        inst: (i + 1) as u32,
+                    },
                     Some(*kind),
                 ));
             }
@@ -62,7 +72,13 @@ pub fn function_regions(fid: FuncId, func: &Function) -> Vec<RegionSummary> {
 
     for (start, opened_by) in starts {
         let (max_stores, max_insts, max_checkpoints) = walk_region(func, &cfg, start);
-        out.push(RegionSummary { start, opened_by, max_stores, max_insts, max_checkpoints });
+        out.push(RegionSummary {
+            start,
+            opened_by,
+            max_stores,
+            max_insts,
+            max_checkpoints,
+        });
     }
     out
 }
@@ -77,7 +93,7 @@ fn walk_region(func: &Function, cfg: &Cfg, start: ProgramPoint) -> (u32, u32, u3
         cfg: &Cfg,
         b: BlockId,
         from: usize,
-        memo: &mut HashMap<(usize, usize), (u32, u32, u32)>,
+        memo: &mut FxHashMap<(usize, usize), (u32, u32, u32)>,
         depth: usize,
     ) -> (u32, u32, u32) {
         if let Some(&c) = memo.get(&(b.index(), from)) {
@@ -119,7 +135,7 @@ fn walk_region(func: &Function, cfg: &Cfg, start: ProgramPoint) -> (u32, u32, u3
         r
     }
 
-    let mut memo = HashMap::new();
+    let mut memo = FxHashMap::default();
     block_cost(func, cfg, start.block, start.inst as usize, &mut memo, 0)
 }
 
@@ -141,7 +157,8 @@ pub fn render_report(program: &Program) -> String {
         out.push_str(&format!(
             "{:<19}{:<15}{:>9}{:>12}{:>7}\n",
             format!("{:?}", r.start),
-            r.opened_by.map_or("entry".to_string(), |k| format!("{k:?}")),
+            r.opened_by
+                .map_or("entry".to_string(), |k| format!("{k:?}")),
             r.max_insts,
             r.max_stores,
             r.max_checkpoints

@@ -47,9 +47,13 @@ pub fn extend_regions(func: &mut Function, config: &CompilerConfig, stats: &mut 
         .collect();
 
     for header in headers {
-        let Some(l) = forest.loop_with_header(header) else { continue };
+        let Some(l) = forest.loop_with_header(header) else {
+            continue;
+        };
         let blocks = l.blocks.clone();
-        let Some(plan) = plan_unroll(func, header, &blocks, config) else { continue };
+        let Some(plan) = plan_unroll(func, header, &blocks, config) else {
+            continue;
+        };
         match plan {
             UnrollPlan::Classic { factor } => {
                 classic_unroll(func, header, factor);
@@ -87,9 +91,11 @@ fn plan_unroll(
         insts += block.insts.len() + 1;
         // Calls and sync ops force boundaries inside the loop, defeating
         // the purpose; pre-existing boundaries too.
-        if block.insts.iter().any(|i| {
-            i.forces_boundary_before() || matches!(i, Inst::RegionBoundary { .. })
-        }) {
+        if block
+            .insts
+            .iter()
+            .any(|i| i.forces_boundary_before() || matches!(i, Inst::RegionBoundary { .. }))
+        {
             return None;
         }
         stores += block.insts.iter().filter(|i| i.is_store_like()).count() as u32;
@@ -159,10 +165,10 @@ fn speculative_unroll_subgraph(
     // Copies are built front-to-back; back edges are patched afterwards
     // once every copy's header id is known.
     let mut copy_headers: Vec<BlockId> = Vec::with_capacity(factor as usize - 1);
-    let mut copy_maps: Vec<std::collections::HashMap<BlockId, BlockId>> = Vec::new();
+    let mut copy_maps: Vec<lightwsp_ir::fxhash::FxHashMap<BlockId, BlockId>> = Vec::new();
 
     for _ in 1..factor {
-        let mut map = std::collections::HashMap::new();
+        let mut map = lightwsp_ir::fxhash::FxHashMap::default();
         for &b in blocks {
             let cloned = func.block(b).clone();
             let nb = func.add_block(cloned);
@@ -195,12 +201,16 @@ fn speculative_unroll_subgraph(
         };
         for &b in blocks {
             let nb = map[&b];
-            func.block_mut(nb).term.map_targets(|t| if t == header { next_header } else { t });
+            func.block_mut(nb)
+                .term
+                .map_targets(|t| if t == header { next_header } else { t });
         }
     }
     let first_copy = copy_headers[0];
     for &b in blocks {
-        func.block_mut(b).term.map_targets(|t| if t == header { first_copy } else { t });
+        func.block_mut(b)
+            .term
+            .map_targets(|t| if t == header { first_copy } else { t });
     }
 }
 
@@ -340,6 +350,10 @@ mod tests {
         let mut stats = CompileStats::default();
         extend_regions(&mut f, &CompilerConfig::default(), &mut stats);
         assert_eq!(stats.loops_speculatively_unrolled, 1);
-        assert_eq!(f.blocks.len(), before_blocks + 1, "factor 2 → one extra block");
+        assert_eq!(
+            f.blocks.len(),
+            before_blocks + 1,
+            "factor 2 → one extra block"
+        );
     }
 }

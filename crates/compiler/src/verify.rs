@@ -191,9 +191,16 @@ fn check_function_coverage(
             if !matches!(inst, Inst::RegionBoundary { .. }) {
                 continue;
             }
-            let recovery = ProgramPoint { func: fid, block: b, inst: (i + 1) as u32 };
-            let recipe_regs: RegSet =
-                recipes.for_point(recovery.encode()).iter().map(|&(r, _)| r).collect();
+            let recovery = ProgramPoint {
+                func: fid,
+                block: b,
+                inst: (i + 1) as u32,
+            };
+            let recipe_regs: RegSet = recipes
+                .for_point(recovery.encode())
+                .iter()
+                .map(|&(r, _)| r)
+                .collect();
             let mut need = live_after[i];
             need.remove(Reg::SP);
             need.subtract(&recipe_regs);
@@ -216,13 +223,7 @@ fn check_function_coverage(
 /// block `b` that meets a definition of `r` (or a call clobbering it)
 /// before meeting `CheckpointStore(r)`. Returns a description of the
 /// offending path, or `None` if every path is covered.
-fn uncovered_path(
-    func: &Function,
-    cfg: &Cfg,
-    b: BlockId,
-    from: usize,
-    r: Reg,
-) -> Option<String> {
+fn uncovered_path(func: &Function, cfg: &Cfg, b: BlockId, from: usize, r: Reg) -> Option<String> {
     // Walk the tail of the starting block.
     match scan_backward(func, b, from, r) {
         Scan::Covered => return None,
@@ -240,9 +241,7 @@ fn uncovered_path(
         visited[p.index()] = true;
         match scan_backward(func, p, func.block(p).insts.len(), r) {
             Scan::Covered => {}
-            Scan::Uncovered(i) => {
-                return Some(format!("def at {p:?}[{i}] reaches the boundary"))
-            }
+            Scan::Uncovered(i) => return Some(format!("def at {p:?}[{i}] reaches the boundary")),
             Scan::Transparent => {
                 if cfg.preds(p).is_empty() {
                     // Entry reached with no def: caller/installer covers it.

@@ -24,7 +24,9 @@ const SCHEMES: [Scheme; 6] = [
 ];
 
 fn parse_scheme(s: &str) -> Option<Scheme> {
-    SCHEMES.into_iter().find(|x| x.name().eq_ignore_ascii_case(s))
+    SCHEMES
+        .into_iter()
+        .find(|x| x.name().eq_ignore_ascii_case(s))
 }
 
 fn usage() -> ExitCode {
@@ -43,7 +45,10 @@ fn main() -> ExitCode {
     let opts = ExperimentOptions::paper_default();
     match args.first().map(String::as_str) {
         Some("list") => {
-            println!("{:<14}{:<10}{:>9}{:>12}{:>8}", "name", "suite", "threads", "working-set", "store%");
+            println!(
+                "{:<14}{:<10}{:>9}{:>12}{:>8}",
+                "name", "suite", "threads", "working-set", "store%"
+            );
             for w in all_workloads() {
                 println!(
                     "{:<14}{:<10}{:>9}{:>11}K{:>7.1}%",
@@ -57,7 +62,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = workload(name) else {
                 eprintln!("unknown workload '{name}' (try `lightwsp list`)");
                 return ExitCode::FAILURE;
@@ -72,14 +79,33 @@ fn main() -> ExitCode {
             let mut exp = Experiment::new(opts);
             let (sd, r) = exp.slowdown_with_stats(&w, scheme);
             let s = &r.stats;
-            println!("{} under {} ({} threads):", w.name, scheme.name(), r.threads);
+            println!(
+                "{} under {} ({} threads):",
+                w.name,
+                scheme.name(),
+                r.threads
+            );
             println!("  slowdown vs baseline : {sd:.3}");
-            println!("  cycles / insts / IPC : {} / {} / {:.2}", s.cycles, s.insts, s.ipc());
-            println!("  regions (committed)  : {} ({})", s.regions, s.regions_committed);
+            println!(
+                "  cycles / insts / IPC : {} / {} / {:.2}",
+                s.cycles,
+                s.insts,
+                s.ipc()
+            );
+            println!(
+                "  regions (committed)  : {} ({})",
+                s.regions, s.regions_committed
+            );
             println!("  insts/region         : {:.1}", s.insts_per_region());
             println!("  stores/region        : {:.1}", s.stores_per_region());
-            println!("  instrumentation      : {:.2}%", s.instrumentation_fraction() * 100.0);
-            println!("  persistence efficiency: {:.1}%", s.persistence_efficiency());
+            println!(
+                "  instrumentation      : {:.2}%",
+                s.instrumentation_fraction() * 100.0
+            );
+            println!(
+                "  persistence efficiency: {:.1}%",
+                s.persistence_efficiency()
+            );
             println!(
                 "  stalls (sb/load/bdry/spin): {} / {} / {} / {}",
                 s.stall_sb_full, s.stall_load_miss, s.stall_boundary_wait, s.stall_lock_spin
@@ -93,13 +119,18 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("compare") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = workload(name) else {
                 eprintln!("unknown workload '{name}'");
                 return ExitCode::FAILURE;
             };
             let mut exp = Experiment::new(opts);
-            println!("{:<12}{:>10}{:>10}{:>14}", "scheme", "slowdown", "IPC", "persist-eff");
+            println!(
+                "{:<12}{:>10}{:>10}{:>14}",
+                "scheme", "slowdown", "IPC", "persist-eff"
+            );
             for scheme in SCHEMES {
                 let (sd, r) = exp.slowdown_with_stats(&w, scheme);
                 let eff = if scheme.uses_persist_path() {
@@ -107,12 +138,20 @@ fn main() -> ExitCode {
                 } else {
                     "-".into()
                 };
-                println!("{:<12}{:>10.3}{:>10.2}{:>14}", scheme.name(), sd, r.stats.ipc(), eff);
+                println!(
+                    "{:<12}{:>10.3}{:>10.2}{:>14}",
+                    scheme.name(),
+                    sd,
+                    r.stats.ipc(),
+                    eff
+                );
             }
             ExitCode::SUCCESS
         }
         Some("recover") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = workload(name) else {
                 eprintln!("unknown workload '{name}'");
                 return ExitCode::FAILURE;
@@ -138,18 +177,25 @@ fn main() -> ExitCode {
             }
         }
         Some("regions") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = workload(name) else {
                 eprintln!("unknown workload '{name}'");
                 return ExitCode::FAILURE;
             };
             let exp = Experiment::new(opts.clone());
             let compiled = exp.compile(&w, Scheme::LightWsp);
-            print!("{}", lightwsp_compiler::regions::render_report(&compiled.program));
+            print!(
+                "{}",
+                lightwsp_compiler::regions::render_report(&compiled.program)
+            );
             ExitCode::SUCCESS
         }
         Some("trace") => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(w) = workload(name) else {
                 eprintln!("unknown workload '{name}'");
                 return ExitCode::FAILURE;
@@ -161,12 +207,8 @@ fn main() -> ExitCode {
             cfg.scheme = Scheme::LightWsp;
             cfg.num_cores = w.threads;
             cfg.trace_regions = n.max(256);
-            let mut m = lightwsp_core::Machine::new(
-                compiled.program,
-                compiled.recipes,
-                cfg,
-                w.threads,
-            );
+            let mut m =
+                lightwsp_core::Machine::new(compiled.program, compiled.recipes, cfg, w.threads);
             m.run();
             print!("{}", m.region_trace().render(n));
             ExitCode::SUCCESS

@@ -1,0 +1,351 @@
+//! Parallel experiment campaigns.
+//!
+//! A [`Campaign`] fans a list of [`Job`]s — (workload, scheme, options)
+//! triples — across scoped worker threads. Workers pull jobs from a
+//! shared atomic cursor (dynamic self-scheduling, so a slow simulation
+//! never leaves other workers idle), and two guarded caches are shared
+//! by all workers:
+//!
+//! * a **compiled-program cache** keyed by (workload, instruction
+//!   budget, instrumented?, compiler config) — a sweep like Fig. 11
+//!   compiles each workload once per compiler configuration and every
+//!   machine then shares the same [`Arc`]'d program;
+//! * a **baseline-cycles cache** keyed by (workload, thread count,
+//!   simulator config) — every slowdown normalisation reuses one
+//!   baseline run per configuration, exactly like the serial
+//!   [`Experiment`](crate::Experiment) but shared across schemes *and*
+//!   across figures when one campaign drives the whole evaluation.
+//!
+//! **Determinism:** each job is an independent deterministic
+//! simulation, results are written back by job index, and the caches
+//! only ever deduplicate work whose output is bit-identical to an
+//! uncached computation. `run_many` therefore returns byte-identical
+//! results for any worker count, including 1 — the regression test in
+//! `tests/` pins this against the serial `Experiment` path.
+//!
+//! Worker count: `LIGHTWSP_THREADS` env var if set, else
+//! `std::thread::available_parallelism()`.
+
+use crate::experiment::{ExperimentOptions, RunResult};
+use lightwsp_compiler::instrument;
+use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_ir::fxhash::{fx_hash, FxHashMap};
+use lightwsp_ir::Program;
+use lightwsp_sim::{Machine, Scheme};
+use lightwsp_workloads::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One unit of work: simulate `spec` under `scheme` with `opts`.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Experiment configuration for this job (sweeps vary it per job).
+    pub opts: ExperimentOptions,
+    /// The workload to run.
+    pub spec: WorkloadSpec,
+    /// The scheme to simulate.
+    pub scheme: Scheme,
+}
+
+impl Job {
+    /// Convenience constructor (clones the options and spec).
+    pub fn new(opts: &ExperimentOptions, spec: &WorkloadSpec, scheme: Scheme) -> Job {
+        Job {
+            opts: opts.clone(),
+            spec: spec.clone(),
+            scheme,
+        }
+    }
+}
+
+/// A compilation shared between machines via `Arc` (see
+/// [`Machine::new`]'s `impl Into<Arc<_>>` parameters).
+#[derive(Clone)]
+struct SharedCompile {
+    program: Arc<Program>,
+    recipes: Arc<RecoveryRecipes>,
+}
+
+/// Per-key once-cell: the outer map hands out the slot under a short
+/// lock; the actual compile/simulate happens under the slot's own lock,
+/// so two workers missing on *different* keys never serialise, and two
+/// workers racing on the *same* key compute it once.
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+fn get_or_compute<T: Clone>(
+    map: &Mutex<FxHashMap<u64, Slot<T>>>,
+    key: u64,
+    f: impl FnOnce() -> T,
+) -> T {
+    let slot = map.lock().unwrap().entry(key).or_default().clone();
+    let mut guard = slot.lock().unwrap();
+    if guard.is_none() {
+        *guard = Some(f());
+    }
+    guard.clone().unwrap()
+}
+
+/// Parallel experiment runner with shared compile/baseline caches.
+pub struct Campaign {
+    workers: usize,
+    compiled: Mutex<FxHashMap<u64, Slot<SharedCompile>>>,
+    baselines: Mutex<FxHashMap<u64, Slot<u64>>>,
+}
+
+impl Default for Campaign {
+    fn default() -> Campaign {
+        Campaign::new()
+    }
+}
+
+impl Campaign {
+    /// A campaign sized by `LIGHTWSP_THREADS` (env) or the machine's
+    /// available parallelism.
+    pub fn new() -> Campaign {
+        let workers = std::env::var("LIGHTWSP_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Campaign::with_workers(workers)
+    }
+
+    /// A campaign with an explicit worker count (≥ 1).
+    pub fn with_workers(workers: usize) -> Campaign {
+        Campaign {
+            workers: workers.max(1),
+            compiled: Mutex::new(FxHashMap::default()),
+            baselines: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The worker count jobs fan out over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Thread count a job simulates (options override, else the spec's).
+    fn threads_for(job: &Job) -> usize {
+        job.opts.threads.unwrap_or(job.spec.threads)
+    }
+
+    /// Fingerprint of everything a compilation depends on.
+    fn compile_key(job: &Job) -> u64 {
+        let instrumented = job.scheme.is_instrumented();
+        fx_hash(&format!(
+            "{:?}|{}|{}|{:?}",
+            job.spec,
+            job.opts.insts_per_thread,
+            instrumented,
+            // Uninstrumented schemes all run the original binary; don't
+            // fragment their cache entry by compiler config.
+            if instrumented {
+                Some(&job.opts.compiler)
+            } else {
+                None
+            },
+        ))
+    }
+
+    /// Fingerprint of everything a baseline run depends on.
+    fn baseline_key(job: &Job) -> u64 {
+        fx_hash(&format!(
+            "{:?}|{}|{}|{:?}",
+            job.spec,
+            job.opts.insts_per_thread,
+            Self::threads_for(job),
+            job.opts.sim,
+        ))
+    }
+
+    fn compiled_for(&self, job: &Job) -> SharedCompile {
+        get_or_compute(&self.compiled, Self::compile_key(job), || {
+            let program = job
+                .spec
+                .clone()
+                .scaled_to(job.opts.insts_per_thread)
+                .generate();
+            if job.scheme.is_instrumented() {
+                let c = instrument(&program, &job.opts.compiler);
+                SharedCompile {
+                    program: Arc::new(c.program),
+                    recipes: Arc::new(c.recipes),
+                }
+            } else {
+                SharedCompile {
+                    program: Arc::new(program),
+                    recipes: Arc::new(RecoveryRecipes::default()),
+                }
+            }
+        })
+    }
+
+    /// Runs one job (same semantics as `Experiment::run`, but through
+    /// the shared compile cache).
+    pub fn run_one(&self, job: &Job) -> RunResult {
+        let threads = Self::threads_for(job);
+        let sc = self.compiled_for(job);
+        let mut cfg = job.opts.sim.clone();
+        cfg.scheme = job.scheme;
+        cfg.num_cores = threads;
+        let window = job.spec.working_set.next_power_of_two();
+        let heap = lightwsp_ir::layout::HEAP_BASE;
+        cfg.warm_dram = vec![(heap - 0x8000, heap + window * threads as u64)];
+        let mut machine = Machine::new(sc.program, sc.recipes, cfg, threads);
+        let completion = machine.run();
+        RunResult {
+            workload: job.spec.name,
+            scheme: job.scheme,
+            threads,
+            completion,
+            stats: machine.stats().clone(),
+        }
+    }
+
+    /// Baseline cycles for a job's (workload, options), cached.
+    pub fn baseline_cycles(&self, job: &Job) -> u64 {
+        get_or_compute(&self.baselines, Self::baseline_key(job), || {
+            let base_job = Job {
+                scheme: Scheme::Baseline,
+                ..job.clone()
+            };
+            self.run_one(&base_job).cycles().max(1)
+        })
+    }
+
+    /// Runs every job, fanning across the worker pool; results are in
+    /// job order regardless of scheduling.
+    pub fn run_many(&self, jobs: &[Job]) -> Vec<RunResult> {
+        self.map_jobs(jobs, |job| self.run_one(job))
+    }
+
+    /// Like [`run_many`](Campaign::run_many) but returns each job's
+    /// slowdown versus its cached baseline alongside the run result.
+    pub fn slowdown_many(&self, jobs: &[Job]) -> Vec<(f64, RunResult)> {
+        self.map_jobs(jobs, |job| {
+            let base = self.baseline_cycles(job) as f64;
+            let r = self.run_one(job);
+            (r.cycles() as f64 / base, r)
+        })
+    }
+
+    /// Slowdowns only (the common figure shape).
+    pub fn slowdowns(&self, jobs: &[Job]) -> Vec<f64> {
+        self.slowdown_many(jobs)
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Like [`run_many`](Campaign::run_many), with each job's
+    /// wall-clock milliseconds (measured inside the worker) attached —
+    /// the machine-readable benchmark record `all_figures` emits.
+    pub fn run_many_timed(&self, jobs: &[Job]) -> Vec<(RunResult, f64)> {
+        self.map_jobs(jobs, |job| {
+            let t0 = std::time::Instant::now();
+            let r = self.run_one(job);
+            (r, t0.elapsed().as_secs_f64() * 1e3)
+        })
+    }
+
+    fn map_jobs<T, F>(&self, jobs: &[Job], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Job) -> T + Sync,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        if workers == 1 {
+            return jobs.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&jobs[i]);
+                    results.lock().unwrap()[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|o| o.expect("every job slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_workloads::workload;
+
+    fn jobs3() -> Vec<Job> {
+        let opts = ExperimentOptions::quick();
+        ["bzip2", "hmmer", "xz"]
+            .iter()
+            .flat_map(|n| {
+                let w = workload(n).unwrap();
+                [
+                    Job::new(&opts, &w, Scheme::LightWsp),
+                    Job::new(&opts, &w, Scheme::Ppa),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_in_job_order() {
+        let c = Campaign::with_workers(4);
+        let jobs = jobs3();
+        let rs = c.run_many(&jobs);
+        assert_eq!(rs.len(), jobs.len());
+        for (j, r) in jobs.iter().zip(&rs) {
+            assert_eq!(j.spec.name, r.workload);
+            assert_eq!(j.scheme, r.scheme);
+        }
+    }
+
+    #[test]
+    fn compile_cache_is_shared_across_schemes() {
+        // Two instrumented schemes with the same compiler config share
+        // one compilation; this is observational (timing-free): both
+        // runs must succeed and agree with fresh-compile runs.
+        let c = Campaign::with_workers(2);
+        let opts = ExperimentOptions::quick();
+        let w = workload("bzip2").unwrap();
+        let jobs = vec![
+            Job::new(&opts, &w, Scheme::LightWsp),
+            Job::new(&opts, &w, Scheme::Capri),
+        ];
+        let rs = c.run_many(&jobs);
+        let mut exp = crate::Experiment::new(opts);
+        let a = exp.run(&w, Scheme::LightWsp);
+        let b = exp.run(&w, Scheme::Capri);
+        assert_eq!(rs[0].stats.cycles, a.stats.cycles);
+        assert_eq!(rs[1].stats.cycles, b.stats.cycles);
+    }
+
+    #[test]
+    fn baseline_cache_matches_experiment() {
+        let c = Campaign::with_workers(2);
+        let opts = ExperimentOptions::quick();
+        let w = workload("xz").unwrap();
+        let job = Job::new(&opts, &w, Scheme::LightWsp);
+        let mut exp = crate::Experiment::new(opts);
+        assert_eq!(c.baseline_cycles(&job), exp.baseline_cycles(&w));
+    }
+}

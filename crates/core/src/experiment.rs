@@ -19,11 +19,11 @@
 //! path parameters, WPQ sizes and protocol costs remain at their
 //! Table I values.
 
-use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
+use lightwsp_ir::fxhash::FxHashMap;
 use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};
 use lightwsp_workloads::WorkloadSpec;
-use std::collections::HashMap;
 
 /// Configuration of an experiment campaign.
 #[derive(Clone, Debug)]
@@ -85,13 +85,18 @@ impl RunResult {
 /// Runs experiments with per-workload baseline caching.
 pub struct Experiment {
     opts: ExperimentOptions,
-    baseline_cycles: HashMap<(String, usize), u64>,
+    /// Keyed by (workload name, thread count); workload names are
+    /// `&'static str` so the hot `slowdown` path never allocates a key.
+    baseline_cycles: FxHashMap<(&'static str, usize), u64>,
 }
 
 impl Experiment {
     /// Creates a campaign with the given options.
     pub fn new(opts: ExperimentOptions) -> Experiment {
-        Experiment { opts, baseline_cycles: HashMap::new() }
+        Experiment {
+            opts,
+            baseline_cycles: FxHashMap::default(),
+        }
     }
 
     /// The active options.
@@ -108,7 +113,10 @@ impl Experiment {
     /// Compiles `spec` for `scheme` (instrumented schemes get the full
     /// pass pipeline; hardware-only schemes run the original binary).
     pub fn compile(&self, spec: &WorkloadSpec, scheme: Scheme) -> Compiled {
-        let program = spec.clone().scaled_to(self.opts.insts_per_thread).generate();
+        let program = spec
+            .clone()
+            .scaled_to(self.opts.insts_per_thread)
+            .generate();
         if scheme.is_instrumented() {
             instrument(&program, &self.opts.compiler)
         } else {
@@ -137,10 +145,7 @@ impl Experiment {
         // paper's fast-forward (§V-A).
         let window = spec.working_set.next_power_of_two();
         let heap = lightwsp_ir::layout::HEAP_BASE;
-        cfg.warm_dram = vec![(
-            heap - 0x8000,
-            heap + window * threads as u64,
-        )];
+        cfg.warm_dram = vec![(heap - 0x8000, heap + window * threads as u64)];
         let mut machine = Machine::new(compiled.program, compiled.recipes, cfg, threads);
         let completion = machine.run();
         RunResult {
@@ -154,7 +159,7 @@ impl Experiment {
 
     /// Baseline cycles for `spec` (cached).
     pub fn baseline_cycles(&mut self, spec: &WorkloadSpec) -> u64 {
-        let key = (spec.name.to_string(), self.threads_for(spec));
+        let key = (spec.name, self.threads_for(spec));
         if let Some(&c) = self.baseline_cycles.get(&key) {
             return c;
         }
@@ -173,11 +178,7 @@ impl Experiment {
     }
 
     /// Slowdown plus the full run result (when a figure needs both).
-    pub fn slowdown_with_stats(
-        &mut self,
-        spec: &WorkloadSpec,
-        scheme: Scheme,
-    ) -> (f64, RunResult) {
+    pub fn slowdown_with_stats(&mut self, spec: &WorkloadSpec, scheme: Scheme) -> (f64, RunResult) {
         let base = self.baseline_cycles(spec) as f64;
         let r = self.run(spec, scheme);
         (r.cycles() as f64 / base, r)
@@ -212,7 +213,7 @@ mod tests {
         let mut e = Experiment::new(ExperimentOptions::quick());
         let w = workload("hmmer").unwrap();
         let s = e.slowdown(&w, Scheme::LightWsp);
-        assert!(s >= 0.98 && s < 1.6, "hmmer LightWSP slowdown {s:.3}");
+        assert!((0.98..1.6).contains(&s), "hmmer LightWSP slowdown {s:.3}");
     }
 
     #[test]

@@ -26,10 +26,12 @@
 //! println!("lbm LightWSP slowdown: {slowdown:.3}");
 //! ```
 
+pub mod campaign;
 pub mod experiment;
 pub mod recovery;
 pub mod report;
 
+pub use campaign::{Campaign, Job};
 pub use experiment::{Experiment, ExperimentOptions, RunResult};
 pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 pub use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};

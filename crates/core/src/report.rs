@@ -2,7 +2,6 @@
 //! used by every figure harness.
 
 use lightwsp_workloads::{geomean, Suite};
-use serde::Serialize;
 
 /// Aggregates values for display: geometric mean when all values are
 /// positive (slowdowns), arithmetic mean otherwise (rates that can be
@@ -19,7 +18,7 @@ fn aggregate(values: &[f64]) -> f64 {
 }
 
 /// One (workload, series) cell of a figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Cell {
     /// Workload name (x-axis position).
     pub workload: String,
@@ -32,7 +31,7 @@ pub struct Cell {
 }
 
 /// A whole figure/table: a tagged collection of cells.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Figure {
     /// Figure identifier, e.g. `"fig7"`.
     pub id: String,
@@ -102,7 +101,10 @@ impl Figure {
     pub fn render(&self) -> String {
         let series = self.series();
         let mut out = String::new();
-        out.push_str(&format!("== {} — {} ({}) ==\n", self.id, self.title, self.unit));
+        out.push_str(&format!(
+            "== {} — {} ({}) ==\n",
+            self.id, self.title, self.unit
+        ));
         out.push_str(&format!("{:<22}", "workload"));
         for s in &series {
             out.push_str(&format!("{s:>14}"));

@@ -21,13 +21,20 @@ impl FuncBuilder {
     pub fn new(name: impl Into<String>) -> FuncBuilder {
         let func = Function::new(name);
         let current = func.entry;
-        FuncBuilder { func, current, sealed: vec![false] }
+        FuncBuilder {
+            func,
+            current,
+            sealed: vec![false],
+        }
     }
 
     /// Creates a new (empty, unsealed) block and returns its id without
     /// switching to it.
     pub fn new_block(&mut self) -> BlockId {
-        let id = self.func.add_block(Block { insts: Vec::new(), term: Terminator::Halt });
+        let id = self.func.add_block(Block {
+            insts: Vec::new(),
+            term: Terminator::Halt,
+        });
         self.sealed.push(false);
         id
     }
@@ -38,7 +45,10 @@ impl FuncBuilder {
     ///
     /// Panics if `block` has already been sealed with a terminator.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(!self.sealed[block.index()], "cannot append to sealed {block:?}");
+        assert!(
+            !self.sealed[block.index()],
+            "cannot append to sealed {block:?}"
+        );
         self.current = block;
     }
 
@@ -49,16 +59,25 @@ impl FuncBuilder {
 
     /// Records a trip-count hint for the loop headed at `header`.
     pub fn hint_trip_count(&mut self, header: BlockId, trip_count: u32) {
-        self.func.loop_hints.push(LoopHint { header, trip_count: Some(trip_count) });
+        self.func.loop_hints.push(LoopHint {
+            header,
+            trip_count: Some(trip_count),
+        });
     }
 
     fn push(&mut self, inst: Inst) {
-        assert!(!self.sealed[self.current.index()], "current block already sealed");
+        assert!(
+            !self.sealed[self.current.index()],
+            "current block already sealed"
+        );
         self.func.block_mut(self.current).insts.push(inst);
     }
 
     fn seal(&mut self, term: Terminator) {
-        assert!(!self.sealed[self.current.index()], "current block already sealed");
+        assert!(
+            !self.sealed[self.current.index()],
+            "current block already sealed"
+        );
         self.func.block_mut(self.current).term = term;
         self.sealed[self.current.index()] = true;
     }
@@ -126,7 +145,9 @@ impl FuncBuilder {
     /// Emits a region boundary (normally inserted by the LightWSP
     /// compiler; exposed for tests and hand-written examples).
     pub fn region_boundary(&mut self) {
-        self.push(Inst::RegionBoundary { kind: BoundaryKind::Manual });
+        self.push(Inst::RegionBoundary {
+            kind: BoundaryKind::Manual,
+        });
     }
 
     /// Emits a checkpoint store of `reg` (normally inserted by the
@@ -142,13 +163,39 @@ impl FuncBuilder {
 
     /// Seals the current block with `if cond(src, imm) goto then_bb else
     /// else_bb`.
-    pub fn branch_imm(&mut self, cond: Cond, src: Reg, imm: i64, then_bb: BlockId, else_bb: BlockId) {
-        self.seal(Terminator::Branch { cond, src, rhs: BranchRhs::Imm(imm), then_bb, else_bb });
+    pub fn branch_imm(
+        &mut self,
+        cond: Cond,
+        src: Reg,
+        imm: i64,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) {
+        self.seal(Terminator::Branch {
+            cond,
+            src,
+            rhs: BranchRhs::Imm(imm),
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Seals the current block with a register-register conditional branch.
-    pub fn branch_reg(&mut self, cond: Cond, src: Reg, rhs: Reg, then_bb: BlockId, else_bb: BlockId) {
-        self.seal(Terminator::Branch { cond, src, rhs: BranchRhs::Reg(rhs), then_bb, else_bb });
+    pub fn branch_reg(
+        &mut self,
+        cond: Cond,
+        src: Reg,
+        rhs: Reg,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) {
+        self.seal(Terminator::Branch {
+            cond,
+            src,
+            rhs: BranchRhs::Reg(rhs),
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Seals the current block with a function return.

@@ -57,7 +57,13 @@ impl Cfg {
         for (i, b) in rpo.iter().enumerate() {
             rpo_index[b.index()] = i;
         }
-        Cfg { preds, succs, rpo, rpo_index, reachable: visited }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+            reachable: visited,
+        }
     }
 
     /// Predecessors of `b`.

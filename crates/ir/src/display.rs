@@ -12,8 +12,17 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Terminator::Jump { target } => write!(f, "jump {target:?}"),
-            Terminator::Branch { cond, src, rhs, then_bb, else_bb } => {
-                write!(f, "if {cond:?}({src}, {rhs:?}) -> {then_bb:?} else {else_bb:?}")
+            Terminator::Branch {
+                cond,
+                src,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                write!(
+                    f,
+                    "if {cond:?}({src}, {rhs:?}) -> {then_bb:?} else {else_bb:?}"
+                )
             }
             Terminator::Ret => write!(f, "ret"),
             Terminator::Halt => write!(f, "halt"),

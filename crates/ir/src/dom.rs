@@ -60,7 +60,10 @@ impl DomTree {
                 }
             }
         }
-        DomTree { idom, entry: func.entry }
+        DomTree {
+            idom,
+            entry: func.entry,
+        }
     }
 
     /// The immediate dominator of `b` (`None` for the entry block and for

@@ -107,9 +107,19 @@ impl Cond {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Inst {
     /// `dst = op(lhs, rhs)`.
-    Alu { op: AluOp, dst: Reg, lhs: Reg, rhs: Reg },
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
     /// `dst = op(src, imm)`.
-    AluImm { op: AluOp, dst: Reg, src: Reg, imm: i64 },
+    AluImm {
+        op: AluOp,
+        dst: Reg,
+        src: Reg,
+        imm: i64,
+    },
     /// `dst = imm`.
     MovImm { dst: Reg, imm: i64 },
     /// `dst = mem[base + offset]` (8-byte load).
@@ -125,7 +135,12 @@ pub enum Inst {
     Fence,
     /// Atomic read-modify-write: `dst = mem[addr]; mem[addr] = op(dst, src)`.
     /// Treated as a synchronisation point (region boundary before it).
-    AtomicRmw { op: AluOp, dst: Reg, addr: Reg, src: Reg },
+    AtomicRmw {
+        op: AluOp,
+        dst: Reg,
+        addr: Reg,
+        src: Reg,
+    },
     /// Spin-acquires the lock word addressed by `lock`. A synchronisation
     /// point: establishes happens-before with the previous release.
     LockAcquire { lock: Reg },
@@ -297,7 +312,10 @@ impl Inst {
 
     /// True for the instructions the LightWSP compiler inserts.
     pub fn is_instrumentation(&self) -> bool {
-        matches!(self, Inst::RegionBoundary { .. } | Inst::CheckpointStore { .. })
+        matches!(
+            self,
+            Inst::RegionBoundary { .. } | Inst::CheckpointStore { .. }
+        )
     }
 }
 
@@ -330,7 +348,13 @@ pub enum Terminator {
     /// Unconditional jump.
     Jump { target: BlockId },
     /// Two-way conditional branch comparing `src` against `rhs`.
-    Branch { cond: Cond, src: Reg, rhs: BranchRhs, then_bb: BlockId, else_bb: BlockId },
+    Branch {
+        cond: Cond,
+        src: Reg,
+        rhs: BranchRhs,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Function return: pops the return point from the in-memory stack.
     Ret,
     /// Thread exit (only valid in a thread's entry function).
@@ -351,7 +375,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match *self {
             Terminator::Jump { target } => vec![target],
-            Terminator::Branch { then_bb, else_bb, .. } => vec![then_bb, else_bb],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
             Terminator::Ret | Terminator::Halt => vec![],
         }
     }
@@ -382,7 +408,9 @@ impl Terminator {
     pub fn map_targets(&mut self, mut map: impl FnMut(BlockId) -> BlockId) {
         match self {
             Terminator::Jump { target } => *target = map(*target),
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 *then_bb = map(*then_bb);
                 *else_bb = map(*else_bb);
             }
@@ -417,33 +445,67 @@ mod tests {
 
     #[test]
     fn defs_and_uses() {
-        let i = Inst::Alu { op: AluOp::Add, dst: Reg::R1, lhs: Reg::R2, rhs: Reg::R3 };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            dst: Reg::R1,
+            lhs: Reg::R2,
+            rhs: Reg::R3,
+        };
         assert_eq!(i.def(), Some(Reg::R1));
         assert!(i.uses().contains(Reg::R2) && i.uses().contains(Reg::R3));
 
-        let s = Inst::Store { src: Reg::R4, base: Reg::R5, offset: 8 };
+        let s = Inst::Store {
+            src: Reg::R4,
+            base: Reg::R5,
+            offset: 8,
+        };
         assert_eq!(s.def(), None);
         assert_eq!(s.uses().len(), 2);
 
-        let c = Inst::Call { callee: FuncId::from_index(0) };
-        assert_eq!(c.def(), Some(Reg::SP), "call pushes a return address via SP");
+        let c = Inst::Call {
+            callee: FuncId::from_index(0),
+        };
+        assert_eq!(
+            c.def(),
+            Some(Reg::SP),
+            "call pushes a return address via SP"
+        );
     }
 
     #[test]
     fn store_like_classification() {
-        assert!(Inst::Store { src: Reg::R0, base: Reg::R1, offset: 0 }.is_store_like());
-        assert!(Inst::RegionBoundary { kind: BoundaryKind::Manual }.is_store_like());
+        assert!(Inst::Store {
+            src: Reg::R0,
+            base: Reg::R1,
+            offset: 0
+        }
+        .is_store_like());
+        assert!(Inst::RegionBoundary {
+            kind: BoundaryKind::Manual
+        }
+        .is_store_like());
         assert!(Inst::CheckpointStore { reg: Reg::R0 }.is_store_like());
         assert!(!Inst::Nop.is_store_like());
-        assert!(!Inst::Load { dst: Reg::R0, base: Reg::R1, offset: 0 }.is_store_like());
-        assert!(!Inst::RegionBoundary { kind: BoundaryKind::Manual }.is_program_store());
+        assert!(!Inst::Load {
+            dst: Reg::R0,
+            base: Reg::R1,
+            offset: 0
+        }
+        .is_store_like());
+        assert!(!Inst::RegionBoundary {
+            kind: BoundaryKind::Manual
+        }
+        .is_program_store());
     }
 
     #[test]
     fn sync_points_force_boundaries() {
         assert!(Inst::Fence.forces_boundary_before());
         assert!(Inst::LockAcquire { lock: Reg::R1 }.forces_boundary_before());
-        assert!(Inst::Call { callee: FuncId::from_index(1) }.forces_boundary_before());
+        assert!(Inst::Call {
+            callee: FuncId::from_index(1)
+        }
+        .forces_boundary_before());
         assert!(!Inst::Nop.forces_boundary_before());
     }
 

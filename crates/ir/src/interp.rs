@@ -14,11 +14,11 @@
 //! deterministically because every input (PM contents + checkpointed
 //! registers) is identical to the original run.
 
+use crate::fxhash::FxHashMap;
 use crate::inst::{BranchRhs, Inst, Terminator};
 use crate::layout;
 use crate::program::{Program, ProgramPoint};
 use crate::reg::{Reg, NUM_REGS};
-use std::collections::HashMap;
 
 /// Identifies a software thread.
 pub type ThreadId = usize;
@@ -94,10 +94,42 @@ impl DynEvent {
     }
 }
 
+/// Words per memory page (64 words = one 512-byte page, so a page's
+/// touched-word set fits a single `u64` bitmask).
+const PAGE_WORDS: usize = 64;
+const PAGE_SHIFT: u32 = 9; // log2(PAGE_WORDS * 8)
+
+/// One 512-byte page: backing words plus a bitmask of which words have
+/// been written (so untouched-vs-written-zero stays distinguishable, as
+/// with the original per-word hash map).
+#[derive(Clone, Debug)]
+struct Page {
+    words: Box<[u64; PAGE_WORDS]>,
+    written: u64,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            words: Box::new([0u64; PAGE_WORDS]),
+            written: 0,
+        }
+    }
+}
+
 /// Sparse 8-byte-word memory. Reads of untouched words return zero.
+///
+/// Hot-path layout: words live in 512-byte pages indexed by an
+/// [`FxHashMap`] on the page number, so the simulator's dominant
+/// `read_word`/`write_word` operations cost one cheap multiplicative
+/// hash plus an array index instead of a SipHash per word. A per-page
+/// bitmask preserves the original per-word semantics exactly: `len()`
+/// counts *touched* words and `iter()` yields only touched words, even
+/// when the written value is zero.
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    words: HashMap<u64, u64>,
+    pages: FxHashMap<u64, Page>,
+    touched: usize,
 }
 
 impl Memory {
@@ -110,29 +142,56 @@ impl Memory {
         addr & !7
     }
 
+    #[inline]
+    fn split(addr: u64) -> (u64, usize) {
+        let aligned = Self::align(addr);
+        (
+            aligned >> PAGE_SHIFT,
+            ((aligned >> 3) as usize) & (PAGE_WORDS - 1),
+        )
+    }
+
     /// Reads the 8-byte word containing `addr`.
+    #[inline]
     pub fn read_word(&self, addr: u64) -> u64 {
-        self.words.get(&Self::align(addr)).copied().unwrap_or(0)
+        let (page, idx) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(p) => p.words[idx],
+            None => 0,
+        }
     }
 
     /// Writes the 8-byte word containing `addr`.
+    #[inline]
     pub fn write_word(&mut self, addr: u64, val: u64) {
-        self.words.insert(Self::align(addr), val);
+        let (page, idx) = Self::split(addr);
+        let p = self.pages.entry(page).or_insert_with(Page::new);
+        let bit = 1u64 << idx;
+        if p.written & bit == 0 {
+            p.written |= bit;
+            self.touched += 1;
+        }
+        p.words[idx] = val;
     }
 
     /// Iterates over `(address, value)` pairs of touched words.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.words.iter().map(|(&a, &v)| (a, v))
+        self.pages.iter().flat_map(|(&page, p)| {
+            let base = page << PAGE_SHIFT;
+            (0..PAGE_WORDS)
+                .filter(move |&i| p.written & (1u64 << i) != 0)
+                .map(move |i| (base + (i as u64) * 8, p.words[i]))
+        })
     }
 
     /// Number of touched words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.touched
     }
 
     /// True if no word has been written.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.touched == 0
     }
 
     /// True if the two memories agree on every touched word (untouched
@@ -144,8 +203,11 @@ impl Memory {
 
     /// The first address where the two memories disagree, for diagnostics.
     pub fn first_difference(&self, other: &Memory) -> Option<(u64, u64, u64)> {
-        let mut addrs: Vec<u64> =
-            self.words.keys().chain(other.words.keys()).copied().collect();
+        let mut addrs: Vec<u64> = self
+            .iter()
+            .map(|(a, _)| a)
+            .chain(other.iter().map(|(a, _)| a))
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         addrs.into_iter().find_map(|a| {
@@ -267,7 +329,10 @@ impl Interp {
 
         if idx < block.insts.len() {
             let inst = block.insts[idx].clone();
-            let next = ProgramPoint { inst: self.point.inst + 1, ..self.point };
+            let next = ProgramPoint {
+                inst: self.point.inst + 1,
+                ..self.point
+            };
             let ev = self.exec_inst(&inst, program, mem, next);
             if !matches!(ev, DynEvent::LockSpin { .. }) {
                 self.insts_executed += 1;
@@ -316,7 +381,11 @@ impl Interp {
                 let val = self.regs[src.index()];
                 mem.write_word(addr, val);
                 self.point = next;
-                DynEvent::Store { addr, val, kind: StoreKind::Plain }
+                DynEvent::Store {
+                    addr,
+                    val,
+                    kind: StoreKind::Plain,
+                }
             }
             Inst::Call { callee } => {
                 // Push the return point on the in-memory stack.
@@ -325,7 +394,11 @@ impl Interp {
                 let ret = next.encode();
                 mem.write_word(sp, ret);
                 self.point = ProgramPoint::func_entry(program, callee);
-                DynEvent::Store { addr: sp & !7, val: ret, kind: StoreKind::StackPush }
+                DynEvent::Store {
+                    addr: sp & !7,
+                    val: ret,
+                    kind: StoreKind::StackPush,
+                }
             }
             Inst::Fence => {
                 self.point = next;
@@ -338,14 +411,22 @@ impl Interp {
                 let new = op.apply(old, self.regs[src.index()]);
                 mem.write_word(a, new);
                 self.point = next;
-                DynEvent::Store { addr: a, val: new, kind: StoreKind::Atomic }
+                DynEvent::Store {
+                    addr: a,
+                    val: new,
+                    kind: StoreKind::Atomic,
+                }
             }
             Inst::LockAcquire { lock } => {
                 let a = self.regs[lock.index()] & !7;
                 if mem.read_word(a) == 0 {
                     mem.write_word(a, 1 + self.tid as u64);
                     self.point = next;
-                    DynEvent::Store { addr: a, val: 1 + self.tid as u64, kind: StoreKind::Atomic }
+                    DynEvent::Store {
+                        addr: a,
+                        val: 1 + self.tid as u64,
+                        kind: StoreKind::Atomic,
+                    }
                 } else {
                     DynEvent::LockSpin { addr: a }
                 }
@@ -354,7 +435,11 @@ impl Interp {
                 let a = self.regs[lock.index()] & !7;
                 mem.write_word(a, 0);
                 self.point = next;
-                DynEvent::Store { addr: a, val: 0, kind: StoreKind::Atomic }
+                DynEvent::Store {
+                    addr: a,
+                    val: 0,
+                    kind: StoreKind::Atomic,
+                }
             }
             Inst::Nop => {
                 self.point = next;
@@ -379,7 +464,11 @@ impl Interp {
                 let val = self.regs[reg.index()];
                 mem.write_word(slot, val);
                 self.point = next;
-                DynEvent::Store { addr: slot, val, kind: StoreKind::Checkpoint }
+                DynEvent::Store {
+                    addr: slot,
+                    val,
+                    kind: StoreKind::Checkpoint,
+                }
             }
         }
     }
@@ -387,17 +476,35 @@ impl Interp {
     fn exec_term(&mut self, term: &Terminator, mem: &mut Memory) -> DynEvent {
         match *term {
             Terminator::Jump { target } => {
-                self.point = ProgramPoint { block: target, inst: 0, ..self.point };
+                self.point = ProgramPoint {
+                    block: target,
+                    inst: 0,
+                    ..self.point
+                };
                 DynEvent::Alu
             }
-            Terminator::Branch { cond, src, rhs, then_bb, else_bb } => {
+            Terminator::Branch {
+                cond,
+                src,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
                 let lhs = self.regs[src.index()];
                 let rhs = match rhs {
                     BranchRhs::Imm(i) => i as u64,
                     BranchRhs::Reg(r) => self.regs[r.index()],
                 };
-                let target = if cond.eval(lhs, rhs) { then_bb } else { else_bb };
-                self.point = ProgramPoint { block: target, inst: 0, ..self.point };
+                let target = if cond.eval(lhs, rhs) {
+                    then_bb
+                } else {
+                    else_bb
+                };
+                self.point = ProgramPoint {
+                    block: target,
+                    inst: 0,
+                    ..self.point
+                };
                 DynEvent::Alu
             }
             Terminator::Ret => {
@@ -503,7 +610,10 @@ mod tests {
         for i in 0..4u64 {
             assert_eq!(mem.read_word(layout::HEAP_BASE + i * 8), i * 2);
         }
-        let stores = evs.iter().filter(|e| matches!(e, DynEvent::Store { .. })).count();
+        let stores = evs
+            .iter()
+            .filter(|e| matches!(e, DynEvent::Store { .. }))
+            .count();
         assert_eq!(stores, 4);
     }
 
@@ -531,7 +641,10 @@ mod tests {
         // The call pushed a return address into stack memory.
         assert!(evs.iter().any(|e| matches!(
             e,
-            DynEvent::Store { kind: StoreKind::StackPush, .. }
+            DynEvent::Store {
+                kind: StoreKind::StackPush,
+                ..
+            }
         )));
         // The matching ret popped it with a load.
         assert!(evs.iter().any(|e| matches!(e, DynEvent::Load { .. })));
@@ -576,7 +689,11 @@ mod tests {
         assert_eq!(mem.read_word(layout::checkpoint_slot(0, Reg::R4)), 1234);
         assert!(evs.iter().any(|e| matches!(
             e,
-            DynEvent::Store { kind: StoreKind::Checkpoint, val: 1234, .. }
+            DynEvent::Store {
+                kind: StoreKind::Checkpoint,
+                val: 1234,
+                ..
+            }
         )));
     }
 
@@ -613,7 +730,13 @@ mod tests {
         assert_eq!(t.point(), before, "spin must not advance");
         // Release the lock and the acquire succeeds.
         mem.write_word(layout::lock_addr(0), 0);
-        assert!(matches!(t.step(&p, &mut mem), DynEvent::Store { kind: StoreKind::Atomic, .. }));
+        assert!(matches!(
+            t.step(&p, &mut mem),
+            DynEvent::Store {
+                kind: StoreKind::Atomic,
+                ..
+            }
+        ));
     }
 
     #[test]

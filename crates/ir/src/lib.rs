@@ -51,9 +51,10 @@
 //! ```
 
 pub mod builder;
-pub mod display;
 pub mod cfg;
+pub mod display;
 pub mod dom;
+pub mod fxhash;
 pub mod inst;
 pub mod interp;
 pub mod layout;
@@ -62,6 +63,7 @@ pub mod loops;
 pub mod program;
 pub mod reg;
 
+pub use fxhash::{fx_hash, FxHashMap, FxHashSet};
 pub use inst::{AluOp, Cond, Inst, Terminator};
 pub use interp::{DynEvent, Interp, Memory, StoreKind, ThreadId};
 pub use program::{BlockId, FuncId, Function, Program, ProgramPoint};

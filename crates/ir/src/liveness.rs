@@ -112,7 +112,10 @@ mod tests {
         let cfg = Cfg::compute(&f);
         let l = Liveness::compute(&f, &cfg);
         assert!(l.live_in(f.entry).contains(Reg::SP), "ret reads sp");
-        assert!(!l.live_in(f.entry).contains(Reg::R1), "r1 defined before use");
+        assert!(
+            !l.live_in(f.entry).contains(Reg::R1),
+            "r1 defined before use"
+        );
         assert!(l.live_out(f.entry).is_empty());
     }
 
@@ -133,9 +136,15 @@ mod tests {
         let f = b.finish();
         let cfg = Cfg::compute(&f);
         let l = Liveness::compute(&f, &cfg);
-        assert!(l.live_in(header).contains(Reg::R1), "loop-carried r1 live into header");
+        assert!(
+            l.live_in(header).contains(Reg::R1),
+            "loop-carried r1 live into header"
+        );
         assert!(l.live_out(header).contains(Reg::R1));
-        assert!(l.live_in(header).contains(Reg::R2), "r2 used after the loop");
+        assert!(
+            l.live_in(header).contains(Reg::R2),
+            "r2 used after the loop"
+        );
         assert!(l.live_in(f.entry).contains(Reg::R2));
     }
 

@@ -60,13 +60,19 @@ impl LoopForest {
                             }
                         }
                         None => {
-                            *slot = Some(NaturalLoop { header: succ, latches: vec![b], blocks: body });
+                            *slot = Some(NaturalLoop {
+                                header: succ,
+                                latches: vec![b],
+                                blocks: body,
+                            });
                         }
                     }
                 }
             }
         }
-        LoopForest { loops: by_header.into_iter().flatten().collect() }
+        LoopForest {
+            loops: by_header.into_iter().flatten().collect(),
+        }
     }
 
     /// The loop headed at `header`, if any.

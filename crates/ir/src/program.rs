@@ -52,7 +52,10 @@ pub struct Block {
 impl Block {
     /// An empty block falling through to `target`.
     pub fn jump_to(target: BlockId) -> Block {
-        Block { insts: Vec::new(), term: Terminator::Jump { target } }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Jump { target },
+        }
     }
 }
 
@@ -89,7 +92,10 @@ impl Function {
         Function {
             name: name.into(),
             entry: BlockId::from_index(0),
-            blocks: vec![Block { insts: Vec::new(), term: Terminator::Halt }],
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Terminator::Halt,
+            }],
             loop_hints: Vec::new(),
         }
     }
@@ -121,7 +127,10 @@ impl Function {
 
     /// Iterates over `(BlockId, &Block)` pairs in index order.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_index(i), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_index(i), b))
     }
 
     /// Total static instruction count (instructions plus terminators).
@@ -198,14 +207,16 @@ pub struct ProgramPoint {
 impl ProgramPoint {
     /// The entry point of a function.
     pub fn func_entry(program: &Program, func: FuncId) -> ProgramPoint {
-        ProgramPoint { func, block: program.func(func).entry, inst: 0 }
+        ProgramPoint {
+            func,
+            block: program.func(func).entry,
+            inst: 0,
+        }
     }
 
     /// Encodes the point as a 64-bit word (what the boundary store writes).
     pub fn encode(self) -> u64 {
-        ((self.func.index() as u64) << 48)
-            | ((self.block.index() as u64) << 24)
-            | self.inst as u64
+        ((self.func.index() as u64) << 48) | ((self.block.index() as u64) << 24) | self.inst as u64
     }
 
     /// Decodes a point previously produced by [`ProgramPoint::encode`].

@@ -158,7 +158,9 @@ impl RegSet {
     /// Iterates over the members in ascending register order.
     pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
         let bits = self.0;
-        (0..NUM_REGS).filter(move |i| bits & (1u32 << i) != 0).map(Reg::from_index)
+        (0..NUM_REGS)
+            .filter(move |i| bits & (1u32 << i) != 0)
+            .map(Reg::from_index)
     }
 }
 

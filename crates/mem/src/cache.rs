@@ -11,7 +11,7 @@
 //! entry to drain). The `stale-load` configuration disables snooping
 //! entirely and is used to quantify the stale-load problem of Fig. 6.
 
-use std::collections::HashMap;
+use lightwsp_ir::fxhash::FxHashMap;
 
 /// Victim-selection policy on a buffer conflict (§V-F3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -79,7 +79,10 @@ impl SetAssocCache {
     ///
     /// Panics if any dimension is zero.
     pub fn new(sets: usize, ways: usize, line_bytes: u64) -> SetAssocCache {
-        assert!(sets > 0 && ways > 0 && line_bytes > 0, "cache dimensions must be positive");
+        assert!(
+            sets > 0 && ways > 0 && line_bytes > 0,
+            "cache dimensions must be positive"
+        );
         SetAssocCache {
             sets: vec![vec![Line::default(); ways]; sets],
             line_bytes,
@@ -93,7 +96,10 @@ impl SetAssocCache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes;
-        ((line % self.sets.len() as u64) as usize, line / self.sets.len() as u64)
+        (
+            (line % self.sets.len() as u64) as usize,
+            line / self.sets.len() as u64,
+        )
     }
 
     /// Line base address from set/tag.
@@ -120,15 +126,27 @@ impl SetAssocCache {
             line.last_use = self.tick;
             line.dirty |= is_write;
             self.hits += 1;
-            return AccessResult { hit: true, evicted: None, conflict_delayed: false };
+            return AccessResult {
+                hit: true,
+                evicted: None,
+                conflict_delayed: false,
+            };
         }
         self.misses += 1;
 
         // Invalid way, if any.
         if let Some(idx) = self.sets[set].iter().position(|l| !l.valid) {
-            self.sets[set][idx] =
-                Line { tag, valid: true, dirty: is_write, last_use: self.tick };
-            return AccessResult { hit: false, evicted: None, conflict_delayed: false };
+            self.sets[set][idx] = Line {
+                tag,
+                valid: true,
+                dirty: is_write,
+                last_use: self.tick,
+            };
+            return AccessResult {
+                hit: false,
+                evicted: None,
+                conflict_delayed: false,
+            };
         }
 
         // LRU-ordered victim candidates (ways ≤ 16: stack insertion sort).
@@ -177,9 +195,17 @@ impl SetAssocCache {
 
         let victim = self.sets[set][chosen];
         let evicted = Some((self.line_addr(set, victim.tag), victim.dirty));
-        self.sets[set][chosen] =
-            Line { tag, valid: true, dirty: is_write, last_use: self.tick };
-        AccessResult { hit: false, evicted, conflict_delayed: delayed }
+        self.sets[set][chosen] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_use: self.tick,
+        };
+        AccessResult {
+            hit: false,
+            evicted,
+            conflict_delayed: delayed,
+        }
     }
 
     /// True if the line containing `addr` is present.
@@ -223,7 +249,7 @@ impl SetAssocCache {
 /// occupy host memory.
 #[derive(Clone, Debug)]
 pub struct DirectMappedCache {
-    lines: HashMap<u64, (u64, bool)>, // set → (tag, dirty)
+    lines: FxHashMap<u64, (u64, bool)>, // set → (tag, dirty)
     num_sets: u64,
     line_bytes: u64,
     hits: u64,
@@ -239,7 +265,7 @@ impl DirectMappedCache {
     pub fn new(capacity_bytes: u64, line_bytes: u64) -> DirectMappedCache {
         assert!(capacity_bytes >= line_bytes, "capacity below one line");
         DirectMappedCache {
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
             num_sets: capacity_bytes / line_bytes,
             line_bytes,
             hits: 0,
@@ -260,9 +286,9 @@ impl DirectMappedCache {
             }
             Some(entry) => {
                 self.misses += 1;
-                let evicted_dirty = entry.1.then(|| {
-                    (entry.0 * self.num_sets + set) * self.line_bytes
-                });
+                let evicted_dirty = entry
+                    .1
+                    .then(|| (entry.0 * self.num_sets + set) * self.line_bytes);
                 *entry = (tag, is_write);
                 (false, evicted_dirty)
             }
@@ -344,7 +370,11 @@ mod tests {
         c.access(0x000, true, VictimPolicy::Full, no_conflict);
         c.access(0x040, true, VictimPolicy::Full, no_conflict);
         let r = c.access(0x080, false, VictimPolicy::Full, |la| la == 0x000);
-        assert_eq!(r.evicted, Some((0x040, true)), "conflict-free victim chosen");
+        assert_eq!(
+            r.evicted,
+            Some((0x040, true)),
+            "conflict-free victim chosen"
+        );
         assert!(!r.conflict_delayed);
         let (snoops, conflicts) = c.snoop_stats();
         assert_eq!((snoops, conflicts), (2, 1));
@@ -386,7 +416,11 @@ mod tests {
         let mut c = SetAssocCache::new(1, 1, 64);
         c.access(0x000, false, VictimPolicy::Full, no_conflict); // clean
         c.access(0x040, false, VictimPolicy::Full, |_| true);
-        assert_eq!(c.snoop_stats(), (0, 0), "clean line carries no pending store");
+        assert_eq!(
+            c.snoop_stats(),
+            (0, 0),
+            "clean line carries no pending store"
+        );
     }
 
     #[test]

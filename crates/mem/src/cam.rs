@@ -15,7 +15,10 @@
 /// decomposition into sense/drive overhead, match-line fan-in, and
 /// comparator depth.
 pub fn search_latency_ns(entries: usize, entry_bytes: usize) -> f64 {
-    assert!(entries > 0 && entry_bytes > 0, "CAM dimensions must be positive");
+    assert!(
+        entries > 0 && entry_bytes > 0,
+        "CAM dimensions must be positive"
+    );
     const A: f64 = 0.25; // fixed sense/drive overhead
     const B: f64 = 0.105; // per-doubling match-line cost
     const C: f64 = 0.0135; // per-tag-byte comparator cost

@@ -46,7 +46,7 @@ impl CxlDevice {
             CxlDevice::CxlPmem => 2.3,
         };
         let per_channel: f64 = total_gbps / 4.0; // GB/s
-        // 8 bytes at `per_channel` GB/s → ns = 8 / per_channel; ×2 cycles.
+                                                 // 8 bytes at `per_channel` GB/s → ns = 8 / per_channel; ×2 cycles.
         ((8.0 / per_channel) * 2.0).ceil() as u64
     }
 
@@ -62,7 +62,12 @@ impl CxlDevice {
 
     /// All four devices, in Table III order.
     pub fn all() -> [CxlDevice; 4] {
-        [CxlDevice::CxlI, CxlDevice::CxlII, CxlDevice::CxlIII, CxlDevice::CxlPmem]
+        [
+            CxlDevice::CxlI,
+            CxlDevice::CxlII,
+            CxlDevice::CxlIII,
+            CxlDevice::CxlPmem,
+        ]
     }
 }
 
@@ -260,8 +265,10 @@ mod tests {
         let c = MemConfig::table1().with_cxl(CxlDevice::CxlPmem);
         assert_eq!(c.pm_read_latency, 490, "245 ns");
         assert_eq!(c.pm_write_latency, 320, "160 ns");
-        assert!(c.pm_write_occupancy > MemConfig::table1().pm_write_occupancy / 2,
-            "PMem-class write bandwidth stays low");
+        assert!(
+            c.pm_write_occupancy > MemConfig::table1().pm_write_occupancy / 2,
+            "PMem-class write bandwidth stays low"
+        );
         // Faster devices persist faster.
         assert!(CxlDevice::CxlI.write_occupancy() < CxlDevice::CxlPmem.write_occupancy());
     }

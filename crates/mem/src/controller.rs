@@ -137,9 +137,7 @@ impl MemController {
         // FIFO order, so the frontier core's entries are never stuck
         // behind younger ones of the same core).
         let is_frontier = entry.region <= frontier;
-        if !is_frontier
-            && self.wpq.len() + self.frontier_reserve >= self.wpq.capacity()
-        {
+        if !is_frontier && self.wpq.len() + self.frontier_reserve >= self.wpq.capacity() {
             return false;
         }
         if !self.wpq.has_room() {
@@ -193,11 +191,10 @@ impl MemController {
 
         if self.mode == FlushMode::Immediate {
             // Ungated FIFO drain at channel speed.
-            loop {
-                let Some(ch) = self.channels.iter().position(|&busy| busy <= now) else {
+            while let Some(ch) = self.channels.iter().position(|&busy| busy <= now) {
+                let Some(entry) = self.wpq.take_one_oldest() else {
                     break;
                 };
-                let Some(entry) = self.wpq.take_one_oldest() else { break };
                 if entry.home {
                     pm.write_word(entry.addr, entry.val);
                 }
@@ -215,9 +212,10 @@ impl MemController {
         }
 
         // Issue as many frontier entries as channels allow this cycle.
-        loop {
-            let Some(ch) = self.channels.iter().position(|&busy| busy <= now) else { break };
-            let Some(entry) = self.wpq.take_one_of_region(frontier) else { break };
+        while let Some(ch) = self.channels.iter().position(|&busy| busy <= now) {
+            let Some(entry) = self.wpq.take_one_of_region(frontier) else {
+                break;
+            };
             if self.overflow_mode && !normal {
                 // Undo-log the old value before overwriting (§IV-D).
                 if entry.home && !entry.is_boundary {
@@ -297,7 +295,11 @@ impl MemController {
 
     /// `(entries flushed, overflow events, inserts declined in overflow)`.
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.flushed_entries, self.overflow_events, self.declined_in_overflow)
+        (
+            self.flushed_entries,
+            self.overflow_events,
+            self.declined_in_overflow,
+        )
     }
 
     /// Current undo-log depth (diagnostics).
@@ -317,7 +319,13 @@ mod tests {
     }
 
     fn data(addr: u64, region: RegionId) -> PersistEntry {
-        PersistEntry { addr, val: addr + 1, region, kind: PersistKind::Data, core: 0 }
+        PersistEntry {
+            addr,
+            val: addr + 1,
+            region,
+            kind: PersistKind::Data,
+            core: 0,
+        }
     }
 
     fn bdry(region: RegionId) -> PersistEntry {
@@ -359,7 +367,11 @@ mod tests {
         assert_eq!(k, r);
         assert_eq!(pm.peek_word(0x40), 0x41);
         assert_eq!(pm.peek_word(0x48), 0x49);
-        assert_eq!(pm.peek_word(0x1000_0100), 0xbeef, "boundary PC store persisted");
+        assert_eq!(
+            pm.peek_word(0x1000_0100),
+            0xbeef,
+            "boundary PC store persisted"
+        );
         assert_eq!(tracker.flush_frontier(), r + 1);
     }
 
@@ -496,7 +508,13 @@ mod immediate_mode_tests {
     }
 
     fn data(addr: u64, region: RegionId) -> PersistEntry {
-        PersistEntry { addr, val: addr + 1, region, kind: PersistKind::Data, core: 0 }
+        PersistEntry {
+            addr,
+            val: addr + 1,
+            region,
+            kind: PersistKind::Data,
+            core: 0,
+        }
     }
 
     /// PPA/cWSP: ungated FIFO drain, no boundary required.

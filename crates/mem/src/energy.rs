@@ -43,7 +43,10 @@ impl PowerSupply {
     /// Standard ATX PSU: calibrated so (32 cores, 16 KB) is just
     /// feasible, matching LightPC's reported limit.
     pub fn atx() -> PowerSupply {
-        PowerSupply { name: "ATX PSU", residual_joules: required_joules(32, 16 * 1024) }
+        PowerSupply {
+            name: "ATX PSU",
+            residual_joules: required_joules(32, 16 * 1024),
+        }
     }
 
     /// True if this PSU can JIT-checkpoint the given volatile state.
@@ -55,8 +58,7 @@ impl PowerSupply {
 /// Energy needed to JIT-checkpoint `cores` cores plus `volatile_bytes`
 /// of cache/DRAM state.
 pub fn required_joules(cores: u64, volatile_bytes: u64) -> f64 {
-    cores as f64 * QUIESCE_MJ_PER_CORE * 1e-3
-        + volatile_bytes as f64 * FLUSH_NJ_PER_BYTE * 1e-9
+    cores as f64 * QUIESCE_MJ_PER_CORE * 1e-3 + volatile_bytes as f64 * FLUSH_NJ_PER_BYTE * 1e-9
 }
 
 /// Energy the LightWSP battery must cover instead: the WPQ contents and

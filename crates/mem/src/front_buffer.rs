@@ -101,7 +101,13 @@ impl FrontBuffer {
 
     /// `(pushes, full-stalls, searches, search-hits, max occupancy)`.
     pub fn stats(&self) -> (u64, u64, u64, u64, usize) {
-        (self.pushes, self.full_stalls, self.searches, self.search_hits, self.max_occupancy)
+        (
+            self.pushes,
+            self.full_stalls,
+            self.searches,
+            self.search_hits,
+            self.max_occupancy,
+        )
     }
 }
 
@@ -111,7 +117,13 @@ mod tests {
     use crate::persist_path::PersistKind;
 
     fn entry(addr: u64) -> PersistEntry {
-        PersistEntry { addr, val: 0, region: 1, kind: PersistKind::Data, core: 0 }
+        PersistEntry {
+            addr,
+            val: 0,
+            region: 1,
+            kind: PersistKind::Data,
+            core: 0,
+        }
     }
 
     #[test]

@@ -161,7 +161,13 @@ mod tests {
     use super::*;
 
     fn entry(addr: u64, region: RegionId) -> PersistEntry {
-        PersistEntry { addr, val: 1, region, kind: PersistKind::Data, core: 0 }
+        PersistEntry {
+            addr,
+            val: 1,
+            region,
+            kind: PersistKind::Data,
+            core: 0,
+        }
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl PersistentMemory {
     /// PM seeded with an initial image (e.g. the machine's initial
     /// checkpoint of every thread, written at "install time").
     pub fn with_image(image: Memory) -> PersistentMemory {
-        PersistentMemory { data: image, reads: 0, writes: 0 }
+        PersistentMemory {
+            data: image,
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Durable read of the word containing `addr`.

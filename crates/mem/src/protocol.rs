@@ -37,7 +37,7 @@
 //! (§IV-F step 1), so the recovery frontier is computed from the
 //! boundary *deliveries* that had already reached the WPQs.
 
-use std::collections::HashMap;
+use lightwsp_ir::fxhash::FxHashMap;
 
 /// A region (epoch) identifier from the global hardware counter.
 ///
@@ -68,7 +68,7 @@ pub struct RegionTracker {
     commit_frontier: RegionId,
     /// Scheduled commit: `(region, flush-ACK completion cycle)`.
     pending_commit: Option<(RegionId, u64)>,
-    regions: HashMap<RegionId, RegionState>,
+    regions: FxHashMap<RegionId, RegionState>,
     committed: u64,
 }
 
@@ -88,7 +88,7 @@ impl RegionTracker {
             flush_pos: vec![1; num_mcs],
             commit_frontier: 1,
             pending_commit: None,
-            regions: HashMap::new(),
+            regions: FxHashMap::default(),
             committed: 0,
         }
     }
@@ -119,7 +119,11 @@ impl RegionTracker {
     /// Backwards-compatible alias used by gating logic: the oldest
     /// region any MC still has to flush.
     pub fn flush_frontier(&self) -> RegionId {
-        self.flush_pos.iter().copied().min().unwrap_or(self.commit_frontier)
+        self.flush_pos
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(self.commit_frontier)
     }
 
     /// Number of committed regions.
@@ -164,8 +168,7 @@ impl RegionTracker {
 
     /// True if MC `mc` may flush entries of `region` at cycle `now`.
     pub fn flushable(&self, mc: usize, region: RegionId, now: u64) -> bool {
-        region == self.flush_pos[mc]
-            && self.bdry_acked_at(region).is_some_and(|t| t <= now)
+        region == self.flush_pos[mc] && self.bdry_acked_at(region).is_some_and(|t| t <= now)
     }
 
     /// Records that `mc` finished issuing every entry of `region` at
@@ -181,7 +184,12 @@ impl RegionTracker {
             st.flush_done[mc] = Some(now);
         }
         if region == commit_frontier && st.flush_done.iter().all(Option::is_some) {
-            let max = st.flush_done.iter().map(|t| t.unwrap()).max().unwrap_or(now);
+            let max = st
+                .flush_done
+                .iter()
+                .map(|t| t.unwrap())
+                .max()
+                .unwrap_or(now);
             self.pending_commit = Some((region, max + noc));
         }
     }

@@ -27,7 +27,12 @@ impl StoreBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> StoreBuffer {
         assert!(capacity > 0, "store buffer capacity must be positive");
-        StoreBuffer { entries: VecDeque::new(), capacity, pushes: 0, full_stalls: 0 }
+        StoreBuffer {
+            entries: VecDeque::new(),
+            capacity,
+            pushes: 0,
+            full_stalls: 0,
+        }
     }
 
     /// True if another store can be accepted this cycle.
@@ -85,7 +90,13 @@ mod tests {
     use crate::persist_path::PersistKind;
 
     fn entry(addr: u64) -> PersistEntry {
-        PersistEntry { addr, val: 0, region: 1, kind: PersistKind::Data, core: 0 }
+        PersistEntry {
+            addr,
+            val: 0,
+            region: 1,
+            kind: PersistKind::Data,
+            core: 0,
+        }
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl Wpq {
     /// Panics if the queue is full (callers must check
     /// [`Wpq::has_room`]; the persist path head-of-line blocks instead).
     pub fn insert(&mut self, entry: WpqEntry) {
-        assert!(self.has_room(), "WPQ overflow must be handled by the caller");
+        assert!(
+            self.has_room(),
+            "WPQ overflow must be handled by the caller"
+        );
         self.inserts += 1;
         self.entries.push(entry);
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
@@ -156,7 +159,9 @@ impl Wpq {
     /// The §IV-D deadlock-detection bit: does the queue hold the
     /// boundary token for `region`?
     pub fn has_boundary_for(&self, region: RegionId) -> bool {
-        self.entries.iter().any(|e| e.is_boundary && e.region == region)
+        self.entries
+            .iter()
+            .any(|e| e.is_boundary && e.region == region)
     }
 
     /// Drains every entry (power-failure recovery examines and then
@@ -188,7 +193,12 @@ impl Wpq {
 
     /// `(inserts, CAM searches, CAM hits, max occupancy)`.
     pub fn stats(&self) -> (u64, u64, u64, usize) {
-        (self.inserts, self.cam_searches, self.cam_hits, self.max_occupancy)
+        (
+            self.inserts,
+            self.cam_searches,
+            self.cam_hits,
+            self.max_occupancy,
+        )
     }
 
     /// Mean occupancy across sampled cycles.
@@ -206,11 +216,25 @@ mod tests {
     use super::*;
 
     fn data(addr: u64, region: RegionId) -> WpqEntry {
-        WpqEntry { addr, val: addr + 1, region, is_boundary: false, home: true, core: 0 }
+        WpqEntry {
+            addr,
+            val: addr + 1,
+            region,
+            is_boundary: false,
+            home: true,
+            core: 0,
+        }
     }
 
     fn boundary(region: RegionId) -> WpqEntry {
-        WpqEntry { addr: 0x1000_0100, val: 0, region, is_boundary: true, home: true, core: 0 }
+        WpqEntry {
+            addr: 0x1000_0100,
+            val: 0,
+            region,
+            is_boundary: true,
+            home: true,
+            core: 0,
+        }
     }
 
     #[test]
@@ -236,7 +260,10 @@ mod tests {
         q.insert(data(8, 2));
         q.insert(data(16, 1));
         let taken = q.take_region(1, 10);
-        assert_eq!(taken.iter().map(|e| e.addr).collect::<Vec<_>>(), vec![0, 16]);
+        assert_eq!(
+            taken.iter().map(|e| e.addr).collect::<Vec<_>>(),
+            vec![0, 16]
+        );
         assert_eq!(q.len(), 1);
         assert_eq!(q.count_region(2), 1);
     }

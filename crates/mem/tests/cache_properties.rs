@@ -15,7 +15,11 @@ struct RefLru {
 
 impl RefLru {
     fn new(sets: usize, ways: usize, line: u64) -> RefLru {
-        RefLru { sets: vec![VecDeque::new(); sets], ways, line }
+        RefLru {
+            sets: vec![VecDeque::new(); sets],
+            ways,
+            line,
+        }
     }
 
     /// Returns true on hit.

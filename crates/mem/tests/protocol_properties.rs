@@ -27,7 +27,11 @@ struct CoreScript {
 
 fn core_script() -> impl Strategy<Value = CoreScript> {
     (1u32..6, 1u32..12, 0u64..u64::MAX).prop_map(|(regions, stores_per_region, addr_seed)| {
-        CoreScript { regions, stores_per_region, addr_seed }
+        CoreScript {
+            regions,
+            stores_per_region,
+            addr_seed,
+        }
     })
 }
 
@@ -36,8 +40,9 @@ fn core_script() -> impl Strategy<Value = CoreScript> {
 fn run_schedule(scripts: Vec<CoreScript>, interleave_seed: u64) -> Result<(), TestCaseError> {
     let cfg = MemConfig::table1();
     let mut tracker = RegionTracker::new(cfg.num_mcs, cfg.noc_latency);
-    let mut mcs: Vec<MemController> =
-        (0..cfg.num_mcs).map(|i| MemController::new(i, &cfg)).collect();
+    let mut mcs: Vec<MemController> = (0..cfg.num_mcs)
+        .map(|i| MemController::new(i, &cfg))
+        .collect();
     let mut pm = PersistentMemory::new();
 
     // Build each core's in-order stream: per region, stores then the
@@ -60,7 +65,9 @@ fn run_schedule(scripts: Vec<CoreScript>, interleave_seed: u64) -> Result<(), Te
             let region = tracker.alloc_region();
             let s = &mut streams[core];
             for _ in 0..sc.stores_per_region {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let addr = 0x4000_0000 + (x >> 20) % 0x10000 * 8;
                 s.items.push(PersistEntry {
                     addr,
@@ -104,9 +111,17 @@ fn run_schedule(scripts: Vec<CoreScript>, interleave_seed: u64) -> Result<(), Te
             }
         }
         if let Some(k) = tracker.tick(now) {
-            prop_assert!(k > last_commit, "commit order violated: {k} after {last_commit}");
             prop_assert!(
-                tracker.survivable_regions().first().copied().unwrap_or(k + 1) > k,
+                k > last_commit,
+                "commit order violated: {k} after {last_commit}"
+            );
+            prop_assert!(
+                tracker
+                    .survivable_regions()
+                    .first()
+                    .copied()
+                    .unwrap_or(k + 1)
+                    > k,
                 "committed region still listed as pending"
             );
             last_commit = k;
@@ -131,11 +146,11 @@ fn run_schedule(scripts: Vec<CoreScript>, interleave_seed: u64) -> Result<(), Te
                 PersistKind::Boundary => {
                     let home = cfg.mc_of(e.addr);
                     let mut all = true;
-                    for m in 0..mcs.len() {
+                    for (m, mc) in mcs.iter_mut().enumerate() {
                         if s.bdry_progress[m] {
                             continue;
                         }
-                        if mcs[m].try_insert(&e, m == home, now, &mut tracker) {
+                        if mc.try_insert(&e, m == home, now, &mut tracker) {
                             s.bdry_progress[m] = true;
                         } else {
                             all = false;

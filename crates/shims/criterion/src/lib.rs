@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so `[[bench]]` targets
+//! (`harness = false`) link against this shim instead. It implements the
+//! API subset the repository's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a simple
+//! calibrated-timing loop instead of criterion's statistical machinery.
+//!
+//! Output format (one line per benchmark, machine-greppable):
+//!
+//! ```text
+//! bench: <name> ... <median> ns/iter (best <best>, iters <n>x<batches>)
+//! ```
+//!
+//! Environment knobs: `BENCH_TARGET_MS` (per-benchmark measurement
+//! budget, default 250 ms), `BENCH_BATCHES` (sample count, default 11).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost (accepted for compatibility;
+/// the shim re-runs setup per iteration regardless, outside the timed
+/// section).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to group functions.
+#[derive(Debug)]
+pub struct Criterion {
+    target: Duration,
+    batches: u32,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let target_ms = std::env::var("BENCH_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(250u64);
+        let batches = std::env::var("BENCH_BATCHES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(11u32);
+        // `cargo bench -- <filter>`: first non-flag argument filters
+        // benchmark names (substring match), as criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            target: Duration::from_millis(target_ms),
+            batches: batches.max(3),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration: grow the iteration count until one batch costs
+        // roughly target/batches.
+        let per_batch = self.target / self.batches;
+        loop {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed >= per_batch || b.iters >= 1 << 30 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                16
+            } else {
+                (per_batch.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            b.iters = b.iters.saturating_mul(grow);
+        }
+        // Measurement: `batches` samples of `iters` iterations.
+        b.mode = Mode::Measure;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.batches as usize);
+        for _ in 0..self.batches {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples.sort_by(|a, c| a.total_cmp(c));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!(
+            "bench: {name:<40} {median:>12.1} ns/iter (best {best:.1}, iters {}x{})",
+            b.iters, self.batches
+        );
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Runs the timed closure; handed to the `bench_function` callback.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let _ = self.mode;
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; setup
+    /// runs outside the timed section.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        std::env::set_var("BENCH_TARGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0, "routine never ran");
+    }
+
+    #[test]
+    fn iter_batched_fresh_input_per_iteration() {
+        std::env::set_var("BENCH_TARGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, runs, "one setup per routine run");
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace maps the `rand` dependency onto this in-repo shim. It
+//! implements the small API subset the workload generator uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_bool`],
+//! [`Rng::gen_range`] — on top of a SplitMix64 core.
+//!
+//! Determinism is the only contract: the same seed always yields the
+//! same stream (workload generation must be reproducible run-to-run and
+//! machine-to-machine). The stream intentionally does **not** match
+//! upstream rand's ChaCha-based `StdRng`; nothing in this repository
+//! depends on the upstream bit stream.
+
+/// Seedable random sources.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling API used by the workload generator.
+pub trait Rng {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits → [0, 1).
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Uniform sample from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let width = (range.end as i128 - range.start as i128) as u128;
+        // Modulo bias is ≤ width/2⁶⁴, far below what synthetic workload
+        // shaping can observe; determinism is what matters here.
+        let r = (self.next_u64() as u128) % width;
+        (range.start as i128 + r as i128) as i64
+    }
+}
+
+/// Random number generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator (stand-in for rand's StdRng).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele et al.): passes BigCrush, one u64 of
+            // state, and trivially portable.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!((0..64).all(|_| !r.gen_bool(0.0)));
+        assert!((0..64).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = r.gen_range(0..8);
+            assert!((0..8).contains(&v));
+        }
+        let v = r.gen_range(-5..-4);
+        assert_eq!(v, -5);
+    }
+}

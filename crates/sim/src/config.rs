@@ -43,7 +43,10 @@ impl Scheme {
 
     /// True if stores are duplicated onto the persist path.
     pub fn uses_persist_path(self) -> bool {
-        matches!(self, Scheme::LightWsp | Scheme::Capri | Scheme::Ppa | Scheme::Cwsp)
+        matches!(
+            self,
+            Scheme::LightWsp | Scheme::Capri | Scheme::Ppa | Scheme::Cwsp
+        )
     }
 
     /// True if the DRAM cache sits in front of PM (all but ideal PSP).

@@ -27,6 +27,7 @@ use crate::config::{Scheme, SimConfig};
 use crate::stats::SimStats;
 use crate::trace::RegionTraceLog;
 use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_ir::fxhash::FxHashMap;
 use lightwsp_ir::reg::NUM_REGS;
 use lightwsp_ir::{layout, DynEvent, Interp, Memory, Program, Reg, StoreKind};
 use lightwsp_mem::cache::{DirectMappedCache, SetAssocCache, VictimPolicy};
@@ -37,7 +38,6 @@ use lightwsp_mem::pm::PersistentMemory;
 use lightwsp_mem::store_buffer::StoreBuffer;
 use lightwsp_mem::wpq::WpqEntry;
 use lightwsp_mem::{MemController, RegionId, RegionTracker};
-use std::collections::HashMap;
 
 /// What the §IV-F recovery protocol did at a power failure.
 #[derive(Clone, Debug, Default)]
@@ -108,8 +108,8 @@ struct CoreCtx {
 /// The simulated machine.
 pub struct Machine {
     cfg: SimConfig,
-    program: Program,
-    recipes: RecoveryRecipes,
+    program: std::sync::Arc<Program>,
+    recipes: std::sync::Arc<RecoveryRecipes>,
     threads: Vec<ThreadCtx>,
     cores: Vec<CoreCtx>,
     l2: SetAssocCache,
@@ -120,7 +120,7 @@ pub struct Machine {
     vmem: Memory,
     now: u64,
     stats: SimStats,
-    region_broadcast_at: HashMap<RegionId, u64>,
+    region_broadcast_at: FxHashMap<RegionId, u64>,
     flushed_scratch: Vec<WpqEntry>,
     /// Region-lifetime trace (enabled via `SimConfig::trace_regions`).
     trace: RegionTraceLog,
@@ -140,15 +140,22 @@ impl Machine {
     /// Builds a machine running `num_threads` copies of `program`'s
     /// entry function (thread id in `r0` differentiates them).
     ///
+    /// Accepts the program and recipes either by value or as
+    /// pre-shared `Arc`s — the parallel campaign runner compiles each
+    /// workload once and hands the same `Arc` to every scheme's
+    /// machine, so construction never deep-copies a program.
+    ///
     /// # Panics
     ///
     /// Panics if `num_threads` is zero.
     pub fn new(
-        program: Program,
-        recipes: RecoveryRecipes,
+        program: impl Into<std::sync::Arc<Program>>,
+        recipes: impl Into<std::sync::Arc<RecoveryRecipes>>,
         cfg: SimConfig,
         num_threads: usize,
     ) -> Machine {
+        let program: std::sync::Arc<Program> = program.into();
+        let recipes: std::sync::Arc<RecoveryRecipes> = recipes.into();
         assert!(num_threads > 0, "need at least one thread");
         let mem = &cfg.mem;
         let mut vmem = Memory::new();
@@ -183,10 +190,7 @@ impl Machine {
             .map(|_| CoreCtx {
                 sb: StoreBuffer::new(mem.store_buffer_entries),
                 feb: FrontBuffer::new(mem.front_buffer_entries),
-                path: PersistPath::new(
-                    mem.persist_path_latency,
-                    mem.persist_path_cycles_per_entry,
-                ),
+                path: PersistPath::new(mem.persist_path_latency, mem.persist_path_cycles_per_entry),
                 l1: SetAssocCache::new(mem.l1_sets(), mem.l1_ways, mem.line_bytes),
                 stall_until: 0,
                 wait_for_commit: None,
@@ -204,8 +208,9 @@ impl Machine {
 
         let tracker = RegionTracker::new(mem.num_mcs, mem.noc_latency);
 
-        let mut mcs: Vec<MemController> =
-            (0..mem.num_mcs).map(|i| MemController::new(i, mem)).collect();
+        let mut mcs: Vec<MemController> = (0..mem.num_mcs)
+            .map(|i| MemController::new(i, mem))
+            .collect();
         for mc in &mut mcs {
             mc.set_mode(cfg.scheme.flush_mode());
             if cfg.scheme == Scheme::Cwsp {
@@ -226,7 +231,7 @@ impl Machine {
             vmem,
             now: 0,
             stats: SimStats::default(),
-            region_broadcast_at: HashMap::new(),
+            region_broadcast_at: FxHashMap::default(),
             flushed_scratch: Vec::new(),
             trace: RegionTraceLog::new(cfg.trace_regions),
             io_log: Vec::new(),
@@ -347,8 +352,7 @@ impl Machine {
         for mc in &self.mcs {
             self.stats.wpq_overflows += mc.stats().1;
             occ_sum += mc.wpq().mean_occupancy();
-            self.stats.wpq_max_occupancy =
-                self.stats.wpq_max_occupancy.max(mc.wpq().stats().3);
+            self.stats.wpq_max_occupancy = self.stats.wpq_max_occupancy.max(mc.wpq().stats().3);
         }
         self.stats.wpq_mean_occupancy = occ_sum / self.mcs.len().max(1) as f64;
         self.stats.io_ops = self.io_log.len() as u64;
@@ -443,8 +447,7 @@ impl Machine {
                         if self.cores[ci].bdry_progress[m] {
                             continue;
                         }
-                        if self.mcs[m].try_insert(&head, m == home_mc, now, &mut self.tracker)
-                        {
+                        if self.mcs[m].try_insert(&head, m == home_mc, now, &mut self.tracker) {
                             self.cores[ci].bdry_progress[m] = true;
                         } else {
                             all_in = false;
@@ -508,7 +511,9 @@ impl Machine {
     /// persist-path schemes, §IV-G — the persist path already carried
     /// the data).
     fn writeback(&mut self, addr: u64) {
-        let res = self.l2.access(addr, true, VictimPolicy::StaleLoad, |_| false);
+        let res = self
+            .l2
+            .access(addr, true, VictimPolicy::StaleLoad, |_| false);
         if let Some((evicted, true)) = res.evicted {
             if self.cfg.scheme.uses_dram_cache() {
                 self.dram.access(evicted, true);
@@ -544,7 +549,9 @@ impl Machine {
         }
         let now = self.now;
         let l2_wait = Self::contend(&mut self.l2_free, now, self.cfg.mem.l2_occupancy);
-        let l2res = self.l2.access(addr, false, VictimPolicy::StaleLoad, |_| false);
+        let l2res = self
+            .l2
+            .access(addr, false, VictimPolicy::StaleLoad, |_| false);
         if let Some((evicted, true)) = l2res.evicted {
             if self.cfg.scheme.uses_dram_cache() {
                 self.dram.access(evicted, true);
@@ -566,8 +573,7 @@ impl Machine {
         }
         // LLC miss → PM, with the WPQ CAM search of §IV-H.
         self.stats.llc_load_misses += 1;
-        let pm_wait =
-            Self::contend(&mut self.pm_read_free, now, self.cfg.mem.pm_read_occupancy);
+        let pm_wait = Self::contend(&mut self.pm_read_free, now, self.cfg.mem.pm_read_occupancy);
         let mut lat = self.cfg.mem.l2_latency
             + l2_wait
             + self.cfg.mem.dram_cache_latency
@@ -588,9 +594,7 @@ impl Machine {
             if self.cfg.victim_policy == VictimPolicy::StaleLoad {
                 let core = &mut self.cores[ci];
                 let CoreCtx { feb, path, .. } = core;
-                if feb.search_line(addr, line_bytes)
-                    || path.conflicts_with_line(addr, line_bytes)
-                {
+                if feb.search_line(addr, line_bytes) || path.conflicts_with_line(addr, line_bytes) {
                     self.stats.stale_loads += 1;
                     lat += self.cfg.mem.persist_path_latency + self.cfg.mem.pm_read_latency;
                 }
@@ -689,12 +693,14 @@ impl Machine {
             }
         }
 
-        let gated = self.cfg.scheme.uses_persist_path()
-            && self.cfg.scheme.flush_mode() == FlushMode::Gated;
+        let gated =
+            self.cfg.scheme.uses_persist_path() && self.cfg.scheme.flush_mode() == FlushMode::Gated;
 
         let mut slots = self.cfg.width;
         while slots > 0 {
-            let Some(tid) = self.pick_thread(ci, now) else { break };
+            let Some(tid) = self.pick_thread(ci, now) else {
+                break;
+            };
 
             // Persist back-pressure: a full store buffer blocks retire.
             if !self.cores[ci].sb.has_room() {
@@ -705,8 +711,7 @@ impl Machine {
             // Liveness: force-end regions that have been open too long.
             if gated
                 && self.threads[tid].cur_region.is_some()
-                && now.saturating_sub(self.threads[tid].region_open_since)
-                    > self.cfg.region_timeout
+                && now.saturating_sub(self.threads[tid].region_open_since) > self.cfg.region_timeout
             {
                 // Synthetic boundaries release the region's stores for
                 // persistence but do NOT create a new recovery point:
@@ -861,8 +866,7 @@ impl Machine {
             let th = &self.threads[cur_tid];
             !th.halted && th.spin_until <= now
         };
-        let quantum_expired = now.saturating_sub(self.cores[ci].last_switch)
-            >= self.cfg.timeslice;
+        let quantum_expired = now.saturating_sub(self.cores[ci].last_switch) >= self.cfg.timeslice;
         let at_safe_point = self.threads[cur_tid].cur_region.is_none();
         if cur_runnable && !(quantum_expired && at_safe_point && n > 1) {
             return Some(cur_tid);

@@ -202,7 +202,11 @@ mod tests {
     fn efficiency_clamps_and_handles_zero() {
         let s = SimStats::default();
         assert_eq!(s.persistence_efficiency(), 100.0);
-        let s2 = SimStats { tp_estimate: 10, stall_boundary_wait: 50, ..SimStats::default() };
+        let s2 = SimStats {
+            tp_estimate: 10,
+            stall_boundary_wait: 50,
+            ..SimStats::default()
+        };
         assert_eq!(s2.persistence_efficiency(), 0.0, "Twait clamped to Tp");
     }
 }

@@ -4,8 +4,8 @@
 use crate::config::{Scheme, SimConfig};
 use crate::consistency;
 use crate::machine::{Completion, Machine};
-use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 use lightwsp_compiler::prune::RecoveryRecipes;
+use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 use lightwsp_ir::builder::FuncBuilder;
 use lightwsp_ir::inst::{AluOp, Cond};
 use lightwsp_ir::{layout, Program, Reg};
@@ -90,7 +90,11 @@ fn uninstrumented(p: &Program) -> Compiled {
 }
 
 fn run_scheme(p: &Program, scheme: Scheme) -> (Completion, Machine) {
-    let compiled = if scheme.is_instrumented() { compile(p) } else { uninstrumented(p) };
+    let compiled = if scheme.is_instrumented() {
+        compile(p)
+    } else {
+        uninstrumented(p)
+    };
     let cfg = SimConfig::new(scheme);
     let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
     let c = m.run();
@@ -107,7 +111,10 @@ fn baseline_completes_and_counts() {
     assert!(s.cycles > 0 && s.ipc() > 0.1);
     // The sum of 3*i for i in 0..64.
     let sum: u64 = (0..64).map(|i| 3 * i).sum();
-    assert_eq!(m.volatile_contents().read_word(layout::HEAP_BASE + 0x10000), sum);
+    assert_eq!(
+        m.volatile_contents().read_word(layout::HEAP_BASE + 0x10000),
+        sum
+    );
 }
 
 #[test]
@@ -118,11 +125,21 @@ fn lightwsp_completes_drains_and_matches_architectural_state() {
     assert!(m.drained());
     // Drain property: every store persisted.
     let diff = m.pm_contents().first_difference(m.volatile_contents());
-    assert_eq!(diff, None, "PM and architectural state must agree at completion");
+    assert_eq!(
+        diff, None,
+        "PM and architectural state must agree at completion"
+    );
     let s = m.stats();
     assert!(s.regions > 0);
-    assert_eq!(s.regions_committed as i64 - s.regions as i64, 0, "all regions committed");
-    assert!(s.instrumentation_insts > 0, "boundaries + checkpoints retired");
+    assert_eq!(
+        s.regions_committed as i64 - s.regions as i64,
+        0,
+        "all regions committed"
+    );
+    assert!(
+        s.instrumentation_insts > 0,
+        "boundaries + checkpoints retired"
+    );
 }
 
 #[test]
@@ -132,7 +149,7 @@ fn lightwsp_overhead_is_modest() {
     let (_, lwsp) = run_scheme(&p, Scheme::LightWsp);
     let slowdown = lwsp.stats().cycles as f64 / base.stats().cycles as f64;
     assert!(
-        slowdown >= 0.95 && slowdown < 1.6,
+        (0.95..1.6).contains(&slowdown),
         "LightWSP slowdown out of plausible range: {slowdown:.3}"
     );
 }
@@ -142,7 +159,10 @@ fn capri_waits_at_boundaries() {
     let p = array_workload(128);
     let (c, m) = run_scheme(&p, Scheme::Capri);
     assert_eq!(c, Completion::Finished);
-    assert!(m.stats().stall_boundary_wait > 0, "stop-and-wait must stall");
+    assert!(
+        m.stats().stall_boundary_wait > 0,
+        "stop-and-wait must stall"
+    );
     // Capri should be slower than LightWSP on a store-heavy loop.
     let (_, lwsp) = run_scheme(&p, Scheme::LightWsp);
     assert!(m.stats().cycles > lwsp.stats().cycles);
@@ -191,7 +211,10 @@ fn psp_ideal_pays_pm_latency() {
     );
     assert_eq!(psp.run(), Completion::Finished);
     let slowdown = psp.stats().cycles as f64 / base.stats().cycles as f64;
-    assert!(slowdown > 1.2, "PSP slowdown {slowdown:.3} should be significant");
+    assert!(
+        slowdown > 1.2,
+        "PSP slowdown {slowdown:.3} should be significant"
+    );
 }
 
 #[test]
@@ -199,7 +222,10 @@ fn lightwsp_efficiency_is_high_single_thread() {
     let p = array_workload(256);
     let (_, m) = run_scheme(&p, Scheme::LightWsp);
     let eff = m.stats().persistence_efficiency();
-    assert!(eff > 95.0, "LRPO should hide nearly all persistence: {eff:.2}%");
+    assert!(
+        eff > 95.0,
+        "LRPO should hide nearly all persistence: {eff:.2}%"
+    );
 }
 
 #[test]
@@ -210,7 +236,10 @@ fn region_stats_are_sane() {
     let ipr = s.insts_per_region();
     let spr = s.stores_per_region();
     assert!(ipr > 1.0 && ipr < 500.0, "insts/region {ipr}");
-    assert!(spr >= 1.0 && spr <= 33.0, "stores/region {spr} bounded by threshold");
+    assert!(
+        (1.0..=33.0).contains(&spr),
+        "stores/region {spr} bounded by threshold"
+    );
 }
 
 #[test]
@@ -218,8 +247,7 @@ fn power_failure_recovery_single_thread() {
     let p = array_workload(64);
     let compiled = compile(&p);
     let cfg = SimConfig::new(Scheme::LightWsp);
-    let report =
-        consistency::check_crash_consistency(&compiled, &cfg, 1, &[300]).unwrap();
+    let report = consistency::check_crash_consistency(&compiled, &cfg, 1, &[300]).unwrap();
     assert!(report.failures <= 1);
     assert!(report.words_compared > 64);
 }
@@ -282,7 +310,10 @@ fn more_threads_than_cores_multiplexes() {
     let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 6);
     assert_eq!(m.run(), Completion::Finished);
     let expect: u64 = (0..6u64).map(|t| 3 * (t + 1)).sum();
-    assert_eq!(m.volatile_contents().read_word(layout::HEAP_BASE + 0x8000), expect);
+    assert_eq!(
+        m.volatile_contents().read_word(layout::HEAP_BASE + 0x8000),
+        expect
+    );
 }
 
 #[test]
@@ -300,8 +331,7 @@ fn smaller_wpq_is_not_faster() {
     let compiled = compile(&p);
     let mut small = SimConfig::new(Scheme::LightWsp);
     small.mem = small.mem.with_wpq_entries(16);
-    let mut m_small =
-        Machine::new(compiled.program.clone(), compiled.recipes.clone(), small, 1);
+    let mut m_small = Machine::new(compiled.program.clone(), compiled.recipes.clone(), small, 1);
     assert_eq!(m_small.run(), Completion::Finished);
 
     let big = SimConfig::new(Scheme::LightWsp);
@@ -316,8 +346,7 @@ fn lower_persist_bandwidth_is_not_faster() {
     let compiled = compile(&p);
     let mut slow = SimConfig::new(Scheme::LightWsp);
     slow.mem = slow.mem.with_persist_bandwidth_gbps(1);
-    let mut m_slow =
-        Machine::new(compiled.program.clone(), compiled.recipes.clone(), slow, 1);
+    let mut m_slow = Machine::new(compiled.program.clone(), compiled.recipes.clone(), slow, 1);
     assert_eq!(m_slow.run(), Completion::Finished);
 
     let fast = SimConfig::new(Scheme::LightWsp);
@@ -424,10 +453,17 @@ fn io_operations_bounded_replay() {
     let mut strictly: Vec<u64> = dedup.clone();
     strictly.sort_unstable();
     strictly.dedup();
-    assert_eq!(strictly, (0..20).collect::<Vec<u64>>(), "all ops performed: {vals:?}");
+    assert_eq!(
+        strictly,
+        (0..20).collect::<Vec<u64>>(),
+        "all ops performed: {vals:?}"
+    );
     // Replay window: values never regress by more than the interrupted
     // region (monotone non-decreasing after dedup within one recovery).
     for w in dedup.windows(2) {
-        assert!(w[1] >= w[0] || w[1] == 0 || w[1] < 20, "order anomaly: {dedup:?}");
+        assert!(
+            w[1] >= w[0] || w[1] == 0 || w[1] < 20,
+            "order anomaly: {dedup:?}"
+        );
     }
 }

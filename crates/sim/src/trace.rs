@@ -7,8 +7,8 @@
 //! (flush-ACKs complete). The gaps between those timestamps are exactly
 //! the latencies LRPO hides from the core.
 
+use lightwsp_ir::fxhash::FxHashMap;
 use lightwsp_mem::RegionId;
-use std::collections::HashMap;
 
 /// One region's observed timeline (cycle stamps; `None` = not reached).
 #[derive(Clone, Copy, Debug, Default)]
@@ -41,13 +41,17 @@ impl RegionTimeline {
 pub struct RegionTraceLog {
     enabled: bool,
     capacity: usize,
-    map: HashMap<RegionId, RegionTimeline>,
+    map: FxHashMap<RegionId, RegionTimeline>,
 }
 
 impl RegionTraceLog {
     /// Creates a log capturing up to `capacity` regions (0 disables).
     pub fn new(capacity: usize) -> RegionTraceLog {
-        RegionTraceLog { enabled: capacity > 0, capacity, map: HashMap::new() }
+        RegionTraceLog {
+            enabled: capacity > 0,
+            capacity,
+            map: FxHashMap::default(),
+        }
     }
 
     /// True if tracing is active.
@@ -112,8 +116,11 @@ impl RegionTraceLog {
 
     /// Percentile of persist latency over completed regions (p in 0..=100).
     pub fn persist_latency_percentile(&self, p: u32) -> Option<u64> {
-        let mut lats: Vec<u64> =
-            self.map.values().filter_map(RegionTimeline::persist_latency).collect();
+        let mut lats: Vec<u64> = self
+            .map
+            .values()
+            .filter_map(RegionTimeline::persist_latency)
+            .collect();
         if lats.is_empty() {
             return None;
         }

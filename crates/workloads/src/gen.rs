@@ -62,7 +62,14 @@ impl Suite {
 
     /// All suites in figure order.
     pub fn all() -> [Suite; 6] {
-        [Suite::Cpu2006, Suite::Cpu2017, Suite::Stamp, Suite::Npb, Suite::Splash3, Suite::Whisper]
+        [
+            Suite::Cpu2006,
+            Suite::Cpu2017,
+            Suite::Stamp,
+            Suite::Npb,
+            Suite::Splash3,
+            Suite::Whisper,
+        ]
     }
 }
 
@@ -149,7 +156,12 @@ impl WorkloadSpec {
         let ws_words = (self.working_set / 8).next_power_of_two();
         main.mov_imm(base, layout::HEAP_BASE as i64);
         // base += tid * working_set
-        main.alu_imm(AluOp::Shl, v1, Reg::R0, 63 - (self.working_set.next_power_of_two().leading_zeros() as i64));
+        main.alu_imm(
+            AluOp::Shl,
+            v1,
+            Reg::R0,
+            63 - (self.working_set.next_power_of_two().leading_zeros() as i64),
+        );
         main.alu(AluOp::Add, base, base, v1);
         main.mov_imm(mask, ((ws_words - 1) * 8) as i64);
         main.mov_imm(shared, (layout::HEAP_BASE - 0x1000) as i64);
@@ -189,7 +201,7 @@ impl WorkloadSpec {
         // Each phase starts at a rotated offset so repeated walks reuse
         // cache contents across phases (warm DRAM cache, as in memory
         // mode).
-        let start = (rng.gen_range(0..8) * 64) as i64;
+        let start = rng.gen_range(0..8) * 64;
         main.alu_imm(AluOp::Add, cursor, base, start);
 
         let header = main.new_block();
@@ -222,12 +234,21 @@ impl WorkloadSpec {
         for l in 0..self.loads_per_iter {
             // Sequential kernels re-touch the streamed line; random
             // (pointer-chasing) kernels touch distinct lines per load.
-            let off = if sequential { (l as i64 % 4) * 8 } else { l as i64 * 64 };
+            let off = if sequential {
+                (l as i64 % 4) * 8
+            } else {
+                l as i64 * 64
+            };
             main.load(v1, v2, off);
         }
         for a in 0..self.alu_per_iter {
             match a % 3 {
-                0 => main.alu(AluOp::Add, accs[(a as usize) % 4], accs[(a as usize) % 4], v1),
+                0 => main.alu(
+                    AluOp::Add,
+                    accs[(a as usize) % 4],
+                    accs[(a as usize) % 4],
+                    v1,
+                ),
                 1 => main.alu_imm(AluOp::Xor, v1, v1, 0x2b),
                 _ => main.alu_imm(AluOp::Shr, v1, v1, 1),
             }
@@ -251,8 +272,8 @@ impl WorkloadSpec {
         // critical sections run afterwards — `iters/sync_every`
         // commutative adds to lock-striped shared counters, exactly as
         // a kernel-then-reduce parallel application does.
-        if self.sync_every > 0 {
-            let rounds = (self.iters_per_phase / self.sync_every).max(1);
+        if let Some(rounds) = self.iters_per_phase.checked_div(self.sync_every) {
+            let rounds = rounds.max(1);
             let sheader = main.new_block();
             let safter = main.new_block();
             main.mov_imm(idx, 0);

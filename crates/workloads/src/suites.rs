@@ -68,13 +68,24 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
         spec("h264ref", Cpu2006, 102, 3, 1, 8, 128 * KB, 0.85, 2, 0),
         spec("hmmer", Cpu2006, 103, 2, 1, 9, 64 * KB, 0.90, 0, 0),
         streaming(spec("lbm", Cpu2006, 104, 3, 2, 5, 4 * MB, 0.90, 0, 0)),
-        streaming(spec("libquantum", Cpu2006, 105, 1, 2, 5, 4 * MB, 0.95, 0, 0)),
+        streaming(spec(
+            "libquantum",
+            Cpu2006,
+            105,
+            1,
+            2,
+            5,
+            4 * MB,
+            0.95,
+            0,
+            0,
+        )),
         spec("mcf", Cpu2006, 106, 4, 1, 4, 2 * MB, 0.15, 0, 0),
         streaming(spec("milc", Cpu2006, 107, 3, 2, 6, 3 * MB, 0.70, 0, 0)),
         spec("namd", Cpu2006, 108, 2, 1, 12, 256 * KB, 0.85, 2, 0),
         // ---- SPEC CPU2017 (single-threaded) --------------------------
         spec("deepsjeng", Cpu2017, 201, 3, 1, 7, 256 * KB, 0.55, 3, 0),
-        spec("imagick", Cpu2017, 202, 2, 1, 10, 1 * MB, 0.85, 2, 0),
+        spec("imagick", Cpu2017, 202, 2, 1, 10, MB, 0.85, 2, 0),
         streaming(spec("lbm17", Cpu2017, 203, 3, 2, 5, 4 * MB, 0.90, 0, 0)),
         spec("leela", Cpu2017, 204, 3, 1, 8, 128 * KB, 0.60, 3, 0),
         spec("nab", Cpu2017, 205, 2, 1, 10, 512 * KB, 0.80, 2, 0),
@@ -82,12 +93,12 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
         spec("xz", Cpu2017, 207, 3, 1, 6, 2 * MB, 0.50, 0, 0),
         // ---- STAMP (multi-threaded) ----------------------------------
         spec("intruder", Stamp, 301, 3, 1, 6, 512 * KB, 0.45, 0, 16),
-        spec("labyrinth", Stamp, 302, 3, 2, 6, 1 * MB, 0.60, 0, 32),
+        spec("labyrinth", Stamp, 302, 3, 2, 6, MB, 0.60, 0, 32),
         spec("ssca2", Stamp, 303, 3, 1, 5, 2 * MB, 0.25, 0, 16),
-        spec("vacation", Stamp, 304, 3, 1, 6, 1 * MB, 0.40, 0, 16),
+        spec("vacation", Stamp, 304, 3, 1, 6, MB, 0.40, 0, 16),
         // ---- NPB (multi-threaded) ------------------------------------
         spec("cg", Npb, 401, 3, 1, 7, 2 * MB, 0.45, 0, 64),
-        spec("ep", Npb, 402, 2, 1, 14, 1 * MB, 0.60, 0, 128),
+        spec("ep", Npb, 402, 2, 1, 14, MB, 0.60, 0, 128),
         spec("is", Npb, 403, 2, 2, 4, 2 * MB, 0.35, 0, 64),
         streaming(spec("ft", Npb, 404, 3, 2, 6, 3 * MB, 0.70, 0, 64)),
         spec("lu", Npb, 405, 3, 1, 8, 2 * MB, 0.55, 0, 64),
@@ -97,23 +108,26 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
         spec("cholesky", Splash3, 501, 3, 1, 8, 2 * MB, 0.50, 0, 32),
         spec("fft", Splash3, 502, 3, 2, 7, 2 * MB, 0.55, 0, 64),
         spec("radix", Splash3, 503, 2, 2, 4, 2 * MB, 0.30, 0, 64),
-        spec("barnes", Splash3, 504, 4, 1, 7, 1 * MB, 0.40, 0, 32),
+        spec("barnes", Splash3, 504, 4, 1, 7, MB, 0.40, 0, 32),
         spec("raytrace", Splash3, 505, 4, 1, 8, 512 * KB, 0.35, 0, 32),
-        spec("lu-cg", Splash3, 506, 3, 1, 8, 1 * MB, 0.80, 0, 64),
+        spec("lu-cg", Splash3, 506, 3, 1, 8, MB, 0.80, 0, 64),
         spec("lu-ncg", Splash3, 507, 3, 1, 8, 2 * MB, 0.50, 0, 64),
         streaming(spec("ocean-cg", Splash3, 508, 3, 2, 6, 3 * MB, 0.70, 0, 64)),
-        spec("water-ns", Splash3, 509, 2, 1, 11, 1 * MB, 0.60, 0, 32),
-        spec("water-sp", Splash3, 510, 2, 1, 11, 1 * MB, 0.55, 0, 32),
+        spec("water-ns", Splash3, 509, 2, 1, 11, MB, 0.60, 0, 32),
+        spec("water-sp", Splash3, 510, 2, 1, 11, MB, 0.55, 0, 32),
         // ---- WHISPER (multi-threaded, write-intensive) ---------------
         spec("rb", Whisper, 601, 4, 3, 8, 2 * MB, 0.30, 0, 16),
-        spec("tatp", Whisper, 602, 4, 2, 8, 1 * MB, 0.35, 0, 16),
+        spec("tatp", Whisper, 602, 4, 2, 8, MB, 0.35, 0, 16),
         spec("tpcc", Whisper, 603, 4, 3, 9, 2 * MB, 0.30, 0, 16),
     ]
 }
 
 /// The workloads of one suite, in figure order.
 pub fn suite_workloads(suite: Suite) -> Vec<WorkloadSpec> {
-    all_workloads().into_iter().filter(|w| w.suite == suite).collect()
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.suite == suite)
+        .collect()
 }
 
 /// Looks up a workload by its paper name.
@@ -160,10 +174,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 39, "entry names must be unique");
-        let distinct_apps = names
-            .iter()
-            .filter(|n| **n != "lbm17")
-            .count();
+        let distinct_apps = names.iter().filter(|n| **n != "lbm17").count();
         assert_eq!(distinct_apps, 38, "38 distinct applications");
     }
 
@@ -193,7 +204,10 @@ mod tests {
     #[test]
     fn memory_intensive_subset_matches_fig9() {
         let names: Vec<&str> = memory_intensive().iter().map(|w| w.name).collect();
-        assert_eq!(names, vec!["lbm", "libquantum", "milc", "rb", "tatp", "tpcc"]);
+        assert_eq!(
+            names,
+            vec!["lbm", "libquantum", "milc", "rb", "tatp", "tpcc"]
+        );
         // All have working sets beyond the scaled L2 (512 KB).
         for w in memory_intensive() {
             assert!(w.working_set >= MB, "{} must be memory-intensive", w.name);

@@ -12,8 +12,8 @@ use lightwsp_compiler::stats::CompileStats;
 use lightwsp_compiler::{boundaries, formation, prune, CompilerConfig};
 use lightwsp_ir::builder::FuncBuilder;
 use lightwsp_ir::inst::{AluOp, Cond};
-use lightwsp_ir::{layout, FuncId, Function, Program};
 use lightwsp_ir::Reg;
+use lightwsp_ir::{layout, FuncId, Function, Program};
 
 fn dump(tag: &str, f: &Function) {
     println!("--- {tag} ---");
@@ -66,7 +66,10 @@ fn main() {
     boundaries::insert_initial_boundaries(&mut func, &config, &mut stats);
     boundaries::split_at_boundaries(&mut func);
     dump(
-        &format!("after boundary insertion + splitting ({} boundaries)", stats.boundaries_inserted),
+        &format!(
+            "after boundary insertion + splitting ({} boundaries)",
+            stats.boundaries_inserted
+        ),
         &func,
     );
 

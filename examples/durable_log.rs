@@ -37,7 +37,7 @@ fn log_program() -> Program {
     b.store(rec, Reg::R5, 8); // slot 0 reserved for the tail pointer
     b.alu_imm(AluOp::Add, tail, tail, 1);
     b.store(tail, base, 0); // publish the new tail
-    // acknowledge externally (boundary inserted before by the compiler)
+                            // acknowledge externally (boundary inserted before by the compiler)
     b.io_out(rec);
     b.alu_imm(AluOp::Add, n, n, 1);
     b.branch_imm(Cond::Ne, n, RECORDS, body, exit);
@@ -48,7 +48,9 @@ fn log_program() -> Program {
 
 fn read_log(pm: &lightwsp_ir::Memory) -> Vec<u64> {
     let tail = pm.read_word(layout::HEAP_BASE);
-    (0..tail).map(|i| pm.read_word(layout::HEAP_BASE + 8 + i * 8)).collect()
+    (0..tail)
+        .map(|i| pm.read_word(layout::HEAP_BASE + 8 + i * 8))
+        .collect()
 }
 
 fn main() {
@@ -64,7 +66,11 @@ fn main() {
     );
     g.run();
     let golden = read_log(g.pm_contents());
-    println!("golden log: {} records, {} acks", golden.len(), g.io_log().len());
+    println!(
+        "golden log: {} records, {} acks",
+        golden.len(),
+        g.io_log().len()
+    );
 
     // Power-failure run: three outages while appending.
     let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
@@ -84,7 +90,10 @@ fn main() {
 
     let recovered = read_log(m.pm_contents());
     assert_eq!(recovered, golden, "log diverged");
-    println!("recovered log matches golden ({} records) ✓", recovered.len());
+    println!(
+        "recovered log matches golden ({} records) ✓",
+        recovered.len()
+    );
 
     // Ack analysis: every record acknowledged at least once; duplicates
     // are bounded by the number of outages (one replayable I/O each).
@@ -102,5 +111,8 @@ fn main() {
         dupes
     );
     // Each outage can replay at most the regions in flight (WPQ-bounded).
-    assert!(dupes <= 3 * 16, "replays must stay within the in-flight window");
+    assert!(
+        dupes <= 3 * 16,
+        "replays must stay within the in-flight window"
+    );
 }

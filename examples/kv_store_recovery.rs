@@ -119,7 +119,10 @@ fn main() {
         }
         let occ = occupied(m.pm_contents());
         m.inject_power_failure();
-        println!("power failure #{k} at cycle {} — durable slots so far: {occ}", m.now());
+        println!(
+            "power failure #{k} at cycle {} — durable slots so far: {occ}",
+            m.now()
+        );
     }
     m.run();
     println!(

@@ -1,0 +1,73 @@
+//! Regression test for the parallel campaign's determinism contract:
+//! `Campaign::run_many` must produce results identical to the serial
+//! `Experiment::run` path — same cycles, instructions and regions —
+//! regardless of worker count, and its slowdowns must equal the serial
+//! normalisation bit-for-bit.
+
+use lightwsp_core::{Campaign, Experiment, ExperimentOptions, Job, Scheme};
+use lightwsp_workloads::workload;
+
+fn jobs() -> Vec<Job> {
+    let opts = ExperimentOptions::quick();
+    let mut jobs = Vec::new();
+    for name in ["bzip2", "milc", "vacation", "tatp"] {
+        let w = workload(name).unwrap();
+        for scheme in [Scheme::LightWsp, Scheme::Capri] {
+            jobs.push(Job::new(&opts, &w, scheme));
+        }
+    }
+    jobs
+}
+
+#[test]
+fn campaign_matches_serial_experiment_at_any_worker_count() {
+    let jobs = jobs();
+    let mut exp = Experiment::new(ExperimentOptions::quick());
+    let serial: Vec<_> = jobs.iter().map(|j| exp.run(&j.spec, j.scheme)).collect();
+
+    for workers in [1usize, 2, 4, 7] {
+        let c = Campaign::with_workers(workers);
+        let parallel = c.run_many(&jobs);
+        assert_eq!(parallel.len(), serial.len());
+        for ((job, s), p) in jobs.iter().zip(&serial).zip(&parallel) {
+            assert_eq!(p.workload, job.spec.name);
+            assert_eq!(p.scheme, job.scheme);
+            assert_eq!(
+                (p.stats.cycles, p.stats.insts, p.stats.regions),
+                (s.stats.cycles, s.stats.insts, s.stats.regions),
+                "{} {} diverged at {workers} workers",
+                job.spec.name,
+                job.scheme.name(),
+            );
+            assert_eq!(p.completion, s.completion);
+        }
+    }
+}
+
+#[test]
+fn campaign_slowdowns_match_serial_normalisation() {
+    let jobs = jobs();
+    let mut exp = Experiment::new(ExperimentOptions::quick());
+    let serial: Vec<f64> = jobs
+        .iter()
+        .map(|j| exp.slowdown(&j.spec, j.scheme))
+        .collect();
+    let c = Campaign::with_workers(3);
+    let parallel = c.slowdowns(&jobs);
+    // Bit-exact: both sides divide identical u64 cycle counts.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn campaign_cache_reuse_is_invisible() {
+    // Running the same job list twice through one campaign (everything
+    // cached the second time) must reproduce the first pass exactly.
+    let jobs = jobs();
+    let c = Campaign::with_workers(2);
+    let first = c.run_many(&jobs);
+    let second = c.run_many(&jobs);
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.insts, b.stats.insts);
+    }
+}

@@ -77,8 +77,7 @@ proptest! {
         let original = spec.generate();
         let golden = final_program_memory(&original);
 
-        let mut cfg = CompilerConfig::default();
-        cfg.store_threshold = threshold;
+        let cfg = CompilerConfig { store_threshold: threshold, ..Default::default() };
         let compiled = instrument(&original, &cfg);
         let instrumented = final_program_memory(&compiled.program);
 
@@ -91,8 +90,7 @@ proptest! {
         threshold in prop_oneof![Just(8u32), Just(16u32), Just(32u32), Just(64u32)],
     ) {
         let original = spec.generate();
-        let mut cfg = CompilerConfig::default();
-        cfg.store_threshold = threshold;
+        let cfg = CompilerConfig { store_threshold: threshold, ..Default::default() };
         let compiled = instrument(&original, &cfg);
         let check = verify::check_store_threshold(&compiled.program, threshold);
         if compiled.stats.threshold_relaxations == 0 {

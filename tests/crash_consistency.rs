@@ -17,15 +17,15 @@ use proptest::prelude::*;
 
 fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        1u32..4,     // loads
-        1u32..4,     // stores
-        0u32..8,     // alu
-        12u64..18,   // log2 working set (4 KB .. 128 KB)
-        0.0f64..1.0, // seq fraction
-        1u32..4,     // phases
-        20u32..60,   // iters per phase
+        1u32..4,                                          // loads
+        1u32..4,                                          // stores
+        0u32..8,                                          // alu
+        12u64..18,                                        // log2 working set (4 KB .. 128 KB)
+        0.0f64..1.0,                                      // seq fraction
+        1u32..4,                                          // phases
+        20u32..60,                                        // iters per phase
         prop_oneof![Just(0u32), Just(8u32), Just(16u32)], // sync_every
-        0u64..u64::MAX, // seed
+        0u64..u64::MAX,                                   // seed
     )
         .prop_map(
             |(loads, stores, alu, ws_log2, seq, phases, iters, sync_every, seed)| WorkloadSpec {
@@ -64,8 +64,7 @@ proptest! {
         f2 in 4_000u64..20_000,
     ) {
         let program = spec.generate();
-        let mut ccfg = CompilerConfig::default();
-        ccfg.store_threshold = threshold;
+        let ccfg = CompilerConfig { store_threshold: threshold, ..Default::default() };
         let compiled = instrument(&program, &ccfg);
         let mut cfg = SimConfig::new(Scheme::LightWsp);
         cfg.mem.l1_bytes = 16 * 1024;
