@@ -1,0 +1,200 @@
+//! Crash-injection & recovery-audit sweep (§IV-F / `RECOVERY.md`).
+//!
+//! For every workload × audit configuration, sweeps seeded and derived
+//! (mid-region, boundary-broadcast, mc-skew, between-acks,
+//! mid-wpq-drain) power-cut points, fanning the per-point audits across
+//! the [`Campaign`](lightwsp_core::Campaign) worker pool, and asserts
+//! the named invariants of `RECOVERY.md` at each one. Then proves the
+//! auditor has teeth: a run under the test-only `FlushUnacked` gating
+//! mutant *must* be flagged.
+//!
+//! Writes `results/crash_audit.txt` plus machine-readable
+//! `BENCH_crash.json` (one record per workload×config cell). `--quick`
+//! shrinks the matrix and point budget for CI; `LIGHTWSP_THREADS` pins
+//! the worker count.
+use lightwsp_core::recovery::{audit_workload_crashes, AuditBudget};
+use lightwsp_core::{Scheme, SimConfig};
+use lightwsp_sim::{CrashPointKind, GatingMutant};
+use lightwsp_workloads::workload;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One named audit configuration. Only gated, instrumented schemes are
+/// functionally recoverable (Immediate-flush schemes let unpersisted
+/// stores reach PM by design), so the matrix varies LightWSP's
+/// mechanism knobs plus Capri's stop-and-wait ordering.
+struct AuditConfig {
+    name: &'static str,
+    build: fn(&SimConfig) -> SimConfig,
+}
+
+const CONFIGS: [AuditConfig; 4] = [
+    AuditConfig {
+        name: "LightWSP",
+        build: |base| {
+            let mut c = base.clone();
+            c.scheme = Scheme::LightWsp;
+            c
+        },
+    },
+    AuditConfig {
+        name: "LightWSP-4MC",
+        build: |base| {
+            let mut c = base.clone();
+            c.scheme = Scheme::LightWsp;
+            c.mem.num_mcs = 4; // wider NUMA fan-out → longer bdry-ACK skew window
+            c
+        },
+    },
+    AuditConfig {
+        name: "LightWSP-noLRPO",
+        build: |base| {
+            let mut c = base.clone();
+            c.scheme = Scheme::LightWsp;
+            c.disable_lrpo = true; // sfence-style stall at every boundary (§III-B)
+            c
+        },
+    },
+    AuditConfig {
+        name: "Capri",
+        build: |base| {
+            let mut c = base.clone();
+            c.scheme = Scheme::Capri;
+            c
+        },
+    },
+];
+
+fn main() {
+    let mut opts = lightwsp_bench::common_options();
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Each crash point replays the run prefix and then resumes to
+    // completion, so cap the budget to keep the full sweep in seconds.
+    opts.insts_per_thread = opts.insts_per_thread.min(20_000);
+    let budget = if quick {
+        AuditBudget::quick()
+    } else {
+        AuditBudget::full()
+    };
+    let workloads: &[&str] = if quick {
+        &["hmmer", "vacation"]
+    } else {
+        &["hmmer", "mcf", "xz", "vacation", "radix"]
+    };
+    let c = lightwsp_bench::campaign();
+    let t0 = Instant::now();
+
+    let mut out = String::from("== RECOVERY.md audit — seeded & derived crash-point sweep ==\n");
+    let mut json_cells = String::new();
+    let mut violations_total = 0usize;
+    let mut audited_total = 0usize;
+    let mut first_cell = true;
+    for name in workloads {
+        let mut w = workload(name).expect("known workload");
+        if w.threads > 4 {
+            w.threads = 4; // keep the sweep fast; the contract is thread-count agnostic
+        }
+        for config in &CONFIGS {
+            let cfg = (config.build)(&opts.sim);
+            let rep = match audit_workload_crashes(&w, &opts, &cfg, &budget, &c) {
+                Ok(rep) => rep,
+                Err(e) => {
+                    let _ = writeln!(out, "{name:<10} {:<16} GOLDEN RUN FAILED: {e}", config.name);
+                    violations_total += 1;
+                    continue;
+                }
+            };
+            audited_total += rep.audited;
+            violations_total += rep.violations.len();
+            let _ = writeln!(
+                out,
+                "{name:<10} {:<16} points={:<4} audited={:<4} beyond_end={:<3} \
+                 flushed={:<6} discarded={:<6} rolled_back={:<4} violations={}",
+                config.name,
+                rep.points,
+                rep.audited,
+                rep.beyond_end,
+                rep.entries_flushed,
+                rep.entries_discarded,
+                rep.undo_rolled_back,
+                rep.violations.len(),
+            );
+            for v in rep.violations.iter().take(5) {
+                let _ = writeln!(out, "    VIOLATION {v}");
+            }
+            let by_kind: Vec<String> = CrashPointKind::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, k)| format!("\"{}\": {}", k.name(), rep.audited_by_kind[i]))
+                .collect();
+            let _ = write!(
+                json_cells,
+                "{}    {{\"workload\": \"{name}\", \"config\": \"{}\", \"points\": {}, \
+                 \"audited\": {}, \"beyond_end\": {}, \"violations\": {}, \
+                 \"entries_flushed\": {}, \"entries_discarded\": {}, \"undo_rolled_back\": {}, \
+                 \"golden_cycles\": {}, \"audited_by_kind\": {{{}}}}}",
+                if first_cell { "" } else { ",\n" },
+                config.name,
+                rep.points,
+                rep.audited,
+                rep.beyond_end,
+                rep.violations.len(),
+                rep.entries_flushed,
+                rep.entries_discarded,
+                rep.undo_rolled_back,
+                rep.golden_cycles,
+                by_kind.join(", "),
+            );
+            first_cell = false;
+        }
+    }
+
+    // Teeth check: the same sweep under a deliberately broken gating
+    // rule must be flagged — an auditor that passes a controller which
+    // flushes unacknowledged regions to PM is vacuous.
+    let mut mutant_cfg = (CONFIGS[0].build)(&opts.sim);
+    mutant_cfg.gating_mutant = Some(GatingMutant::FlushUnacked);
+    let w = workload(workloads[0]).expect("known workload");
+    let mutant_violations = audit_workload_crashes(&w, &opts, &mutant_cfg, &budget, &c)
+        .map(|rep| rep.violations.len())
+        .unwrap_or(usize::MAX); // golden-run error under a mutant counts as caught
+    let mutant_caught = mutant_violations > 0;
+    let _ = writeln!(
+        out,
+        "mutant FlushUnacked: {} ({} violations flagged)",
+        if mutant_caught { "CAUGHT" } else { "MISSED" },
+        mutant_violations,
+    );
+    let total_s = t0.elapsed().as_secs_f64();
+    let _ = writeln!(
+        out,
+        "total: {audited_total} crash points audited, {violations_total} violations, {total_s:.1}s ({} workers)",
+        c.workers(),
+    );
+    lightwsp_bench::emit_text("crash_audit", &out);
+
+    let json = format!(
+        "{{\n  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"seeded_per_cell\": {},\n    \"derived_cap_per_kind\": {},\n    \"seed\": {},\n    \"total_wall_s\": {:.3},\n    \"audited_total\": {},\n    \"violations_total\": {},\n    \"mutant_flush_unacked_caught\": {}\n  }},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        c.workers(),
+        quick,
+        budget.seeded,
+        budget.derived_per_kind,
+        budget.seed,
+        total_s,
+        audited_total,
+        violations_total,
+        mutant_caught,
+        json_cells,
+    );
+    if let Err(e) = std::fs::write("BENCH_crash.json", &json) {
+        eprintln!("warning: could not write BENCH_crash.json: {e}");
+    }
+    assert_eq!(
+        violations_total, 0,
+        "recovery contract violated — see results/crash_audit.txt"
+    );
+    assert!(
+        mutant_caught,
+        "auditor missed the FlushUnacked gating mutant — invariants are vacuous"
+    );
+}

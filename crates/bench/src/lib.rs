@@ -22,6 +22,7 @@
 //! | `tab_region_stats` | §V-G3 — instruction count & region statistics |
 //! | `tab_hw_cost` | §V-G4 — hardware cost comparison |
 //! | `recovery_check` | §IV-F — crash-consistency validation sweep |
+//! | `crash_audit` | `RECOVERY.md` — seeded & derived crash-point audit, `BENCH_crash.json` |
 //! | `all_figures` | everything above, into `results/` |
 //!
 //! Every binary accepts `--quick` (reduced instruction budget for smoke

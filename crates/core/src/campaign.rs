@@ -257,13 +257,28 @@ impl Campaign {
         T: Send,
         F: Fn(&Job) -> T + Sync,
     {
-        let n = jobs.len();
+        self.map_parallel(jobs, |job, _| f(job))
+    }
+
+    /// Fans `f` over arbitrary `items` on the campaign's worker pool
+    /// (dynamic self-scheduling, results in item order) — the engine
+    /// behind [`run_many`](Campaign::run_many), exposed so other sweeps
+    /// (e.g. the crash auditor's per-crash-point fan-out) reuse the same
+    /// pool and `LIGHTWSP_THREADS` sizing. `f` receives each item and
+    /// its index.
+    pub fn map_parallel<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I, usize) -> T + Sync,
+    {
+        let n = items.len();
         if n == 0 {
             return Vec::new();
         }
         let workers = self.workers.min(n);
         if workers == 1 {
-            return jobs.iter().map(f).collect();
+            return items.iter().enumerate().map(|(i, it)| f(it, i)).collect();
         }
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -274,7 +289,7 @@ impl Campaign {
                     if i >= n {
                         break;
                     }
-                    let r = f(&jobs[i]);
+                    let r = f(&items[i], i);
                     results.lock().unwrap()[i] = Some(r);
                 });
             }
@@ -283,7 +298,7 @@ impl Campaign {
             .into_inner()
             .unwrap()
             .into_iter()
-            .map(|o| o.expect("every job slot filled"))
+            .map(|o| o.expect("every item slot filled"))
             .collect()
     }
 }

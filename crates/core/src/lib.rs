@@ -13,7 +13,10 @@
 //! * [`report`] — serialisable result tables with paper-style
 //!   formatting;
 //! * [`recovery`] — the public crash-consistency test API (golden run
-//!   vs fail-and-recover run).
+//!   vs fail-and-recover run) and the recovery-contract auditor
+//!   ([`recovery::audit_workload_crashes`]), which sweeps seeded and
+//!   derived crash points and checks the named invariants of
+//!   `RECOVERY.md` at each one.
 //!
 //! ```no_run
 //! use lightwsp_core::{Experiment, ExperimentOptions};
@@ -36,3 +39,4 @@ pub use experiment::{Experiment, ExperimentOptions, RunResult};
 pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 pub use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};
 pub use lightwsp_workloads::{Suite, WorkloadSpec};
+pub use recovery::{audit_workload_crashes, check_workload_recovery, AuditBudget};

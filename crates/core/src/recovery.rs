@@ -1,13 +1,26 @@
-//! Public crash-consistency testing API.
+//! Public crash-consistency testing and recovery-audit API.
 //!
-//! Wraps [`lightwsp_sim::consistency`] for workload-level use: pick a
-//! benchmark, pick failure points, and verify that power failure plus
-//! the §IV-F recovery protocol reproduces the failure-free durable
-//! state byte-for-byte.
+//! Two layers, both workload-level (pick a benchmark, pick failure
+//! points, no simulator plumbing):
+//!
+//! * [`check_workload_recovery`] wraps the end-to-end oracle of
+//!   [`lightwsp_sim::consistency`]: power failure plus the §IV-F
+//!   recovery protocol must reproduce the failure-free durable state
+//!   byte-for-byte.
+//! * [`audit_workload_crashes`] wraps the step-by-step auditor of
+//!   [`lightwsp_sim::crash`]: a [`CrashInjector`] sweeps derived and
+//!   seeded crash points and asserts every named invariant of
+//!   `RECOVERY.md` (gate-flush, gate-discard, resolution-exact, …)
+//!   against the captured resolution, fanning points across a
+//!   [`Campaign`] worker pool. `cargo run -p lightwsp-bench --bin
+//!   crash_audit` drives it over the full workload×scheme matrix.
 
+use crate::campaign::Campaign;
 use crate::experiment::{Experiment, ExperimentOptions};
-use lightwsp_sim::consistency::{check_crash_consistency, ConsistencyError, ConsistencyReport};
-use lightwsp_sim::Scheme;
+use lightwsp_sim::consistency::{
+    check_crash_consistency, golden_run, ConsistencyError, ConsistencyReport,
+};
+use lightwsp_sim::{CrashAuditReport, CrashInjector, CrashPoint, Scheme, SimConfig};
 use lightwsp_workloads::WorkloadSpec;
 
 /// Runs the crash-consistency oracle on `spec` with failures injected
@@ -31,6 +44,82 @@ pub fn check_workload_recovery(
     check_crash_consistency(&compiled, &cfg, threads, failure_cycles)
 }
 
+/// How many crash points [`audit_workload_crashes`] sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditBudget {
+    /// Seed for the pseudo-random point stream.
+    pub seed: u64,
+    /// Number of seeded (uniform over the run) crash points.
+    pub seeded: usize,
+    /// Cap on derived points *per mechanism window* (mid-region,
+    /// boundary-broadcast, mc-skew, between-acks, mid-wpq-drain).
+    pub derived_per_kind: usize,
+}
+
+impl AuditBudget {
+    /// The `crash_audit` binary's full-mode budget: 100 seeded points
+    /// plus up to 5×16 derived points per workload×scheme.
+    pub fn full() -> AuditBudget {
+        AuditBudget {
+            seed: 0x11A5_0001,
+            seeded: 100,
+            derived_per_kind: 16,
+        }
+    }
+
+    /// A small fixed-seed budget for CI and `--quick` runs.
+    pub fn quick() -> AuditBudget {
+        AuditBudget {
+            seed: 0x11A5_0001,
+            seeded: 8,
+            derived_per_kind: 3,
+        }
+    }
+}
+
+/// Sweeps crash points over `spec` under `cfg` and audits the recovery
+/// contract at each one, fanning points across `campaign`'s workers.
+///
+/// `cfg` carries the scheme and memory system (e.g. a 4-MC NUMA layout
+/// or a disabled-LRPO ablation); its core count is overridden by the
+/// workload's thread count. The workload is compiled once, the golden
+/// run executes once, and each crash point then replays, cuts power,
+/// checks the structural invariants, and resumes to completion.
+///
+/// # Errors
+///
+/// Returns a [`ConsistencyError`] if the golden (failure-free) run
+/// itself cannot complete; invariant violations are *reported*, not
+/// errors.
+pub fn audit_workload_crashes(
+    spec: &WorkloadSpec,
+    opts: &ExperimentOptions,
+    cfg: &SimConfig,
+    budget: &AuditBudget,
+    campaign: &Campaign,
+) -> Result<CrashAuditReport, ConsistencyError> {
+    let exp = Experiment::new(opts.clone());
+    let compiled = exp.compile(spec, cfg.scheme);
+    let mut cfg = cfg.clone();
+    let threads = opts.threads.unwrap_or(spec.threads);
+    cfg.num_cores = threads;
+    let injector = CrashInjector::new(&compiled, cfg.clone(), threads);
+    let (mut points, horizon) = injector.derived_points(budget.derived_per_kind);
+    points.extend(injector.seeded_points(budget.seed, budget.seeded, horizon));
+    let (golden, golden_cycles) = golden_run(&compiled, &cfg, threads)?;
+    let partials: Vec<CrashAuditReport> = campaign.map_parallel(&points, |&p: &CrashPoint, _| {
+        injector.audit_point(&golden, p)
+    });
+    let mut report = CrashAuditReport {
+        golden_cycles,
+        ..CrashAuditReport::default()
+    };
+    for part in &partials {
+        report.merge(part);
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +141,22 @@ mod tests {
         opts.insts_per_thread = 6_000;
         let report = check_workload_recovery(&w, &opts, &[1_500]).unwrap();
         assert!(report.failures <= 1);
+    }
+
+    #[test]
+    fn quick_audit_is_clean() {
+        let w = workload("hmmer").unwrap();
+        let opts = ExperimentOptions::quick();
+        let mut cfg = opts.sim.clone();
+        cfg.scheme = Scheme::LightWsp;
+        let campaign = Campaign::with_workers(2);
+        let report =
+            audit_workload_crashes(&w, &opts, &cfg, &AuditBudget::quick(), &campaign).unwrap();
+        assert!(report.audited > 0, "no point interrupted the run");
+        assert!(
+            report.violations.is_empty(),
+            "recovery contract violated: {:?}",
+            report.violations
+        );
     }
 }

@@ -20,6 +20,26 @@ pub enum FlushMode {
     Immediate,
 }
 
+/// Entry-by-entry account of one MC's §IV-F power-failure resolution,
+/// consumed by the crash auditor (`lightwsp-sim`'s `crash` module) to
+/// check the recovery contract (`RECOVERY.md`) against what the
+/// hardware model actually did.
+#[derive(Clone, Debug, Default)]
+pub struct FailureResolution {
+    /// Survivable home entries written to PM on battery, in write order
+    /// (region-sorted, so a same-address pair persists oldest-first).
+    pub flushed: Vec<WpqEntry>,
+    /// Survivable non-home replicas dropped without a PM write
+    /// (boundary tokens are broadcast to every MC; only the home copy
+    /// writes PM).
+    pub replicas_dropped: u64,
+    /// Entries of unsurvivable regions, discarded unwritten.
+    pub discarded: Vec<WpqEntry>,
+    /// Undo-log rollbacks applied, in application order (newest first):
+    /// `(region, address, restored PM value)`.
+    pub rolled_back: Vec<(RegionId, u64, u64)>,
+}
+
 /// One integrated memory controller.
 #[derive(Clone, Debug)]
 pub struct MemController {
@@ -253,44 +273,45 @@ impl MemController {
     ///    (newest first),
     /// 3. discard everything else.
     ///
-    /// Returns `(entries flushed, entries discarded, undo rollbacks)`.
+    /// Returns the full [`FailureResolution`] so callers (the recovery
+    /// report and the crash auditor) can see every entry's fate.
     pub fn on_power_failure(
         &mut self,
         survivable: &[RegionId],
         pm: &mut PersistentMemory,
-    ) -> (u64, u64, u64) {
+    ) -> FailureResolution {
         let mut entries = self.wpq.drain_all();
         // §IV-F steps 3–5 flush region by region in flush-ID order;
         // entries from different cores may sit in the queue out of
         // region order (NUMA arrival skew), and a same-address pair from
         // two regions must persist oldest-first.
         entries.sort_by_key(|e| e.region);
-        let mut flushed = 0u64;
-        let mut discarded = 0u64;
-        for e in &entries {
+        let mut res = FailureResolution::default();
+        for e in entries {
             if survivable.contains(&e.region) {
                 if e.home {
                     pm.write_word(e.addr, e.val);
                     self.flushed_entries += 1;
-                    flushed += 1;
+                    res.flushed.push(e);
+                } else {
+                    res.replicas_dropped += 1;
                 }
             } else {
-                discarded += 1;
+                res.discarded.push(e);
             }
         }
         // Unsurvivable overflow writes are rolled back newest-first so
         // multiple writes to one address restore the oldest value.
-        let mut rolled_back = 0u64;
         for &(region, addr, old) in self.undo_log.iter().rev() {
             if !survivable.contains(&region) {
                 pm.write_word(addr, old);
-                rolled_back += 1;
+                res.rolled_back.push((region, addr, old));
             }
         }
         self.undo_log.clear();
         self.overflow_mode = false;
         self.deadlock_since = None;
-        (flushed, discarded, rolled_back)
+        res
     }
 
     /// `(entries flushed, overflow events, inserts declined in overflow)`.

@@ -35,6 +35,8 @@
 //! cycles, and so on. [`MemConfig::table1`] is the paper's default
 //! system.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod cam;
 pub mod config;
@@ -48,5 +50,5 @@ pub mod store_buffer;
 pub mod wpq;
 
 pub use config::{CxlDevice, MemConfig};
-pub use controller::MemController;
+pub use controller::{FailureResolution, MemController};
 pub use protocol::{RegionId, RegionTracker};

@@ -155,6 +155,17 @@ impl RegionTracker {
             .is_some_and(|st| st.delivered.iter().all(Option::is_some))
     }
 
+    /// True if at least one MC (not necessarily all) has received the
+    /// boundary of `region`. The recovery contract requires *all* MCs —
+    /// this weaker predicate exists only so the test-only
+    /// `AnyMcBoundary` gating mutant can model the corresponding bug
+    /// and prove the crash auditor catches it.
+    pub fn boundary_anywhere(&self, region: RegionId) -> bool {
+        self.regions
+            .get(&region)
+            .is_some_and(|st| st.delivered.iter().any(Option::is_some))
+    }
+
     /// Cycle at which the bdry-ACK exchange for `region` completes, if
     /// the boundary has reached every MC.
     pub fn bdry_acked_at(&self, region: RegionId) -> Option<u64> {

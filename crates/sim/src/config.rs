@@ -91,6 +91,21 @@ impl Scheme {
     }
 }
 
+/// A deliberately broken §IV-F gating rule, **test-only**: the crash
+/// auditor (`crate::crash`) must flag a run under any of these mutants,
+/// proving its invariants have teeth. Never set one in a real
+/// experiment — results under a mutant model a buggy controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatingMutant {
+    /// Power-failure resolution flushes *every* WPQ entry to PM,
+    /// ignoring boundary ACKs — unpersisted-region stores corrupt PM.
+    FlushUnacked,
+    /// A region counts as survivable once its boundary reached *any*
+    /// single MC; the contract requires all of them (otherwise one MC
+    /// flushes a region another MC discards).
+    AnyMcBoundary,
+}
+
 /// Full simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -135,6 +150,9 @@ pub struct SimConfig {
     pub disable_lrpo: bool,
     /// Number of region timelines to trace (0 disables tracing).
     pub trace_regions: usize,
+    /// Test-only deliberate recovery bug (see [`GatingMutant`]); `None`
+    /// in every real run.
+    pub gating_mutant: Option<GatingMutant>,
 }
 
 impl SimConfig {
@@ -156,6 +174,7 @@ impl SimConfig {
             warm_dram: Vec::new(),
             disable_lrpo: false,
             trace_regions: 0,
+            gating_mutant: None,
         }
     }
 

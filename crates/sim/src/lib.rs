@@ -19,16 +19,21 @@
 //! so [`Machine::inject_power_failure`] plus the §IV-F recovery protocol
 //! can be validated end-to-end — [`consistency`] compares the final PM
 //! state of fail-and-recover runs against failure-free golden runs,
-//! which is the paper's central crash-consistency claim.
+//! which is the paper's central crash-consistency claim, and [`crash`]
+//! audits the recovery contract itself: a [`crash::CrashInjector`] cuts
+//! power at derived or seeded points, captures the persistent image, and
+//! asserts the named invariants of `RECOVERY.md` against the resolution.
 
 pub mod config;
 pub mod consistency;
+pub mod crash;
 pub mod machine;
 pub mod stats;
 pub mod trace;
 
-pub use config::{Scheme, SimConfig};
-pub use machine::{Completion, Machine};
+pub use config::{GatingMutant, Scheme, SimConfig};
+pub use crash::{CrashAuditReport, CrashInjector, CrashPoint, CrashPointKind, InvariantViolation};
+pub use machine::{Completion, CrashCapture, Machine};
 pub use stats::{SimStats, StallCause};
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! force-ended. A halting thread broadcasts its trailing region so the
 //! frontier can drain past it.
 
-use crate::config::{Scheme, SimConfig};
+use crate::config::{GatingMutant, Scheme, SimConfig};
 use crate::stats::SimStats;
 use crate::trace::RegionTraceLog;
 use lightwsp_compiler::prune::RecoveryRecipes;
@@ -37,7 +37,7 @@ use lightwsp_mem::persist_path::{PersistEntry, PersistKind, PersistPath};
 use lightwsp_mem::pm::PersistentMemory;
 use lightwsp_mem::store_buffer::StoreBuffer;
 use lightwsp_mem::wpq::WpqEntry;
-use lightwsp_mem::{MemController, RegionId, RegionTracker};
+use lightwsp_mem::{FailureResolution, MemController, RegionId, RegionTracker};
 
 /// What the §IV-F recovery protocol did at a power failure.
 #[derive(Clone, Debug, Default)]
@@ -53,6 +53,35 @@ pub struct RecoveryReport {
     pub undo_rolled_back: u64,
     /// Recovery PC of each thread (decoded from its PM checkpoint slot).
     pub resume_points: Vec<lightwsp_ir::ProgramPoint>,
+}
+
+/// Everything the crash auditor needs to check the recovery contract
+/// (`RECOVERY.md`) against one power failure: the tracker's view of the
+/// machine at the instant of the cut, the PM image before battery
+/// resolution ran, and each MC's entry-by-entry resolution.
+#[derive(Clone, Debug)]
+pub struct CrashCapture {
+    /// Cycle at which power was cut.
+    pub at_cycle: u64,
+    /// Commit frontier (oldest uncommitted region) at the cut.
+    pub commit_frontier: RegionId,
+    /// Highest region ID allocated before the cut.
+    pub last_allocated: RegionId,
+    /// Ground-truth survivable regions per the §IV-F contract: the
+    /// contiguous run from the commit frontier whose boundaries reached
+    /// **every** WPQ. Always the tracker's honest answer, even when a
+    /// [`GatingMutant`] corrupted what the resolution actually used.
+    pub survivable: Vec<RegionId>,
+    /// The survivable set the resolution actually used (differs from
+    /// [`CrashCapture::survivable`] only under a test-only mutant).
+    pub used_survivable: Vec<RegionId>,
+    /// Durable PM image at the instant of the cut, before the
+    /// battery-backed WPQ resolution wrote anything.
+    pub pm_before: Memory,
+    /// Each MC's entry-by-entry failure resolution, in MC order.
+    pub per_mc: Vec<FailureResolution>,
+    /// The step-by-step recovery summary (counts + resume points).
+    pub report: RecoveryReport,
 }
 
 /// Why a run ended.
@@ -890,17 +919,49 @@ impl Machine {
     /// state loss, and per-thread restart from the checkpoint storage.
     /// Returns a step-by-step account of what recovery did.
     pub fn inject_power_failure(&mut self) -> RecoveryReport {
+        self.inject_power_failure_audited().report
+    }
+
+    /// [`Machine::inject_power_failure`] plus the full audit capture:
+    /// tracker frontiers, the pre-resolution PM image, and each MC's
+    /// entry-by-entry resolution, so the crash auditor
+    /// ([`crate::crash`]) can verify the recovery contract rather than
+    /// just the end state. Honors `SimConfig::gating_mutant`, but
+    /// always records the tracker's honest survivable set alongside.
+    pub fn inject_power_failure_audited(&mut self) -> CrashCapture {
         self.stats.failures += 1;
         let mut report = RecoveryReport::default();
 
-        // §IV-F steps 1–6 on the persistence domain.
+        // §IV-F steps 1–2: in-flight ACKs are delivered on battery; the
+        // survivable set is the contiguous boundary-everywhere prefix.
+        let at_cycle = self.now;
+        let commit_frontier = self.tracker.commit_frontier();
+        let last_allocated = self.tracker.last_allocated();
         let survivable = self.tracker.survivable_regions();
-        report.survivable_regions = survivable.clone();
+        let used_survivable = match self.cfg.gating_mutant {
+            None => survivable.clone(),
+            Some(GatingMutant::FlushUnacked) => (commit_frontier..=last_allocated).collect(),
+            Some(GatingMutant::AnyMcBoundary) => {
+                let mut out = Vec::new();
+                let mut k = commit_frontier;
+                while k <= last_allocated && self.tracker.boundary_anywhere(k) {
+                    out.push(k);
+                    k += 1;
+                }
+                out
+            }
+        };
+        report.survivable_regions = used_survivable.clone();
+        let pm_before = self.pm.snapshot();
+
+        // §IV-F steps 3–6 on each MC's persistence domain.
+        let mut per_mc = Vec::with_capacity(self.mcs.len());
         for mc in &mut self.mcs {
-            let (f, d, u) = mc.on_power_failure(&survivable, &mut self.pm);
-            report.entries_flushed += f;
-            report.entries_discarded += d;
-            report.undo_rolled_back += u;
+            let res = mc.on_power_failure(&used_survivable, &mut self.pm);
+            report.entries_flushed += res.flushed.len() as u64;
+            report.entries_discarded += res.discarded.len() as u64;
+            report.undo_rolled_back += res.rolled_back.len() as u64;
+            per_mc.push(res);
         }
 
         // Everything volatile disappears.
@@ -948,6 +1009,15 @@ impl Machine {
             th.cur_region = None;
             report.resume_points.push(th.interp.point());
         }
-        report
+        CrashCapture {
+            at_cycle,
+            commit_frontier,
+            last_allocated,
+            survivable,
+            used_survivable,
+            pm_before,
+            per_mc,
+            report,
+        }
     }
 }
