@@ -1,0 +1,47 @@
+//! Micro-benchmark for the event-driven skip-ahead core: the same
+//! machine run timed under `StepMode::Reference` (tick every cycle)
+//! and `StepMode::SkipAhead` (jump over provably-idle intervals), per
+//! representative workload class:
+//!
+//! * `lbm` — PM-latency bound, long load-miss stalls (big skips);
+//! * `libquantum` — DRAM-cache friendly streaming, short stalls (the
+//!   worst case for per-skip overhead);
+//! * `hmmer` — compute-dense, almost every cycle active (the skip
+//!   machinery must get out of the way);
+//! * `mcf` — pointer-chasing mix of the above.
+//!
+//! Machine construction (compile + warm-up) runs in `iter_batched`
+//! setup, outside the timed section, so the ns/iter ratio is the pure
+//! stepper-loop speedup. The full Fig. 7/Fig. 11 sweep of the same
+//! comparison is emitted into `BENCH_eval.json` by `all_figures`
+//! through the shared `lightwsp_bench::stepmode` harness; the CI gate
+//! is `step_smoke`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lightwsp_core::{Experiment, ExperimentOptions};
+use lightwsp_sim::{Scheme, StepMode};
+use lightwsp_workloads::workload;
+
+fn bench_step_modes(c: &mut Criterion) {
+    for name in ["lbm", "libquantum", "hmmer", "mcf"] {
+        let spec = workload(name).expect("known workload");
+        for mode in [StepMode::Reference, StepMode::SkipAhead] {
+            let mut opts = ExperimentOptions::quick();
+            opts.sim.step_mode = mode;
+            let e = Experiment::new(opts);
+            c.bench_function(&format!("step_loop/{name}/{}", mode.name()), |b| {
+                b.iter_batched(
+                    || e.machine_for(&spec, Scheme::LightWsp),
+                    |mut m| {
+                        m.run();
+                        m.stats().cycles
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+}
+
+criterion_group!(step_loop, bench_step_modes);
+criterion_main!(step_loop);

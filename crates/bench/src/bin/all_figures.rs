@@ -2,25 +2,41 @@
 //! `results/`, fanning all simulations across one shared [`Campaign`]
 //! (so baselines and compilations are reused across figures). Run with
 //! `--quick` for a fast smoke pass; set `LIGHTWSP_THREADS` to pin the
-//! worker count.
+//! worker count and `LIGHTWSP_STEP_MODE` to force a stepper.
 //!
 //! Also writes `BENCH_eval.json`: one machine-readable record per
-//! Fig. 7 run (workload, scheme, cycles, wall-clock ms, threads) plus
-//! campaign metadata — worker count, per-phase wall-clock, and the
-//! speedup over the recorded serial pre-optimization baseline.
+//! Fig. 7 run (workload, scheme, cycles, wall-clock ms, threads),
+//! campaign metadata — worker count, per-phase wall-clock, the speedup
+//! of the `--quick` fig07+fig11 subset over the recorded serial
+//! pre-optimization baseline — and the step-mode section: every
+//! Fig. 7/Fig. 11 single-thread cell timed under both `StepMode`s with
+//! batch and per-cell-geomean speedups of the event-driven skip-ahead
+//! core over the per-cycle reference stepper.
 //!
 //! [`Campaign`]: lightwsp_core::Campaign
-use lightwsp_bench::{emit, emit_text, figures};
-use lightwsp_core::{Job, Scheme};
+use lightwsp_bench::{emit, emit_text, figures, stepmode};
+use lightwsp_core::{Campaign, ExperimentOptions, Job, Scheme};
 use lightwsp_workloads::all_workloads;
 use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Serial, pre-optimization (SipHash maps, per-word memory, no shared
-/// caches, one thread) wall-clock of the fig07+fig11 `--quick` subset
-/// on the reference container (1 core): 4.39 s + 5.29 s. The
-/// acceptance speedup in `BENCH_eval.json` is measured against this.
+/// caches, one thread, per-cycle stepping) wall-clock of the
+/// fig07+fig11 `--quick` subset on the reference container (1 core):
+/// 4.39 s + 5.29 s. The acceptance speedup in `BENCH_eval.json` is
+/// measured against this.
 const SERIAL_SEED_FIG07_FIG11_QUICK_S: f64 = 9.68;
+
+/// Wall-clock of the fig07+fig11 generators at the `--quick` budget on
+/// a fresh campaign — the subset the serial-seed baseline recorded.
+fn quick_subset_wall_s() -> f64 {
+    let opts = ExperimentOptions::quick();
+    let c = Campaign::new();
+    let t0 = Instant::now();
+    let _ = figures::fig07(&c, &opts);
+    let _ = figures::fig11(&c, &opts);
+    t0.elapsed().as_secs_f64()
+}
 
 fn main() {
     let opts = lightwsp_bench::common_options();
@@ -60,29 +76,42 @@ fn main() {
         .collect();
     let timed = c.run_many_timed(&jobs);
 
-    let mut json = String::from("{\n");
-    let fig_subset = fig07_s + fig11_s;
-    let (baseline, speedup) = if quick {
-        (
-            format!("{SERIAL_SEED_FIG07_FIG11_QUICK_S:.2}"),
-            format!(
-                "{:.2}",
-                SERIAL_SEED_FIG07_FIG11_QUICK_S / fig_subset.max(1e-9)
-            ),
-        )
+    // The serial-seed acceptance baseline was captured on the `--quick`
+    // fig07+fig11 subset; in a full run that subset is measured
+    // separately (a few extra seconds) so the field is never null.
+    let quick_subset_s = if quick {
+        fig07_s + fig11_s
     } else {
-        ("null".to_string(), "null".to_string())
+        quick_subset_wall_s()
     };
+    let seed_speedup = SERIAL_SEED_FIG07_FIG11_QUICK_S / quick_subset_s.max(1e-9);
+
+    // Step-mode comparison: every Fig. 7 / Fig. 11 single-thread cell
+    // timed under the per-cycle reference stepper and the event-driven
+    // skip-ahead core (best-of-5, machine run only, cycle-checked; the
+    // high rep count suppresses scheduling noise on small cells).
+    eprintln!("timing step modes over the fig07+fig11 single-thread cells...");
+    let cells = stepmode::fig07_fig11_cells(&opts);
+    let timings = stepmode::compare_cells(&cells, 5);
+    let summary = stepmode::summarize(&timings);
+
+    let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"total_wall_s\": {:.3},\n    \"fig07_wall_s\": {:.3},\n    \"fig11_wall_s\": {:.3},\n    \"serial_seed_fig07_fig11_quick_s\": {},\n    \"speedup_fig07_fig11_vs_serial_seed\": {}\n  }},\n",
+        "  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"total_wall_s\": {:.3},\n    \"fig07_wall_s\": {:.3},\n    \"fig11_wall_s\": {:.3},\n    \"serial_seed_fig07_fig11_quick_s\": {:.2},\n    \"quick_subset_wall_s\": {:.3},\n    \"speedup_fig07_fig11_vs_serial_seed\": {:.2},\n    \"stepmode_cells\": {},\n    \"stepmode_fig07_fig11_reference_s\": {:.3},\n    \"stepmode_fig07_fig11_skip_ahead_s\": {:.3},\n    \"skip_ahead_speedup_fig07_fig11\": {:.2},\n    \"skip_ahead_geomean_speedup_cells\": {:.2}\n  }},\n",
         c.workers(),
         quick,
         total_s,
         fig07_s,
         fig11_s,
-        baseline,
-        speedup,
+        SERIAL_SEED_FIG07_FIG11_QUICK_S,
+        quick_subset_s,
+        seed_speedup,
+        summary.cells,
+        summary.reference_s,
+        summary.skip_ahead_s,
+        summary.batch_speedup,
+        summary.geomean_speedup,
     );
     json.push_str("  \"runs\": [\n");
     for (i, (r, wall_ms)) in timed.iter().enumerate() {
@@ -97,12 +126,30 @@ fn main() {
             if i + 1 < timed.len() { "," } else { "" },
         );
     }
+    json.push_str("  ],\n  \"step_mode_runs\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"figure\": \"{}\", \"workload\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \"reference_ms\": {:.3}, \"skip_ahead_ms\": {:.3}, \"speedup\": {:.2}}}{}",
+            t.figure,
+            t.workload,
+            t.scheme.name(),
+            t.cycles,
+            t.reference_s * 1e3,
+            t.skip_ahead_s * 1e3,
+            t.speedup(),
+            if i + 1 < timings.len() { "," } else { "" },
+        );
+    }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write("BENCH_eval.json", &json) {
         eprintln!("warning: could not write BENCH_eval.json: {e}");
     }
     eprintln!(
-        "all figures regenerated in {total_s:.1}s ({} workers; fig07 {fig07_s:.1}s, fig11 {fig11_s:.1}s)",
-        c.workers()
+        "all figures regenerated in {total_s:.1}s ({} workers; fig07 {fig07_s:.1}s, fig11 {fig11_s:.1}s; skip-ahead {:.2}x batch / {:.2}x geomean over {} cells)",
+        c.workers(),
+        summary.batch_speedup,
+        summary.geomean_speedup,
+        summary.cells,
     );
 }

@@ -33,14 +33,23 @@ use lightwsp_core::{Campaign, Experiment, ExperimentOptions};
 use std::fs;
 use std::path::PathBuf;
 
-/// Parses the common CLI flags (`--quick`).
+/// Parses the common CLI flags (`--quick`) and the
+/// `LIGHTWSP_STEP_MODE` environment override (`skip`/`reference`) —
+/// results are bit-identical either way, so the override exists purely
+/// for timing comparisons and skip-bug bisection.
 pub fn common_options() -> ExperimentOptions {
     let quick = std::env::args().any(|a| a == "--quick");
-    if quick {
+    let mut opts = if quick {
         ExperimentOptions::quick()
     } else {
         ExperimentOptions::paper_default()
+    };
+    if let Ok(v) = std::env::var("LIGHTWSP_STEP_MODE") {
+        if let Some(mode) = lightwsp_sim::StepMode::from_env_str(&v) {
+            opts.sim.step_mode = mode;
+        }
     }
+    opts
 }
 
 /// Creates an [`Experiment`] from the common CLI flags.
@@ -80,3 +89,4 @@ pub fn emit_text(id: &str, text: &str) {
     }
 }
 pub mod figures;
+pub mod stepmode;

@@ -133,8 +133,12 @@ impl Experiment {
         self.opts.threads.unwrap_or(spec.threads)
     }
 
-    /// Runs `spec` under `scheme` and returns the result.
-    pub fn run(&mut self, spec: &WorkloadSpec, scheme: Scheme) -> RunResult {
+    /// Builds the ready-to-run machine for `spec` under `scheme` — the
+    /// same compilation, warm-DRAM window and core count
+    /// [`Experiment::run`] uses — without running it. Benchmarks use
+    /// this to time `Machine::run` in isolation, the way the campaign
+    /// amortizes compilations across a figure's cells.
+    pub fn machine_for(&self, spec: &WorkloadSpec, scheme: Scheme) -> Machine {
         let threads = self.threads_for(spec);
         let compiled = self.compile(spec, scheme);
         let mut cfg = self.opts.sim.clone();
@@ -146,12 +150,17 @@ impl Experiment {
         let window = spec.working_set.next_power_of_two();
         let heap = lightwsp_ir::layout::HEAP_BASE;
         cfg.warm_dram = vec![(heap - 0x8000, heap + window * threads as u64)];
-        let mut machine = Machine::new(compiled.program, compiled.recipes, cfg, threads);
+        Machine::new(compiled.program, compiled.recipes, cfg, threads)
+    }
+
+    /// Runs `spec` under `scheme` and returns the result.
+    pub fn run(&mut self, spec: &WorkloadSpec, scheme: Scheme) -> RunResult {
+        let mut machine = self.machine_for(spec, scheme);
         let completion = machine.run();
         RunResult {
             workload: spec.name,
             scheme,
-            threads,
+            threads: self.threads_for(spec),
             completion,
             stats: machine.stats().clone(),
         }

@@ -24,7 +24,10 @@ pub enum FlushMode {
 /// consumed by the crash auditor (`lightwsp-sim`'s `crash` module) to
 /// check the recovery contract (`RECOVERY.md`) against what the
 /// hardware model actually did.
-#[derive(Clone, Debug, Default)]
+/// `PartialEq` compares every entry's fate exactly — the step-mode
+/// parity suite uses it to prove crash resolutions are identical under
+/// reference and skip-ahead stepping.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FailureResolution {
     /// Survivable home entries written to PM on battery, in write order
     /// (region-sorted, so a same-address pair persists oldest-first).
@@ -258,6 +261,47 @@ impl MemController {
         {
             tracker.note_flush_done(frontier, self.id, now);
         }
+    }
+
+    /// Event horizon: the earliest cycle at which [`MemController::tick`]
+    /// would do observable work (flush an entry or report a flush done),
+    /// given the current WPQ contents and the tracker's protocol state.
+    /// A returned cycle `<= now` means the controller is active this
+    /// very cycle. `None` means nothing happens until new input arrives
+    /// (a persist-path delivery — itself an event of the delivering
+    /// core's path). Occupancy sampling is *not* an event: the caller
+    /// accounts skipped samples in closed form via
+    /// [`crate::wpq::Wpq::sample_occupancy_n`].
+    pub fn next_event(&self, tracker: &RegionTracker) -> Option<u64> {
+        // Earliest free PM channel (0 if any channel is already idle).
+        let ch_free = self.channels.iter().copied().min().unwrap_or(0);
+        if self.mode == FlushMode::Immediate {
+            // Ungated FIFO drain: work whenever the queue is non-empty
+            // and a channel frees up.
+            return (!self.wpq.is_empty()).then_some(ch_free);
+        }
+        let frontier = tracker.flush_pos(self.id);
+        let pending = self.wpq.has_region(frontier);
+        let acked = tracker.bdry_acked_at(frontier);
+        let mut ev: Option<u64> = None;
+        let mut consider = |t: u64| ev = Some(ev.map_or(t, |e| e.min(t)));
+        if pending {
+            if self.overflow_mode {
+                // Overflow fallback flushes frontier entries without
+                // waiting for the boundary ACK.
+                consider(ch_free);
+            }
+            if let Some(a) = acked {
+                consider(a.max(ch_free));
+            }
+        } else if let Some(a) = acked {
+            // No frontier entries left to issue: the flush-done report
+            // fires as soon as the region becomes flushable.
+            if !tracker.mc_flush_reported(frontier, self.id) {
+                consider(a);
+            }
+        }
+        ev
     }
 
     /// Called when the tracker commits `region`: its undo-log entries

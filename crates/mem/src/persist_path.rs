@@ -80,6 +80,7 @@ impl PersistPath {
 
     /// True if the bandwidth gate admits another entry at `now` and the
     /// transit window has room.
+    #[inline]
     pub fn can_issue(&self, now: u64) -> bool {
         now >= self.next_issue && self.in_flight.len() < self.capacity
     }
@@ -108,7 +109,27 @@ impl PersistPath {
         self.in_flight.push_back((now + self.latency, entry));
     }
 
+    /// Event horizon: the cycle at which the head entry completes
+    /// transit and becomes deliverable, if anything is in flight. A
+    /// returned cycle `<= now` means the head has already arrived (it
+    /// may be head-of-line blocked at a full WPQ — delivery must be
+    /// retried every cycle, so the caller treats that as "active now").
+    /// `None` means the path generates no event until new input arrives.
+    #[inline]
+    pub fn next_event(&self, _now: u64) -> Option<u64> {
+        self.in_flight.front().map(|&(arrive, _)| arrive)
+    }
+
+    /// The cycle at which the bandwidth gate next admits an entry, or
+    /// `None` while the transit window is at capacity (capacity frees
+    /// only when the head pops — a [`PersistPath::next_event`] cycle).
+    #[inline]
+    pub fn issue_ready_at(&self) -> Option<u64> {
+        (self.in_flight.len() < self.capacity).then_some(self.next_issue)
+    }
+
     /// The head entry if it has completed transit by `now`.
+    #[inline]
     pub fn head_arrived(&self, now: u64) -> Option<&PersistEntry> {
         match self.in_flight.front() {
             Some((arrive, e)) if *arrive <= now => Some(e),
@@ -136,11 +157,13 @@ impl PersistPath {
     }
 
     /// Number of in-flight entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.in_flight.len()
     }
 
     /// True if nothing is in flight.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()
     }

@@ -107,6 +107,7 @@ impl RegionTracker {
     }
 
     /// The next region MC `m` will flush (its flush ID, §IV-B).
+    #[inline]
     pub fn flush_pos(&self, mc: usize) -> RegionId {
         self.flush_pos[mc]
     }
@@ -118,6 +119,7 @@ impl RegionTracker {
 
     /// Backwards-compatible alias used by gating logic: the oldest
     /// region any MC still has to flush.
+    #[inline]
     pub fn flush_frontier(&self) -> RegionId {
         self.flush_pos
             .iter()
@@ -235,6 +237,16 @@ impl RegionTracker {
             }
         }
         None
+    }
+
+    /// Event horizon: the cycle at which the scheduled commit's
+    /// flush-ACK exchange completes, if one is pending. All other
+    /// tracker transitions (boundary deliveries, flush-done reports) are
+    /// driven by MC activity and are therefore events of the MCs, not of
+    /// the tracker itself. `None` when no commit is scheduled.
+    #[inline]
+    pub fn next_event(&self) -> Option<u64> {
+        self.pending_commit.map(|(_, at)| at)
     }
 
     /// Power-failure resolution (§IV-F steps 1–2): in-flight ACKs are

@@ -36,8 +36,17 @@ impl StoreBuffer {
     }
 
     /// True if another store can be accepted this cycle.
+    #[inline]
     pub fn has_room(&self) -> bool {
         self.entries.len() < self.capacity
+    }
+
+    /// Event horizon: the buffer is purely reactive (it drains one entry
+    /// per cycle whenever downstream admits), so its only event is "can
+    /// move next cycle" while non-empty. `None` when empty.
+    #[inline]
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        (!self.entries.is_empty()).then_some(now + 1)
     }
 
     /// Accepts a retired store. Returns `false` (and counts a stall) if
@@ -68,6 +77,7 @@ impl StoreBuffer {
     }
 
     /// True if empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

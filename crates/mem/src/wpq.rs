@@ -11,6 +11,7 @@
 
 use crate::persist_path::{PersistEntry, PersistKind};
 use crate::protocol::RegionId;
+use lightwsp_ir::fxhash::FxHashMap;
 
 /// One quarantined store.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +49,10 @@ impl WpqEntry {
 #[derive(Clone, Debug)]
 pub struct Wpq {
     entries: Vec<WpqEntry>,
+    /// Entries per region, kept in lockstep with `entries` so the
+    /// event-scan hot path answers [`Wpq::has_region`] /
+    /// [`Wpq::count_region`] without walking the queue.
+    region_counts: FxHashMap<RegionId, usize>,
     capacity: usize,
     inserts: u64,
     cam_searches: u64,
@@ -67,6 +72,7 @@ impl Wpq {
         assert!(capacity > 0, "WPQ capacity must be positive");
         Wpq {
             entries: Vec::with_capacity(capacity),
+            region_counts: FxHashMap::default(),
             capacity,
             inserts: 0,
             cam_searches: 0,
@@ -94,8 +100,21 @@ impl Wpq {
             "WPQ overflow must be handled by the caller"
         );
         self.inserts += 1;
+        *self.region_counts.entry(entry.region).or_insert(0) += 1;
         self.entries.push(entry);
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
+    }
+
+    /// Removes one entry of `region` from the count index.
+    fn uncount(&mut self, region: RegionId) {
+        let n = self
+            .region_counts
+            .get_mut(&region)
+            .expect("count index out of sync");
+        *n -= 1;
+        if *n == 0 {
+            self.region_counts.remove(&region);
+        }
     }
 
     /// CAM search for an LLC load miss (§IV-H): true if any entry falls
@@ -115,7 +134,11 @@ impl Wpq {
     /// Removes and returns the oldest entry of `region`, if any
     /// (allocation-free flush scheduling).
     pub fn take_one_of_region(&mut self, region: RegionId) -> Option<WpqEntry> {
+        if !self.has_region(region) {
+            return None;
+        }
         let i = self.entries.iter().position(|e| e.region == region)?;
+        self.uncount(region);
         Some(self.entries.remove(i))
     }
 
@@ -124,7 +147,9 @@ impl Wpq {
         if self.entries.is_empty() {
             None
         } else {
-            Some(self.entries.remove(0))
+            let e = self.entries.remove(0);
+            self.uncount(e.region);
+            Some(e)
         }
     }
 
@@ -140,6 +165,9 @@ impl Wpq {
                 i += 1;
             }
         }
+        for _ in &out {
+            self.uncount(region);
+        }
         out
     }
 
@@ -148,12 +176,25 @@ impl Wpq {
     /// models that do not gate the WPQ).
     pub fn take_oldest(&mut self, max: usize) -> Vec<WpqEntry> {
         let n = max.min(self.entries.len());
-        self.entries.drain(..n).collect()
+        let out: Vec<WpqEntry> = self.entries.drain(..n).collect();
+        for e in &out {
+            self.uncount(e.region);
+        }
+        out
     }
 
-    /// Number of entries belonging to `region`.
+    /// Number of entries belonging to `region` (O(1) via the count
+    /// index).
+    #[inline]
     pub fn count_region(&self, region: RegionId) -> usize {
-        self.entries.iter().filter(|e| e.region == region).count()
+        self.region_counts.get(&region).copied().unwrap_or(0)
+    }
+
+    /// True if any entry belongs to `region` (O(1) via the count
+    /// index).
+    #[inline]
+    pub fn has_region(&self, region: RegionId) -> bool {
+        self.region_counts.contains_key(&region)
     }
 
     /// The §IV-D deadlock-detection bit: does the queue hold the
@@ -167,6 +208,7 @@ impl Wpq {
     /// Drains every entry (power-failure recovery examines and then
     /// discards them).
     pub fn drain_all(&mut self) -> Vec<WpqEntry> {
+        self.region_counts.clear();
         std::mem::take(&mut self.entries)
     }
 
@@ -176,6 +218,7 @@ impl Wpq {
     }
 
     /// True if empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -189,6 +232,15 @@ impl Wpq {
     pub fn sample_occupancy(&mut self) {
         self.occupancy_accum += self.entries.len() as u64;
         self.occupancy_samples += 1;
+    }
+
+    /// Records `cycles` consecutive occupancy samples at the current
+    /// level in one step. Used by the event-driven stepper when it skips
+    /// an interval during which the queue provably does not change:
+    /// equivalent to calling [`Wpq::sample_occupancy`] once per cycle.
+    pub fn sample_occupancy_n(&mut self, cycles: u64) {
+        self.occupancy_accum += self.entries.len() as u64 * cycles;
+        self.occupancy_samples += cycles;
     }
 
     /// `(inserts, CAM searches, CAM hits, max occupancy)`.

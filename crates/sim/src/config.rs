@@ -91,6 +91,47 @@ impl Scheme {
     }
 }
 
+/// How [`crate::Machine`] advances simulated time.
+///
+/// Both modes execute the *same* per-cycle semantics and produce
+/// bit-identical [`crate::SimStats`], PM contents, and crash-audit
+/// resolutions; they differ only in how idle cycles are traversed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum StepMode {
+    /// Event-driven skip-ahead (the default): each timed component
+    /// exposes a `next_event(now)` horizon, the machine jumps straight
+    /// to the earliest one, and the skipped interval's per-cycle
+    /// accounting (stall counters, WPQ occupancy samples) is applied in
+    /// closed form. Several times faster on stall-dominated workloads.
+    #[default]
+    SkipAhead,
+    /// Tick every cycle through `step_cycle`. Kept forever as the
+    /// executable specification the skip-ahead mode is checked against
+    /// (see `tests/step_mode_parity.rs`).
+    Reference,
+}
+
+impl StepMode {
+    /// Parses the `LIGHTWSP_STEP_MODE` environment value
+    /// (`skip`/`skip_ahead` or `ref`/`reference`, case-insensitive).
+    /// Returns `None` for anything else.
+    pub fn from_env_str(s: &str) -> Option<StepMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "skip" | "skip_ahead" | "skipahead" => Some(StepMode::SkipAhead),
+            "ref" | "reference" => Some(StepMode::Reference),
+            _ => None,
+        }
+    }
+
+    /// Display name used by the evaluation harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            StepMode::SkipAhead => "skip_ahead",
+            StepMode::Reference => "reference",
+        }
+    }
+}
+
 /// A deliberately broken §IV-F gating rule, **test-only**: the crash
 /// auditor (`crate::crash`) must flag a run under any of these mutants,
 /// proving its invariants have teeth. Never set one in a real
@@ -153,6 +194,9 @@ pub struct SimConfig {
     /// Test-only deliberate recovery bug (see [`GatingMutant`]); `None`
     /// in every real run.
     pub gating_mutant: Option<GatingMutant>,
+    /// How the machine advances time (results are bit-identical either
+    /// way; see [`StepMode`]).
+    pub step_mode: StepMode,
 }
 
 impl SimConfig {
@@ -175,6 +219,7 @@ impl SimConfig {
             disable_lrpo: false,
             trace_regions: 0,
             gating_mutant: None,
+            step_mode: StepMode::default(),
         }
     }
 

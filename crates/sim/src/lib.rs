@@ -31,7 +31,7 @@ pub mod machine;
 pub mod stats;
 pub mod trace;
 
-pub use config::{GatingMutant, Scheme, SimConfig};
+pub use config::{GatingMutant, Scheme, SimConfig, StepMode};
 pub use crash::{CrashAuditReport, CrashInjector, CrashPoint, CrashPointKind, InvariantViolation};
 pub use machine::{Completion, CrashCapture, Machine};
 pub use stats::{SimStats, StallCause};

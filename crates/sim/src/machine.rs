@@ -22,8 +22,16 @@
 //! and any region open longer than `region_timeout` cycles is
 //! force-ended. A halting thread broadcasts its trailing region so the
 //! frontier can drain past it.
+//!
+//! Time advances in one of two modes (`StepMode`): the per-cycle
+//! reference stepper above, or the default event-driven skip-ahead,
+//! which asks every timed component for its `next_event` horizon and
+//! jumps straight to the earliest one, accounting the skipped interval's
+//! stall cycles and occupancy samples in closed form. The two are
+//! bit-identical in every reported statistic and in machine state at
+//! every observed cycle (enforced by `tests/step_mode_parity.rs`).
 
-use crate::config::{GatingMutant, Scheme, SimConfig};
+use crate::config::{GatingMutant, Scheme, SimConfig, StepMode};
 use crate::stats::SimStats;
 use crate::trace::RegionTraceLog;
 use lightwsp_compiler::prune::RecoveryRecipes;
@@ -91,6 +99,17 @@ pub enum Completion {
     Finished,
     /// The configured cycle cap was reached first.
     MaxCycles,
+}
+
+/// Why [`Machine::advance`] stopped — the single termination path shared
+/// by [`Machine::run`] and [`Machine::run_until`] in both step modes.
+enum Stop {
+    /// All threads halted and the persist machinery drained.
+    Finished,
+    /// `cfg.max_cycles` reached.
+    MaxCycles,
+    /// The caller's target cycle reached.
+    Target,
 }
 
 /// Per-thread software state.
@@ -163,6 +182,13 @@ pub struct Machine {
     l2_free: u64,
     dram_free: u64,
     pm_read_free: u64,
+    /// Skip-ahead scan pacing: consecutive active (non-skippable)
+    /// cycles observed, and remaining cycles to step without paying an
+    /// event scan. Stepping is the reference semantics, so deferring
+    /// scans during long active phases is a pure heuristic — it cannot
+    /// change any observable.
+    active_streak: u32,
+    scan_holdoff: u32,
 }
 
 impl Machine {
@@ -267,6 +293,8 @@ impl Machine {
             l2_free: 0,
             dram_free: 0,
             pm_read_free: 0,
+            active_streak: 0,
+            scan_holdoff: 0,
             threads,
             cores,
             program,
@@ -327,30 +355,247 @@ impl Machine {
     /// Runs until completion (threads halted + persist machinery
     /// drained) or the cycle cap.
     pub fn run(&mut self) -> Completion {
+        match self.advance(None) {
+            Stop::Finished => Completion::Finished,
+            Stop::MaxCycles | Stop::Target => Completion::MaxCycles,
+        }
+    }
+
+    /// Runs until cycle `target` (or completion, or the `max_cycles`
+    /// cap, whichever comes first); returns true if the workload
+    /// completed. Lands on exactly cycle `target` when neither
+    /// completion nor the cap intervenes — the crash injector relies on
+    /// this to cut power at precisely the requested cycle in either
+    /// step mode.
+    pub fn run_until(&mut self, target: u64) -> bool {
+        matches!(self.advance(Some(target)), Stop::Finished)
+    }
+
+    /// The single run loop behind [`Machine::run`] and
+    /// [`Machine::run_until`]: checks the caller's target, then
+    /// completion, then the `max_cycles` cap, and otherwise advances —
+    /// cycle by cycle under [`StepMode::Reference`], or by jumping over
+    /// provably-idle intervals under [`StepMode::SkipAhead`]. The skip
+    /// destination is clamped to both the target and the cap so the
+    /// machine lands on those cycles exactly, never beyond.
+    fn advance(&mut self, target: Option<u64>) -> Stop {
         loop {
+            if let Some(t) = target {
+                if self.now >= t {
+                    return Stop::Target;
+                }
+            }
             if self.all_halted() && self.drained() {
                 self.finish_stats();
-                return Completion::Finished;
+                return Stop::Finished;
             }
             if self.now >= self.cfg.max_cycles {
                 self.finish_stats();
-                return Completion::MaxCycles;
+                return Stop::MaxCycles;
+            }
+            if self.cfg.step_mode == StepMode::SkipAhead {
+                // Scan pacing: during a long active phase the event
+                // scan returns "step now" every time, so its cost is
+                // pure overhead. Back off exponentially (scan every
+                // 8th cycle at the cap) — the deferred cycles are
+                // stepped for real, which is the reference semantics,
+                // so pacing can delay a skip but never corrupt one.
+                if self.scan_holdoff > 0 {
+                    self.scan_holdoff -= 1;
+                    self.step_cycle();
+                    continue;
+                }
+                let next = self.next_interesting_cycle();
+                let limit = target.map_or(self.cfg.max_cycles, |t| t.min(self.cfg.max_cycles));
+                // Cycles strictly before `next` are idle; land on
+                // `next - 1` so the pre-incrementing `step_cycle`
+                // executes `next` itself. The clamp is inclusive of
+                // `limit` because the reference loop also stops only
+                // once `now` reaches the target/cap.
+                let dest = next.saturating_sub(1).min(limit);
+                if dest > self.now {
+                    self.active_streak = 0;
+                    self.skip_idle_cycles(dest - self.now);
+                    if dest < limit {
+                        // The skip deliberately stopped one short of
+                        // `next`; execute that known-interesting cycle
+                        // without paying a second event scan. Skipped
+                        // cycles change no component state, so the
+                        // machine cannot have finished during the jump,
+                        // and `dest < limit` keeps the target/cap
+                        // checks for the loop top.
+                        self.step_cycle();
+                    }
+                    continue;
+                }
+                self.active_streak = self.active_streak.saturating_add(1);
+                self.scan_holdoff = (self.active_streak / 4).min(7);
             }
             self.step_cycle();
         }
     }
 
-    /// Runs until cycle `target` (or completion, whichever comes
-    /// first); returns true if the workload completed.
-    pub fn run_until(&mut self, target: u64) -> bool {
-        while self.now < target {
-            if self.all_halted() && self.drained() {
-                self.finish_stats();
-                return true;
+    /// The earliest future cycle at which anything observable can
+    /// happen: `now + 1` if some component is active right now
+    /// (`step_cycle` pre-increments, so with the loop at `now` the next
+    /// executed cycle is `now + 1` — active cycles must be stepped for
+    /// real, because WPQ insert retries and thread-rotation decisions
+    /// have side effects), otherwise the minimum over every component's
+    /// `next_event` horizon. Cycles strictly before the returned one are
+    /// provably idle: no queue moves, no instruction retires, no
+    /// protocol state changes — their only per-cycle effects are the
+    /// stall counters and occupancy samples that
+    /// [`Machine::skip_idle_cycles`] applies in closed form.
+    fn next_interesting_cycle(&self) -> u64 {
+        let now = self.now;
+        let soon = now + 1;
+        let mut next = u64::MAX;
+        let persist = self.cfg.scheme.uses_persist_path();
+
+        for c in &self.cores {
+            if persist {
+                // Path head delivery — or a head-of-line retry, which
+                // must run every cycle (try_insert arms the §IV-D
+                // deadlock detector on each rejection).
+                if let Some(t) = c.path.next_event(now) {
+                    if t <= soon {
+                        return soon;
+                    }
+                    next = next.min(t);
+                }
+                // FEB → path, gated by path bandwidth and capacity (a
+                // full transit window frees only when the head pops —
+                // covered by the head-arrival event above).
+                if c.feb.next_event(now).is_some() {
+                    if let Some(t) = c.path.issue_ready_at() {
+                        if t <= soon {
+                            return soon;
+                        }
+                        next = next.min(t);
+                    }
+                }
+                // SB → L1 + FEB, whenever the FEB admits.
+                if c.sb.next_event(now).is_some() && c.feb.has_room() {
+                    return soon;
+                }
+            } else if c.sb.next_event(now).is_some() {
+                // Regular-path-only drain: one store per cycle.
+                return soon;
             }
-            self.step_cycle();
+
+            // Retire side — mirrors `retire_core`'s branch order.
+            if c.threads.is_empty() {
+                continue;
+            }
+            if c.stall_until > now {
+                next = next.min(c.stall_until);
+                continue;
+            }
+            if let Some(region) = c.wait_for_commit {
+                if self.tracker.flush_frontier() > region {
+                    return soon; // the wait clears and retire resumes
+                }
+                continue; // cleared only by MC flush progress
+            }
+            if c.wait_outstanding {
+                if c.outstanding == 0 && c.sb.is_empty() && c.feb.is_empty() && c.path.is_empty() {
+                    return soon;
+                }
+                continue; // cleared only by MC flush completions
+            }
+            // A runnable thread retires next cycle; spinners wake later.
+            // Exception: a single-thread core whose store buffer is full
+            // is drain-limited — retire charges exactly one sb-full
+            // stall and breaks, with no thread-rotation decision to
+            // take (`pick_thread` is side-effect-free for one thread).
+            // Those cycles are skippable: the stall accrues in closed
+            // form and the unblocking drain is already covered by the
+            // FEB/path events above.
+            let drain_limited = c.threads.len() == 1 && !c.sb.has_room();
+            for &tid in &c.threads {
+                let th = &self.threads[tid];
+                if th.halted {
+                    continue;
+                }
+                if th.spin_until > soon {
+                    next = next.min(th.spin_until);
+                    continue;
+                }
+                if !drain_limited {
+                    return soon;
+                }
+                if th.spin_until > now {
+                    // Wakes exactly next cycle; the sb-full stall
+                    // series starts there, so don't skip past it.
+                    next = next.min(soon);
+                }
+            }
         }
-        false
+
+        if persist {
+            if let Some(t) = self.tracker.next_event() {
+                if t <= soon {
+                    return soon;
+                }
+                next = next.min(t);
+            }
+            for mc in &self.mcs {
+                if let Some(t) = mc.next_event(&self.tracker) {
+                    if t <= soon {
+                        return soon;
+                    }
+                    next = next.min(t);
+                }
+            }
+        }
+        next
+    }
+
+    /// Jumps `cycles` provably-idle cycles forward, applying their
+    /// per-cycle accounting in closed form. Two things accrue during an
+    /// idle cycle in the reference stepper: every MC samples its WPQ
+    /// occupancy (persist-path schemes tick MCs unconditionally), and
+    /// each core's retire stage counts exactly one stall cycle according
+    /// to its blocking state. Queue contents, protocol state, and
+    /// contention clocks cannot change on an idle cycle, so applying
+    /// `cycles` worth of both linearly is bit-identical to stepping.
+    fn skip_idle_cycles(&mut self, cycles: u64) {
+        debug_assert!(cycles > 0);
+        let now = self.now;
+        if self.cfg.scheme.uses_persist_path() {
+            for mc in &mut self.mcs {
+                mc.wpq_mut().sample_occupancy_n(cycles);
+            }
+        }
+        // Branch order mirrors `retire_core`: load-miss stall first,
+        // then the boundary waits (Capri commit wait / PPA drain wait).
+        for c in &self.cores {
+            if c.threads.is_empty() {
+                continue;
+            }
+            if c.stall_until > now {
+                debug_assert!(now + cycles < c.stall_until, "skip crossed a stall expiry");
+                self.stats.stall_load_miss += cycles;
+            } else if let Some(region) = c.wait_for_commit {
+                debug_assert!(self.tracker.flush_frontier() <= region);
+                self.stats.stall_boundary_wait += cycles;
+            } else if c.wait_outstanding {
+                self.stats.stall_boundary_wait += cycles;
+            } else if c.threads.len() == 1 {
+                let th = &self.threads[c.threads[0]];
+                if !th.halted && th.spin_until <= now {
+                    // A runnable single thread blocked by a full store
+                    // buffer (the only way its cycles were skippable):
+                    // one sb-full stall per cycle, as in the reference
+                    // retire loop.
+                    debug_assert!(!c.sb.has_room());
+                    self.stats.stall_sb_full += cycles;
+                }
+            }
+            // Otherwise the core is parked (spinning or halted threads):
+            // the reference stepper counts nothing for it either.
+        }
+        self.now += cycles;
     }
 
     fn finish_stats(&mut self) {

@@ -17,7 +17,13 @@ pub enum StallCause {
 }
 
 /// Counters accumulated over one simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter exactly (including the sampled
+/// `wpq_mean_occupancy`, whose numerator and denominator are integers in
+/// both step modes) — the step-mode parity suite relies on this to
+/// assert bit-identical results between `StepMode::Reference` and
+/// `StepMode::SkipAhead`.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Total cycles simulated.
     pub cycles: u64,
