@@ -16,7 +16,10 @@
 //!   vs fail-and-recover run) and the recovery-contract auditor
 //!   ([`recovery::audit_workload_crashes`]), which sweeps seeded and
 //!   derived crash points and checks the named invariants of
-//!   `RECOVERY.md` at each one.
+//!   `RECOVERY.md` at each one;
+//! * [`oracle`] — campaign-parallel driver for the executable LRPO
+//!   persistency model ([`lightwsp_model`]): litmus sweeps, fuzz
+//!   sweeps, and the gating-mutant kill matrix.
 //!
 //! ```no_run
 //! use lightwsp_core::{Experiment, ExperimentOptions};
@@ -31,6 +34,7 @@
 
 pub mod campaign;
 pub mod experiment;
+pub mod oracle;
 pub mod recovery;
 pub mod report;
 
@@ -39,4 +43,5 @@ pub use experiment::{Experiment, ExperimentOptions, RunResult};
 pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 pub use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};
 pub use lightwsp_workloads::{Suite, WorkloadSpec};
+pub use oracle::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, MutantKill, SweepReport};
 pub use recovery::{audit_workload_crashes, check_workload_recovery, AuditBudget};

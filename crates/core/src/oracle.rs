@@ -1,0 +1,206 @@
+//! Campaign-parallel driver for the LRPO model oracle
+//! ([`lightwsp_model`]): litmus sweeps, seeded fuzz sweeps, and the
+//! gating-mutant kill matrix, fanned over [`Campaign::map_parallel`].
+//!
+//! The per-case work (trace, golden, per-point capture, model check)
+//! is embarrassingly parallel — cases share nothing — so the sweep
+//! scales with `LIGHTWSP_THREADS` exactly like the experiment harness.
+
+use crate::campaign::Campaign;
+use lightwsp_model::harness::{run_case, CaseOutcome, CaseSpec, PointPolicy};
+use lightwsp_model::{gen_case, litmus_suite};
+use lightwsp_sim::{GatingMutant, StepMode};
+
+/// Aggregate of one sweep (litmus suite or a fuzz batch).
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Cases run.
+    pub cases: usize,
+    /// Crash points requested across all cases.
+    pub points: usize,
+    /// Points that actually interrupted a run.
+    pub audited: usize,
+    /// Sum of admitted-set sizes (saturating).
+    pub admitted: u128,
+    /// Distinct canonical images witnessed, summed over cases.
+    pub witnessed: usize,
+    /// Witnessed images realising a cross-thread prefix combination —
+    /// executions inside the documented over-approximation envelope.
+    pub witnessed_cross_thread: usize,
+    /// Images outside the admitted set (must be empty for a clean run).
+    pub model_violations: Vec<String>,
+    /// Structural invariant violations (must be empty for a clean run).
+    pub structural_violations: Vec<String>,
+    /// Cases outside the model's extraction domain (generator bug if
+    /// non-empty: both litmus and fuzz construct in-domain programs).
+    pub extract_errors: Vec<String>,
+}
+
+impl SweepReport {
+    fn absorb(&mut self, out: &CaseOutcome) {
+        self.cases += 1;
+        self.points += out.points;
+        self.audited += out.audited;
+        self.admitted = self.admitted.saturating_add(out.admitted);
+        self.witnessed += out.witnessed;
+        self.witnessed_cross_thread += out.witnessed_cross_thread;
+        self.model_violations.extend(out.model_violations.clone());
+        self.structural_violations
+            .extend(out.structural_violations.clone());
+    }
+
+    /// Total violations of either kind.
+    pub fn violations(&self) -> usize {
+        self.model_violations.len() + self.structural_violations.len()
+    }
+
+    /// Unwitnessed admitted images across the sweep (the documented
+    /// over-approximation plus point-sampling gaps).
+    pub fn overapprox(&self) -> u128 {
+        self.admitted.saturating_sub(self.witnessed as u128)
+    }
+}
+
+/// Runs the full litmus suite under `step_mode` with a per-cycle
+/// exhaustive crash sweep, in parallel. Returns the aggregate plus the
+/// per-litmus outcomes (in suite order).
+pub fn litmus_sweep(campaign: &Campaign, step_mode: StepMode) -> (SweepReport, Vec<CaseOutcome>) {
+    let suite = litmus_suite();
+    let outcomes = campaign.map_parallel(&suite, |l, _| {
+        let spec = CaseSpec {
+            name: l.name.to_string(),
+            threads: l.threads,
+            num_mcs: l.num_mcs,
+            wpq_entries: l.wpq_entries,
+            step_mode,
+            mutant: None,
+            policy: PointPolicy::Exhaustive { max_horizon: 4096 },
+            seed: 0x11735,
+        };
+        run_case(&l.compiled, &spec)
+    });
+    let mut report = SweepReport::default();
+    let mut per_case = Vec::with_capacity(outcomes.len());
+    for (l, res) in suite.iter().zip(outcomes) {
+        match res {
+            Ok(out) => {
+                report.absorb(&out);
+                per_case.push(out);
+            }
+            Err(e) => report.extract_errors.push(format!("{}: {e}", l.name)),
+        }
+    }
+    (report, per_case)
+}
+
+/// Runs `count` generated programs from the stream rooted at `seed`
+/// under `step_mode`, each audited at mechanism-derived plus seeded
+/// crash points, in parallel.
+pub fn fuzz_sweep(campaign: &Campaign, seed: u64, count: u64, step_mode: StepMode) -> SweepReport {
+    let indices: Vec<u64> = (0..count).collect();
+    let outcomes = campaign.map_parallel(&indices, |&idx, _| {
+        let case = gen_case(seed, idx);
+        let spec = CaseSpec {
+            name: format!("fuzz-{seed:#x}-{idx}"),
+            threads: case.threads,
+            num_mcs: case.num_mcs,
+            wpq_entries: case.wpq_entries,
+            step_mode,
+            mutant: None,
+            policy: PointPolicy::Derived {
+                cap_per_kind: 3,
+                seeded: 4,
+            },
+            seed: seed ^ idx,
+        };
+        (spec.name.clone(), run_case(&case.compiled, &spec))
+    });
+    let mut report = SweepReport::default();
+    for (name, res) in outcomes {
+        match res {
+            Ok(out) => report.absorb(&out),
+            Err(e) => report.extract_errors.push(format!("{name}: {e}")),
+        }
+    }
+    report
+}
+
+/// All gating mutants the kill matrix must cover.
+pub const ALL_MUTANTS: [GatingMutant; 3] = [
+    GatingMutant::FlushUnacked,
+    GatingMutant::AnyMcBoundary,
+    GatingMutant::FirstMcBoundary,
+];
+
+/// Stable display name for a mutant.
+pub fn mutant_name(m: GatingMutant) -> &'static str {
+    match m {
+        GatingMutant::FlushUnacked => "flush-unacked",
+        GatingMutant::AnyMcBoundary => "any-mc-boundary",
+        GatingMutant::FirstMcBoundary => "first-mc-boundary",
+    }
+}
+
+/// One mutant's fate under the litmus suite.
+#[derive(Clone, Debug)]
+pub struct MutantKill {
+    /// The mutant.
+    pub mutant: GatingMutant,
+    /// `(litmus name, detector)` pairs that flagged it, where detector
+    /// is `"model"` or `"structural"`.
+    pub killed_by: Vec<(String, &'static str)>,
+}
+
+impl MutantKill {
+    /// True if at least one litmus killed the mutant.
+    pub fn killed(&self) -> bool {
+        !self.killed_by.is_empty()
+    }
+}
+
+/// Arms each mutant in turn and runs the whole litmus suite against it
+/// (both detectors active), in parallel over `(mutant, litmus)` pairs.
+pub fn mutant_kill_matrix(campaign: &Campaign, step_mode: StepMode) -> Vec<MutantKill> {
+    let suite = litmus_suite();
+    let pairs: Vec<(GatingMutant, usize)> = ALL_MUTANTS
+        .iter()
+        .flat_map(|&m| (0..suite.len()).map(move |i| (m, i)))
+        .collect();
+    let results = campaign.map_parallel(&pairs, |&(mutant, i), _| {
+        let l = &suite[i];
+        let spec = CaseSpec {
+            name: format!("{}+{}", l.name, mutant_name(mutant)),
+            threads: l.threads,
+            num_mcs: l.num_mcs,
+            wpq_entries: l.wpq_entries,
+            step_mode,
+            mutant: Some(mutant),
+            policy: PointPolicy::Exhaustive { max_horizon: 4096 },
+            seed: 0xDEAD_5EED,
+        };
+        (mutant, i, run_case(&l.compiled, &spec))
+    });
+    ALL_MUTANTS
+        .iter()
+        .map(|&m| {
+            let mut killed_by = Vec::new();
+            for (mutant, i, res) in &results {
+                if *mutant != m {
+                    continue;
+                }
+                if let Ok(out) = res {
+                    if !out.model_violations.is_empty() {
+                        killed_by.push((suite[*i].name.to_string(), "model"));
+                    }
+                    if !out.structural_violations.is_empty() {
+                        killed_by.push((suite[*i].name.to_string(), "structural"));
+                    }
+                }
+            }
+            MutantKill {
+                mutant: m,
+                killed_by,
+            }
+        })
+        .collect()
+}

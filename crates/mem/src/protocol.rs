@@ -168,6 +168,16 @@ impl RegionTracker {
             .is_some_and(|st| st.delivered.iter().any(Option::is_some))
     }
 
+    /// True if MC `mc` has received the boundary of `region`. Like
+    /// [`RegionTracker::boundary_anywhere`], this weaker-than-contract
+    /// predicate exists only for the test-only `FirstMcBoundary` gating
+    /// mutant (survivability inferred from one designated controller).
+    pub fn boundary_at_mc(&self, region: RegionId, mc: usize) -> bool {
+        self.regions
+            .get(&region)
+            .is_some_and(|st| st.delivered.get(mc).is_some_and(Option::is_some))
+    }
+
     /// Cycle at which the bdry-ACK exchange for `region` completes, if
     /// the boundary has reached every MC.
     pub fn bdry_acked_at(&self, region: RegionId) -> Option<u64> {

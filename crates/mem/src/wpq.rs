@@ -212,6 +212,14 @@ impl Wpq {
         std::mem::take(&mut self.entries)
     }
 
+    /// Read-only view of the queued entries in arrival order. Exposed
+    /// for property tests that cross-check the O(1) per-region count
+    /// index against a full recount; operational code uses the indexed
+    /// accessors above.
+    pub fn entries(&self) -> &[WpqEntry] {
+        &self.entries
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.entries.len()

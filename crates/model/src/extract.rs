@@ -1,0 +1,309 @@
+//! Region-structure extraction: functional replay of a program into
+//! per-thread region effects, independent of the cycle-level simulator.
+//!
+//! Each thread is replayed in isolation with [`lightwsp_ir::Interp`]
+//! over its own copy of the install image. The replay mirrors exactly
+//! the region semantics of the machine's retire stage:
+//!
+//! * a data/checkpoint/stack/atomic store joins the thread's open
+//!   region, which is opened *lazily* at the first store after a
+//!   boundary (`Machine`'s §IV-C region-ID virtualisation);
+//! * a `Boundary` event closes the open region (or forms a token-only
+//!   region when no store preceded it) and contributes the boundary's
+//!   own PC-slot store;
+//! * `Halt` with an open region broadcasts a synthetic trailing region
+//!   whose PC-slot store rewrites the *current* slot value, exactly as
+//!   the machine does when a halting thread drains its frontier.
+//!
+//! Isolation is sound only for programs whose threads neither write the
+//! same address nor read another thread's writes; both properties are
+//! verified dynamically and violations are reported as typed errors so
+//! the harness never silently models a racy program.
+
+use lightwsp_ir::fxhash::FxHashSet;
+use lightwsp_ir::reg::Reg;
+use lightwsp_ir::{layout, DynEvent, Interp, Memory, Program};
+
+/// The effect of one region on persistent memory: its data stores in
+/// program order plus the boundary token's PC-slot store.
+#[derive(Clone, Debug)]
+pub struct RegionEffect {
+    /// `(address, value)` of every store tagged with this region, in
+    /// program order (addresses 8-byte aligned, as the machine masks).
+    pub stores: Vec<(u64, u64)>,
+    /// The boundary's PC-checkpointing store: `(pc-slot address,
+    /// encoded recovery point)`.
+    pub boundary: (u64, u64),
+    /// True for the synthetic trailing region a halting thread
+    /// broadcasts (its boundary rewrites the PC slot's current value,
+    /// so its cumulative image may equal the previous prefix's).
+    pub synthetic: bool,
+}
+
+/// One thread's replayed structure: its regions in allocation (program)
+/// order plus its dynamic read/write footprint.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadEffects {
+    /// Regions in per-thread program order (= region-ID order, since the
+    /// global counter hands each thread its IDs monotonically).
+    pub regions: Vec<RegionEffect>,
+    /// Every 8-byte-aligned address the thread loaded.
+    pub reads: FxHashSet<u64>,
+    /// Every 8-byte-aligned address the thread stored (including its
+    /// PC slot and checkpoint slots).
+    pub writes: FxHashSet<u64>,
+}
+
+/// A program's full region structure plus the install-time PM image.
+#[derive(Clone, Debug)]
+pub struct RegionStructure {
+    /// Per-thread effects, indexed by thread id.
+    pub threads: Vec<ThreadEffects>,
+    /// The install image the machine writes before cycle 0: every
+    /// thread's initial register checkpoints and encoded entry PC.
+    pub install: Memory,
+}
+
+/// Why a program cannot be modelled by isolated per-thread replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Two threads wrote the same address; per-thread overlays would
+    /// not compose.
+    CrossThreadWrite {
+        /// The contended 8-byte-aligned address.
+        addr: u64,
+        /// The two writing threads.
+        threads: (usize, usize),
+    },
+    /// A thread read an address another thread writes; isolated replay
+    /// would observe the wrong value.
+    CrossThreadRead {
+        /// The shared 8-byte-aligned address.
+        addr: u64,
+        /// The reading thread.
+        reader: usize,
+        /// The writing thread.
+        writer: usize,
+    },
+    /// The thread hit a contended lock; lock hand-off order is
+    /// interleaving-dependent, which this model deliberately excludes.
+    LockSpin {
+        /// The spinning thread.
+        thread: usize,
+    },
+    /// The thread did not halt within the replay step budget.
+    StepBudget {
+        /// The runaway thread.
+        thread: usize,
+    },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::CrossThreadWrite { addr, threads } => write!(
+                f,
+                "threads {} and {} both write {addr:#x}; overlays would not compose",
+                threads.0, threads.1
+            ),
+            ExtractError::CrossThreadRead {
+                addr,
+                reader,
+                writer,
+            } => write!(
+                f,
+                "thread {reader} reads {addr:#x} written by thread {writer}; \
+                 isolated replay would be unsound"
+            ),
+            ExtractError::LockSpin { thread } => {
+                write!(f, "thread {thread} spun on a contended lock")
+            }
+            ExtractError::StepBudget { thread } => {
+                write!(f, "thread {thread} exceeded the replay step budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Builds the install-time PM image for `num_threads` threads of
+/// `program`, mirroring `Machine::new`: all initial register values and
+/// the encoded entry PC per thread.
+pub fn install_image(program: &Program, num_threads: usize) -> Memory {
+    let mut img = Memory::new();
+    for tid in 0..num_threads {
+        let interp = Interp::new(program, tid);
+        for r in Reg::all() {
+            img.write_word(layout::checkpoint_slot(tid, r), interp.reg(r));
+        }
+        img.write_word(layout::pc_slot(tid), interp.point().encode());
+    }
+    img
+}
+
+/// Replays `num_threads` copies of `program` in isolation and returns
+/// the per-thread region structure.
+///
+/// # Errors
+///
+/// Returns an [`ExtractError`] when the program is outside the model's
+/// domain: cross-thread writes, cross-thread reads, contended locks, or
+/// a thread that does not halt within `max_steps` interpreter steps.
+pub fn extract(
+    program: &Program,
+    num_threads: usize,
+    max_steps: u64,
+) -> Result<RegionStructure, ExtractError> {
+    let install = install_image(program, num_threads);
+    let mut threads = Vec::with_capacity(num_threads);
+    for tid in 0..num_threads {
+        threads.push(replay_thread(program, tid, &install, max_steps)?);
+    }
+
+    // Cross-thread disjointness: no shared writes, no reads of another
+    // thread's writes. Both must hold for the per-thread overlays to
+    // compose into whole-image predictions.
+    for a in 0..num_threads {
+        for b in 0..num_threads {
+            if a == b {
+                continue;
+            }
+            if a < b {
+                if let Some(&addr) = threads[a].writes.intersection(&threads[b].writes).next() {
+                    return Err(ExtractError::CrossThreadWrite {
+                        addr,
+                        threads: (a, b),
+                    });
+                }
+            }
+            if let Some(&addr) = threads[a].reads.intersection(&threads[b].writes).next() {
+                return Err(ExtractError::CrossThreadRead {
+                    addr,
+                    reader: a,
+                    writer: b,
+                });
+            }
+        }
+    }
+
+    Ok(RegionStructure { threads, install })
+}
+
+/// Replays one thread to completion, folding its dynamic event stream
+/// into region effects.
+fn replay_thread(
+    program: &Program,
+    tid: usize,
+    install: &Memory,
+    max_steps: u64,
+) -> Result<ThreadEffects, ExtractError> {
+    let mut mem = install.clone();
+    let mut interp = Interp::new(program, tid);
+    let mut eff = ThreadEffects::default();
+    let mut pending: Vec<(u64, u64)> = Vec::new();
+    let bdry_addr = layout::pc_slot(tid) & !7;
+
+    for _ in 0..max_steps {
+        match interp.step(program, &mut mem) {
+            DynEvent::Alu | DynEvent::Fence | DynEvent::Io { .. } => {}
+            DynEvent::Load { addr } => {
+                eff.reads.insert(addr & !7);
+            }
+            DynEvent::Store { addr, val, .. } => {
+                let addr = addr & !7;
+                pending.push((addr, val));
+                eff.writes.insert(addr);
+            }
+            DynEvent::Boundary { addr: _, pc_val } => {
+                eff.writes.insert(bdry_addr);
+                eff.regions.push(RegionEffect {
+                    stores: std::mem::take(&mut pending),
+                    boundary: (bdry_addr, pc_val),
+                    synthetic: false,
+                });
+            }
+            DynEvent::LockSpin { .. } => return Err(ExtractError::LockSpin { thread: tid }),
+            DynEvent::Halt => {
+                if !pending.is_empty() {
+                    // The machine broadcasts a trailing region so the
+                    // flush frontier can drain past the halted thread;
+                    // its synthetic boundary re-stores the PC slot's
+                    // current value (no new recovery point).
+                    let pc = mem.read_word(layout::pc_slot(tid));
+                    eff.writes.insert(bdry_addr);
+                    eff.regions.push(RegionEffect {
+                        stores: std::mem::take(&mut pending),
+                        boundary: (bdry_addr, pc),
+                        synthetic: true,
+                    });
+                }
+                return Ok(eff);
+            }
+        }
+    }
+    Err(ExtractError::StepBudget { thread: tid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::Reg;
+
+    /// store; store; boundary; store; halt → one closed region + one
+    /// synthetic trailing region.
+    #[test]
+    fn regions_follow_boundaries_and_halt() {
+        let mut b = FuncBuilder::new("t");
+        b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 7);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.store(Reg::R2, Reg::R1, 8);
+        b.region_boundary();
+        b.store(Reg::R2, Reg::R1, 16);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let t = &rs.threads[0];
+        assert_eq!(t.regions.len(), 2);
+        assert_eq!(t.regions[0].stores.len(), 2);
+        assert!(!t.regions[0].synthetic);
+        assert_eq!(t.regions[1].stores, vec![(layout::HEAP_BASE + 16, 7)]);
+        assert!(t.regions[1].synthetic);
+        // The synthetic boundary re-stores the PC value the preceding
+        // real boundary left in the slot (no new recovery point).
+        assert_eq!(t.regions[1].boundary.1, t.regions[0].boundary.1);
+    }
+
+    /// A boundary with no preceding store forms a token-only region.
+    #[test]
+    fn token_only_region() {
+        let mut b = FuncBuilder::new("t");
+        b.region_boundary();
+        b.region_boundary();
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let rs = extract(&p, 1, 10_000).unwrap();
+        assert_eq!(rs.threads[0].regions.len(), 2);
+        assert!(rs.threads[0].regions.iter().all(|r| r.stores.is_empty()));
+    }
+
+    /// Two threads writing the same heap word are rejected.
+    #[test]
+    fn cross_thread_write_detected() {
+        let mut b = FuncBuilder::new("t");
+        b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 1);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.region_boundary();
+        b.halt();
+        let p = Program::from_single(b.finish());
+        match extract(&p, 2, 10_000) {
+            Err(ExtractError::CrossThreadWrite { addr, .. }) => {
+                assert_eq!(addr, layout::HEAP_BASE);
+            }
+            other => panic!("expected CrossThreadWrite, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The differential harness: run a program on the cycle-level
+//! simulator, cut power at mechanism-derived (or exhaustively all)
+//! crash points, and check every observed PM image against the
+//! [`LrpoModel`]'s admitted set — in either step mode, with or without
+//! a gating mutant armed.
+//!
+//! For each crash point the harness records the *canonical* per-thread
+//! prefix vector that witnessed membership, so a case's outcome also
+//! accounts for tightness: `admitted` (model), `witnessed` (distinct
+//! canonical images actually observed), and the difference — the
+//! documented over-approximation (unrealised cross-thread prefix
+//! combinations plus prefix states the sampled points skipped over).
+//!
+//! Structural invariants ([`lightwsp_sim::crash::check_capture`]) are
+//! checked at every point too: the model judges the *image*, the
+//! structural checks judge the *resolution*, and a gating mutant counts
+//! as killed if either detector fires.
+
+use crate::extract::{extract, ExtractError};
+use crate::model::LrpoModel;
+use lightwsp_compiler::Compiled;
+use lightwsp_ir::fxhash::FxHashSet;
+use lightwsp_sim::crash::check_capture;
+use lightwsp_sim::{
+    CrashInjector, CrashPoint, CrashPointKind, GatingMutant, Scheme, SimConfig, StepMode,
+};
+
+/// Interpreter step budget for extraction (litmus/fuzz programs are
+/// tiny; this is a runaway guard, not a tuning knob).
+const EXTRACT_STEPS: u64 = 1_000_000;
+
+/// How crash points are chosen for a case.
+#[derive(Clone, Copy, Debug)]
+pub enum PointPolicy {
+    /// Cut power at every cycle in `[1, horizon)` when the traced run
+    /// is at most `max_horizon` cycles; otherwise fall back to
+    /// `Derived { cap_per_kind: 32, seeded: 64 }`. Litmus default.
+    Exhaustive {
+        /// Horizon bound for the per-cycle sweep.
+        max_horizon: u64,
+    },
+    /// Mechanism-derived points (up to `cap_per_kind` per window) plus
+    /// `seeded` pseudo-random cycles. Fuzz default.
+    Derived {
+        /// Evenly-sampled cap per [`CrashPointKind`] window.
+        cap_per_kind: usize,
+        /// Extra seeded points uniform over the horizon.
+        seeded: usize,
+    },
+}
+
+/// One harness invocation: hardware shape + mode + point policy.
+/// The program itself is passed to [`run_case`] separately so fuzz
+/// workers can generate it on the fly.
+#[derive(Clone, Debug)]
+pub struct CaseSpec {
+    /// Case name for reporting.
+    pub name: String,
+    /// Software threads (= simulated cores).
+    pub threads: usize,
+    /// Memory-controller count.
+    pub num_mcs: usize,
+    /// WPQ capacity per MC.
+    pub wpq_entries: usize,
+    /// Time-advance mode (the sweep runs every case in both).
+    pub step_mode: StepMode,
+    /// Deliberately broken gating rule, when proving the harness kills
+    /// mutants; `None` for the differential check proper.
+    pub mutant: Option<GatingMutant>,
+    /// Crash-point selection.
+    pub policy: PointPolicy,
+    /// Seed for the policy's seeded points.
+    pub seed: u64,
+}
+
+/// The outcome of one case.
+#[derive(Clone, Debug)]
+pub struct CaseOutcome {
+    /// Case name (copied from the spec).
+    pub name: String,
+    /// Crash points requested.
+    pub points: usize,
+    /// Points that actually interrupted the run.
+    pub audited: usize,
+    /// Size of the model's admitted set (canonical images).
+    pub admitted: u128,
+    /// Distinct canonical images observed across all audited points.
+    pub witnessed: usize,
+    /// Witnessed images that selected a non-trivial prefix on more than
+    /// one thread — real executions inside the cross-thread
+    /// over-approximation envelope.
+    pub witnessed_cross_thread: usize,
+    /// Model violations: observed images outside the admitted set.
+    pub model_violations: Vec<String>,
+    /// Structural invariant violations (gate-flush & co).
+    pub structural_violations: Vec<String>,
+}
+
+impl CaseOutcome {
+    /// Unwitnessed admitted images: the documented over-approximation
+    /// (cross-thread combinations never realised by this run's global
+    /// region order, plus prefix states the point sample skipped).
+    pub fn overapprox(&self) -> u128 {
+        self.admitted.saturating_sub(self.witnessed as u128)
+    }
+
+    /// True if any detector fired (for mutant runs: the kill verdict).
+    pub fn killed(&self) -> bool {
+        !self.model_violations.is_empty() || !self.structural_violations.is_empty()
+    }
+}
+
+/// The simulator configuration the harness runs every case under:
+/// LightWSP scheme, the case's MC/WPQ/core shape, small caches (the
+/// programs are tiny), and a region timeout pushed out of reach so the
+/// machine never splits regions the model didn't see.
+pub fn sim_config(spec: &CaseSpec) -> SimConfig {
+    let mut cfg = SimConfig::new(Scheme::LightWsp).with_cores(spec.threads);
+    cfg.mem.num_mcs = spec.num_mcs;
+    cfg.mem = cfg.mem.with_wpq_entries(spec.wpq_entries);
+    cfg.mem.l1_bytes = 16 * 1024;
+    cfg.mem.l2_bytes = 128 * 1024;
+    // The model has no notion of timeout-induced synthetic boundaries;
+    // keep them unreachable (litmus/fuzz runs are ≪ this many cycles).
+    cfg.region_timeout = u64::MAX / 2;
+    cfg.step_mode = spec.step_mode;
+    cfg.gating_mutant = spec.mutant;
+    cfg
+}
+
+/// Runs one case: extract the region structure, build the model, cut
+/// power at every selected point, and check each observed image.
+///
+/// # Errors
+///
+/// Returns an [`ExtractError`] when the program is outside the model's
+/// soundness domain (the caller chose a bad program — not a finding).
+pub fn run_case(compiled: &Compiled, spec: &CaseSpec) -> Result<CaseOutcome, ExtractError> {
+    let rs = extract(&compiled.program, spec.threads, EXTRACT_STEPS)?;
+    let model = LrpoModel::new(&rs);
+    let injector = CrashInjector::new(compiled, sim_config(spec), spec.threads);
+
+    let points = select_points(&injector, spec);
+    let mut outcome = CaseOutcome {
+        name: spec.name.clone(),
+        points: points.len(),
+        audited: 0,
+        admitted: model.admitted_count(),
+        witnessed: 0,
+        witnessed_cross_thread: 0,
+        model_violations: Vec::new(),
+        structural_violations: Vec::new(),
+    };
+
+    let mut seen: FxHashSet<Vec<usize>> = FxHashSet::default();
+    for p in points {
+        let Some((cap, pm_after)) = injector.capture_at(p) else {
+            continue; // landed after completion + drain
+        };
+        outcome.audited += 1;
+
+        match model.check_image(&pm_after) {
+            Ok(witness) => {
+                if seen.insert(witness.clone()) {
+                    outcome.witnessed += 1;
+                    if model.is_cross_thread_combination(&witness) {
+                        outcome.witnessed_cross_thread += 1;
+                    }
+                }
+            }
+            Err(v) => outcome.model_violations.push(format!(
+                "[model] {} at cycle {} ({}): {v}",
+                spec.name,
+                p.cycle,
+                p.kind.name()
+            )),
+        }
+
+        let mut structural = Vec::new();
+        check_capture(&cap, &pm_after, p, &mut structural);
+        outcome
+            .structural_violations
+            .extend(structural.into_iter().map(|v| v.to_string()));
+    }
+
+    Ok(outcome)
+}
+
+/// Materialises the spec's [`PointPolicy`] into concrete crash points.
+fn select_points(injector: &CrashInjector<'_>, spec: &CaseSpec) -> Vec<CrashPoint> {
+    match spec.policy {
+        PointPolicy::Exhaustive { max_horizon } => {
+            let (derived, horizon) = injector.derived_points(32);
+            if horizon <= max_horizon {
+                (1..horizon)
+                    .map(|cycle| CrashPoint {
+                        cycle,
+                        kind: CrashPointKind::Seeded,
+                    })
+                    .collect()
+            } else {
+                let mut points = derived;
+                points.extend(injector.seeded_points(spec.seed, 64, horizon));
+                points
+            }
+        }
+        PointPolicy::Derived {
+            cap_per_kind,
+            seeded,
+        } => {
+            let (mut points, horizon) = injector.derived_points(cap_per_kind);
+            points.extend(injector.seeded_points(spec.seed, seeded, horizon));
+            points
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::litmus_suite;
+
+    /// The simplest litmus, swept exhaustively, must satisfy the model
+    /// at every cycle and witness at least install + final images.
+    #[test]
+    fn single_region_exhaustive_clean() {
+        let suite = litmus_suite();
+        let l = suite.iter().find(|l| l.name == "single-region").unwrap();
+        let spec = CaseSpec {
+            name: l.name.to_string(),
+            threads: l.threads,
+            num_mcs: l.num_mcs,
+            wpq_entries: l.wpq_entries,
+            step_mode: StepMode::SkipAhead,
+            mutant: None,
+            policy: PointPolicy::Exhaustive { max_horizon: 4096 },
+            seed: 1,
+        };
+        let out = run_case(&l.compiled, &spec).unwrap();
+        assert!(out.audited > 0, "no point interrupted the run");
+        assert!(
+            out.model_violations.is_empty() && out.structural_violations.is_empty(),
+            "violations: {:?} {:?}",
+            out.model_violations,
+            out.structural_violations
+        );
+        assert!(out.witnessed >= 2, "install and final images at minimum");
+    }
+
+    /// FlushUnacked flushes mid-region stores to PM; with exhaustive
+    /// points some cut lands mid-region, so both detectors fire.
+    #[test]
+    fn flush_unacked_killed_on_single_region() {
+        let suite = litmus_suite();
+        let l = suite.iter().find(|l| l.name == "single-region").unwrap();
+        let spec = CaseSpec {
+            name: l.name.to_string(),
+            threads: l.threads,
+            num_mcs: l.num_mcs,
+            wpq_entries: l.wpq_entries,
+            step_mode: StepMode::SkipAhead,
+            mutant: Some(GatingMutant::FlushUnacked),
+            policy: PointPolicy::Exhaustive { max_horizon: 4096 },
+            seed: 1,
+        };
+        let out = run_case(&l.compiled, &spec).unwrap();
+        assert!(out.killed(), "FlushUnacked survived the sweep");
+    }
+}

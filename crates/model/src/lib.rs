@@ -1,0 +1,68 @@
+//! # lightwsp-model — an executable specification of LRPO crash images
+//!
+//! The simulator's crash auditor ([`lightwsp_sim::crash`]) checks the
+//! §IV-F recovery protocol against the *tracker's* view of the machine —
+//! the simulator validating itself. This crate is the independent
+//! oracle: a small declarative model of lazy region-level persist
+//! ordering that, given only a program's region/store/boundary
+//! *structure* (replayed functionally from the IR, with no cycle-level
+//! state), enumerates the set of post-crash PM images LRPO admits.
+//!
+//! ## The model
+//!
+//! LRPO's contract (§III-A, §IV-B, §IV-F) is that the durable image
+//! after *any* power failure is the install image plus the effects of a
+//! **prefix of whole regions in global region-ID order**: a region's
+//! WPQ entries stay gated until its boundary token has entered every
+//! MC's WPQ, MCs flush in region-ID order, and the §IV-F resolution
+//! battery-flushes exactly the contiguous boundary-everywhere run from
+//! the commit frontier (undo-logging makes the §IV-D overflow fallback
+//! image-transparent for unsurvivable regions). Region IDs are drawn
+//! from one global monotone counter and each thread allocates its IDs
+//! in its own program order, so the global survivable prefix projects
+//! onto **each thread as a prefix of that thread's regions**.
+//!
+//! For programs whose threads write disjoint addresses and never read
+//! another thread's writes (verified dynamically during extraction —
+//! see [`extract()`]), per-thread region effects are independent of the
+//! interleaving, and the admitted set is exactly
+//!
+//! ```text
+//!   { install ⊕ effects(prefix₁) ⊕ … ⊕ effects(prefixₙ)
+//!       : prefixₜ a per-thread region prefix }
+//! ```
+//!
+//! This is a deliberate, *documented over-approximation*: the model
+//! admits every combination of per-thread prefixes, while a real
+//! execution only realises combinations compatible with the global
+//! region-ID order of that run. The differential harness accounts for
+//! the gap explicitly (see [`model::LrpoModel::admitted_count`] and the
+//! witness bookkeeping in [`harness`]).
+//!
+//! ## The harness
+//!
+//! [`litmus`] holds ~16 hand-written litmus programs (cross-MC boundary
+//! races, WPQ-capacity/overflow regions, back-to-back boundaries, NUMA
+//! address striping); [`fuzz`] generates thousands of seeded random
+//! programs. [`harness`] runs each through the cycle-level simulator,
+//! cuts power at every mechanism-derived crash point (exhaustively at
+//! every cycle for small programs) in both `StepMode::SkipAhead` and
+//! `StepMode::Reference`, and asserts every observed crash image is in
+//! the model's admitted set — and that each admitted image is either
+//! witnessed by some crash point or counted against the documented
+//! over-approximation. The same harness re-arms the test-only
+//! [`lightwsp_sim::GatingMutant`]s and requires each to be killed.
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod fuzz;
+pub mod harness;
+pub mod litmus;
+pub mod model;
+
+pub use extract::{extract, ExtractError, RegionEffect, RegionStructure, ThreadEffects};
+pub use fuzz::{gen_case, FuzzCase};
+pub use harness::{run_case, CaseOutcome, CaseSpec, PointPolicy};
+pub use litmus::{litmus_suite, Litmus};
+pub use model::{LrpoModel, ModelViolation};

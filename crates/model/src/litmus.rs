@@ -1,0 +1,424 @@
+//! Hand-written litmus programs for the differential harness.
+//!
+//! Each litmus targets one mechanism corner: cross-MC boundary
+//! delivery races, WPQ-capacity/overflow regions, back-to-back
+//! boundaries, NUMA address striping, trailing open regions at halt.
+//! Most are hand-built IR with explicit `region_boundary` markers
+//! (wrapped into a [`Compiled`] with empty recovery metadata — the
+//! harness never resumes them); the `threshold-*` and
+//! `checkpoint-heavy` ones run the real compiler so the model is also
+//! exercised against instrumented output.
+//!
+//! Programs are small enough that the harness can cut power at *every*
+//! cycle of the traced run, making the per-litmus sweep exhaustive
+//! rather than sampled.
+
+use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
+use lightwsp_ir::builder::FuncBuilder;
+use lightwsp_ir::{layout, AluOp, FuncId, Program, Reg};
+
+/// One litmus case: a program plus the hardware shape to run it on.
+#[derive(Clone, Debug)]
+pub struct Litmus {
+    /// Stable kebab-case name (used in results and CI output).
+    pub name: &'static str,
+    /// What the case targets.
+    pub description: &'static str,
+    /// The program (hand-built or compiler-instrumented).
+    pub compiled: Compiled,
+    /// Software thread count (also the simulated core count).
+    pub threads: usize,
+    /// Memory-controller count.
+    pub num_mcs: usize,
+    /// WPQ capacity per MC.
+    pub wpq_entries: usize,
+}
+
+/// Wraps a hand-built program (explicit boundaries, no pruned
+/// checkpoints) into a [`Compiled`] the injector accepts.
+fn wrap(program: Program) -> Compiled {
+    Compiled {
+        program,
+        recipes: Default::default(),
+        stats: Default::default(),
+    }
+}
+
+/// Emits `R1 = HEAP_BASE + (tid << 13)`: each thread's private 8 KiB
+/// stripe, so multi-thread litmuses stay in the model's domain.
+fn stripe_base(b: &mut FuncBuilder) {
+    b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+    b.alu_imm(AluOp::Shl, Reg::R2, Reg::R0, 13);
+    b.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
+}
+
+/// `n` stores of distinct values at stride `stride` bytes from the
+/// thread stripe base.
+fn burst(b: &mut FuncBuilder, n: u64, stride: i64, val_base: i64) {
+    for i in 0..n {
+        b.mov_imm(Reg::R3, val_base + i as i64);
+        b.store(Reg::R3, Reg::R1, i as i64 * stride);
+    }
+}
+
+/// Builds the full suite.
+pub fn litmus_suite() -> Vec<Litmus> {
+    let mut out = Vec::new();
+
+    // -- single-thread structural cases ------------------------------
+
+    {
+        let mut b = FuncBuilder::new("single_region");
+        stripe_base(&mut b);
+        burst(&mut b, 3, 8, 100);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "single-region",
+            description: "three stores, one boundary: admitted set is {install, full}",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("back_to_back");
+        stripe_base(&mut b);
+        b.mov_imm(Reg::R3, 1);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.region_boundary();
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 2);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "back-to-back-boundaries",
+            description: "token-only regions between data regions; commits may chain in one tick",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("same_addr");
+        stripe_base(&mut b);
+        for v in 1..=4i64 {
+            b.mov_imm(Reg::R3, v);
+            b.store(Reg::R3, Reg::R1, 0);
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "two-regions-same-addr",
+            description: "successive regions rewrite one word: observed value pins the prefix",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("same_value");
+        stripe_base(&mut b);
+        b.mov_imm(Reg::R3, 7);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.store(Reg::R3, Reg::R1, 0);
+        b.halt();
+        out.push(Litmus {
+            name: "same-addr-rewrite",
+            description: "idempotent rewrites collapse prefixes to the same canonical image",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("boundary_only");
+        b.region_boundary();
+        b.region_boundary();
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "boundary-only",
+            description: "a thread that persists nothing but recovery points",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("many_tiny");
+        stripe_base(&mut b);
+        for i in 0..8u64 {
+            b.mov_imm(Reg::R3, 0x50 + i as i64);
+            b.store(Reg::R3, Reg::R1, (i * 8) as i64);
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "many-tiny-regions",
+            description: "eight one-store regions: a long chain of prefix states",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("halt_trailing");
+        stripe_base(&mut b);
+        burst(&mut b, 2, 8, 30);
+        b.region_boundary();
+        burst(&mut b, 2, 8, 40);
+        b.halt(); // open region drains via the synthetic trailing boundary
+        out.push(Litmus {
+            name: "halt-trailing-region",
+            description: "halt with an open region: the machine's synthetic drain path",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("io_after_boundary");
+        stripe_base(&mut b);
+        b.mov_imm(Reg::R3, 11);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.io_out(Reg::R3);
+        b.mov_imm(Reg::R3, 12);
+        b.store(Reg::R3, Reg::R1, 8);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "io-after-boundary",
+            description: "an I/O side effect between regions must not perturb the PM image",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    // -- capacity / overflow -----------------------------------------
+
+    {
+        let mut b = FuncBuilder::new("wpq_pressure");
+        stripe_base(&mut b);
+        burst(&mut b, 32, 8, 1000);
+        b.region_boundary();
+        burst(&mut b, 4, 8, 2000);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "wpq-pressure",
+            description:
+                "a 32-store region against 8-entry WPQs: overflow mode + undo-log rollback",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 8,
+        });
+    }
+
+    // -- cross-MC striping -------------------------------------------
+
+    {
+        let mut b = FuncBuilder::new("cross_mc");
+        stripe_base(&mut b);
+        // Offsets 0/64/128/192 land on lines owned by different MCs.
+        for (i, off) in [0i64, 64, 128, 192].iter().enumerate() {
+            b.mov_imm(Reg::R3, 0x70 + i as i64);
+            b.store(Reg::R3, Reg::R1, *off);
+        }
+        b.region_boundary();
+        burst(&mut b, 2, 64, 0x90);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "cross-mc-stripe",
+            description: "one region's stores split across both MCs: the bdry-ACK must gate both",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("numa4");
+        stripe_base(&mut b);
+        for r in 0..3i64 {
+            for (i, off) in [0i64, 64, 128, 192].iter().enumerate() {
+                b.mov_imm(Reg::R3, (r + 1) * 100 + i as i64);
+                b.store(Reg::R3, Reg::R1, *off + r * 256);
+            }
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "numa-stripe-4mc",
+            description: "every region touches all four MCs: maximal boundary fan-out",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 1,
+            num_mcs: 4,
+            wpq_entries: 16,
+        });
+    }
+
+    // -- concurrency -------------------------------------------------
+
+    {
+        let mut b = FuncBuilder::new("two_disjoint");
+        stripe_base(&mut b);
+        for r in 0..3u64 {
+            burst(&mut b, 3, 8, (r as i64 + 1) * 10);
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "two-threads-disjoint",
+            description: "two threads interleave disjoint-stripe regions on the global ID order",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("two_cross_mc");
+        stripe_base(&mut b);
+        for r in 0..2i64 {
+            for (i, off) in [0i64, 64].iter().enumerate() {
+                b.mov_imm(Reg::R3, (r + 1) * 10 + i as i64);
+                b.store(Reg::R3, Reg::R1, *off + r * 128);
+            }
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "two-threads-cross-mc",
+            description: "both threads stripe across both MCs: interleaved boundary broadcasts",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        let mut b = FuncBuilder::new("skew_race");
+        stripe_base(&mut b);
+        for r in 0..4i64 {
+            // Flood all four MCs under tiny WPQs: boundary delivery
+            // skews while entries back-pressure — the window where the
+            // Any/First-MC gating mutants flush undelivered regions.
+            for (i, off) in [0i64, 64, 128, 192].iter().enumerate() {
+                b.mov_imm(Reg::R3, (r + 1) * 1000 + i as i64);
+                b.store(Reg::R3, Reg::R1, *off + r * 256);
+                b.mov_imm(Reg::R3, (r + 1) * 1000 + 10 + i as i64);
+                b.store(Reg::R3, Reg::R1, *off + r * 256 + 8);
+            }
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "mc-skew-race",
+            description: "4 threads × 4 MCs × 8-entry WPQs: wide skew windows (mutant killer)",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 4,
+            num_mcs: 4,
+            wpq_entries: 8,
+        });
+    }
+
+    // -- compiler-instrumented ---------------------------------------
+
+    {
+        // A long store run; the compiler must split it into regions of
+        // at most 4 stores (threshold boundaries, §III-C).
+        let mut b = FuncBuilder::new("threshold");
+        stripe_base(&mut b);
+        burst(&mut b, 14, 8, 0x200);
+        b.halt();
+        let compiled = instrument(
+            &Program::from_single(b.finish()),
+            &CompilerConfig::with_threshold(4),
+        );
+        out.push(Litmus {
+            name: "threshold-region",
+            description: "compiler-split regions at store_threshold=4: WPQ-capacity boundaries",
+            compiled,
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 8,
+        });
+    }
+
+    {
+        // A call-bearing program under the default compiler: function
+        // entry/exit/call-site boundaries plus checkpoint stores.
+        let mut main = FuncBuilder::new("main");
+        stripe_base(&mut main);
+        main.mov_imm(Reg::R16, 3);
+        main.store(Reg::R16, Reg::R1, 0);
+        main.call(FuncId::from_index(1));
+        main.mov_imm(Reg::R16, 4);
+        main.store(Reg::R16, Reg::R1, 8);
+        main.call(FuncId::from_index(1));
+        main.halt();
+        let mut leaf = FuncBuilder::new("leaf");
+        leaf.alu_imm(AluOp::Add, Reg::R17, Reg::R17, 1);
+        leaf.store(Reg::R17, Reg::R1, 16);
+        leaf.ret();
+        let program = Program::new(vec![main.finish(), leaf.finish()], FuncId::from_index(0));
+        let compiled = instrument(&program, &CompilerConfig::default());
+        out.push(Litmus {
+            name: "checkpoint-heavy",
+            description:
+                "instrumented calls: checkpoint stores and call-site boundaries in regions",
+            compiled,
+            threads: 1,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+
+    /// Every litmus must be inside the model's extraction domain.
+    #[test]
+    fn suite_extracts_cleanly() {
+        let suite = litmus_suite();
+        assert!(suite.len() >= 15, "suite shrank to {}", suite.len());
+        for l in &suite {
+            let rs = extract(&l.compiled.program, l.threads, 1_000_000)
+                .unwrap_or_else(|e| panic!("litmus {} outside model domain: {e}", l.name));
+            let regions: usize = rs.threads.iter().map(|t| t.regions.len()).sum();
+            assert!(regions > 0, "litmus {} has no regions", l.name);
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! The admitted-image oracle: given a [`RegionStructure`], decides
+//! membership of an observed post-crash PM image in LRPO's admitted set
+//! and accounts for the set's size.
+//!
+//! The admitted set is `install ⊕ overlay₁(k₁) ⊕ … ⊕ overlayₙ(kₙ)` over
+//! all per-thread prefix lengths `kₜ`, where `overlayₜ(k)` is the
+//! cumulative address→value map of thread `t`'s first `k` regions (data
+//! stores in program order, then the boundary's PC-slot store — within
+//! one region the order is irrelevant to the *cumulative* image except
+//! for same-address pairs, which the map applies in program order, as
+//! the §IV-F region-sorted battery flush does).
+//!
+//! Because extraction verified cross-thread write disjointness,
+//! membership decomposes per thread: project the observed image onto
+//! thread `t`'s write footprint and scan its `n+1` candidate prefixes.
+//! A final whole-image replay (install + chosen overlays vs observed,
+//! via [`Memory::first_difference`]) closes the loop against stray
+//! writes outside every thread's footprint.
+//!
+//! **Canonical prefixes.** Different prefix lengths can induce the same
+//! cumulative image (a token-only region after an identical PC-slot
+//! value, a halting thread's synthetic trailing rewrite, a same-value
+//! re-store). Each prefix is therefore mapped to the smallest prefix
+//! with an identical cumulative image; admitted-set counting and the
+//! harness's witness bookkeeping are both in canonical space, so
+//! tightness accounting never double-counts indistinguishable images.
+
+use crate::extract::RegionStructure;
+use lightwsp_ir::fxhash::{FxHashMap, FxHashSet};
+use lightwsp_ir::Memory;
+
+/// One thread's prefix-image table.
+#[derive(Clone, Debug)]
+struct ThreadModel {
+    /// `cum[k]` = cumulative overlay of the first `k` regions.
+    cum: Vec<FxHashMap<u64, u64>>,
+    /// `canon[k]` = smallest `j` with `cum[j] == cum[k]`.
+    canon: Vec<usize>,
+    /// Number of distinct cumulative images (= canonical prefixes).
+    distinct: usize,
+    /// The thread's write footprint (all keys any overlay can hold).
+    writes: FxHashSet<u64>,
+}
+
+/// An observed image outside the admitted set.
+#[derive(Clone, Debug)]
+pub struct ModelViolation {
+    /// The thread whose projection matched no prefix, when the failure
+    /// localises to one thread (`None` for whole-image mismatches).
+    pub thread: Option<usize>,
+    /// Human-readable specifics: nearest prefix and first differing
+    /// address/value.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ModelViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.thread {
+            Some(t) => write!(f, "thread {t}: {}", self.detail),
+            None => write!(f, "{}", self.detail),
+        }
+    }
+}
+
+/// The executable LRPO persistency model for one program.
+#[derive(Clone, Debug)]
+pub struct LrpoModel {
+    base: Memory,
+    threads: Vec<ThreadModel>,
+}
+
+impl LrpoModel {
+    /// Builds the prefix-image tables from an extracted region
+    /// structure.
+    pub fn new(rs: &RegionStructure) -> LrpoModel {
+        let threads = rs
+            .threads
+            .iter()
+            .map(|t| {
+                let n = t.regions.len();
+                let mut cum: Vec<FxHashMap<u64, u64>> = Vec::with_capacity(n + 1);
+                cum.push(FxHashMap::default());
+                for r in &t.regions {
+                    let mut next = cum.last().expect("non-empty").clone();
+                    for &(a, v) in &r.stores {
+                        next.insert(a, v);
+                    }
+                    next.insert(r.boundary.0, r.boundary.1);
+                    cum.push(next);
+                }
+                let mut canon = Vec::with_capacity(n + 1);
+                for k in 0..=n {
+                    let j = (0..k).find(|&j| cum[j] == cum[k]).unwrap_or(k);
+                    canon.push(j);
+                }
+                let distinct = canon.iter().enumerate().filter(|&(k, &j)| j == k).count();
+                ThreadModel {
+                    cum,
+                    canon,
+                    distinct,
+                    writes: t.writes.clone(),
+                }
+            })
+            .collect();
+        LrpoModel {
+            base: rs.install.clone(),
+            threads,
+        }
+    }
+
+    /// Size of the admitted set in canonical space: the product over
+    /// threads of their distinct cumulative images (saturating).
+    pub fn admitted_count(&self) -> u128 {
+        self.threads
+            .iter()
+            .fold(1u128, |acc, t| acc.saturating_mul(t.distinct as u128))
+    }
+
+    /// Per-thread region counts (diagnostics/reporting).
+    pub fn region_counts(&self) -> Vec<usize> {
+        self.threads.iter().map(|t| t.cum.len() - 1).collect()
+    }
+
+    /// Enumerates every canonical prefix vector of the admitted set, in
+    /// lexicographic order. Only call when [`LrpoModel::admitted_count`]
+    /// is small (litmus-sized programs); the harness guards this.
+    pub fn enumerate_canonical(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new()];
+        for t in &self.threads {
+            let canons: Vec<usize> = t
+                .canon
+                .iter()
+                .enumerate()
+                .filter(|&(k, &j)| j == k)
+                .map(|(k, _)| k)
+                .collect();
+            out = out
+                .into_iter()
+                .flat_map(|v| {
+                    canons.iter().map(move |&c| {
+                        let mut v2 = v.clone();
+                        v2.push(c);
+                        v2
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    /// Checks whether `observed` is an admitted post-crash image.
+    /// On success returns the canonical per-thread prefix vector that
+    /// witnesses membership (the harness's tightness bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelViolation`] naming the offending thread (or the
+    /// first whole-image difference) when no prefix vector reproduces
+    /// `observed`.
+    pub fn check_image(&self, observed: &Memory) -> Result<Vec<usize>, ModelViolation> {
+        let mut witness = Vec::with_capacity(self.threads.len());
+        for (tid, t) in self.threads.iter().enumerate() {
+            let n = t.cum.len() - 1;
+            let mut found = None;
+            // Scan candidate prefixes; any match determines the
+            // canonical image (all matching prefixes share it).
+            let mut best: Option<(usize, usize, u64, u64, u64)> = None; // (mismatches, k, addr, got, want)
+            for k in 0..=n {
+                let mut mismatches = 0;
+                let mut first: Option<(u64, u64, u64)> = None;
+                for &a in &t.writes {
+                    let want = t.cum[k].get(&a).copied().unwrap_or(self.base.read_word(a));
+                    let got = observed.read_word(a);
+                    if got != want {
+                        mismatches += 1;
+                        if first.is_none() {
+                            first = Some((a, got, want));
+                        }
+                    }
+                }
+                if mismatches == 0 {
+                    found = Some(t.canon[k]);
+                    break;
+                }
+                let (a, got, want) = first.expect("mismatch recorded");
+                if best.is_none_or(|b| mismatches < b.0) {
+                    best = Some((mismatches, k, a, got, want));
+                }
+            }
+            match found {
+                Some(c) => witness.push(c),
+                None => {
+                    let detail = match best {
+                        Some((m, k, a, got, want)) => format!(
+                            "no region prefix matches the observed image; closest is \
+                             prefix {k}/{n} with {m} mismatching words, first at \
+                             {a:#x}: observed {got:#x}, predicted {want:#x}"
+                        ),
+                        None => "thread has no writes yet no prefix matched".to_string(),
+                    };
+                    return Err(ModelViolation {
+                        thread: Some(tid),
+                        detail,
+                    });
+                }
+            }
+        }
+
+        // Belt and braces: replay the chosen overlays over the install
+        // image and demand whole-image equality. Catches writes at
+        // addresses outside every thread's footprint (e.g. a resolution
+        // that leaked an address the program never stored).
+        let mut predicted = self.base.clone();
+        for (t, &k) in self.threads.iter().zip(&witness) {
+            for (&a, &v) in &t.cum[k] {
+                predicted.write_word(a, v);
+            }
+        }
+        if let Some((addr, want, got)) = predicted.first_difference(observed) {
+            // `first_difference(other)` reports (addr, self, other).
+            return Err(ModelViolation {
+                thread: None,
+                detail: format!(
+                    "whole-image replay of prefix vector {witness:?} diverges at \
+                     {addr:#x}: observed {got:#x}, predicted {want:#x}"
+                ),
+            });
+        }
+        Ok(witness)
+    }
+
+    /// Does the model consider `ks` (canonical) reachable only through
+    /// the cross-thread over-approximation? True when `ks` selects a
+    /// non-empty prefix on more than one thread — single-thread
+    /// prefixes are always realisable by a crash straight after the
+    /// prefix's last boundary delivery.
+    pub fn is_cross_thread_combination(&self, ks: &[usize]) -> bool {
+        ks.iter().filter(|&&k| k > 0).count() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use lightwsp_ir::builder::FuncBuilder;
+    use lightwsp_ir::{layout, Program, Reg};
+
+    fn two_region_program() -> Program {
+        let mut b = FuncBuilder::new("t");
+        b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 1);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.region_boundary();
+        b.mov_imm(Reg::R2, 2);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.region_boundary();
+        b.halt();
+        Program::from_single(b.finish())
+    }
+
+    #[test]
+    fn prefixes_are_admitted_and_suffixes_rejected() {
+        let p = two_region_program();
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let m = LrpoModel::new(&rs);
+        assert_eq!(m.admitted_count(), 3, "k = 0, 1, 2");
+
+        // k = 0: the untouched install image.
+        assert_eq!(m.check_image(&rs.install).unwrap(), vec![0]);
+
+        // k = 1: first region applied.
+        let mut img = rs.install.clone();
+        img.write_word(layout::HEAP_BASE, 1);
+        let (a, v) = rs.threads[0].regions[0].boundary;
+        img.write_word(a, v);
+        assert_eq!(m.check_image(&img).unwrap(), vec![1]);
+
+        // Region 2 without region 1's boundary value is NOT admitted.
+        let mut bad = rs.install.clone();
+        bad.write_word(layout::HEAP_BASE, 2);
+        let err = m.check_image(&bad).unwrap_err();
+        assert_eq!(err.thread, Some(0));
+    }
+
+    #[test]
+    fn stray_writes_rejected_by_whole_image_replay() {
+        let p = two_region_program();
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let m = LrpoModel::new(&rs);
+        let mut img = rs.install.clone();
+        img.write_word(layout::HEAP_BASE + 0x9000, 0xdead);
+        let err = m.check_image(&img).unwrap_err();
+        assert!(err.thread.is_none(), "whole-image check must catch it");
+    }
+
+    #[test]
+    fn idempotent_trailing_region_canonicalises() {
+        // store; boundary; store same value; halt → the synthetic
+        // trailing region re-stores both the data word and the PC slot
+        // with values the prefix already has ⇒ only 2 distinct images.
+        let mut b = FuncBuilder::new("t");
+        b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 5);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.region_boundary();
+        b.store(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let m = LrpoModel::new(&rs);
+        assert_eq!(m.region_counts(), vec![2]);
+        assert_eq!(m.admitted_count(), 2, "trailing rewrite is idempotent");
+    }
+}

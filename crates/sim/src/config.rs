@@ -145,6 +145,13 @@ pub enum GatingMutant {
     /// single MC; the contract requires all of them (otherwise one MC
     /// flushes a region another MC discards).
     AnyMcBoundary,
+    /// A region counts as survivable once its boundary reached MC 0, as
+    /// if the broadcast to one controller implied delivery to all —
+    /// plausible in a design that piggybacks the ACK on the first
+    /// fan-out hop. Under multi-MC skew the remaining controllers may
+    /// not have the token yet, so their entries for the region are
+    /// wrongly flushed or the region is resumed past.
+    FirstMcBoundary,
 }
 
 /// Full simulation configuration.

@@ -324,6 +324,23 @@ impl<'a> CrashInjector<'a> {
         report
     }
 
+    /// Cuts power at `p` and returns the audit capture together with
+    /// the post-resolution durable image, without resuming. Returns
+    /// `None` when the run finishes before `p.cycle` (nothing to cut).
+    ///
+    /// This is the model-oracle entry point: `lightwsp-model`'s
+    /// differential harness checks the returned image against the
+    /// admitted set instead of (or in addition to) the structural
+    /// invariants of [`check_capture`].
+    pub fn capture_at(&self, p: CrashPoint) -> Option<(CrashCapture, Memory)> {
+        let mut m = self.machine(self.cfg.clone());
+        if m.run_until(p.cycle) {
+            return None;
+        }
+        let cap = m.inject_power_failure_audited();
+        Some((cap, m.pm_contents().clone()))
+    }
+
     /// Audits a single crash point against a precomputed golden image.
     fn audit_one(&self, golden: &Memory, p: CrashPoint, report: &mut CrashAuditReport) {
         let mut m = self.machine(self.cfg.clone());
@@ -340,11 +357,20 @@ impl<'a> CrashInjector<'a> {
         check_capture(&cap, m.pm_contents(), p, &mut report.violations);
 
         // Resume and require convergence to the golden durable state.
+        // The recovered run gets a fresh budget: `run_until` may have
+        // stopped exactly at `max_cycles` (a crash point at the cap is
+        // legitimate), and resuming under the original cap would report
+        // a cap hit after zero post-crash cycles.
+        m.set_max_cycles(p.cycle.saturating_add(self.cfg.max_cycles));
         if m.run() != Completion::Finished {
             report.violations.push(InvariantViolation {
                 invariant: "resume-completes",
                 point: p,
-                detail: format!("recovered run hit the cycle cap at {}", m.now()),
+                detail: format!(
+                    "recovered run exhausted a fresh {}-cycle budget at {}",
+                    self.cfg.max_cycles,
+                    m.now()
+                ),
             });
             return;
         }

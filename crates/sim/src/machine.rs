@@ -371,6 +371,15 @@ impl Machine {
         matches!(self.advance(Some(target)), Stop::Finished)
     }
 
+    /// Replaces the hard cycle cap. The crash auditor uses this to grant
+    /// a resumed machine a fresh post-crash budget: `run_until(c)` can
+    /// legitimately stop at `c == max_cycles`, and resuming under the
+    /// original cap would report a spurious cap hit after zero cycles of
+    /// recovered execution.
+    pub fn set_max_cycles(&mut self, cap: u64) {
+        self.cfg.max_cycles = cap;
+    }
+
     /// The single run loop behind [`Machine::run`] and
     /// [`Machine::run_until`]: checks the caller's target, then
     /// completion, then the `max_cycles` cap, and otherwise advances —
@@ -1190,6 +1199,15 @@ impl Machine {
                 let mut out = Vec::new();
                 let mut k = commit_frontier;
                 while k <= last_allocated && self.tracker.boundary_anywhere(k) {
+                    out.push(k);
+                    k += 1;
+                }
+                out
+            }
+            Some(GatingMutant::FirstMcBoundary) => {
+                let mut out = Vec::new();
+                let mut k = commit_frontier;
+                while k <= last_allocated && self.tracker.boundary_at_mc(k, 0) {
                     out.push(k);
                     k += 1;
                 }

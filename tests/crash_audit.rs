@@ -10,7 +10,8 @@
 //! test-only broken-gating mutants.
 
 use lightwsp_compiler::{instrument, CompilerConfig};
-use lightwsp_sim::crash::{CrashInjector, CrashPointKind};
+use lightwsp_sim::consistency::golden_run;
+use lightwsp_sim::crash::{CrashInjector, CrashPoint, CrashPointKind};
 use lightwsp_sim::{GatingMutant, Scheme, SimConfig};
 use lightwsp_workloads::{workload, Suite, WorkloadSpec};
 use proptest::prelude::*;
@@ -106,6 +107,41 @@ fn any_mc_boundary_mutant_is_caught() {
             .any(|v| v.invariant == "gate-flush"),
         "AnyMcBoundary mutant not caught ({} points audited): {:?}",
         report.audited,
+        report.violations
+    );
+}
+
+/// Regression: a crash point landing exactly on `max_cycles` must
+/// still be audited cleanly. `run_until(cap)` legitimately stops at
+/// the target, but the resumed machine used to inherit the original
+/// (now fully spent) budget, so `run()` reported `MaxCycles` after
+/// zero post-crash cycles and the auditor emitted a spurious
+/// `resume-completes` violation. The fix grants the recovered run a
+/// fresh `max_cycles` budget measured from the cut.
+#[test]
+fn crash_point_at_the_cycle_cap_resumes_with_a_fresh_budget() {
+    let w = workload("hmmer").unwrap();
+    let compiled = compiled_for(&w, 6_000);
+    let base = small_cfg(Scheme::LightWsp);
+    let (golden, golden_cycles) = golden_run(&compiled, &base, 1).unwrap();
+
+    // Cut late in the run and make the cap coincide with the cut: the
+    // pre-crash run ends exactly at `max_cycles`.
+    let crash_cycle = golden_cycles * 9 / 10;
+    let mut cfg = base.clone();
+    cfg.max_cycles = crash_cycle;
+    let injector = CrashInjector::new(&compiled, cfg, 1);
+    let report = injector.audit_point(
+        &golden,
+        CrashPoint {
+            cycle: crash_cycle,
+            kind: CrashPointKind::Seeded,
+        },
+    );
+    assert_eq!(report.audited, 1, "the cap-coincident point must audit");
+    assert!(
+        report.violations.is_empty(),
+        "spurious violations at the cap-coincident crash point: {:?}",
         report.violations
     );
 }

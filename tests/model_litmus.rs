@@ -1,0 +1,125 @@
+//! Differential tests of the executable LRPO persistency model
+//! (`lightwsp-model`) against the cycle-level simulator.
+//!
+//! Three claims, each load-bearing:
+//!
+//! 1. **Soundness of the simulator against the model** — every PM image
+//!    observed at any crash point of any litmus program, in either step
+//!    mode, is in the model's admitted set (and the §IV-F resolution
+//!    passes the structural invariants at the same points).
+//! 2. **The harness has teeth** — each deliberately broken gating rule
+//!    ([`lightwsp_sim::GatingMutant`]) is killed by at least one litmus.
+//! 3. **Fuzz generality** — a seeded batch of random programs passes
+//!    the same differential check in both step modes (the full ≥2000-
+//!    case sweep lives in `crates/bench/src/bin/model_litmus.rs`; this
+//!    is the always-on smoke).
+
+use lightwsp_core::oracle::{mutant_name, ALL_MUTANTS};
+use lightwsp_core::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, Campaign};
+use lightwsp_sim::{GatingMutant, StepMode};
+
+const BOTH_MODES: [StepMode; 2] = [StepMode::SkipAhead, StepMode::Reference];
+
+/// Every litmus, swept at every cycle of its traced run, satisfies the
+/// model and the structural invariants — in both step modes.
+#[test]
+fn litmus_suite_is_clean_in_both_step_modes() {
+    let campaign = Campaign::new();
+    for mode in BOTH_MODES {
+        let (report, outcomes) = litmus_sweep(&campaign, mode);
+        assert!(
+            report.extract_errors.is_empty(),
+            "litmus outside model domain ({}): {:?}",
+            mode.name(),
+            report.extract_errors
+        );
+        assert_eq!(
+            report.violations(),
+            0,
+            "admitted-set or structural violations ({}): {:?} {:?}",
+            mode.name(),
+            report.model_violations,
+            report.structural_violations
+        );
+        for out in &outcomes {
+            assert!(
+                out.audited > 0,
+                "litmus {} was never interrupted ({})",
+                out.name,
+                mode.name()
+            );
+            assert!(
+                out.witnessed >= 1,
+                "litmus {} witnessed no admitted image ({})",
+                out.name,
+                mode.name()
+            );
+        }
+        // Tightness bookkeeping is real: concurrency litmuses must
+        // witness cross-thread prefix combinations (the inside of the
+        // documented over-approximation envelope), and the admitted
+        // count bounds what was seen.
+        assert!(
+            report.witnessed_cross_thread > 0,
+            "no cross-thread combination witnessed ({})",
+            mode.name()
+        );
+        assert!(report.witnessed as u128 <= report.admitted);
+    }
+}
+
+/// Each gating mutant is killed by at least one litmus.
+#[test]
+fn all_gating_mutants_are_killed() {
+    let campaign = Campaign::new();
+    let matrix = mutant_kill_matrix(&campaign, StepMode::SkipAhead);
+    assert_eq!(matrix.len(), ALL_MUTANTS.len());
+    for mk in &matrix {
+        assert!(
+            mk.killed(),
+            "gating mutant {} survived the whole litmus suite",
+            mutant_name(mk.mutant)
+        );
+    }
+    // FlushUnacked leaks mid-region stores into PM, which is an image
+    // the model cannot explain — the *model* detector itself must fire,
+    // not just the structural audit.
+    let flush_unacked = matrix
+        .iter()
+        .find(|mk| mk.mutant == GatingMutant::FlushUnacked)
+        .unwrap();
+    assert!(
+        flush_unacked
+            .killed_by
+            .iter()
+            .any(|(_, det)| *det == "model"),
+        "FlushUnacked was only caught structurally: {:?}",
+        flush_unacked.killed_by
+    );
+}
+
+/// A small fixed-seed fuzz batch passes the differential check in both
+/// step modes.
+#[test]
+fn fuzz_smoke_is_clean_in_both_step_modes() {
+    let campaign = Campaign::new();
+    for mode in BOTH_MODES {
+        let report = fuzz_sweep(&campaign, 0xF00D_FACE, 48, mode);
+        assert!(
+            report.extract_errors.is_empty(),
+            "generator produced out-of-domain case ({}): {:?}",
+            mode.name(),
+            report.extract_errors
+        );
+        assert_eq!(report.cases, 48);
+        assert!(report.audited > 0);
+        assert_eq!(
+            report.violations(),
+            0,
+            "fuzz violations ({}): {:?} {:?}",
+            mode.name(),
+            report.model_violations,
+            report.structural_violations
+        );
+    }
+}
