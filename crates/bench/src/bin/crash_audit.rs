@@ -8,13 +8,20 @@
 //! auditor has teeth: a run under the test-only `FlushUnacked` gating
 //! mutant *must* be flagged.
 //!
+//! Finally, times the fork-point sweep engine against the legacy
+//! rerun-from-zero mode on a dense capture-only sweep (the model
+//! harness's exhaustive shape) with a per-point state-digest
+//! cross-check — the recorded speedup is the headline number of the
+//! `O(P·H) → O(H + P·fork)` rewrite.
+//!
 //! Writes `results/crash_audit.txt` plus machine-readable
 //! `BENCH_crash.json` (one record per workload×config cell). `--quick`
 //! shrinks the matrix and point budget for CI; `LIGHTWSP_THREADS` pins
-//! the worker count.
+//! the worker count and `LIGHTWSP_SWEEP_MODE` the matrix sweep mode.
+use lightwsp_bench::sweepmode::{compare_sweep, dense_points};
 use lightwsp_core::recovery::{audit_workload_crashes, AuditBudget};
-use lightwsp_core::{Scheme, SimConfig};
-use lightwsp_sim::{CrashPointKind, GatingMutant};
+use lightwsp_core::{Experiment, Scheme, SimConfig};
+use lightwsp_sim::{CrashPointKind, GatingMutant, SweepMode};
 use lightwsp_workloads::workload;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -165,6 +172,34 @@ fn main() {
         if mutant_caught { "CAUGHT" } else { "MISSED" },
         mutant_violations,
     );
+
+    // Fork-sweep engine benchmark: a dense capture-only sweep (cut +
+    // structural check at every point, no resume — the exhaustive-model
+    // shape where rerun's O(P·H) prefix replay dominates), timed in
+    // both sweep modes with a per-point digest cross-check.
+    let (cap_per_kind, dense_seeded) = if quick { (8, 60) } else { (64, 540) };
+    let sweep_cfg = {
+        let mut c = (CONFIGS[0].build)(&opts.sim);
+        c.num_cores = 1;
+        c
+    };
+    let sweep_w = workload("hmmer").expect("known workload");
+    let compiled = Experiment::new(opts.clone()).compile(&sweep_w, sweep_cfg.scheme);
+    let (points, horizon) =
+        dense_points(&compiled, &sweep_cfg, 1, cap_per_kind, dense_seeded, 0x5EE9);
+    let sweep = compare_sweep(&compiled, &sweep_cfg, 1, &points);
+    violations_total += sweep.fork.violations + sweep.rerun.violations;
+    let _ = writeln!(
+        out,
+        "sweep-engine: hmmer dense capture sweep, {} points over {horizon} cycles: \
+         fork {:.3}s, rerun {:.3}s, speedup {:.1}x (states identical: {})",
+        sweep.fork.points,
+        sweep.fork.wall_s,
+        sweep.rerun.wall_s,
+        sweep.speedup(),
+        sweep.identical(),
+    );
+
     let total_s = t0.elapsed().as_secs_f64();
     let _ = writeln!(
         out,
@@ -174,16 +209,24 @@ fn main() {
     lightwsp_bench::emit_text("crash_audit", &out);
 
     let json = format!(
-        "{{\n  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"seeded_per_cell\": {},\n    \"derived_cap_per_kind\": {},\n    \"seed\": {},\n    \"total_wall_s\": {:.3},\n    \"audited_total\": {},\n    \"violations_total\": {},\n    \"mutant_flush_unacked_caught\": {}\n  }},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"seeded_per_cell\": {},\n    \"derived_cap_per_kind\": {},\n    \"seed\": {},\n    \"sweep_mode\": \"{}\",\n    \"total_wall_s\": {:.3},\n    \"audited_total\": {},\n    \"violations_total\": {},\n    \"mutant_flush_unacked_caught\": {}\n  }},\n  \"sweep\": {{\n    \"workload\": \"hmmer\",\n    \"points\": {},\n    \"audited\": {},\n    \"horizon_cycles\": {},\n    \"fork_wall_s\": {:.4},\n    \"rerun_wall_s\": {:.4},\n    \"speedup\": {:.2},\n    \"states_identical\": {}\n  }},\n  \"cells\": [\n{}\n  ]\n}}\n",
         c.workers(),
         quick,
         budget.seeded,
         budget.derived_per_kind,
         budget.seed,
+        SweepMode::from_env().name(),
         total_s,
         audited_total,
         violations_total,
         mutant_caught,
+        sweep.fork.points,
+        sweep.fork.audited,
+        horizon,
+        sweep.fork.wall_s,
+        sweep.rerun.wall_s,
+        sweep.speedup(),
+        sweep.identical(),
         json_cells,
     );
     if let Err(e) = std::fs::write("BENCH_crash.json", &json) {
@@ -196,5 +239,10 @@ fn main() {
     assert!(
         mutant_caught,
         "auditor missed the FlushUnacked gating mutant — invariants are vacuous"
+    );
+    assert!(
+        sweep.speedup() > 1.0,
+        "fork sweep mode did not beat rerun ({:.2}x)",
+        sweep.speedup()
     );
 }

@@ -6,19 +6,25 @@
 //! worker pool and all run in **both** step modes:
 //!
 //! 1. the hand-written litmus suite, power-cut at every cycle of each
-//!    traced run (exhaustive for these program sizes);
+//!    traced run (exhaustive for these program sizes) — swept in the
+//!    fork-point engine ([`SweepMode::Fork`]) *and* re-swept in the
+//!    legacy rerun-from-zero mode, whose outcomes must be identical
+//!    and whose wall-clock ratio is the recorded fork-engine speedup;
 //! 2. the gating-mutant kill matrix — every mutant must be killed by at
 //!    least one litmus, by the model or the structural detector;
 //! 3. a seeded fuzz sweep (≥ 2000 generated programs by default, 200
 //!    under `--quick`) at mechanism-derived plus seeded crash points.
 //!
 //! Writes `results/model_litmus.txt` and exits non-zero on any
-//! admitted-set violation, structural violation, or unkilled mutant —
-//! the CI gate for the persistency model.
+//! admitted-set violation, structural violation, unkilled mutant, or
+//! fork/rerun divergence — the CI gate for the persistency model.
 
+use lightwsp_bench::sweepmode::compare_sweep;
 use lightwsp_core::oracle::{mutant_name, ALL_MUTANTS};
-use lightwsp_core::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, SweepReport};
-use lightwsp_sim::StepMode;
+use lightwsp_core::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, CaseOutcome, SweepReport};
+use lightwsp_model::harness::sim_config;
+use lightwsp_model::{litmus_suite, CaseSpec, PointPolicy};
+use lightwsp_sim::{CrashInjector, CrashPoint, CrashPointKind, StepMode, SweepMode};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -53,6 +59,19 @@ fn summarize(out: &mut String, label: &str, mode: StepMode, rep: &SweepReport) {
     }
 }
 
+/// True if two case outcomes are identical field-for-field — the
+/// fork/rerun parity predicate (violation strings included).
+fn same_outcome(a: &CaseOutcome, b: &CaseOutcome) -> bool {
+    a.name == b.name
+        && a.points == b.points
+        && a.audited == b.audited
+        && a.admitted == b.admitted
+        && a.witnessed == b.witnessed
+        && a.witnessed_cross_thread == b.witnessed_cross_thread
+        && a.model_violations == b.model_violations
+        && a.structural_violations == b.structural_violations
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let fuzz_count: u64 = if quick { 200 } else { 2400 };
@@ -62,31 +81,117 @@ fn main() {
     let mut violations = 0usize;
     let mut extract_errors = 0usize;
 
-    // Stage 1: litmus suite, exhaustive points, both modes.
-    for mode in [StepMode::SkipAhead, StepMode::Reference] {
-        let (rep, outcomes) = litmus_sweep(&c, mode);
-        summarize(&mut out, "litmus", mode, &rep);
-        for o in &outcomes {
-            let _ = writeln!(
-                out,
-                "    {:<24} points={:<5} audited={:<5} admitted={:<4} witnessed={:<4} \
-                 overapprox={:<4} violations={}",
-                o.name,
-                o.points,
-                o.audited,
-                o.admitted,
-                o.witnessed,
-                o.overapprox(),
-                o.model_violations.len() + o.structural_violations.len(),
-            );
+    // Stage 1: litmus suite, exhaustive points, both step modes — swept
+    // with the fork-point engine (reported below), then re-swept in
+    // rerun-from-zero mode over the same points. The outcomes must be
+    // identical; the wall-clock ratio is the fork engine's speedup on
+    // the exhaustive sweeps (each point's pre-crash state costs one COW
+    // fork instead of an O(H) prefix replay).
+    let mut litmus_wall = [0.0f64; 2];
+    let mut fork_outcomes: Vec<Vec<CaseOutcome>> = Vec::new();
+    for (si, sweep) in [SweepMode::Fork, SweepMode::Rerun].into_iter().enumerate() {
+        let ts = Instant::now();
+        for (mi, mode) in [StepMode::SkipAhead, StepMode::Reference]
+            .into_iter()
+            .enumerate()
+        {
+            let (rep, outcomes) = litmus_sweep(&c, mode, sweep);
+            if sweep == SweepMode::Fork {
+                summarize(&mut out, "litmus", mode, &rep);
+                for o in &outcomes {
+                    let _ = writeln!(
+                        out,
+                        "    {:<24} points={:<5} audited={:<5} admitted={:<4} witnessed={:<4} \
+                         overapprox={:<4} violations={}",
+                        o.name,
+                        o.points,
+                        o.audited,
+                        o.admitted,
+                        o.witnessed,
+                        o.overapprox(),
+                        o.model_violations.len() + o.structural_violations.len(),
+                    );
+                }
+                violations += rep.violations();
+                extract_errors += rep.extract_errors.len();
+                fork_outcomes.push(outcomes);
+            } else {
+                let diverged = fork_outcomes[mi]
+                    .iter()
+                    .zip(&outcomes)
+                    .filter(|(a, b)| !same_outcome(a, b))
+                    .count()
+                    + fork_outcomes[mi].len().abs_diff(outcomes.len());
+                assert_eq!(
+                    diverged,
+                    0,
+                    "fork/rerun sweep divergence on {} litmus case(s) ({})",
+                    diverged,
+                    mode.name()
+                );
+            }
         }
-        violations += rep.violations();
-        extract_errors += rep.extract_errors.len();
+        litmus_wall[si] = ts.elapsed().as_secs_f64();
     }
+    let litmus_speedup = litmus_wall[1] / litmus_wall[0].max(1e-12);
+    let _ = writeln!(
+        out,
+        "sweep-engine: litmus exhaustive sweep (both step modes): fork {:.2}s, \
+         rerun {:.2}s, speedup {litmus_speedup:.1}x (outcomes identical)",
+        litmus_wall[0], litmus_wall[1],
+    );
 
-    // Stage 2: mutant kill matrix (skip-ahead; modes are bit-identical,
-    // and the litmus stage above already covers both).
-    let matrix = mutant_kill_matrix(&c, StepMode::SkipAhead);
+    // Stage 1b: dense per-cycle *capture* sweep, timed in both sweep
+    // modes. The full-audit ratio above is bounded by the per-point
+    // resume tail (identical work in both modes); this stage times the
+    // part the fork engine actually replaces — delivering the pre-crash
+    // machine state at every cycle of every litmus — where rerun pays
+    // the O(P·H) prefix replay and fork pays O(H) once. Digests are
+    // cross-checked point-by-point inside `compare_sweep`.
+    let mut dense_fork_s = 0.0f64;
+    let mut dense_rerun_s = 0.0f64;
+    let mut dense_points = 0usize;
+    let suite = litmus_suite();
+    for l in &suite {
+        let spec = CaseSpec {
+            name: l.name.to_string(),
+            threads: l.threads,
+            num_mcs: l.num_mcs,
+            wpq_entries: l.wpq_entries,
+            step_mode: StepMode::SkipAhead,
+            sweep_mode: SweepMode::Fork,
+            mutant: None,
+            policy: PointPolicy::Exhaustive { max_horizon: 4096 },
+            seed: 0x11735,
+        };
+        let cfg = sim_config(&spec);
+        let injector = CrashInjector::new(&l.compiled, cfg.clone(), l.threads);
+        let (_, horizon) = injector.derived_points(1);
+        let raw: Vec<CrashPoint> = (1..horizon)
+            .map(|cycle| CrashPoint {
+                cycle,
+                kind: CrashPointKind::Seeded,
+            })
+            .collect();
+        let pts = CrashInjector::prepare_points(&raw);
+        let cmp = compare_sweep(&l.compiled, &cfg, l.threads, &pts);
+        dense_fork_s += cmp.fork.wall_s;
+        dense_rerun_s += cmp.rerun.wall_s;
+        dense_points += pts.len();
+    }
+    let dense_speedup = dense_rerun_s / dense_fork_s.max(1e-12);
+    let _ = writeln!(
+        out,
+        "sweep-engine: dense per-cycle capture sweep ({} litmuses, {dense_points} points): \
+         fork {dense_fork_s:.2}s, rerun {dense_rerun_s:.2}s, speedup {dense_speedup:.1}x \
+         (states identical)",
+        suite.len(),
+    );
+
+    // Stage 2: mutant kill matrix (skip-ahead + fork; step modes are
+    // bit-identical and the litmus stage already covers both, sweep
+    // modes likewise via the stage-1 parity check).
+    let matrix = mutant_kill_matrix(&c, StepMode::SkipAhead, SweepMode::Fork);
     let mut unkilled = 0usize;
     for mk in &matrix {
         let detectors: Vec<String> = mk
@@ -111,9 +216,10 @@ fn main() {
         }
     }
 
-    // Stage 3: fuzz sweep, both modes.
+    // Stage 3: fuzz sweep, both step modes (fork engine; fork/rerun
+    // parity is enforced by stage 1 and `tests/sweep_mode_parity.rs`).
     for mode in [StepMode::SkipAhead, StepMode::Reference] {
-        let rep = fuzz_sweep(&c, FUZZ_SEED, fuzz_count, mode);
+        let rep = fuzz_sweep(&c, FUZZ_SEED, fuzz_count, mode, SweepMode::Fork);
         summarize(&mut out, "fuzz", mode, &rep);
         violations += rep.violations();
         extract_errors += rep.extract_errors.len();
@@ -122,7 +228,9 @@ fn main() {
     let _ = writeln!(
         out,
         "total: fuzz_seed={FUZZ_SEED:#x} fuzz_cases={fuzz_count}/mode, {violations} violations, \
-         {extract_errors} extract errors, {unkilled} unkilled mutants, {:.1}s ({} workers)",
+         {extract_errors} extract errors, {unkilled} unkilled mutants, \
+         litmus_audit_speedup={litmus_speedup:.1}x, \
+         dense_capture_speedup={dense_speedup:.1}x, {:.1}s ({} workers)",
         t0.elapsed().as_secs_f64(),
         c.workers(),
     );
@@ -131,6 +239,16 @@ fn main() {
     assert_eq!(
         violations, 0,
         "model admitted-set or structural violations — see results/model_litmus.txt"
+    );
+    assert!(
+        litmus_speedup > 1.0,
+        "fork sweep mode did not beat rerun on the exhaustive litmus sweep \
+         ({litmus_speedup:.2}x)"
+    );
+    assert!(
+        dense_speedup > 1.0,
+        "fork sweep mode did not beat rerun on the dense capture sweep \
+         ({dense_speedup:.2}x)"
     );
     assert_eq!(
         extract_errors, 0,

@@ -1,0 +1,52 @@
+//! CI perf gate for the fork-point crash-sweep engine: runs a dense
+//! capture-only crash sweep under both sweep modes on the `--quick`
+//! budget (or `paper_default` without the flag) and **fails** if fork
+//! mode is slower than [`SweepMode::Rerun`] on the batch — a regression
+//! in machine forking (a component that stopped being COW, say) would
+//! silently turn the mainline advance into pure overhead. Also
+//! cross-checks a per-point state digest, so a parity break fails the
+//! gate too.
+//!
+//! [`SweepMode::Rerun`]: lightwsp_sim::SweepMode::Rerun
+
+use lightwsp_bench::sweepmode::{compare_sweep, dense_points};
+use lightwsp_core::Experiment;
+use lightwsp_workloads::workload;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut opts = lightwsp_bench::common_options();
+    opts.insts_per_thread = opts.insts_per_thread.min(20_000);
+    let (cap_per_kind, seeded) = if quick { (8, 60) } else { (32, 240) };
+    let mut batch_fork = 0.0f64;
+    let mut batch_rerun = 0.0f64;
+    for name in ["hmmer", "vacation"] {
+        let mut w = workload(name).expect("known workload");
+        w.threads = w.threads.min(2);
+        let mut cfg = opts.sim.clone();
+        cfg.scheme = lightwsp_core::Scheme::LightWsp;
+        cfg.num_cores = w.threads;
+        let compiled = Experiment::new(opts.clone()).compile(&w, cfg.scheme);
+        let (points, horizon) =
+            dense_points(&compiled, &cfg, w.threads, cap_per_kind, seeded, 0x5EE9);
+        let cmp = compare_sweep(&compiled, &cfg, w.threads, &points);
+        println!(
+            "{name:>10}: {} points over {horizon} cycles: fork {:>8.2}ms rerun {:>8.2}ms \
+             speedup {:>5.2}x (audited {}, identical {})",
+            cmp.fork.points,
+            cmp.fork.wall_s * 1e3,
+            cmp.rerun.wall_s * 1e3,
+            cmp.speedup(),
+            cmp.fork.audited,
+            cmp.identical(),
+        );
+        batch_fork += cmp.fork.wall_s;
+        batch_rerun += cmp.rerun.wall_s;
+    }
+    let batch_speedup = batch_rerun / batch_fork.max(1e-12);
+    println!("batch: fork {batch_fork:.2}s rerun {batch_rerun:.2}s -> {batch_speedup:.2}x");
+    if batch_speedup < 1.0 {
+        eprintln!("FAIL: fork sweep slower than rerun-from-zero ({batch_speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

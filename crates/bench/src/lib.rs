@@ -23,6 +23,8 @@
 //! | `tab_hw_cost` | §V-G4 — hardware cost comparison |
 //! | `recovery_check` | §IV-F — crash-consistency validation sweep |
 //! | `crash_audit` | `RECOVERY.md` — seeded & derived crash-point audit, `BENCH_crash.json` |
+//! | `model_litmus` | LRPO model litmus/fuzz differential sweep, fork-vs-rerun timing |
+//! | `sweep_smoke` | CI perf gate: fork-mode crash sweep must beat rerun |
 //! | `all_figures` | everything above, into `results/` |
 //!
 //! Every binary accepts `--quick` (reduced instruction budget for smoke
@@ -90,3 +92,4 @@ pub fn emit_text(id: &str, text: &str) {
 }
 pub mod figures;
 pub mod stepmode;
+pub mod sweepmode;

@@ -1,0 +1,170 @@
+//! Sweep-mode timing harness: a dense capture-only crash sweep timed
+//! under [`SweepMode::Fork`] and [`SweepMode::Rerun`], with a
+//! state-digest cross-check on every point. Shared by the
+//! `crash_audit` bin (the `sweep` section of `BENCH_crash.json`) and
+//! the `sweep_smoke` CI perf gate.
+//!
+//! The benchmark deliberately measures the *capture* path (power cut +
+//! structural invariant check at every point, no resume): this is the
+//! model harness's exhaustive-litmus shape, where rerun pays the full
+//! `O(P·H)` prefix replay and fork pays `O(H)` once. Full audits with
+//! per-point resume amortise differently (the resume tail dominates and
+//! is identical in both modes); the `crash_audit` matrix itself covers
+//! those.
+//!
+//! Timing covers the sweep only — compilation, the derived-point trace
+//! run, and point preparation are shared between modes and happen
+//! outside the timer.
+
+use lightwsp_compiler::Compiled;
+use lightwsp_sim::crash::check_capture;
+use lightwsp_sim::{CrashInjector, CrashPoint, SimConfig, SweepMode};
+use std::time::Instant;
+
+/// One timed sweep: everything needed to compare modes and to prove
+/// they audited identical states.
+pub struct SweepTiming {
+    /// Points swept (after sort + dedup).
+    pub points: usize,
+    /// Points that actually interrupted the run.
+    pub audited: usize,
+    /// Structural invariant violations found (must be 0 on a clean
+    /// config; identical between modes by construction of the digest).
+    pub violations: usize,
+    /// Order-sensitive digest of every capture (cut state, resolution
+    /// entry-by-entry, post-resolution image size) — bit-identical
+    /// sweeps produce equal digests.
+    pub digest: u64,
+    /// Wall seconds for the sweep.
+    pub wall_s: f64,
+}
+
+/// Fork vs rerun comparison of one dense sweep.
+pub struct SweepComparison {
+    /// The fork-mode sweep.
+    pub fork: SweepTiming,
+    /// The rerun-mode sweep.
+    pub rerun: SweepTiming,
+}
+
+impl SweepComparison {
+    /// Rerun / fork wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.rerun.wall_s / self.fork.wall_s.max(1e-12)
+    }
+
+    /// True if both modes audited bit-identical states (same digests,
+    /// same audited count).
+    pub fn identical(&self) -> bool {
+        self.fork.digest == self.rerun.digest && self.fork.audited == self.rerun.audited
+    }
+}
+
+/// SplitMix64-style mixing fold for the capture digest.
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A dense point set for `compiled` under `cfg`: every mechanism-window
+/// point (up to `cap_per_kind` each) plus `seeded` uniform cycles,
+/// sorted and deduplicated. Returned together with the traced horizon.
+pub fn dense_points(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+    threads: usize,
+    cap_per_kind: usize,
+    seeded: usize,
+    seed: u64,
+) -> (Vec<CrashPoint>, u64) {
+    let injector = CrashInjector::new(compiled, cfg.clone(), threads);
+    let (mut points, horizon) = injector.derived_points(cap_per_kind);
+    points.extend(injector.seeded_points(seed, seeded, horizon));
+    (CrashInjector::prepare_points(&points), horizon)
+}
+
+/// Sweeps `points` (which must be sorted — [`CrashInjector::prepare_points`]
+/// output) in `mode`, capturing and structurally checking every point,
+/// and returns the timing plus the state digest.
+pub fn time_sweep(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+    threads: usize,
+    points: &[CrashPoint],
+    mode: SweepMode,
+) -> SweepTiming {
+    let injector = CrashInjector::new(compiled, cfg.clone(), threads).with_sweep_mode(mode);
+    let mut audited = 0usize;
+    let mut violations = Vec::new();
+    let mut digest = 0x5357_4545_5021_u64; // arbitrary non-zero start
+    let t0 = Instant::now();
+    let mut sweeper = injector.sweeper();
+    for &p in points {
+        let Some((cap, pm_after)) = sweeper.capture_at(p) else {
+            digest = mix(digest, p.cycle); // beyond-end points count too
+            continue;
+        };
+        audited += 1;
+        check_capture(&cap, &pm_after, p, &mut violations);
+        digest = mix(digest, p.cycle);
+        digest = mix(digest, cap.at_cycle);
+        digest = mix(digest, cap.commit_frontier);
+        digest = mix(digest, cap.last_allocated);
+        for &r in &cap.survivable {
+            digest = mix(digest, r);
+        }
+        for res in &cap.per_mc {
+            for e in res.flushed.iter().chain(&res.discarded) {
+                digest = mix(digest, e.addr);
+                digest = mix(digest, e.val);
+                digest = mix(digest, e.region);
+            }
+            for &(region, addr, old) in &res.rolled_back {
+                digest = mix(digest, region);
+                digest = mix(digest, addr);
+                digest = mix(digest, old);
+            }
+        }
+        for pt in &cap.report.resume_points {
+            digest = mix(digest, pt.encode());
+        }
+        digest = mix(digest, cap.pm_before.len() as u64);
+        digest = mix(digest, pm_after.len() as u64);
+    }
+    SweepTiming {
+        points: points.len(),
+        audited,
+        violations: violations.len(),
+        digest,
+        wall_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Times one dense sweep in both modes.
+///
+/// # Panics
+///
+/// Panics if the two modes disagree on any audited state — a parity
+/// bug that would make the timing comparison meaningless (the full
+/// bit-level matrix lives in `tests/sweep_mode_parity.rs`).
+pub fn compare_sweep(
+    compiled: &Compiled,
+    cfg: &SimConfig,
+    threads: usize,
+    points: &[CrashPoint],
+) -> SweepComparison {
+    let fork = time_sweep(compiled, cfg, threads, points, SweepMode::Fork);
+    let rerun = time_sweep(compiled, cfg, threads, points, SweepMode::Rerun);
+    let cmp = SweepComparison { fork, rerun };
+    assert!(
+        cmp.identical(),
+        "sweep-mode digest mismatch: fork audited {} (digest {:#x}), rerun audited {} (digest {:#x})",
+        cmp.fork.audited,
+        cmp.fork.digest,
+        cmp.rerun.audited,
+        cmp.rerun.digest,
+    );
+    cmp
+}

@@ -41,6 +41,7 @@ pub mod report;
 pub use campaign::{Campaign, Job};
 pub use experiment::{Experiment, ExperimentOptions, RunResult};
 pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
+pub use lightwsp_model::harness::CaseOutcome;
 pub use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};
 pub use lightwsp_workloads::{Suite, WorkloadSpec};
 pub use oracle::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, MutantKill, SweepReport};

@@ -9,7 +9,7 @@
 use crate::campaign::Campaign;
 use lightwsp_model::harness::{run_case, CaseOutcome, CaseSpec, PointPolicy};
 use lightwsp_model::{gen_case, litmus_suite};
-use lightwsp_sim::{GatingMutant, StepMode};
+use lightwsp_sim::{GatingMutant, StepMode, SweepMode};
 
 /// Aggregate of one sweep (litmus suite or a fuzz batch).
 #[derive(Clone, Debug, Default)]
@@ -61,10 +61,14 @@ impl SweepReport {
     }
 }
 
-/// Runs the full litmus suite under `step_mode` with a per-cycle
-/// exhaustive crash sweep, in parallel. Returns the aggregate plus the
-/// per-litmus outcomes (in suite order).
-pub fn litmus_sweep(campaign: &Campaign, step_mode: StepMode) -> (SweepReport, Vec<CaseOutcome>) {
+/// Runs the full litmus suite under `step_mode`/`sweep_mode` with a
+/// per-cycle exhaustive crash sweep, in parallel. Returns the aggregate
+/// plus the per-litmus outcomes (in suite order).
+pub fn litmus_sweep(
+    campaign: &Campaign,
+    step_mode: StepMode,
+    sweep_mode: SweepMode,
+) -> (SweepReport, Vec<CaseOutcome>) {
     let suite = litmus_suite();
     let outcomes = campaign.map_parallel(&suite, |l, _| {
         let spec = CaseSpec {
@@ -73,6 +77,7 @@ pub fn litmus_sweep(campaign: &Campaign, step_mode: StepMode) -> (SweepReport, V
             num_mcs: l.num_mcs,
             wpq_entries: l.wpq_entries,
             step_mode,
+            sweep_mode,
             mutant: None,
             policy: PointPolicy::Exhaustive { max_horizon: 4096 },
             seed: 0x11735,
@@ -94,9 +99,15 @@ pub fn litmus_sweep(campaign: &Campaign, step_mode: StepMode) -> (SweepReport, V
 }
 
 /// Runs `count` generated programs from the stream rooted at `seed`
-/// under `step_mode`, each audited at mechanism-derived plus seeded
-/// crash points, in parallel.
-pub fn fuzz_sweep(campaign: &Campaign, seed: u64, count: u64, step_mode: StepMode) -> SweepReport {
+/// under `step_mode`/`sweep_mode`, each audited at mechanism-derived
+/// plus seeded crash points, in parallel.
+pub fn fuzz_sweep(
+    campaign: &Campaign,
+    seed: u64,
+    count: u64,
+    step_mode: StepMode,
+    sweep_mode: SweepMode,
+) -> SweepReport {
     let indices: Vec<u64> = (0..count).collect();
     let outcomes = campaign.map_parallel(&indices, |&idx, _| {
         let case = gen_case(seed, idx);
@@ -106,6 +117,7 @@ pub fn fuzz_sweep(campaign: &Campaign, seed: u64, count: u64, step_mode: StepMod
             num_mcs: case.num_mcs,
             wpq_entries: case.wpq_entries,
             step_mode,
+            sweep_mode,
             mutant: None,
             policy: PointPolicy::Derived {
                 cap_per_kind: 3,
@@ -160,7 +172,11 @@ impl MutantKill {
 
 /// Arms each mutant in turn and runs the whole litmus suite against it
 /// (both detectors active), in parallel over `(mutant, litmus)` pairs.
-pub fn mutant_kill_matrix(campaign: &Campaign, step_mode: StepMode) -> Vec<MutantKill> {
+pub fn mutant_kill_matrix(
+    campaign: &Campaign,
+    step_mode: StepMode,
+    sweep_mode: SweepMode,
+) -> Vec<MutantKill> {
     let suite = litmus_suite();
     let pairs: Vec<(GatingMutant, usize)> = ALL_MUTANTS
         .iter()
@@ -174,6 +190,7 @@ pub fn mutant_kill_matrix(campaign: &Campaign, step_mode: StepMode) -> Vec<Mutan
             num_mcs: l.num_mcs,
             wpq_entries: l.wpq_entries,
             step_mode,
+            sweep_mode,
             mutant: Some(mutant),
             policy: PointPolicy::Exhaustive { max_horizon: 4096 },
             seed: 0xDEAD_5EED,

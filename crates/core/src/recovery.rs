@@ -106,9 +106,16 @@ pub fn audit_workload_crashes(
     let injector = CrashInjector::new(&compiled, cfg.clone(), threads);
     let (mut points, horizon) = injector.derived_points(budget.derived_per_kind);
     points.extend(injector.seeded_points(budget.seed, budget.seeded, horizon));
+    let points = CrashInjector::prepare_points(&points);
     let (golden, golden_cycles) = golden_run(&compiled, &cfg, threads)?;
-    let partials: Vec<CrashAuditReport> = campaign.map_parallel(&points, |&p: &CrashPoint, _| {
-        injector.audit_point(&golden, p)
+    // Contiguous sorted chunks, one per worker: each chunk's sweeper
+    // advances its own mainline monotonically (fork mode), and merging
+    // in chunk order reproduces the serial sweep's report bit-for-bit
+    // regardless of the worker count.
+    let chunk_len = points.len().div_ceil(campaign.workers().max(1)).max(1);
+    let chunks: Vec<&[CrashPoint]> = points.chunks(chunk_len).collect();
+    let partials: Vec<CrashAuditReport> = campaign.map_parallel(&chunks, |c: &&[CrashPoint], _| {
+        injector.audit_chunk(&golden, c)
     });
     let mut report = CrashAuditReport {
         golden_cycles,

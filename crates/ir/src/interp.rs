@@ -19,6 +19,7 @@ use crate::inst::{BranchRhs, Inst, Terminator};
 use crate::layout;
 use crate::program::{Program, ProgramPoint};
 use crate::reg::{Reg, NUM_REGS};
+use std::sync::Arc;
 
 /// Identifies a software thread.
 pub type ThreadId = usize;
@@ -104,14 +105,14 @@ const PAGE_SHIFT: u32 = 9; // log2(PAGE_WORDS * 8)
 /// with the original per-word hash map).
 #[derive(Clone, Debug)]
 struct Page {
-    words: Box<[u64; PAGE_WORDS]>,
+    words: [u64; PAGE_WORDS],
     written: u64,
 }
 
 impl Page {
     fn new() -> Page {
         Page {
-            words: Box::new([0u64; PAGE_WORDS]),
+            words: [0u64; PAGE_WORDS],
             written: 0,
         }
     }
@@ -126,9 +127,19 @@ impl Page {
 /// bitmask preserves the original per-word semantics exactly: `len()`
 /// counts *touched* words and `iter()` yields only touched words, even
 /// when the written value is zero.
+///
+/// Pages are copy-on-write: they sit behind [`Arc`], so `clone()` is a
+/// shallow O(pages-table) snapshot that bumps refcounts, and a write to
+/// a shared page materialises a private copy via [`Arc::make_mut`].
+/// This is what makes machine forking (the crash-sweep engine) cheap:
+/// a snapshot costs O(dirty pages since the snapshot), not O(memory
+/// footprint). Comparisons ([`Memory::first_difference`],
+/// [`Memory::same_contents`]) exploit sharing too — a page physically
+/// shared between the two sides cannot differ and is skipped without
+/// reading a word.
 #[derive(Clone, Debug, Default)]
 pub struct Memory {
-    pages: FxHashMap<u64, Page>,
+    pages: FxHashMap<u64, Arc<Page>>,
     touched: usize,
 }
 
@@ -162,10 +173,17 @@ impl Memory {
     }
 
     /// Writes the 8-byte word containing `addr`.
+    ///
+    /// If the target page is shared with a snapshot, this is the
+    /// copy-on-write point: the page is duplicated before mutation.
     #[inline]
     pub fn write_word(&mut self, addr: u64, val: u64) {
         let (page, idx) = Self::split(addr);
-        let p = self.pages.entry(page).or_insert_with(Page::new);
+        let p = Arc::make_mut(
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Arc::new(Page::new())),
+        );
         let bit = 1u64 << idx;
         if p.written & bit == 0 {
             p.written |= bit;
@@ -194,26 +212,51 @@ impl Memory {
         self.touched == 0
     }
 
+    /// Page numbers where the two memories might disagree: pages present
+    /// on either side that are not physically shared. A page shared via
+    /// [`Arc`] is bit-identical by construction and needs no inspection
+    /// — on COW snapshots this prunes the comparison to the pages dirtied
+    /// since the fork.
+    fn candidate_pages(&self, other: &Memory) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(pg, p)| !other.pages.get(pg).is_some_and(|q| Arc::ptr_eq(p, q)))
+            .map(|(&pg, _)| pg)
+            .collect();
+        pages.extend(
+            other
+                .pages
+                .keys()
+                .filter(|pg| !self.pages.contains_key(pg))
+                .copied(),
+        );
+        pages.sort_unstable();
+        pages
+    }
+
     /// True if the two memories agree on every touched word (untouched
     /// words read as zero on both sides).
     pub fn same_contents(&self, other: &Memory) -> bool {
-        self.iter().all(|(a, v)| other.read_word(a) == v)
-            && other.iter().all(|(a, v)| self.read_word(a) == v)
+        self.first_difference(other).is_none()
     }
 
-    /// The first address where the two memories disagree, for diagnostics.
+    /// The first (lowest-address) word where the two memories disagree,
+    /// for diagnostics. Untouched words read as zero on both sides, so
+    /// only pages that are present somewhere and not physically shared
+    /// need scanning.
     pub fn first_difference(&self, other: &Memory) -> Option<(u64, u64, u64)> {
-        let mut addrs: Vec<u64> = self
-            .iter()
-            .map(|(a, _)| a)
-            .chain(other.iter().map(|(a, _)| a))
-            .collect();
-        addrs.sort_unstable();
-        addrs.dedup();
-        addrs.into_iter().find_map(|a| {
-            let (x, y) = (self.read_word(a), other.read_word(a));
-            (x != y).then_some((a, x, y))
-        })
+        for pg in self.candidate_pages(other) {
+            let base = pg << PAGE_SHIFT;
+            for i in 0..PAGE_WORDS {
+                let a = base + (i as u64) * 8;
+                let (x, y) = (self.read_word(a), other.read_word(a));
+                if x != y {
+                    return Some((a, x, y));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -585,6 +628,34 @@ mod tests {
         a.write_word(16, 0);
         assert!(a.same_contents(&b));
         assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn memory_clone_is_copy_on_write() {
+        let mut a = Memory::new();
+        a.write_word(8, 1);
+        a.write_word(0x1000, 2);
+        let snap = a.clone();
+        // The snapshot physically shares both pages with the original.
+        assert!(a.pages.values().zip(snap.pages.values()).count() == 2);
+        assert!(a.same_contents(&snap));
+        // Writing through the original diverges only the touched page;
+        // the snapshot is unaffected.
+        a.write_word(8, 99);
+        a.write_word(0x2000, 3);
+        assert_eq!(snap.read_word(8), 1);
+        assert_eq!(snap.read_word(0x2000), 0);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.first_difference(&snap), Some((8, 99, 1)));
+        assert_eq!(snap.first_difference(&a), Some((8, 1, 99)));
+        // The untouched page stays shared after the divergence.
+        let pg_shared = a
+            .pages
+            .iter()
+            .filter(|(k, p)| snap.pages.get(k).is_some_and(|q| Arc::ptr_eq(p, q)))
+            .count();
+        assert_eq!(pg_shared, 1);
     }
 
     #[test]

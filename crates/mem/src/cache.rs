@@ -61,9 +61,15 @@ pub struct AccessResult {
 }
 
 /// A set-associative write-back, write-allocate cache.
+///
+/// Lines live in one flat `set * ways + way` array: a clone (a crash-
+/// sweep machine fork copies every cache) is a single contiguous
+/// memcpy rather than one allocation per set.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    num_sets: usize,
+    ways: usize,
     line_bytes: u64,
     tick: u64,
     hits: u64,
@@ -84,7 +90,9 @@ impl SetAssocCache {
             "cache dimensions must be positive"
         );
         SetAssocCache {
-            sets: vec![vec![Line::default(); ways]; sets],
+            lines: vec![Line::default(); sets * ways],
+            num_sets: sets,
+            ways,
             line_bytes,
             tick: 0,
             hits: 0,
@@ -97,14 +105,24 @@ impl SetAssocCache {
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes;
         (
-            (line % self.sets.len() as u64) as usize,
-            line / self.sets.len() as u64,
+            (line % self.num_sets as u64) as usize,
+            line / self.num_sets as u64,
         )
     }
 
     /// Line base address from set/tag.
     fn line_addr(&self, set: usize, tag: u64) -> u64 {
-        (tag * self.sets.len() as u64 + set as u64) * self.line_bytes
+        (tag * self.num_sets as u64 + set as u64) * self.line_bytes
+    }
+
+    /// The ways of `set` as a slice of the flat line array.
+    fn set_lines(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Mutable counterpart of [`Self::set_lines`].
+    fn set_lines_mut(&mut self, set: usize) -> &mut [Line] {
+        &mut self.lines[set * self.ways..(set + 1) * self.ways]
     }
 
     /// Accesses `addr`; on a miss the line is allocated, evicting a
@@ -120,10 +138,15 @@ impl SetAssocCache {
     ) -> AccessResult {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
-        let ways = self.sets[set].len();
+        let ways = self.ways;
+        let tick = self.tick;
 
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_use = self.tick;
+        if let Some(line) = self
+            .set_lines_mut(set)
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.last_use = tick;
             line.dirty |= is_write;
             self.hits += 1;
             return AccessResult {
@@ -135,12 +158,12 @@ impl SetAssocCache {
         self.misses += 1;
 
         // Invalid way, if any.
-        if let Some(idx) = self.sets[set].iter().position(|l| !l.valid) {
-            self.sets[set][idx] = Line {
+        if let Some(idx) = self.set_lines(set).iter().position(|l| !l.valid) {
+            self.set_lines_mut(set)[idx] = Line {
                 tag,
                 valid: true,
                 dirty: is_write,
-                last_use: self.tick,
+                last_use: tick,
             };
             return AccessResult {
                 hit: false,
@@ -156,7 +179,7 @@ impl SetAssocCache {
             *slot = i;
         }
         let order = &mut order[..ways];
-        order.sort_unstable_by_key(|&i| self.sets[set][i].last_use);
+        order.sort_unstable_by_key(|&i| self.set_lines(set)[i].last_use);
 
         let scan = match policy {
             VictimPolicy::Full => ways,
@@ -170,7 +193,7 @@ impl SetAssocCache {
             // pending store data).
             let mut found = None;
             for &cand in order.iter().take(scan) {
-                let line = &self.sets[set][cand];
+                let line = self.set_lines(set)[cand];
                 let la = self.line_addr(set, line.tag);
                 if line.dirty {
                     self.snoops += 1;
@@ -193,13 +216,13 @@ impl SetAssocCache {
             }
         }
 
-        let victim = self.sets[set][chosen];
+        let victim = self.set_lines(set)[chosen];
         let evicted = Some((self.line_addr(set, victim.tag), victim.dirty));
-        self.sets[set][chosen] = Line {
+        self.set_lines_mut(set)[chosen] = Line {
             tag,
             valid: true,
             dirty: is_write,
-            last_use: self.tick,
+            last_use: tick,
         };
         AccessResult {
             hit: false,
@@ -211,16 +234,14 @@ impl SetAssocCache {
     /// True if the line containing `addr` is present.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set_lines(set).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every line (power failure: caches are volatile).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-                line.dirty = false;
-            }
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
         }
     }
 

@@ -22,7 +22,7 @@ use lightwsp_compiler::Compiled;
 use lightwsp_ir::fxhash::FxHashSet;
 use lightwsp_sim::crash::check_capture;
 use lightwsp_sim::{
-    CrashInjector, CrashPoint, CrashPointKind, GatingMutant, Scheme, SimConfig, StepMode,
+    CrashInjector, CrashPoint, CrashPointKind, GatingMutant, Scheme, SimConfig, StepMode, SweepMode,
 };
 
 /// Interpreter step budget for extraction (litmus/fuzz programs are
@@ -64,6 +64,11 @@ pub struct CaseSpec {
     pub wpq_entries: usize,
     /// Time-advance mode (the sweep runs every case in both).
     pub step_mode: StepMode,
+    /// Crash-point traversal mode: fork the mainline at each sorted
+    /// point (fast) or re-simulate from cycle 0 per point (the
+    /// executable specification). Outcomes are bit-identical; the
+    /// `model_litmus` bin times both to report the speedup.
+    pub sweep_mode: SweepMode,
     /// Deliberately broken gating rule, when proving the harness kills
     /// mutants; `None` for the differential check proper.
     pub mutant: Option<GatingMutant>,
@@ -138,9 +143,10 @@ pub fn sim_config(spec: &CaseSpec) -> SimConfig {
 pub fn run_case(compiled: &Compiled, spec: &CaseSpec) -> Result<CaseOutcome, ExtractError> {
     let rs = extract(&compiled.program, spec.threads, EXTRACT_STEPS)?;
     let model = LrpoModel::new(&rs);
-    let injector = CrashInjector::new(compiled, sim_config(spec), spec.threads);
+    let injector = CrashInjector::new(compiled, sim_config(spec), spec.threads)
+        .with_sweep_mode(spec.sweep_mode);
 
-    let points = select_points(&injector, spec);
+    let points = CrashInjector::prepare_points(&select_points(&injector, spec));
     let mut outcome = CaseOutcome {
         name: spec.name.clone(),
         points: points.len(),
@@ -152,9 +158,13 @@ pub fn run_case(compiled: &Compiled, spec: &CaseSpec) -> Result<CaseOutcome, Ext
         structural_violations: Vec::new(),
     };
 
+    // One sweeper for the whole (sorted) point sequence: in fork mode
+    // the mainline advances monotonically and each point costs one COW
+    // fork instead of a replay from cycle 0.
+    let mut sweeper = injector.sweeper();
     let mut seen: FxHashSet<Vec<usize>> = FxHashSet::default();
     for p in points {
-        let Some((cap, pm_after)) = injector.capture_at(p) else {
+        let Some((cap, pm_after)) = sweeper.capture_at(p) else {
             continue; // landed after completion + drain
         };
         outcome.audited += 1;
@@ -232,6 +242,7 @@ mod tests {
             num_mcs: l.num_mcs,
             wpq_entries: l.wpq_entries,
             step_mode: StepMode::SkipAhead,
+            sweep_mode: SweepMode::default(),
             mutant: None,
             policy: PointPolicy::Exhaustive { max_horizon: 4096 },
             seed: 1,
@@ -259,6 +270,7 @@ mod tests {
             num_mcs: l.num_mcs,
             wpq_entries: l.wpq_entries,
             step_mode: StepMode::SkipAhead,
+            sweep_mode: SweepMode::default(),
             mutant: Some(GatingMutant::FlushUnacked),
             policy: PointPolicy::Exhaustive { max_horizon: 4096 },
             seed: 1,

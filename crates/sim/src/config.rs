@@ -132,6 +132,57 @@ impl StepMode {
     }
 }
 
+/// How crash-sweep drivers (`crate::crash`, the model harness, the
+/// bench bins) traverse a batch of crash points.
+///
+/// Both modes audit the *same* machine states and produce bit-identical
+/// [`crate::crash::CrashAuditReport`]s, failure resolutions, and PM
+/// images (see `tests/sweep_mode_parity.rs`); they differ only in how
+/// the pre-crash state at each point's cycle is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SweepMode {
+    /// Fork-point sweep (the default): sort the points by cycle, advance
+    /// ONE mainline machine monotonically, and fork a cheap COW snapshot
+    /// at each point for injection/audit/resume — `O(H + P·fork +
+    /// P·resume)` simulated cycles for `P` points over horizon `H`.
+    #[default]
+    Fork,
+    /// Rebuild a fresh machine and re-simulate from cycle 0 for every
+    /// point — `O(P·H)`. Kept forever as the executable specification
+    /// the fork mode is differentially gated against, exactly like
+    /// [`StepMode::Reference`] gates skip-ahead.
+    Rerun,
+}
+
+impl SweepMode {
+    /// Parses the `LIGHTWSP_SWEEP_MODE` environment value (`fork` or
+    /// `rerun`, case-insensitive). Returns `None` for anything else.
+    pub fn from_env_str(s: &str) -> Option<SweepMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "fork" => Some(SweepMode::Fork),
+            "rerun" | "re-run" | "fresh" => Some(SweepMode::Rerun),
+            _ => None,
+        }
+    }
+
+    /// The sweep mode selected by `LIGHTWSP_SWEEP_MODE`, defaulting to
+    /// [`SweepMode::Fork`] when unset or unparseable.
+    pub fn from_env() -> SweepMode {
+        std::env::var("LIGHTWSP_SWEEP_MODE")
+            .ok()
+            .and_then(|s| SweepMode::from_env_str(&s))
+            .unwrap_or_default()
+    }
+
+    /// Display name used by the evaluation harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepMode::Fork => "fork",
+            SweepMode::Rerun => "rerun",
+        }
+    }
+}
+
 /// A deliberately broken §IV-F gating rule, **test-only**: the crash
 /// auditor (`crate::crash`) must flag a run under any of these mutants,
 /// proving its invariants have teeth. Never set one in a real

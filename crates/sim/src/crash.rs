@@ -33,7 +33,7 @@
 //! rule ([`GatingMutant`](crate::config::GatingMutant)) is caught even
 //! when re-execution happens to converge to the right final state.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, SweepMode};
 use crate::consistency::{golden_run, ConsistencyError};
 use crate::machine::{Completion, CrashCapture, Machine};
 use lightwsp_compiler::Compiled;
@@ -169,13 +169,32 @@ impl CrashAuditReport {
 
 /// Systematic crash-point sweep over one compiled workload.
 ///
-/// Owns nothing but references and a config template; every audit run
-/// builds a fresh deterministic [`Machine`], so audits are independent
-/// and can be fanned across threads by the caller.
+/// Construction builds one pristine cycle-0 [`Machine`] template; a
+/// "fresh machine" thereafter is a cheap COW clone of it, never a
+/// re-initialisation. How the pre-crash state at each point is reached
+/// is governed by the [`SweepMode`] (default: `LIGHTWSP_SWEEP_MODE`,
+/// falling back to [`SweepMode::Fork`]):
+///
+/// - **fork** — a [`CrashSweeper`] advances ONE mainline machine
+///   monotonically through the points in sorted order and forks a
+///   snapshot at each, so a sweep of `P` points over horizon `H` costs
+///   `O(H + P·fork + P·resume)` simulated cycles;
+/// - **rerun** — every point re-simulates from cycle 0 (`O(P·H)`), the
+///   executable specification fork mode is differentially checked
+///   against (`tests/sweep_mode_parity.rs`).
+///
+/// Points are independent in either mode — callers with a thread pool
+/// fan out *sorted contiguous chunks* ([`CrashInjector::audit_chunk`])
+/// and [`CrashAuditReport::merge`] the results.
 pub struct CrashInjector<'a> {
     compiled: &'a Compiled,
     cfg: SimConfig,
     threads: usize,
+    sweep: SweepMode,
+    /// Pristine cycle-0 machine; cloned (cheaply, via COW pages) for
+    /// every golden/traced/audit run instead of re-running
+    /// `Machine::new` and re-cloning the config per point.
+    base: Machine,
 }
 
 /// SplitMix64 step (dependency-free seeded point generation; the
@@ -196,6 +215,9 @@ fn sample_even(mut v: Vec<u64>, cap: usize) -> Vec<u64> {
     if v.len() <= cap || cap == 0 {
         return v;
     }
+    if cap == 1 {
+        return vec![v[v.len() / 2]];
+    }
     (0..cap).map(|i| v[i * (v.len() - 1) / (cap - 1)]).collect()
 }
 
@@ -212,11 +234,38 @@ impl<'a> CrashInjector<'a> {
             cfg.scheme.uses_persist_path(),
             "crash auditing needs a persist-path scheme"
         );
+        let base = Machine::new(
+            compiled.program.clone(),
+            compiled.recipes.clone(),
+            cfg.clone(),
+            threads,
+        );
         CrashInjector {
             compiled,
             cfg,
             threads,
+            sweep: SweepMode::from_env(),
+            base,
         }
+    }
+
+    /// Overrides the sweep mode (the constructor reads
+    /// `LIGHTWSP_SWEEP_MODE`). Bench bins time both modes explicitly
+    /// through this instead of mutating the environment.
+    pub fn with_sweep_mode(mut self, sweep: SweepMode) -> CrashInjector<'a> {
+        self.sweep = sweep;
+        self
+    }
+
+    /// The active sweep mode.
+    pub fn sweep_mode(&self) -> SweepMode {
+        self.sweep
+    }
+
+    /// A fresh cycle-0 machine: a COW clone of the construction-time
+    /// template (no per-call config clone or cache re-initialisation).
+    fn fresh(&self) -> Machine {
+        self.base.fork()
     }
 
     fn machine(&self, cfg: SimConfig) -> Machine {
@@ -288,9 +337,37 @@ impl<'a> CrashInjector<'a> {
             .collect()
     }
 
-    /// Audits every point: golden run once, then per point run-until,
-    /// cut power, check the structural invariants against the capture,
-    /// resume to completion, and compare the final durable state.
+    /// Canonicalises a point batch for sweeping: sorted by
+    /// `(cycle, kind)` and deduplicated. Duplicate `(cycle, kind)`
+    /// pairs audit the *same* machine state twice (point selection can
+    /// emit them — e.g. seeded collisions or overlapping mechanism
+    /// windows), and the fork sweep requires non-decreasing cycles.
+    /// Both sweep modes visit exactly this sequence, which pins their
+    /// reports to be comparable element-for-element.
+    pub fn prepare_points(points: &[CrashPoint]) -> Vec<CrashPoint> {
+        let mut v = points.to_vec();
+        v.sort_unstable_by_key(|p| (p.cycle, p.kind.idx()));
+        v.dedup();
+        v
+    }
+
+    /// Starts a sweep over a sorted point sequence (see
+    /// [`CrashInjector::prepare_points`]) in the injector's
+    /// [`SweepMode`]. Each sweeper owns at most one mainline machine,
+    /// so parallel callers create one sweeper per contiguous chunk.
+    pub fn sweeper(&self) -> CrashSweeper<'_, 'a> {
+        CrashSweeper {
+            injector: self,
+            mainline: (self.sweep == SweepMode::Fork).then(|| self.fresh()),
+            finished: false,
+            last_cycle: 0,
+        }
+    }
+
+    /// Audits every point: golden run once, then sweep the sorted,
+    /// deduplicated points — cut power, check the structural invariants
+    /// against the capture, resume to completion, and compare the final
+    /// durable state.
     ///
     /// # Errors
     ///
@@ -303,51 +380,129 @@ impl<'a> CrashInjector<'a> {
             golden_cycles,
             ..CrashAuditReport::default()
         };
-        for &p in points {
-            report.merge(&self.audit_point(&golden, p));
-        }
+        report.merge(&self.audit_chunk(&golden, &Self::prepare_points(points)));
         Ok(report)
+    }
+
+    /// Audits one sorted contiguous chunk of a prepared point sequence
+    /// with a dedicated sweeper (one mainline machine per chunk). The
+    /// parallel drivers split [`CrashInjector::prepare_points`] output
+    /// into per-worker chunks and merge the returned reports in chunk
+    /// order, which reproduces the serial sweep bit-for-bit.
+    pub fn audit_chunk(&self, golden: &Memory, points: &[CrashPoint]) -> CrashAuditReport {
+        let mut sweeper = self.sweeper();
+        let mut report = CrashAuditReport::default();
+        for &p in points {
+            report.merge(&sweeper.audit_point(golden, p));
+        }
+        report
     }
 
     /// Audits a single crash point against a precomputed golden image
     /// (from [`golden_run`]) and returns a one-point report.
     ///
-    /// Points are independent — callers with a thread pool fan this out
-    /// and [`CrashAuditReport::merge`] the results; [`CrashInjector::audit`]
-    /// is the serial composition.
+    /// A one-point sweep: fork and rerun mode are indistinguishable
+    /// here. Kept for callers that fan out points individually;
+    /// batch callers should prefer [`CrashInjector::audit_chunk`],
+    /// which amortises the mainline advance across the whole chunk.
     pub fn audit_point(&self, golden: &Memory, p: CrashPoint) -> CrashAuditReport {
-        let mut report = CrashAuditReport {
-            points: 1,
-            ..CrashAuditReport::default()
-        };
-        self.audit_one(golden, p, &mut report);
-        report
+        self.audit_chunk(golden, &[p])
     }
 
     /// Cuts power at `p` and returns the audit capture together with
     /// the post-resolution durable image, without resuming. Returns
     /// `None` when the run finishes before `p.cycle` (nothing to cut).
     ///
-    /// This is the model-oracle entry point: `lightwsp-model`'s
-    /// differential harness checks the returned image against the
-    /// admitted set instead of (or in addition to) the structural
-    /// invariants of [`check_capture`].
+    /// One-shot variant of [`CrashSweeper::capture_at`] — batch callers
+    /// (the model harness) should drive a sweeper over sorted points
+    /// instead of paying a run-from-zero per point.
     pub fn capture_at(&self, p: CrashPoint) -> Option<(CrashCapture, Memory)> {
-        let mut m = self.machine(self.cfg.clone());
-        if m.run_until(p.cycle) {
-            return None;
+        self.sweeper().capture_at(p)
+    }
+}
+
+/// One in-progress sweep over a non-decreasing crash-point sequence.
+///
+/// In [`SweepMode::Fork`] the sweeper owns the *mainline* machine: it
+/// advances monotonically to each point's cycle (never re-simulating
+/// the prefix) and hands out a COW fork of itself for the destructive
+/// part (power cut, resolution, resume). In [`SweepMode::Rerun`] there
+/// is no mainline and every point replays a fresh machine from cycle 0.
+///
+/// The two modes reach bit-identical pre-crash states because
+/// `run_until` is exact-landing and stopping at intermediate targets is
+/// observationally identical to one continuous run (the same property
+/// `tests/step_mode_parity.rs` locks in for skip-ahead); the parity
+/// suite `tests/sweep_mode_parity.rs` enforces it end-to-end.
+pub struct CrashSweeper<'i, 'a> {
+    injector: &'i CrashInjector<'a>,
+    /// The monotonically-advancing machine (fork mode only).
+    mainline: Option<Machine>,
+    /// Fork mode: the workload completed before some earlier point, so
+    /// every later point is beyond the end too.
+    finished: bool,
+    /// Fork mode: last requested cycle, to enforce monotonicity.
+    last_cycle: u64,
+}
+
+impl CrashSweeper<'_, '_> {
+    /// The machine state at `p.cycle`, or `None` when the workload
+    /// finishes (and drains) before that cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics in fork mode if `p` goes backwards — feed the sweeper
+    /// [`CrashInjector::prepare_points`] output.
+    fn machine_at(&mut self, p: CrashPoint) -> Option<Machine> {
+        match &mut self.mainline {
+            Some(mainline) => {
+                assert!(
+                    p.cycle >= self.last_cycle,
+                    "fork sweep requires non-decreasing point cycles \
+                     ({} after {}); sort with CrashInjector::prepare_points",
+                    p.cycle,
+                    self.last_cycle,
+                );
+                self.last_cycle = p.cycle;
+                if self.finished {
+                    return None;
+                }
+                if mainline.run_until(p.cycle) {
+                    self.finished = true;
+                    return None;
+                }
+                Some(mainline.fork())
+            }
+            None => {
+                let mut m = self.injector.fresh();
+                (!m.run_until(p.cycle)).then_some(m)
+            }
         }
+    }
+
+    /// Cuts power at `p` on a fork (or a fresh rerun) and returns the
+    /// audit capture plus the post-resolution durable image, without
+    /// resuming. `None` when the run finishes before `p.cycle`.
+    pub fn capture_at(&mut self, p: CrashPoint) -> Option<(CrashCapture, Memory)> {
+        let mut m = self.machine_at(p)?;
         let cap = m.inject_power_failure_audited();
+        // COW pages make this a shallow O(pages-table) snapshot, not a
+        // copy of the PM footprint.
         Some((cap, m.pm_contents().clone()))
     }
 
-    /// Audits a single crash point against a precomputed golden image.
-    fn audit_one(&self, golden: &Memory, p: CrashPoint, report: &mut CrashAuditReport) {
-        let mut m = self.machine(self.cfg.clone());
-        if m.run_until(p.cycle) {
+    /// Audits a single crash point against a precomputed golden image
+    /// and returns a one-point report: cut power, check the structural
+    /// invariants, resume to completion, compare final durable state.
+    pub fn audit_point(&mut self, golden: &Memory, p: CrashPoint) -> CrashAuditReport {
+        let mut report = CrashAuditReport {
+            points: 1,
+            ..CrashAuditReport::default()
+        };
+        let Some(mut m) = self.machine_at(p) else {
             report.beyond_end += 1;
-            return;
-        }
+            return report;
+        };
         report.audited += 1;
         report.audited_by_kind[p.kind.idx()] += 1;
         let cap = m.inject_power_failure_audited();
@@ -361,18 +516,18 @@ impl<'a> CrashInjector<'a> {
         // stopped exactly at `max_cycles` (a crash point at the cap is
         // legitimate), and resuming under the original cap would report
         // a cap hit after zero post-crash cycles.
-        m.set_max_cycles(p.cycle.saturating_add(self.cfg.max_cycles));
+        let max_cycles = self.injector.cfg.max_cycles;
+        m.set_max_cycles(p.cycle.saturating_add(max_cycles));
         if m.run() != Completion::Finished {
             report.violations.push(InvariantViolation {
                 invariant: "resume-completes",
                 point: p,
                 detail: format!(
-                    "recovered run exhausted a fresh {}-cycle budget at {}",
-                    self.cfg.max_cycles,
+                    "recovered run exhausted a fresh {max_cycles}-cycle budget at {}",
                     m.now()
                 ),
             });
-            return;
+            return report;
         }
         if let Some((addr, got, want)) = m.pm_contents().first_difference(golden) {
             report.violations.push(InvariantViolation {
@@ -381,6 +536,7 @@ impl<'a> CrashInjector<'a> {
                 detail: format!("PM diverges at {addr:#x}: got {got:#x}, golden {want:#x}"),
             });
         }
+        report
     }
 }
 

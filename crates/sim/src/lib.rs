@@ -31,9 +31,11 @@ pub mod machine;
 pub mod stats;
 pub mod trace;
 
-pub use config::{GatingMutant, Scheme, SimConfig, StepMode};
-pub use crash::{CrashAuditReport, CrashInjector, CrashPoint, CrashPointKind, InvariantViolation};
-pub use machine::{Completion, CrashCapture, Machine};
+pub use config::{GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
+pub use crash::{
+    CrashAuditReport, CrashInjector, CrashPoint, CrashPointKind, CrashSweeper, InvariantViolation,
+};
+pub use machine::{Completion, CrashCapture, Machine, MachineSnapshot};
 pub use stats::{SimStats, StallCause};
 
 #[cfg(test)]

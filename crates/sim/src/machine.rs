@@ -113,7 +113,7 @@ enum Stop {
 }
 
 /// Per-thread software state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct ThreadCtx {
     interp: Interp,
     /// The open region its stores are tagged with (§IV-B). `None`
@@ -131,7 +131,7 @@ struct ThreadCtx {
 }
 
 /// Per-core hardware state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct CoreCtx {
     sb: StoreBuffer,
     feb: FrontBuffer,
@@ -153,7 +153,37 @@ struct CoreCtx {
     bdry_progress: Vec<bool>,
 }
 
+/// An opaque point-in-time snapshot of a [`Machine`], captured by
+/// [`Machine::snapshot`] and reinstated by [`Machine::restore`]. Taking
+/// one is O(components + pages-table) — memory pages are shared
+/// copy-on-write with the live machine until either side writes.
+#[derive(Clone)]
+pub struct MachineSnapshot(Machine);
+
+impl MachineSnapshot {
+    /// Materialises an independent machine at the snapshotted state
+    /// (equivalent to `restore` onto a scratch machine).
+    pub fn to_machine(&self) -> Machine {
+        self.0.clone()
+    }
+
+    /// The snapshotted cycle.
+    pub fn now(&self) -> u64 {
+        self.0.now
+    }
+}
+
 /// The simulated machine.
+///
+/// `Clone` is a full, independent snapshot of the machine state —
+/// caches, buffers, persist path, controllers, tracker, PM, volatile
+/// memory, per-thread interpreters, and stats. It is deliberately
+/// cheap: the program and recovery recipes stay `Arc`-shared, and both
+/// memories ([`Memory`]) are copy-on-write paged, so cloning costs
+/// O(components + pages-table), not O(memory footprint). The crash-sweep
+/// engine ([`crate::crash::CrashSweeper`]) leans on this to fork a
+/// machine at each crash point instead of re-simulating from cycle 0.
+#[derive(Clone)]
 pub struct Machine {
     cfg: SimConfig,
     program: std::sync::Arc<Program>,
@@ -301,6 +331,26 @@ impl Machine {
             recipes,
             cfg,
         }
+    }
+
+    /// Captures a point-in-time snapshot of the whole machine. Cheap
+    /// (COW pages, `Arc`-shared program): O(components + pages-table).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot(self.clone())
+    }
+
+    /// Restores the machine to a previously captured snapshot. The
+    /// snapshot is reusable: restoring does not consume it.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        *self = snap.0.clone();
+    }
+
+    /// Forks an independent machine at the current state. The fork and
+    /// the original share untouched memory pages (copy-on-write) and
+    /// the immutable program/recipes; every mutable component is
+    /// duplicated, so the two diverge freely from here on.
+    pub fn fork(&self) -> Machine {
+        self.clone()
     }
 
     /// The current cycle.

@@ -16,7 +16,7 @@
 
 use lightwsp_core::oracle::{mutant_name, ALL_MUTANTS};
 use lightwsp_core::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, Campaign};
-use lightwsp_sim::{GatingMutant, StepMode};
+use lightwsp_sim::{GatingMutant, StepMode, SweepMode};
 
 const BOTH_MODES: [StepMode; 2] = [StepMode::SkipAhead, StepMode::Reference];
 
@@ -26,7 +26,7 @@ const BOTH_MODES: [StepMode; 2] = [StepMode::SkipAhead, StepMode::Reference];
 fn litmus_suite_is_clean_in_both_step_modes() {
     let campaign = Campaign::new();
     for mode in BOTH_MODES {
-        let (report, outcomes) = litmus_sweep(&campaign, mode);
+        let (report, outcomes) = litmus_sweep(&campaign, mode, SweepMode::default());
         assert!(
             report.extract_errors.is_empty(),
             "litmus outside model domain ({}): {:?}",
@@ -72,7 +72,7 @@ fn litmus_suite_is_clean_in_both_step_modes() {
 #[test]
 fn all_gating_mutants_are_killed() {
     let campaign = Campaign::new();
-    let matrix = mutant_kill_matrix(&campaign, StepMode::SkipAhead);
+    let matrix = mutant_kill_matrix(&campaign, StepMode::SkipAhead, SweepMode::default());
     assert_eq!(matrix.len(), ALL_MUTANTS.len());
     for mk in &matrix {
         assert!(
@@ -104,7 +104,7 @@ fn all_gating_mutants_are_killed() {
 fn fuzz_smoke_is_clean_in_both_step_modes() {
     let campaign = Campaign::new();
     for mode in BOTH_MODES {
-        let report = fuzz_sweep(&campaign, 0xF00D_FACE, 48, mode);
+        let report = fuzz_sweep(&campaign, 0xF00D_FACE, 48, mode, SweepMode::default());
         assert!(
             report.extract_errors.is_empty(),
             "generator produced out-of-domain case ({}): {:?}",
