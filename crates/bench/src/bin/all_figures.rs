@@ -8,13 +8,17 @@
 //! Fig. 7 run (workload, scheme, cycles, wall-clock ms, threads),
 //! campaign metadata — worker count, per-phase wall-clock, the speedup
 //! of the `--quick` fig07+fig11 subset over the recorded serial
-//! pre-optimization baseline — and the step-mode section: every
+//! pre-optimization baseline — the step-mode section: every
 //! Fig. 7/Fig. 11 single-thread cell timed under both `StepMode`s with
 //! batch and per-cell-geomean speedups of the event-driven skip-ahead
-//! core over the per-cycle reference stepper.
+//! core over the per-cycle reference stepper — and the exec-mode
+//! section: the dispatch-level kernel speedups of the decoded micro-op
+//! engine over the tree-walking interpreter plus every Fig. 7
+//! single-thread cell timed (and parity-checked) under both
+//! `ExecMode`s.
 //!
 //! [`Campaign`]: lightwsp_core::Campaign
-use lightwsp_bench::{emit, emit_text, figures, stepmode};
+use lightwsp_bench::{emit, emit_text, execmode, figures, stepmode};
 use lightwsp_core::{Campaign, ExperimentOptions, Job, Scheme};
 use lightwsp_workloads::all_workloads;
 use std::fmt::Write as _;
@@ -95,10 +99,22 @@ fn main() {
     let timings = stepmode::compare_cells(&cells, 5);
     let summary = stepmode::summarize(&timings);
 
+    // Exec-mode comparison: the dispatch-level kernels (bare engines on
+    // the pure-compute dense variants — where the ≥2x acceptance bar
+    // lives) and every Fig. 7 single-thread cell under both exec modes
+    // (parity-checked, best-of-5). See the execmode module docs for the
+    // two-level design.
+    eprintln!("timing exec modes (dispatch kernels + fig07 single-thread cells)...");
+    let kernels = execmode::dispatch_kernels(60_000, 20);
+    let dispatch_geomean = execmode::dispatch_geomean(&kernels);
+    let exec_cells = execmode::fig07_cells(&opts);
+    let exec_timings = execmode::compare_cells(&exec_cells, 5);
+    let exec_summary = execmode::summarize(&exec_timings);
+
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"total_wall_s\": {:.3},\n    \"fig07_wall_s\": {:.3},\n    \"fig11_wall_s\": {:.3},\n    \"serial_seed_fig07_fig11_quick_s\": {:.2},\n    \"quick_subset_wall_s\": {:.3},\n    \"speedup_fig07_fig11_vs_serial_seed\": {:.2},\n    \"stepmode_cells\": {},\n    \"stepmode_fig07_fig11_reference_s\": {:.3},\n    \"stepmode_fig07_fig11_skip_ahead_s\": {:.3},\n    \"skip_ahead_speedup_fig07_fig11\": {:.2},\n    \"skip_ahead_geomean_speedup_cells\": {:.2}\n  }},\n",
+        "  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"total_wall_s\": {:.3},\n    \"fig07_wall_s\": {:.3},\n    \"fig11_wall_s\": {:.3},\n    \"serial_seed_fig07_fig11_quick_s\": {:.2},\n    \"quick_subset_wall_s\": {:.3},\n    \"speedup_fig07_fig11_vs_serial_seed\": {:.2},\n    \"stepmode_cells\": {},\n    \"stepmode_fig07_fig11_reference_s\": {:.3},\n    \"stepmode_fig07_fig11_skip_ahead_s\": {:.3},\n    \"skip_ahead_speedup_fig07_fig11\": {:.2},\n    \"skip_ahead_geomean_speedup_cells\": {:.2},\n    \"exec_dispatch_geomean_speedup\": {:.2},\n    \"execmode_cells\": {},\n    \"execmode_fig07_reference_s\": {:.3},\n    \"execmode_fig07_decoded_s\": {:.3},\n    \"decoded_geomean_speedup_cells\": {:.2},\n    \"decoded_dense_geomean_speedup\": {:.2}\n  }},\n",
         c.workers(),
         quick,
         total_s,
@@ -112,6 +128,12 @@ fn main() {
         summary.skip_ahead_s,
         summary.batch_speedup,
         summary.geomean_speedup,
+        dispatch_geomean,
+        exec_summary.cells,
+        exec_summary.reference_s,
+        exec_summary.decoded_s,
+        exec_summary.geomean_speedup,
+        exec_summary.dense_geomean_speedup,
     );
     json.push_str("  \"runs\": [\n");
     for (i, (r, wall_ms)) in timed.iter().enumerate() {
@@ -141,15 +163,46 @@ fn main() {
             if i + 1 < timings.len() { "," } else { "" },
         );
     }
+    json.push_str("  ],\n  \"exec_dispatch_kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"insts\": {}, \"tree_ms\": {:.3}, \"decoded_ms\": {:.3}, \"speedup\": {:.2}}}{}",
+            k.workload,
+            k.insts,
+            k.tree_s * 1e3,
+            k.decoded_s * 1e3,
+            k.speedup(),
+            if i + 1 < kernels.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ],\n  \"exec_mode_runs\": [\n");
+    for (i, t) in exec_timings.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"figure\": \"{}\", \"workload\": \"{}\", \"scheme\": \"{}\", \"compute_dense\": {}, \"cycles\": {}, \"reference_ms\": {:.3}, \"decoded_ms\": {:.3}, \"speedup\": {:.2}}}{}",
+            t.figure,
+            t.workload,
+            t.scheme.name(),
+            t.compute_dense,
+            t.cycles,
+            t.reference_s * 1e3,
+            t.decoded_s * 1e3,
+            t.speedup(),
+            if i + 1 < exec_timings.len() { "," } else { "" },
+        );
+    }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write("BENCH_eval.json", &json) {
         eprintln!("warning: could not write BENCH_eval.json: {e}");
     }
     eprintln!(
-        "all figures regenerated in {total_s:.1}s ({} workers; fig07 {fig07_s:.1}s, fig11 {fig11_s:.1}s; skip-ahead {:.2}x batch / {:.2}x geomean over {} cells)",
+        "all figures regenerated in {total_s:.1}s ({} workers; fig07 {fig07_s:.1}s, fig11 {fig11_s:.1}s; skip-ahead {:.2}x batch / {:.2}x geomean over {} cells; decoded dispatch {:.2}x geomean, dense cells {:.2}x geomean)",
         c.workers(),
         summary.batch_speedup,
         summary.geomean_speedup,
         summary.cells,
+        dispatch_geomean,
+        exec_summary.dense_geomean_speedup,
     );
 }

@@ -1,0 +1,134 @@
+//! CI perf gate for the pre-decoded micro-op engine. Two sections, per
+//! the two-level design in [`lightwsp_bench::execmode`]:
+//!
+//! 1. **Dispatch level** — the bare engines on the pure-compute
+//!    kernel variants of the compute-dense workloads. Fails if the
+//!    geomean speedup of the decoded engine over the tree-walker falls
+//!    below [`DISPATCH_GEOMEAN_FLOOR`] (the ROADMAP open-item-2
+//!    acceptance bar) or if any single kernel falls below
+//!    [`DISPATCH_KERNEL_FLOOR`].
+//! 2. **Machine level** — the full Fig. 7 single-thread cells under
+//!    both exec modes on the `--quick` budget (or `paper_default`
+//!    without the flag). Every cell is cross-checked for identical
+//!    cycle and instruction counts (a parity break fails the gate),
+//!    and the compute-dense cells carry a no-regression floor: no cell
+//!    below [`DENSE_CELL_FLOOR`], dense geomean at least
+//!    [`DENSE_GEOMEAN_FLOOR`]. Machine-level wall time is dominated by
+//!    costs shared between the engines (persist machinery, memory
+//!    modelling), so the 2× bar does not apply here — `EXPERIMENTS.md`
+//!    documents the ceiling analysis.
+
+use lightwsp_bench::execmode;
+
+/// Minimum geomean speedup of the decoded engine over the tree-walker
+/// on the pure-compute dense kernels (measured ~3.5x; see
+/// EXPERIMENTS.md).
+const DISPATCH_GEOMEAN_FLOOR: f64 = 2.0;
+
+/// Per-kernel dispatch floor — catches a single-workload regression
+/// that the geomean would smear over.
+const DISPATCH_KERNEL_FLOOR: f64 = 1.5;
+
+/// Machine-level per-cell floor on the compute-dense cells. Below 1.0
+/// to absorb scheduler-noise bursts on millisecond-scale cells
+/// (best-of-5 has been observed to swing ±15% on shared runners); a
+/// real per-cell regression shows up far below this.
+const DENSE_CELL_FLOOR: f64 = 0.85;
+
+/// Machine-level geomean floor on the compute-dense cells: the decoded
+/// engine must not regress the dense subset (measured ~1.05-1.1x).
+const DENSE_GEOMEAN_FLOOR: f64 = 1.0;
+
+/// Dynamic instructions per dispatch-level kernel.
+const DISPATCH_KERNEL_INSTS: u64 = 60_000;
+
+fn main() {
+    let mut failed = false;
+
+    // Section 1: dispatch level.
+    let kernels = execmode::dispatch_kernels(DISPATCH_KERNEL_INSTS, 20);
+    for k in &kernels {
+        println!(
+            "dispatch {:>12}: tree {:>7.3}ms decoded {:>7.3}ms speedup {:>5.2}x ({} insts)",
+            k.workload,
+            k.tree_s * 1e3,
+            k.decoded_s * 1e3,
+            k.speedup(),
+            k.insts,
+        );
+        if k.speedup() < DISPATCH_KERNEL_FLOOR {
+            eprintln!(
+                "FAIL: dispatch kernel {} at {:.2}x, below the {DISPATCH_KERNEL_FLOOR:.1}x floor",
+                k.workload,
+                k.speedup()
+            );
+            failed = true;
+        }
+    }
+    let dispatch_geomean = execmode::dispatch_geomean(&kernels);
+    println!(
+        "dispatch geomean: {:.2}x over {} kernels (floor {DISPATCH_GEOMEAN_FLOOR:.1}x)",
+        dispatch_geomean,
+        kernels.len()
+    );
+    if dispatch_geomean < DISPATCH_GEOMEAN_FLOOR {
+        eprintln!(
+            "FAIL: dispatch geomean {dispatch_geomean:.2}x below the {DISPATCH_GEOMEAN_FLOOR:.1}x floor"
+        );
+        failed = true;
+    }
+
+    // Section 2: machine level (parity + no-regression).
+    let opts = lightwsp_bench::common_options();
+    let cells = execmode::fig07_cells(&opts);
+    let timings = execmode::compare_cells(&cells, 5);
+    for t in &timings {
+        println!(
+            "{:>13} {:>12} {:>9}{}: ref {:>8.2}ms decoded {:>8.2}ms speedup {:>5.2}x ({} cycles)",
+            t.figure,
+            t.workload,
+            t.scheme.name(),
+            if t.compute_dense {
+                " [dense]"
+            } else {
+                "        "
+            },
+            t.reference_s * 1e3,
+            t.decoded_s * 1e3,
+            t.speedup(),
+            t.cycles,
+        );
+    }
+    let s = execmode::summarize(&timings);
+    println!(
+        "batch: ref {:.2}s decoded {:.2}s -> {:.2}x (geomean {:.2}x over {} cells; dense geomean {:.2}x over {} cells)",
+        s.reference_s,
+        s.decoded_s,
+        s.batch_speedup,
+        s.geomean_speedup,
+        s.cells,
+        s.dense_geomean_speedup,
+        s.dense_cells,
+    );
+    for t in timings.iter().filter(|t| t.compute_dense) {
+        if t.speedup() < DENSE_CELL_FLOOR {
+            eprintln!(
+                "FAIL: compute-dense cell {} {:?} at {:.2}x, below the {DENSE_CELL_FLOOR:.2}x floor",
+                t.workload,
+                t.scheme,
+                t.speedup()
+            );
+            failed = true;
+        }
+    }
+    if s.dense_geomean_speedup < DENSE_GEOMEAN_FLOOR {
+        eprintln!(
+            "FAIL: machine-level dense geomean {:.2}x below the {DENSE_GEOMEAN_FLOOR:.1}x floor",
+            s.dense_geomean_speedup
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,7 @@
 //! | `crash_audit` | `RECOVERY.md` — seeded & derived crash-point audit, `BENCH_crash.json` |
 //! | `model_litmus` | LRPO model litmus/fuzz differential sweep, fork-vs-rerun timing |
 //! | `sweep_smoke` | CI perf gate: fork-mode crash sweep must beat rerun |
+//! | `exec_smoke` | CI perf gate: decoded engine ≥2x geomean on compute-dense Fig. 7 cells |
 //! | `all_figures` | everything above, into `results/` |
 //!
 //! Every binary accepts `--quick` (reduced instruction budget for smoke
@@ -36,9 +37,10 @@ use std::fs;
 use std::path::PathBuf;
 
 /// Parses the common CLI flags (`--quick`) and the
-/// `LIGHTWSP_STEP_MODE` environment override (`skip`/`reference`) —
-/// results are bit-identical either way, so the override exists purely
-/// for timing comparisons and skip-bug bisection.
+/// `LIGHTWSP_STEP_MODE` (`skip`/`reference`) and `LIGHTWSP_EXEC_MODE`
+/// (`decoded`/`ref`) environment overrides — results are bit-identical
+/// under every combination, so the overrides exist purely for timing
+/// comparisons and differential bisection.
 pub fn common_options() -> ExperimentOptions {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut opts = if quick {
@@ -49,6 +51,11 @@ pub fn common_options() -> ExperimentOptions {
     if let Ok(v) = std::env::var("LIGHTWSP_STEP_MODE") {
         if let Some(mode) = lightwsp_sim::StepMode::from_env_str(&v) {
             opts.sim.step_mode = mode;
+        }
+    }
+    if let Ok(v) = std::env::var("LIGHTWSP_EXEC_MODE") {
+        if let Some(mode) = lightwsp_sim::ExecMode::from_env_str(&v) {
+            opts.sim.exec_mode = mode;
         }
     }
     opts
@@ -90,6 +97,7 @@ pub fn emit_text(id: &str, text: &str) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
+pub mod execmode;
 pub mod figures;
 pub mod stepmode;
 pub mod sweepmode;

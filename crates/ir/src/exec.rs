@@ -1,0 +1,917 @@
+//! The decoded execution engine: batched micro-op interpretation plus a
+//! hot-block compiled tier.
+//!
+//! [`Interp::step_batch`] executes pre-decoded micro-ops
+//! ([`crate::decode::DecodedProgram`]) in a tight loop that retires
+//! ALU-class components locally and yields to the timing simulator only
+//! at instructions that emit timed [`DynEvent`]s (loads, stores,
+//! boundaries, I/O, synchronisation, halts). The caller hands in a
+//! *budget* of ALU retire slots; the contract is exact per-slot parity
+//! with calling [`Interp::step`] once per instruction:
+//!
+//! * every retired component updates the architectural state exactly as
+//!   the reference tree-walker would, in the same order;
+//! * the returned `(alus, event)` pair says how many `DynEvent::Alu`
+//!   instructions retired (≤ budget) before the event — `(budget,
+//!   None)` means the budget ran out first;
+//! * a fused micro-op interrupted by budget exhaustion records its
+//!   progress in the cursor and resumes at the exact component, so
+//!   nothing ever executes early or twice.
+//!
+//! ## Hot-block tier
+//!
+//! Per-thread execution counts promote blocks whose every component is
+//! ALU-class at [`HOT_THRESHOLD`] executions: the block is "compiled"
+//! into a chain of native Rust closures keyed by flat block id, and
+//! subsequent entries run the whole block (and chains of hot
+//! successors) without per-micro-op dispatch — but only when the block
+//! fits in the remaining budget, so per-cycle accounting is untouched.
+
+use crate::decode::DecodedProgram;
+use crate::inst::{AluOp, Cond};
+use crate::interp::{DynEvent, Interp, StoreKind};
+use crate::layout;
+use crate::memory::Memory;
+use crate::program::ProgramPoint;
+use crate::reg::{Reg, NUM_REGS};
+use crate::uop::{FusedAlu, MicroOp, Operand};
+use std::fmt;
+use std::sync::Arc;
+
+/// Executions after which a pure-ALU block is compiled to closures.
+pub const HOT_THRESHOLD: u32 = 64;
+
+type BlockFn = Box<dyn Fn(&mut [u64; NUM_REGS]) -> u32 + Send + Sync>;
+
+/// A hot pure-ALU block compiled into a closure chain.
+struct CompiledBlock {
+    /// Retire components (all ALU slots) the block consumes.
+    insts: u32,
+    /// Executes the whole block against a register file and returns the
+    /// flat id of the successor block.
+    run: BlockFn,
+}
+
+/// Per-thread hot-tier state of the decoded engine, lazily created on
+/// the first [`Interp::step_batch`] call. Cloned with the interpreter
+/// on machine forks (compiled blocks are shared via [`Arc`]). The
+/// cursor itself lives directly on [`Interp`] so the batch hot path
+/// never chases this box.
+#[derive(Clone, Default)]
+pub(crate) struct DecodedState {
+    /// Per-flat-block execution counts (hot-tier promotion).
+    counts: Vec<u32>,
+    /// Compiled tier, indexed by flat block id.
+    compiled: Vec<Option<Arc<CompiledBlock>>>,
+}
+
+impl DecodedState {
+    fn new(blocks: usize) -> DecodedState {
+        DecodedState {
+            counts: vec![0; blocks],
+            compiled: vec![None; blocks],
+        }
+    }
+}
+
+impl fmt::Debug for DecodedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodedState")
+            .field(
+                "compiled",
+                &self.compiled.iter().filter(|c| c.is_some()).count(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Interp {
+    /// Executes micro-ops until an event-emitting instruction or until
+    /// `budget` ALU-class instructions have retired, whichever comes
+    /// first. Returns the retired-ALU count and the event, if any (see
+    /// the module docs for the exact contract). `budget` must be ≥ 1.
+    ///
+    /// A failed lock acquire returns `LockSpin` without advancing, and
+    /// calling this on a finished thread returns `(0, Some(Halt))`
+    /// forever — both exactly as [`Interp::step`].
+    pub fn step_batch(
+        &mut self,
+        dec: &DecodedProgram,
+        mem: &mut Memory,
+        budget: u32,
+    ) -> (u32, Option<DynEvent>) {
+        debug_assert!(budget >= 1, "a batch needs at least one retire slot");
+        if self.finished {
+            return (0, Some(DynEvent::Halt));
+        }
+        let (mut cur, mut comp) = if self.cursor_valid {
+            (self.cursor, self.comp)
+        } else {
+            self.resync_cursor(dec)
+        };
+        let tid = self.tid;
+        let mut alus = 0u32;
+        let ev = loop {
+            if alus >= budget {
+                break None;
+            }
+            match dec.uops[cur as usize] {
+                MicroOp::Alu { op, dst, lhs, rhs } => {
+                    self.regs[dst.index()] =
+                        op.apply(self.regs[lhs.index()], self.regs[rhs.index()]);
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur += 1;
+                }
+                MicroOp::AluImm { op, dst, src, imm } => {
+                    self.regs[dst.index()] = op.apply(self.regs[src.index()], imm);
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur += 1;
+                }
+                MicroOp::MovImm { dst, imm } => {
+                    self.regs[dst.index()] = imm;
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur += 1;
+                }
+                MicroOp::Nop => {
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur += 1;
+                }
+                MicroOp::Jump { target } => {
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur = self.enter_block(dec, target, &mut alus, budget);
+                    comp = 0;
+                }
+                MicroOp::Branch {
+                    cond,
+                    src,
+                    rhs,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let taken = cond.eval(self.regs[src.index()], self.operand(rhs));
+                    let t = if taken { then_blk } else { else_blk };
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur = self.enter_block(dec, t, &mut alus, budget);
+                    comp = 0;
+                }
+                MicroOp::Load { dst, base, offset } => {
+                    let addr = self.regs[base.index()].wrapping_add(offset);
+                    self.regs[dst.index()] = mem.read_word_cached(addr);
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Load { addr: addr & !7 });
+                }
+                MicroOp::Store { src, base, offset } => {
+                    let addr = self.regs[base.index()].wrapping_add(offset) & !7;
+                    let val = self.regs[src.index()];
+                    mem.write_word(addr, val);
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Store {
+                        addr,
+                        val,
+                        kind: StoreKind::Plain,
+                    });
+                }
+                MicroOp::Fence => {
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Fence);
+                }
+                MicroOp::AtomicRmw { op, dst, addr, src } => {
+                    let a = self.regs[addr.index()] & !7;
+                    let old = mem.read_word_cached(a);
+                    self.regs[dst.index()] = old;
+                    let new = op.apply(old, self.regs[src.index()]);
+                    mem.write_word(a, new);
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Store {
+                        addr: a,
+                        val: new,
+                        kind: StoreKind::Atomic,
+                    });
+                }
+                MicroOp::LockAcquire { lock } => {
+                    let a = self.regs[lock.index()] & !7;
+                    if mem.read_word_cached(a) != 0 {
+                        // No advance, no instruction count — exactly the
+                        // reference spin semantics.
+                        break Some(DynEvent::LockSpin { addr: a });
+                    }
+                    let val = 1 + tid as u64;
+                    mem.write_word(a, val);
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Store {
+                        addr: a,
+                        val,
+                        kind: StoreKind::Atomic,
+                    });
+                }
+                MicroOp::LockRelease { lock } => {
+                    let a = self.regs[lock.index()] & !7;
+                    mem.write_word(a, 0);
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Store {
+                        addr: a,
+                        val: 0,
+                        kind: StoreKind::Atomic,
+                    });
+                }
+                MicroOp::Io { src } => {
+                    let val = self.regs[src.index()];
+                    self.insts_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Io { val });
+                }
+                MicroOp::Boundary { pc_enc } => {
+                    let slot = layout::pc_slot(tid);
+                    mem.write_word(slot, pc_enc);
+                    self.insts_executed += 1;
+                    self.instrumentation_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Boundary {
+                        addr: slot,
+                        pc_val: pc_enc,
+                    });
+                }
+                MicroOp::CheckpointStore { reg } => {
+                    let slot = layout::checkpoint_slot(tid, reg);
+                    let val = self.regs[reg.index()];
+                    mem.write_word(slot, val);
+                    self.insts_executed += 1;
+                    self.instrumentation_executed += 1;
+                    cur += 1;
+                    break Some(DynEvent::Store {
+                        addr: slot,
+                        val,
+                        kind: StoreKind::Checkpoint,
+                    });
+                }
+                MicroOp::Call {
+                    callee_block,
+                    ret_enc,
+                } => {
+                    let sp = self.regs[Reg::SP.index()].wrapping_sub(8);
+                    self.regs[Reg::SP.index()] = sp;
+                    mem.write_word(sp, ret_enc);
+                    self.insts_executed += 1;
+                    cur = dec.blocks[callee_block as usize].start;
+                    comp = 0;
+                    break Some(DynEvent::Store {
+                        addr: sp & !7,
+                        val: ret_enc,
+                        kind: StoreKind::StackPush,
+                    });
+                }
+                MicroOp::Ret => {
+                    self.insts_executed += 1;
+                    let sp = self.regs[Reg::SP.index()];
+                    if sp >= layout::initial_sp(tid) {
+                        // Returning from the entry frame: thread done.
+                        self.finished = true;
+                        break Some(DynEvent::Halt);
+                    }
+                    let ret = mem.read_word_cached(sp);
+                    self.regs[Reg::SP.index()] = sp.wrapping_add(8);
+                    let e = dec.locate(ProgramPoint::decode(ret));
+                    cur = e.uop;
+                    comp = e.comp;
+                    break Some(DynEvent::Load { addr: sp & !7 });
+                }
+                MicroOp::Halt => {
+                    self.insts_executed += 1;
+                    self.finished = true;
+                    break Some(DynEvent::Halt);
+                }
+                MicroOp::LoadAlu {
+                    dst,
+                    base,
+                    offset,
+                    alu,
+                } => {
+                    if comp == 0 {
+                        let addr = self.regs[base.index()].wrapping_add(offset);
+                        self.regs[dst.index()] = mem.read_word_cached(addr);
+                        self.insts_executed += 1;
+                        comp = 1;
+                        break Some(DynEvent::Load { addr: addr & !7 });
+                    }
+                    self.apply_fused(alu);
+                    alus += 1;
+                    self.insts_executed += 1;
+                    comp = 0;
+                    cur += 1;
+                }
+                MicroOp::AluStore {
+                    alu,
+                    src,
+                    base,
+                    offset,
+                } => {
+                    if comp == 0 {
+                        self.apply_fused(alu);
+                        alus += 1;
+                        self.insts_executed += 1;
+                        comp = 1;
+                        // Loop back: the store component must re-check
+                        // the budget before executing.
+                        continue;
+                    }
+                    let addr = self.regs[base.index()].wrapping_add(offset) & !7;
+                    let val = self.regs[src.index()];
+                    mem.write_word(addr, val);
+                    self.insts_executed += 1;
+                    comp = 0;
+                    cur += 1;
+                    break Some(DynEvent::Store {
+                        addr,
+                        val,
+                        kind: StoreKind::Plain,
+                    });
+                }
+                MicroOp::AluLoad {
+                    alu,
+                    dst,
+                    base,
+                    offset,
+                } => {
+                    if comp == 0 {
+                        self.apply_fused(alu);
+                        alus += 1;
+                        self.insts_executed += 1;
+                        comp = 1;
+                        continue;
+                    }
+                    let addr = self.regs[base.index()].wrapping_add(offset);
+                    self.regs[dst.index()] = mem.read_word_cached(addr);
+                    self.insts_executed += 1;
+                    comp = 0;
+                    cur += 1;
+                    break Some(DynEvent::Load { addr: addr & !7 });
+                }
+                MicroOp::CmpBr {
+                    alu,
+                    cond,
+                    src,
+                    rhs,
+                    then_blk,
+                    else_blk,
+                } => {
+                    if comp == 0 {
+                        self.apply_fused(alu);
+                        alus += 1;
+                        self.insts_executed += 1;
+                        comp = 1;
+                        continue;
+                    }
+                    let taken = cond.eval(self.regs[src.index()], self.operand(rhs));
+                    let t = if taken { then_blk } else { else_blk };
+                    alus += 1;
+                    self.insts_executed += 1;
+                    cur = self.enter_block(dec, t, &mut alus, budget);
+                    comp = 0;
+                }
+            }
+        };
+        // `point` is left lazy: cold readers (forks, reports, mode
+        // switches) call `sync_point` first, so the hot path pays
+        // three register-sized stores instead of a re-encode per batch.
+        self.cursor = cur;
+        self.comp = comp;
+        self.cursor_valid = true;
+        self.point_stale = true;
+        (alus, ev)
+    }
+
+    /// Materialises `point` from the decoded cursor after batched
+    /// execution. Must be called with the same decoded program the
+    /// batches ran against; a no-op when `point` is already current.
+    pub fn sync_point(&mut self, dec: &DecodedProgram) {
+        if self.point_stale {
+            self.point = ProgramPoint::decode(dec.point_enc(self.cursor, self.comp));
+            self.point_stale = false;
+        }
+    }
+
+    /// Cursor re-sync from `self.point` (fresh state, or after a
+    /// reference-mode `step` invalidated the cursor).
+    #[cold]
+    fn resync_cursor(&mut self, dec: &DecodedProgram) -> (u32, u8) {
+        debug_assert!(!self.point_stale, "resync from a stale point");
+        let needs_new = self
+            .dec
+            .as_ref()
+            .is_none_or(|st| st.counts.len() != dec.blocks.len());
+        if needs_new {
+            self.dec = Some(Box::new(DecodedState::new(dec.blocks.len())));
+        }
+        let e = dec.locate(self.point);
+        self.cursor = e.uop;
+        self.comp = e.comp;
+        self.cursor_valid = true;
+        (e.uop, e.comp)
+    }
+
+    #[inline]
+    fn operand(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Imm(i) => i,
+            Operand::Reg(r) => self.regs[r.index()],
+        }
+    }
+
+    #[inline]
+    fn apply_fused(&mut self, a: FusedAlu) {
+        let rhs = self.operand(a.rhs);
+        self.regs[a.dst.index()] = a.op.apply(self.regs[a.lhs.index()], rhs);
+    }
+
+    /// Block-entry bookkeeping for jump/branch transitions: bumps the
+    /// hot counter, promotes the block at [`HOT_THRESHOLD`], and runs
+    /// chains of compiled blocks that fit in the remaining budget.
+    /// Returns the micro-op index execution continues at.
+    fn enter_block(
+        &mut self,
+        dec: &DecodedProgram,
+        mut blk: u32,
+        alus: &mut u32,
+        budget: u32,
+    ) -> u32 {
+        loop {
+            let st = self.dec.as_mut().expect("decoded state initialised");
+            if let Some(cb) = st.compiled[blk as usize].as_ref() {
+                if *alus + cb.insts <= budget {
+                    *alus += cb.insts;
+                    self.insts_executed += cb.insts as u64;
+                    blk = (cb.run)(&mut self.regs);
+                    continue;
+                }
+                return dec.blocks[blk as usize].start;
+            }
+            let c = st.counts[blk as usize].saturating_add(1);
+            st.counts[blk as usize] = c;
+            if c == HOT_THRESHOLD && dec.blocks[blk as usize].pure_alu {
+                let cb = Arc::new(compile_block(dec, blk));
+                if *alus + cb.insts <= budget {
+                    *alus += cb.insts;
+                    self.insts_executed += cb.insts as u64;
+                    let next = (cb.run)(&mut self.regs);
+                    st.compiled[blk as usize] = Some(cb);
+                    blk = next;
+                    continue;
+                }
+                st.compiled[blk as usize] = Some(cb);
+            }
+            return dec.blocks[blk as usize].start;
+        }
+    }
+
+    /// Runs the thread to completion via the decoded engine (or for at
+    /// most `max_steps` retired instructions), returning the flattened
+    /// per-instruction event stream — ALU batches are expanded to one
+    /// [`DynEvent::Alu`] each, so the result is directly comparable to
+    /// [`Interp::run`]. Intended for tests and diagnostics.
+    pub fn run_decoded(
+        &mut self,
+        dec: &DecodedProgram,
+        mem: &mut Memory,
+        max_steps: u64,
+    ) -> Vec<DynEvent> {
+        let mut events = Vec::new();
+        let mut steps = 0u64;
+        while steps < max_steps {
+            let budget = (max_steps - steps).min(1 << 20) as u32;
+            let (alus, ev) = self.step_batch(dec, mem, budget);
+            steps += alus as u64;
+            events.extend(std::iter::repeat_n(DynEvent::Alu, alus as usize));
+            let Some(ev) = ev else { continue };
+            steps += 1;
+            events.push(ev);
+            if matches!(ev, DynEvent::Halt | DynEvent::LockSpin { .. }) {
+                // Same wedge/termination handling as `Interp::run`.
+                break;
+            }
+        }
+        // Diagnostics entry point: leave `point` observable.
+        self.sync_point(dec);
+        events
+    }
+}
+
+/// Number of compiled-tier blocks on this thread (diagnostics/tests).
+pub fn compiled_block_count(interp: &Interp) -> usize {
+    interp
+        .dec
+        .as_ref()
+        .map_or(0, |st| st.compiled.iter().filter(|c| c.is_some()).count())
+}
+
+/// Chains a specialized ALU component in front of `g`. The `AluOp`
+/// match happens here, **once, at block-compile time**: every arm hands
+/// a zero-sized op closure to a monomorphized constructor, so the
+/// compiled-tier closure executes the operation inline instead of
+/// re-matching `AluOp::apply` per run.
+fn chain_alu(a: FusedAlu, g: BlockFn) -> BlockFn {
+    fn bin<F: Fn(u64, u64) -> u64 + Send + Sync + 'static>(
+        d: usize,
+        l: usize,
+        rhs: Operand,
+        g: BlockFn,
+        f: F,
+    ) -> BlockFn {
+        match rhs {
+            Operand::Reg(r) => {
+                let r = r.index();
+                Box::new(move |regs| {
+                    regs[d] = f(regs[l], regs[r]);
+                    g(regs)
+                })
+            }
+            Operand::Imm(i) => Box::new(move |regs| {
+                regs[d] = f(regs[l], i);
+                g(regs)
+            }),
+        }
+    }
+    let (d, l) = (a.dst.index(), a.lhs.index());
+    match a.op {
+        AluOp::Add => bin(d, l, a.rhs, g, |x, y| x.wrapping_add(y)),
+        AluOp::Sub => bin(d, l, a.rhs, g, |x, y| x.wrapping_sub(y)),
+        AluOp::Mul => bin(d, l, a.rhs, g, |x, y| x.wrapping_mul(y)),
+        AluOp::Xor => bin(d, l, a.rhs, g, |x, y| x ^ y),
+        AluOp::And => bin(d, l, a.rhs, g, |x, y| x & y),
+        AluOp::Or => bin(d, l, a.rhs, g, |x, y| x | y),
+        AluOp::Shl => bin(d, l, a.rhs, g, |x, y| x.wrapping_shl((y & 63) as u32)),
+        AluOp::Shr => bin(d, l, a.rhs, g, |x, y| x.wrapping_shr((y & 63) as u32)),
+    }
+}
+
+/// Specialized two-way branch terminator: like [`chain_alu`], the
+/// `Cond` match runs once at compile time.
+fn spec_branch(cond: Cond, src: Reg, rhs: Operand, then_blk: u32, else_blk: u32) -> BlockFn {
+    fn cmp<F: Fn(u64, u64) -> bool + Send + Sync + 'static>(
+        s: usize,
+        rhs: Operand,
+        tb: u32,
+        eb: u32,
+        f: F,
+    ) -> BlockFn {
+        match rhs {
+            Operand::Reg(r) => {
+                let r = r.index();
+                Box::new(move |regs| if f(regs[s], regs[r]) { tb } else { eb })
+            }
+            Operand::Imm(i) => Box::new(move |regs| if f(regs[s], i) { tb } else { eb }),
+        }
+    }
+    let s = src.index();
+    match cond {
+        Cond::Eq => cmp(s, rhs, then_blk, else_blk, |a, b| a == b),
+        Cond::Ne => cmp(s, rhs, then_blk, else_blk, |a, b| a != b),
+        Cond::Lt => cmp(s, rhs, then_blk, else_blk, |a, b| a < b),
+        Cond::Ge => cmp(s, rhs, then_blk, else_blk, |a, b| a >= b),
+    }
+}
+
+/// Compiles a pure-ALU block into a chain of native closures, built
+/// back to front so each closure tail-calls the next component. Each
+/// closure is specialized on its concrete `AluOp`/`Cond`/operand form
+/// (see [`chain_alu`]); no enum is re-examined at run time.
+fn compile_block(dec: &DecodedProgram, blk: u32) -> CompiledBlock {
+    let b = &dec.blocks[blk as usize];
+    let uops = &dec.uops[b.start as usize..b.end as usize];
+    let (term, body) = uops.split_last().expect("block has a terminator");
+    let mut f: BlockFn = match *term {
+        MicroOp::Jump { target } => Box::new(move |_| target),
+        MicroOp::Branch {
+            cond,
+            src,
+            rhs,
+            then_blk,
+            else_blk,
+        } => spec_branch(cond, src, rhs, then_blk, else_blk),
+        MicroOp::CmpBr {
+            alu,
+            cond,
+            src,
+            rhs,
+            then_blk,
+            else_blk,
+        } => chain_alu(alu, spec_branch(cond, src, rhs, then_blk, else_blk)),
+        _ => unreachable!("pure-ALU block must end in a jump or branch"),
+    };
+    for op in body.iter().rev() {
+        let g = f;
+        f = match *op {
+            MicroOp::Alu { op, dst, lhs, rhs } => chain_alu(
+                FusedAlu {
+                    op,
+                    dst,
+                    lhs,
+                    rhs: Operand::Reg(rhs),
+                },
+                g,
+            ),
+            MicroOp::AluImm { op, dst, src, imm } => chain_alu(
+                FusedAlu {
+                    op,
+                    dst,
+                    lhs: src,
+                    rhs: Operand::Imm(imm),
+                },
+                g,
+            ),
+            MicroOp::MovImm { dst, imm } => {
+                let d = dst.index();
+                Box::new(move |regs| {
+                    regs[d] = imm;
+                    g(regs)
+                })
+            }
+            MicroOp::Nop => g,
+            _ => unreachable!("non-ALU micro-op in a pure block"),
+        };
+    }
+    CompiledBlock {
+        insts: b.insts,
+        run: f,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::{AluOp, Cond};
+    use crate::program::{FuncId, Program};
+
+    /// Asserts the decoded engine matches the reference tree-walker on
+    /// `p` in every observable: event stream, memory image, counters,
+    /// final point and registers — at full budget and at budget 1 (the
+    /// harshest mid-micro-op re-entry schedule).
+    fn assert_parity(p: &Program, max: u64) {
+        let mut rmem = Memory::new();
+        let mut r = Interp::new(p, 0);
+        let revs = r.run(p, &mut rmem, max);
+
+        let dec = DecodedProgram::decode(p);
+        for budget in [u32::MAX >> 8, 1, 3] {
+            let mut dmem = Memory::new();
+            let mut d = Interp::new(p, 0);
+            let devs = run_budgeted(&mut d, &dec, &mut dmem, max, budget);
+            d.sync_point(&dec);
+            assert_eq!(revs, devs, "event stream differs (budget {budget})");
+            assert!(
+                rmem.same_contents(&dmem),
+                "memory differs (budget {budget}): {:?}",
+                rmem.first_difference(&dmem)
+            );
+            assert_eq!(r.insts_executed(), d.insts_executed(), "budget {budget}");
+            assert_eq!(
+                r.instrumentation_executed(),
+                d.instrumentation_executed(),
+                "budget {budget}"
+            );
+            assert_eq!(r.point(), d.point(), "budget {budget}");
+            assert_eq!(r.finished(), d.finished(), "budget {budget}");
+            for reg in Reg::all() {
+                assert_eq!(r.reg(reg), d.reg(reg), "{reg} differs (budget {budget})");
+            }
+        }
+    }
+
+    /// `run_decoded` with a forced per-batch budget.
+    fn run_budgeted(
+        d: &mut Interp,
+        dec: &DecodedProgram,
+        mem: &mut Memory,
+        max: u64,
+        budget: u32,
+    ) -> Vec<DynEvent> {
+        let mut events = Vec::new();
+        let mut steps = 0u64;
+        while steps < max {
+            let b = budget.min((max - steps).max(1).min(u32::MAX as u64) as u32);
+            let (alus, ev) = d.step_batch(dec, mem, b);
+            steps += alus as u64;
+            events.extend(std::iter::repeat_n(DynEvent::Alu, alus as usize));
+            let Some(ev) = ev else { continue };
+            steps += 1;
+            events.push(ev);
+            if matches!(ev, DynEvent::Halt | DynEvent::LockSpin { .. }) {
+                break;
+            }
+        }
+        events
+    }
+
+    fn heap() -> i64 {
+        layout::HEAP_BASE as i64
+    }
+
+    #[test]
+    fn straight_line_parity() {
+        let mut b = FuncBuilder::new("straight");
+        b.mov_imm(Reg::R1, 3);
+        b.mov_imm(Reg::R2, heap());
+        b.alu_imm(AluOp::Mul, Reg::R3, Reg::R1, 7);
+        b.store(Reg::R3, Reg::R2, 0);
+        b.load(Reg::R4, Reg::R2, 0);
+        b.alu(AluOp::Add, Reg::R5, Reg::R4, Reg::R3);
+        b.halt();
+        assert_parity(&Program::from_single(b.finish()), 1000);
+    }
+
+    #[test]
+    fn fused_loop_parity_and_hot_tier() {
+        // A hot pure-ALU loop (cmp-branch fused) plus a store-bearing
+        // epilogue; > 2*HOT_THRESHOLD iterations to exercise the
+        // compiled tier.
+        let mut b = FuncBuilder::new("hotloop");
+        b.mov_imm(Reg::R1, 0);
+        b.mov_imm(Reg::R2, heap());
+        let header = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R1, 100);
+        b.alu(AluOp::Xor, Reg::R4, Reg::R3, Reg::R1);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, 1);
+        b.branch_imm(Cond::Ne, Reg::R1, 200, header, exit);
+        b.switch_to(exit);
+        b.store(Reg::R4, Reg::R2, 0);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        assert_parity(&p, 10_000);
+
+        // The header must have been promoted at full budget.
+        let dec = DecodedProgram::decode(&p);
+        let mut mem = Memory::new();
+        let mut d = Interp::new(&p, 0);
+        d.run_decoded(&dec, &mut mem, 10_000);
+        assert_eq!(compiled_block_count(&d), 1, "hot header compiled");
+    }
+
+    #[test]
+    fn memory_fusion_patterns_parity() {
+        // load-op, op-store, addr-gen+load, addr-gen+store back to back.
+        let mut b = FuncBuilder::new("fusions");
+        b.mov_imm(Reg::R2, heap());
+        b.store(Reg::R2, Reg::R2, 0);
+        b.load(Reg::R1, Reg::R2, 0); // load-op head
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R1, 1);
+        b.alu_imm(AluOp::Xor, Reg::R4, Reg::R3, 0x55); // op-store head
+        b.store(Reg::R4, Reg::R2, 8);
+        b.alu_imm(AluOp::Add, Reg::R5, Reg::R2, 8); // addr-gen + load
+        b.load(Reg::R6, Reg::R5, 0);
+        b.alu_imm(AluOp::Add, Reg::R7, Reg::R2, 16); // addr-gen + store
+        b.store(Reg::R6, Reg::R7, 0);
+        b.halt();
+        assert_parity(&Program::from_single(b.finish()), 1000);
+    }
+
+    #[test]
+    fn call_ret_boundary_checkpoint_parity() {
+        let mut cb = FuncBuilder::new("callee");
+        cb.region_boundary();
+        cb.mov_imm(Reg::R5, 77);
+        cb.checkpoint(Reg::R5);
+        cb.mov_imm(Reg::R6, heap());
+        cb.store(Reg::R5, Reg::R6, 0);
+        cb.ret();
+        let callee = cb.finish();
+        let mut mb = FuncBuilder::new("main");
+        mb.region_boundary();
+        mb.call(FuncId::from_index(1));
+        mb.io_out(Reg::R5);
+        mb.fence();
+        mb.ret();
+        let p = Program::new(vec![mb.finish(), callee], FuncId::from_index(0));
+        assert_parity(&p, 1000);
+    }
+
+    #[test]
+    fn atomics_and_locks_parity() {
+        let mut b = FuncBuilder::new("sync");
+        b.mov_imm(Reg::R1, layout::lock_addr(0) as i64);
+        b.lock_acquire(Reg::R1);
+        b.mov_imm(Reg::R2, heap());
+        b.mov_imm(Reg::R3, 5);
+        b.atomic_rmw(AluOp::Add, Reg::R4, Reg::R2, Reg::R3);
+        b.lock_release(Reg::R1);
+        b.halt();
+        assert_parity(&Program::from_single(b.finish()), 1000);
+    }
+
+    #[test]
+    fn lock_spin_parity_and_no_advance() {
+        let mut b = FuncBuilder::new("spin");
+        b.mov_imm(Reg::R1, layout::lock_addr(0) as i64);
+        b.lock_acquire(Reg::R1);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let dec = DecodedProgram::decode(&p);
+        let mut mem = Memory::new();
+        mem.write_word(layout::lock_addr(0), 9); // held
+        let mut d = Interp::new(&p, 0);
+        let (alus, ev) = d.step_batch(&dec, &mut mem, 16);
+        assert_eq!(alus, 1, "the mov retires before the acquire");
+        assert!(matches!(ev, Some(DynEvent::LockSpin { .. })));
+        d.sync_point(&dec);
+        let before = d.point();
+        let (alus2, ev2) = d.step_batch(&dec, &mut mem, 16);
+        assert_eq!(alus2, 0);
+        assert!(matches!(ev2, Some(DynEvent::LockSpin { .. })));
+        d.sync_point(&dec);
+        assert_eq!(d.point(), before, "spin must not advance");
+        // Release the lock: the retry succeeds.
+        mem.write_word(layout::lock_addr(0), 0);
+        let (_, ev3) = d.step_batch(&dec, &mut mem, 16);
+        assert!(matches!(
+            ev3,
+            Some(DynEvent::Store {
+                kind: StoreKind::Atomic,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn resume_from_checkpoint_reenters_decoded_blocks() {
+        // Run the reference to completion, then resume from the durable
+        // checkpoint image under BOTH engines and compare the replays.
+        let mut b = FuncBuilder::new("resume");
+        b.mov_imm(Reg::R1, 11);
+        b.checkpoint(Reg::R1);
+        b.region_boundary();
+        // Post-boundary work, including a fused pair the resume point
+        // must re-enter exactly.
+        b.mov_imm(Reg::R2, heap());
+        b.load(Reg::R3, Reg::R2, 0);
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.store(Reg::R3, Reg::R2, 0);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let mut pm = Memory::new();
+        let mut t = Interp::new(&p, 0);
+        t.run(&p, &mut pm, 1000);
+        assert!(t.finished());
+
+        let dec = DecodedProgram::decode(&p);
+        let mut rmem = pm.clone();
+        let mut rt = Interp::resume_from_checkpoint(&pm, 0);
+        let revs = rt.run(&p, &mut rmem, 1000);
+        let mut dmem = pm.clone();
+        let mut dt = Interp::resume_from_checkpoint(&pm, 0);
+        let devs = run_budgeted(&mut dt, &dec, &mut dmem, 1000, 2);
+        assert_eq!(revs, devs, "resumed event streams differ");
+        assert!(rmem.same_contents(&dmem));
+        assert_eq!(rt.reg(Reg::R1), 11);
+        assert_eq!(dt.reg(Reg::R1), 11);
+    }
+
+    #[test]
+    fn mixing_step_and_step_batch_stays_coherent() {
+        // Interleaving the reference step with batches must not let a
+        // stale cursor survive: step() invalidates the decoded cursor.
+        let mut b = FuncBuilder::new("mix");
+        b.mov_imm(Reg::R1, 1);
+        b.mov_imm(Reg::R2, 2);
+        b.mov_imm(Reg::R3, 3);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let dec = DecodedProgram::decode(&p);
+        let mut mem = Memory::new();
+        let mut t = Interp::new(&p, 0);
+        let (alus, _) = t.step_batch(&dec, &mut mem, 1);
+        assert_eq!(alus, 1);
+        t.sync_point(&dec); // materialise `point` before a reference step
+        assert_eq!(t.step(&p, &mut mem), DynEvent::Alu);
+        let (alus2, ev) = t.step_batch(&dec, &mut mem, 8);
+        assert_eq!(alus2, 1, "one mov left before the halt");
+        assert_eq!(ev, Some(DynEvent::Halt));
+        assert_eq!(t.reg(Reg::R3), 3);
+    }
+
+    #[test]
+    fn finished_thread_keeps_halting() {
+        let mut b = FuncBuilder::new("halted");
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let dec = DecodedProgram::decode(&p);
+        let mut mem = Memory::new();
+        let mut t = Interp::new(&p, 0);
+        assert_eq!(t.step_batch(&dec, &mut mem, 4), (0, Some(DynEvent::Halt)));
+        assert_eq!(t.step_batch(&dec, &mut mem, 4), (0, Some(DynEvent::Halt)));
+        assert_eq!(t.insts_executed(), 1, "halt retires once");
+    }
+}

@@ -108,51 +108,94 @@ impl Cond {
 pub enum Inst {
     /// `dst = op(lhs, rhs)`.
     Alu {
+        /// The operation.
         op: AluOp,
+        /// Destination register.
         dst: Reg,
+        /// Left operand register.
         lhs: Reg,
+        /// Right operand register.
         rhs: Reg,
     },
     /// `dst = op(src, imm)`.
     AluImm {
+        /// The operation.
         op: AluOp,
+        /// Destination register.
         dst: Reg,
+        /// Source register.
         src: Reg,
+        /// Immediate right operand.
         imm: i64,
     },
     /// `dst = imm`.
-    MovImm { dst: Reg, imm: i64 },
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate.
+        imm: i64,
+    },
     /// `dst = mem[base + offset]` (8-byte load).
-    Load { dst: Reg, base: Reg, offset: i64 },
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
     /// `mem[base + offset] = src` (8-byte store).
-    Store { src: Reg, base: Reg, offset: i64 },
+    Store {
+        /// Source register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+    },
     /// Calls `callee`; pushes the return point on the in-memory stack via
     /// the architectural stack pointer, so return addresses persist like
     /// any other data (whole-system persistence).
-    Call { callee: FuncId },
+    Call {
+        /// The called function.
+        callee: FuncId,
+    },
     /// Memory fence; the LightWSP compiler places a region boundary
     /// immediately before it (§III-D).
     Fence,
     /// Atomic read-modify-write: `dst = mem[addr]; mem[addr] = op(dst, src)`.
     /// Treated as a synchronisation point (region boundary before it).
     AtomicRmw {
+        /// The read-modify-write operation.
         op: AluOp,
+        /// Receives the old memory value.
         dst: Reg,
+        /// Address register.
         addr: Reg,
+        /// Operand register.
         src: Reg,
     },
     /// Spin-acquires the lock word addressed by `lock`. A synchronisation
     /// point: establishes happens-before with the previous release.
-    LockAcquire { lock: Reg },
+    LockAcquire {
+        /// Lock-address register.
+        lock: Reg,
+    },
     /// Releases the lock word addressed by `lock`. A synchronisation point.
-    LockRelease { lock: Reg },
+    LockRelease {
+        /// Lock-address register.
+        lock: Reg,
+    },
     /// No operation (occupies a pipeline slot).
     Nop,
     /// An irrevocable I/O operation emitting the value of `src` to an
     /// output port (§IV-A "I/O Functions"). The compiler places a region
     /// boundary immediately before it so necessary state is checkpointed
     /// and an interrupted operation restarts from the I/O itself.
-    Io { src: Reg },
+    Io {
+        /// Source register.
+        src: Reg,
+    },
     /// LightWSP-inserted region boundary: the PC-checkpointing store
     /// (§IV-A). Broadcasts the current region ID to all memory controllers
     /// and samples a fresh one. The operand-free form stores the encoded
@@ -165,7 +208,10 @@ pub enum Inst {
     /// LightWSP-inserted checkpoint of a live-out register: a plain store
     /// of `reg` into its dedicated slot of the PM-resident checkpoint
     /// array (§IV-A "Checkpoint Storage Management").
-    CheckpointStore { reg: Reg },
+    CheckpointStore {
+        /// The checkpointed register.
+        reg: Reg,
+    },
 }
 
 /// The modelled calling convention.
@@ -346,13 +392,21 @@ impl fmt::Display for Inst {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Terminator {
     /// Unconditional jump.
-    Jump { target: BlockId },
+    Jump {
+        /// The target block.
+        target: BlockId,
+    },
     /// Two-way conditional branch comparing `src` against `rhs`.
     Branch {
+        /// The comparison.
         cond: Cond,
+        /// Left comparison register.
         src: Reg,
+        /// Right comparison operand.
         rhs: BranchRhs,
+        /// Taken-path block.
         then_bb: BlockId,
+        /// Fall-through block.
         else_bb: BlockId,
     },
     /// Function return: pops the return point from the in-memory stack.

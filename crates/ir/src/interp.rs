@@ -14,12 +14,13 @@
 //! deterministically because every input (PM contents + checkpointed
 //! registers) is identical to the original run.
 
-use crate::fxhash::FxHashMap;
+use crate::exec::DecodedState;
 use crate::inst::{BranchRhs, Inst, Terminator};
 use crate::layout;
 use crate::program::{Program, ProgramPoint};
 use crate::reg::{Reg, NUM_REGS};
-use std::sync::Arc;
+
+pub use crate::memory::Memory;
 
 /// Identifies a software thread.
 pub type ThreadId = usize;
@@ -95,184 +96,36 @@ impl DynEvent {
     }
 }
 
-/// Words per memory page (64 words = one 512-byte page, so a page's
-/// touched-word set fits a single `u64` bitmask).
-const PAGE_WORDS: usize = 64;
-const PAGE_SHIFT: u32 = 9; // log2(PAGE_WORDS * 8)
-
-/// One 512-byte page: backing words plus a bitmask of which words have
-/// been written (so untouched-vs-written-zero stays distinguishable, as
-/// with the original per-word hash map).
-#[derive(Clone, Debug)]
-struct Page {
-    words: [u64; PAGE_WORDS],
-    written: u64,
-}
-
-impl Page {
-    fn new() -> Page {
-        Page {
-            words: [0u64; PAGE_WORDS],
-            written: 0,
-        }
-    }
-}
-
-/// Sparse 8-byte-word memory. Reads of untouched words return zero.
-///
-/// Hot-path layout: words live in 512-byte pages indexed by an
-/// [`FxHashMap`] on the page number, so the simulator's dominant
-/// `read_word`/`write_word` operations cost one cheap multiplicative
-/// hash plus an array index instead of a SipHash per word. A per-page
-/// bitmask preserves the original per-word semantics exactly: `len()`
-/// counts *touched* words and `iter()` yields only touched words, even
-/// when the written value is zero.
-///
-/// Pages are copy-on-write: they sit behind [`Arc`], so `clone()` is a
-/// shallow O(pages-table) snapshot that bumps refcounts, and a write to
-/// a shared page materialises a private copy via [`Arc::make_mut`].
-/// This is what makes machine forking (the crash-sweep engine) cheap:
-/// a snapshot costs O(dirty pages since the snapshot), not O(memory
-/// footprint). Comparisons ([`Memory::first_difference`],
-/// [`Memory::same_contents`]) exploit sharing too — a page physically
-/// shared between the two sides cannot differ and is skipped without
-/// reading a word.
-#[derive(Clone, Debug, Default)]
-pub struct Memory {
-    pages: FxHashMap<u64, Arc<Page>>,
-    touched: usize,
-}
-
-impl Memory {
-    /// An empty (all-zero) memory.
-    pub fn new() -> Memory {
-        Memory::default()
-    }
-
-    fn align(addr: u64) -> u64 {
-        addr & !7
-    }
-
-    #[inline]
-    fn split(addr: u64) -> (u64, usize) {
-        let aligned = Self::align(addr);
-        (
-            aligned >> PAGE_SHIFT,
-            ((aligned >> 3) as usize) & (PAGE_WORDS - 1),
-        )
-    }
-
-    /// Reads the 8-byte word containing `addr`.
-    #[inline]
-    pub fn read_word(&self, addr: u64) -> u64 {
-        let (page, idx) = Self::split(addr);
-        match self.pages.get(&page) {
-            Some(p) => p.words[idx],
-            None => 0,
-        }
-    }
-
-    /// Writes the 8-byte word containing `addr`.
-    ///
-    /// If the target page is shared with a snapshot, this is the
-    /// copy-on-write point: the page is duplicated before mutation.
-    #[inline]
-    pub fn write_word(&mut self, addr: u64, val: u64) {
-        let (page, idx) = Self::split(addr);
-        let p = Arc::make_mut(
-            self.pages
-                .entry(page)
-                .or_insert_with(|| Arc::new(Page::new())),
-        );
-        let bit = 1u64 << idx;
-        if p.written & bit == 0 {
-            p.written |= bit;
-            self.touched += 1;
-        }
-        p.words[idx] = val;
-    }
-
-    /// Iterates over `(address, value)` pairs of touched words.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.pages.iter().flat_map(|(&page, p)| {
-            let base = page << PAGE_SHIFT;
-            (0..PAGE_WORDS)
-                .filter(move |&i| p.written & (1u64 << i) != 0)
-                .map(move |i| (base + (i as u64) * 8, p.words[i]))
-        })
-    }
-
-    /// Number of touched words.
-    pub fn len(&self) -> usize {
-        self.touched
-    }
-
-    /// True if no word has been written.
-    pub fn is_empty(&self) -> bool {
-        self.touched == 0
-    }
-
-    /// Page numbers where the two memories might disagree: pages present
-    /// on either side that are not physically shared. A page shared via
-    /// [`Arc`] is bit-identical by construction and needs no inspection
-    /// — on COW snapshots this prunes the comparison to the pages dirtied
-    /// since the fork.
-    fn candidate_pages(&self, other: &Memory) -> Vec<u64> {
-        let mut pages: Vec<u64> = self
-            .pages
-            .iter()
-            .filter(|(pg, p)| !other.pages.get(pg).is_some_and(|q| Arc::ptr_eq(p, q)))
-            .map(|(&pg, _)| pg)
-            .collect();
-        pages.extend(
-            other
-                .pages
-                .keys()
-                .filter(|pg| !self.pages.contains_key(pg))
-                .copied(),
-        );
-        pages.sort_unstable();
-        pages
-    }
-
-    /// True if the two memories agree on every touched word (untouched
-    /// words read as zero on both sides).
-    pub fn same_contents(&self, other: &Memory) -> bool {
-        self.first_difference(other).is_none()
-    }
-
-    /// The first (lowest-address) word where the two memories disagree,
-    /// for diagnostics. Untouched words read as zero on both sides, so
-    /// only pages that are present somewhere and not physically shared
-    /// need scanning.
-    pub fn first_difference(&self, other: &Memory) -> Option<(u64, u64, u64)> {
-        for pg in self.candidate_pages(other) {
-            let base = pg << PAGE_SHIFT;
-            for i in 0..PAGE_WORDS {
-                let a = base + (i as u64) * 8;
-                let (x, y) = (self.read_word(a), other.read_word(a));
-                if x != y {
-                    return Some((a, x, y));
-                }
-            }
-        }
-        None
-    }
-}
-
 /// Per-thread functional interpreter state.
 #[derive(Clone, Debug)]
 pub struct Interp {
     /// The architectural register file.
-    regs: [u64; NUM_REGS],
+    pub(crate) regs: [u64; NUM_REGS],
     /// Next instruction to execute.
-    point: ProgramPoint,
-    tid: ThreadId,
-    finished: bool,
+    pub(crate) point: ProgramPoint,
+    pub(crate) tid: ThreadId,
+    pub(crate) finished: bool,
     /// Executed instruction count (including instrumentation).
-    insts_executed: u64,
+    pub(crate) insts_executed: u64,
     /// Executed instrumentation count (boundaries + checkpoint stores).
-    instrumentation_executed: u64,
+    pub(crate) instrumentation_executed: u64,
+    /// Decoded-engine hot-tier state ([`crate::exec`]); `None` until
+    /// the first `step_batch` call, so reference-mode threads pay
+    /// nothing for it.
+    pub(crate) dec: Option<Box<DecodedState>>,
+    /// Decoded-engine cursor: flat micro-op index (valid only when
+    /// `cursor_valid`).
+    pub(crate) cursor: u32,
+    /// Component progress inside a fused micro-op at `cursor`.
+    pub(crate) comp: u8,
+    /// True while `cursor`/`comp` track the thread (false after a
+    /// reference-mode `step` moved `point` behind the engine's back).
+    pub(crate) cursor_valid: bool,
+    /// True while `point` lags the decoded cursor. `step_batch` leaves
+    /// `point` stale instead of re-encoding it on every batch; the cold
+    /// readers (forks, reports, mode switches) call
+    /// `Interp::sync_point` first.
+    pub(crate) point_stale: bool,
 }
 
 impl Interp {
@@ -290,6 +143,11 @@ impl Interp {
             finished: false,
             insts_executed: 0,
             instrumentation_executed: 0,
+            dec: None,
+            cursor: 0,
+            comp: 0,
+            cursor_valid: false,
+            point_stale: false,
         }
     }
 
@@ -309,6 +167,11 @@ impl Interp {
             finished: false,
             insts_executed: 0,
             instrumentation_executed: 0,
+            dec: None,
+            cursor: 0,
+            comp: 0,
+            cursor_valid: false,
+            point_stale: false,
         }
     }
 
@@ -323,7 +186,15 @@ impl Interp {
     }
 
     /// The next instruction's program point.
+    ///
+    /// After decoded-engine batches (`step_batch`), `point` is kept
+    /// lazily — call [`Interp::sync_point`] first at those call sites;
+    /// a stale read trips the debug assertion.
     pub fn point(&self) -> ProgramPoint {
+        debug_assert!(
+            !self.point_stale,
+            "reading a stale program point: call sync_point after step_batch"
+        );
         self.point
     }
 
@@ -366,6 +237,13 @@ impl Interp {
         if self.finished {
             return DynEvent::Halt;
         }
+        debug_assert!(
+            !self.point_stale,
+            "reference step on a stale point: call sync_point after step_batch"
+        );
+        // A reference-mode step moves `point` behind the decoded
+        // engine's back; force a cursor re-sync on the next batch.
+        self.cursor_valid = false;
         let func = program.func(self.point.func);
         let block = func.block(self.point.block);
         let idx = self.point.inst as usize;
@@ -604,58 +482,6 @@ mod tests {
         let mut t = Interp::new(p, 0);
         let evs = t.run(p, &mut mem, max);
         (mem, evs, t)
-    }
-
-    #[test]
-    fn memory_zero_default_and_alignment() {
-        let mut m = Memory::new();
-        assert_eq!(m.read_word(0x1234), 0);
-        m.write_word(0x1001, 7); // unaligned address hits word 0x1000
-        assert_eq!(m.read_word(0x1000), 7);
-        assert_eq!(m.read_word(0x1007), 7);
-        assert_eq!(m.len(), 1);
-    }
-
-    #[test]
-    fn memory_comparison() {
-        let mut a = Memory::new();
-        let mut b = Memory::new();
-        a.write_word(8, 1);
-        assert!(!a.same_contents(&b));
-        assert_eq!(a.first_difference(&b), Some((8, 1, 0)));
-        b.write_word(8, 1);
-        // Explicit zero vs untouched are equal.
-        a.write_word(16, 0);
-        assert!(a.same_contents(&b));
-        assert_eq!(a.first_difference(&b), None);
-    }
-
-    #[test]
-    fn memory_clone_is_copy_on_write() {
-        let mut a = Memory::new();
-        a.write_word(8, 1);
-        a.write_word(0x1000, 2);
-        let snap = a.clone();
-        // The snapshot physically shares both pages with the original.
-        assert!(a.pages.values().zip(snap.pages.values()).count() == 2);
-        assert!(a.same_contents(&snap));
-        // Writing through the original diverges only the touched page;
-        // the snapshot is unaffected.
-        a.write_word(8, 99);
-        a.write_word(0x2000, 3);
-        assert_eq!(snap.read_word(8), 1);
-        assert_eq!(snap.read_word(0x2000), 0);
-        assert_eq!(snap.len(), 2);
-        assert_eq!(a.len(), 3);
-        assert_eq!(a.first_difference(&snap), Some((8, 99, 1)));
-        assert_eq!(snap.first_difference(&a), Some((8, 1, 99)));
-        // The untouched page stays shared after the divergence.
-        let pg_shared = a
-            .pages
-            .iter()
-            .filter(|(k, p)| snap.pages.get(k).is_some_and(|q| Arc::ptr_eq(p, q)))
-            .count();
-        assert_eq!(pg_shared, 1);
     }
 
     #[test]

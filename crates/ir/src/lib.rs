@@ -49,22 +49,37 @@
 //! let func = b.finish();
 //! assert_eq!(func.blocks.len(), 3);
 //! ```
+//!
+//! The interpreter has two execution engines with bit-identical
+//! observable behaviour: the tree-walking reference (`Interp::step`)
+//! and the pre-decoded micro-op engine ([`decode`], [`uop`], [`exec`])
+//! that fuses adjacent instructions and batches ALU work between timed
+//! events.
+
+#![warn(missing_docs)]
 
 pub mod builder;
 pub mod cfg;
+pub mod decode;
 pub mod display;
 pub mod dom;
+pub mod exec;
 pub mod fxhash;
 pub mod inst;
 pub mod interp;
 pub mod layout;
 pub mod liveness;
 pub mod loops;
+pub mod memory;
 pub mod program;
 pub mod reg;
+pub mod uop;
 
+pub use decode::{DecodedBlock, DecodedProgram, EntryRef};
+pub use exec::HOT_THRESHOLD;
 pub use fxhash::{fx_hash, FxHashMap, FxHashSet};
 pub use inst::{AluOp, Cond, Inst, Terminator};
 pub use interp::{DynEvent, Interp, Memory, StoreKind, ThreadId};
 pub use program::{BlockId, FuncId, Function, Program, ProgramPoint};
 pub use reg::Reg;
+pub use uop::MicroOp;

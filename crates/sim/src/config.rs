@@ -183,6 +183,59 @@ impl SweepMode {
     }
 }
 
+/// Which functional execution engine drives [`crate::Machine`]'s cores.
+///
+/// Both engines execute the *same* per-instruction semantics and
+/// produce bit-identical `DynEvent` streams, [`crate::SimStats`], PM
+/// contents, and crash-audit resolutions (see
+/// `tests/exec_mode_parity.rs`); they differ only in dispatch cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ExecMode {
+    /// The pre-decoded micro-op engine (the default): each basic block
+    /// is flattened at machine construction into a `Vec<MicroOp>` with
+    /// operands resolved, branch targets pre-linked as flat block
+    /// indices, and adjacent instructions fused; a tight inner loop
+    /// batches ALU-class work between timed events, and the hottest
+    /// pure-ALU blocks are compiled into native closure chains.
+    #[default]
+    Decoded,
+    /// Tree-walk one `Inst` at a time through the original interpreter.
+    /// Kept forever as the executable specification the decoded engine
+    /// is differentially gated against, exactly like
+    /// [`StepMode::Reference`] gates skip-ahead.
+    Reference,
+}
+
+impl ExecMode {
+    /// Parses the `LIGHTWSP_EXEC_MODE` environment value
+    /// (`decoded`/`dec` or `ref`/`reference`, case-insensitive).
+    /// Returns `None` for anything else.
+    pub fn from_env_str(s: &str) -> Option<ExecMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "decoded" | "dec" | "uop" => Some(ExecMode::Decoded),
+            "ref" | "reference" | "tree" => Some(ExecMode::Reference),
+            _ => None,
+        }
+    }
+
+    /// The exec mode selected by `LIGHTWSP_EXEC_MODE`, defaulting to
+    /// [`ExecMode::Decoded`] when unset or unparseable.
+    pub fn from_env() -> ExecMode {
+        std::env::var("LIGHTWSP_EXEC_MODE")
+            .ok()
+            .and_then(|s| ExecMode::from_env_str(&s))
+            .unwrap_or_default()
+    }
+
+    /// Display name used by the evaluation harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Decoded => "decoded",
+            ExecMode::Reference => "reference",
+        }
+    }
+}
+
 /// A deliberately broken §IV-F gating rule, **test-only**: the crash
 /// auditor (`crate::crash`) must flag a run under any of these mutants,
 /// proving its invariants have teeth. Never set one in a real
@@ -255,6 +308,9 @@ pub struct SimConfig {
     /// How the machine advances time (results are bit-identical either
     /// way; see [`StepMode`]).
     pub step_mode: StepMode,
+    /// Which functional engine executes instructions (results are
+    /// bit-identical either way; see [`ExecMode`]).
+    pub exec_mode: ExecMode,
 }
 
 impl SimConfig {
@@ -278,6 +334,7 @@ impl SimConfig {
             trace_regions: 0,
             gating_mutant: None,
             step_mode: StepMode::default(),
+            exec_mode: ExecMode::default(),
         }
     }
 

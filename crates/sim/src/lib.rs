@@ -31,7 +31,7 @@ pub mod machine;
 pub mod stats;
 pub mod trace;
 
-pub use config::{GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
+pub use config::{ExecMode, GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
 pub use crash::{
     CrashAuditReport, CrashInjector, CrashPoint, CrashPointKind, CrashSweeper, InvariantViolation,
 };

@@ -31,13 +31,13 @@
 //! bit-identical in every reported statistic and in machine state at
 //! every observed cycle (enforced by `tests/step_mode_parity.rs`).
 
-use crate::config::{GatingMutant, Scheme, SimConfig, StepMode};
+use crate::config::{ExecMode, GatingMutant, Scheme, SimConfig, StepMode};
 use crate::stats::SimStats;
 use crate::trace::RegionTraceLog;
 use lightwsp_compiler::prune::RecoveryRecipes;
 use lightwsp_ir::fxhash::FxHashMap;
 use lightwsp_ir::reg::NUM_REGS;
-use lightwsp_ir::{layout, DynEvent, Interp, Memory, Program, Reg, StoreKind};
+use lightwsp_ir::{layout, DecodedProgram, DynEvent, Interp, Memory, Program, Reg, StoreKind};
 use lightwsp_mem::cache::{DirectMappedCache, SetAssocCache, VictimPolicy};
 use lightwsp_mem::controller::FlushMode;
 use lightwsp_mem::front_buffer::FrontBuffer;
@@ -187,6 +187,10 @@ impl MachineSnapshot {
 pub struct Machine {
     cfg: SimConfig,
     program: std::sync::Arc<Program>,
+    /// Pre-decoded micro-op image of `program`
+    /// ([`ExecMode::Decoded`] only). `Arc`-shared: crash-sweep forks
+    /// and clones reuse the same decode, never re-decoding.
+    decoded: Option<std::sync::Arc<DecodedProgram>>,
     recipes: std::sync::Arc<RecoveryRecipes>,
     threads: Vec<ThreadCtx>,
     cores: Vec<CoreCtx>,
@@ -242,6 +246,10 @@ impl Machine {
         let program: std::sync::Arc<Program> = program.into();
         let recipes: std::sync::Arc<RecoveryRecipes> = recipes.into();
         assert!(num_threads > 0, "need at least one thread");
+        let decoded = match cfg.exec_mode {
+            ExecMode::Decoded => Some(std::sync::Arc::new(DecodedProgram::decode(&program))),
+            ExecMode::Reference => None,
+        };
         let mem = &cfg.mem;
         let mut vmem = Memory::new();
         let mut pm_img = Memory::new();
@@ -328,6 +336,7 @@ impl Machine {
             threads,
             cores,
             program,
+            decoded,
             recipes,
             cfg,
         }
@@ -453,6 +462,55 @@ impl Machine {
                 return Stop::MaxCycles;
             }
             if self.cfg.step_mode == StepMode::SkipAhead {
+                if self.decoded.is_some() && self.cfg.scheme.uses_persist_path() {
+                    // Decoded engine under a persist-path scheme:
+                    // event-driven machinery. (Regular-path schemes
+                    // skip this: their per-cycle machinery is a single
+                    // store-buffer branch, cheaper than the horizon
+                    // scans, so the paced path below wins.) The two
+                    // horizons are computed separately so that on
+                    // retire-active cycles with no machinery event the
+                    // MC/tracker/queue ticks — provable no-ops — are
+                    // replaced by the closed-form occupancy sample.
+                    // Retire can arm the machinery (a store push, a
+                    // region boundary), but both horizons are
+                    // recomputed every iteration, so the next cycle
+                    // sees the new state; and machinery-before-retire
+                    // ordering within a cycle is preserved because a
+                    // machinery event due at `now + 1` always routes
+                    // through the full `step_cycle`.
+                    let mach = self.machinery_next_event();
+                    let ret = self.retire_next_event();
+                    let soon = self.now + 1;
+                    if ret <= soon {
+                        if mach <= soon {
+                            self.step_cycle();
+                        } else {
+                            self.step_cycle_retire_only();
+                        }
+                        continue;
+                    }
+                    let limit = target.map_or(self.cfg.max_cycles, |t| t.min(self.cfg.max_cycles));
+                    let next = mach.min(ret);
+                    let dest = next.saturating_sub(1).min(limit);
+                    if dest > self.now {
+                        // Cycles strictly before `next` are idle on
+                        // both sides; skipped cycles change no state,
+                        // so the pre-skip horizons still classify the
+                        // landing cycle.
+                        self.skip_idle_cycles(dest - self.now);
+                        if dest < limit {
+                            if mach <= dest + 1 {
+                                self.step_cycle();
+                            } else {
+                                self.step_cycle_retire_only();
+                            }
+                        }
+                        continue;
+                    }
+                    self.step_cycle();
+                    continue;
+                }
                 // Scan pacing: during a long active phase the event
                 // scan returns "step now" every time, so its cost is
                 // pure overhead. Back off exponentially (scan every
@@ -506,6 +564,20 @@ impl Machine {
     /// stall counters and occupancy samples that
     /// [`Machine::skip_idle_cycles`] applies in closed form.
     fn next_interesting_cycle(&self) -> u64 {
+        self.machinery_next_event().min(self.retire_next_event())
+    }
+
+    /// The earliest future cycle at which the persist machinery (store
+    /// buffers, front-end buffers, persist paths, region tracker, and
+    /// memory controllers) can change state: `now + 1` if something
+    /// moves right now, otherwise the minimum of the component
+    /// `next_event` horizons. On every cycle strictly before the
+    /// returned one, `step_cycle`'s machinery phases are no-ops apart
+    /// from the WPQ occupancy sample — the exact property the
+    /// skip-ahead core already relies on in [`Machine::skip_idle_cycles`],
+    /// and what lets the decoded-mode loop retire instructions without
+    /// ticking the machinery ([`Machine::step_cycle_retire_only`]).
+    fn machinery_next_event(&self) -> u64 {
         let now = self.now;
         let soon = now + 1;
         let mut next = u64::MAX;
@@ -541,8 +613,38 @@ impl Machine {
                 // Regular-path-only drain: one store per cycle.
                 return soon;
             }
+        }
 
-            // Retire side — mirrors `retire_core`'s branch order.
+        if persist {
+            if let Some(t) = self.tracker.next_event() {
+                if t <= soon {
+                    return soon;
+                }
+                next = next.min(t);
+            }
+            for mc in &self.mcs {
+                if let Some(t) = mc.next_event(&self.tracker) {
+                    if t <= soon {
+                        return soon;
+                    }
+                    next = next.min(t);
+                }
+            }
+        }
+        next
+    }
+
+    /// The earliest future cycle at which any core's retire stage does
+    /// something: `now + 1` if a thread can retire next cycle, else the
+    /// earliest stall expiry / spin wake. Waits cleared only by flush
+    /// progress are covered by [`Machine::machinery_next_event`].
+    fn retire_next_event(&self) -> u64 {
+        let now = self.now;
+        let soon = now + 1;
+        let mut next = u64::MAX;
+
+        for c in &self.cores {
+            // Mirrors `retire_core`'s branch order.
             if c.threads.is_empty() {
                 continue;
             }
@@ -587,23 +689,6 @@ impl Machine {
                     // Wakes exactly next cycle; the sb-full stall
                     // series starts there, so don't skip past it.
                     next = next.min(soon);
-                }
-            }
-        }
-
-        if persist {
-            if let Some(t) = self.tracker.next_event() {
-                if t <= soon {
-                    return soon;
-                }
-                next = next.min(t);
-            }
-            for mc in &self.mcs {
-                if let Some(t) = mc.next_event(&self.tracker) {
-                    if t <= soon {
-                        return soon;
-                    }
-                    next = next.min(t);
                 }
             }
         }
@@ -754,6 +839,27 @@ impl Machine {
         }
 
         // --- 3. retire ------------------------------------------------
+        for ci in 0..self.cores.len() {
+            self.retire_core(ci, now);
+        }
+    }
+
+    /// Advances one cycle executing only the retire stage. Sound only
+    /// when [`Machine::machinery_next_event`] has proved that the
+    /// machinery phases of [`Machine::step_cycle`] would be no-ops on
+    /// this cycle; the WPQ occupancy sample — the one per-cycle effect
+    /// an idle machinery tick does have — is applied directly, exactly
+    /// as [`Machine::skip_idle_cycles`] does. The decoded-mode run loop
+    /// uses this to retire instructions without paying the memory
+    /// controller and queue scans on cycles where nothing can move.
+    fn step_cycle_retire_only(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        if self.cfg.scheme.uses_persist_path() {
+            for mc in &mut self.mcs {
+                mc.wpq_mut().sample_occupancy_n(1);
+            }
+        }
         for ci in 0..self.cores.len() {
             self.retire_core(ci, now);
         }
@@ -1057,7 +1163,38 @@ impl Machine {
                 continue;
             }
 
-            let ev = self.threads[tid].interp.step(&self.program, &mut self.vmem);
+            let ev = if let Some(dp) = &self.decoded {
+                // Batched decoded dispatch: retire up to `budget`
+                // ALU-class instructions inside the interpreter's tight
+                // loop and surface only the next timed event. Exact
+                // per-slot equivalence with the reference path holds
+                // because nothing an ALU-class instruction does can
+                // change this loop's per-slot predicates: the thread
+                // pick is stable within a cycle (`now` is fixed, and
+                // rotation re-arms the quantum), the store buffer only
+                // grows at the store events that end a batch, and
+                // region state only changes at events.
+                let budget = if self.cores[ci].threads.len() == 1 || self.cfg.timeslice > 0 {
+                    slots
+                } else {
+                    // timeslice == 0 round-robins threads every retire
+                    // slot; keep batches at one instruction so the
+                    // rotation stays per-slot exact.
+                    1
+                };
+                let (alus, ev) = self.threads[tid]
+                    .interp
+                    .step_batch(dp, &mut self.vmem, budget);
+                self.stats.insts += alus as u64;
+                self.threads[tid].region_insts += alus as u64;
+                slots -= alus;
+                match ev {
+                    Some(ev) => ev,
+                    None => continue,
+                }
+            } else {
+                self.threads[tid].interp.step(&self.program, &mut self.vmem)
+            };
             match ev {
                 DynEvent::Alu | DynEvent::Fence => {
                     self.stats.insts += 1;

@@ -12,7 +12,7 @@
 use lightwsp_compiler::{instrument, CompilerConfig};
 use lightwsp_sim::consistency::golden_run;
 use lightwsp_sim::crash::{CrashInjector, CrashPoint, CrashPointKind};
-use lightwsp_sim::{GatingMutant, Scheme, SimConfig};
+use lightwsp_sim::{ExecMode, GatingMutant, Scheme, SimConfig};
 use lightwsp_workloads::{workload, Suite, WorkloadSpec};
 use proptest::prelude::*;
 
@@ -144,6 +144,41 @@ fn crash_point_at_the_cycle_cap_resumes_with_a_fresh_budget() {
         "spurious violations at the cap-coincident crash point: {:?}",
         report.violations
     );
+}
+
+/// Regression (decoded-engine satellite): `Interp::resume_from_checkpoint`
+/// must behave identically under both execution engines. Recovery PCs
+/// point at the instruction *after* a region boundary — mid-block, and
+/// potentially adjacent to a fused micro-op pair — so every audited
+/// point forces the decoded engine to re-enter a block at an arbitrary
+/// checkpointed `ProgramPoint`. Both modes must audit clean and agree
+/// on every aggregate resolution count.
+#[test]
+fn resume_from_checkpoint_is_exec_mode_invariant() {
+    let w = workload("hmmer").unwrap();
+    let compiled = compiled_for(&w, 10_000);
+    let mut reports = Vec::new();
+    for mode in [ExecMode::Decoded, ExecMode::Reference] {
+        let mut cfg = small_cfg(Scheme::LightWsp);
+        cfg.exec_mode = mode;
+        let injector = CrashInjector::new(&compiled, cfg, 1);
+        let (mut points, horizon) = injector.derived_points(4);
+        points.extend(injector.seeded_points(0xC0FFEE, 8, horizon));
+        let report = injector.audit(&points).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "{} mode violated the recovery contract: {:?}",
+            mode.name(),
+            report.violations
+        );
+        reports.push(report);
+    }
+    let (d, r) = (&reports[0], &reports[1]);
+    assert_eq!(d.audited, r.audited, "audited-point counts differ");
+    assert_eq!(d.audited_by_kind, r.audited_by_kind);
+    assert_eq!(d.entries_flushed, r.entries_flushed);
+    assert_eq!(d.entries_discarded, r.entries_discarded);
+    assert_eq!(d.undo_rolled_back, r.undo_rolled_back);
 }
 
 fn arbitrary_spec() -> impl Strategy<Value = WorkloadSpec> {
