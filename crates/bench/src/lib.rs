@@ -24,6 +24,7 @@
 //! | `recovery_check` | §IV-F — crash-consistency validation sweep |
 //! | `crash_audit` | `RECOVERY.md` — seeded & derived crash-point audit, `BENCH_crash.json` |
 //! | `model_litmus` | LRPO model litmus/fuzz differential sweep, fork-vs-rerun timing |
+//! | `ds_service` | `docs/DATASTRUCTURES.md` — recoverable-DS + KV/queue service crash audit, `BENCH_ds.json` |
 //! | `sweep_smoke` | CI perf gate: fork-mode crash sweep must beat rerun |
 //! | `exec_smoke` | CI perf gate: decoded engine ≥2x geomean on compute-dense Fig. 7 cells |
 //! | `all_figures` | everything above, into `results/` |

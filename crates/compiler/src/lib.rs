@@ -49,6 +49,8 @@
 //! assert!(compiled.stats.boundaries_inserted > 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod boundaries;
 pub mod checkpoint;
 pub mod dce;

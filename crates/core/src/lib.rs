@@ -32,13 +32,17 @@
 //! println!("lbm LightWSP slowdown: {slowdown:.3}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod campaign;
+pub mod dsaudit;
 pub mod experiment;
 pub mod oracle;
 pub mod recovery;
 pub mod report;
 
 pub use campaign::{Campaign, Job};
+pub use dsaudit::{audit_recoverable_ds, DsAuditBudget, DsAuditReport};
 pub use experiment::{Experiment, ExperimentOptions, RunResult};
 pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 pub use lightwsp_model::harness::CaseOutcome;

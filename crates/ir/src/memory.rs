@@ -320,10 +320,26 @@ impl Memory {
     /// only pages that are present somewhere and not physically shared
     /// need scanning.
     pub fn first_difference(&self, other: &Memory) -> Option<(u64, u64, u64)> {
+        self.first_difference_where(other, |_| true)
+    }
+
+    /// Like [`Memory::first_difference`], but only considers addresses
+    /// for which `include` returns true. Consistency checkers use this
+    /// to exclude recovery metadata (checkpoint/PC slots), whose final
+    /// contents are timing-dependent: forced region closes dump the live
+    /// register file at whatever point the timeout or spin fired.
+    pub fn first_difference_where(
+        &self,
+        other: &Memory,
+        include: impl Fn(u64) -> bool,
+    ) -> Option<(u64, u64, u64)> {
         for pg in self.candidate_pages(other) {
             let base = pg << PAGE_SHIFT;
             for i in 0..PAGE_WORDS {
                 let a = base + (i as u64) * 8;
+                if !include(a) {
+                    continue;
+                }
                 let (x, y) = (self.read_word(a), other.read_word(a));
                 if x != y {
                     return Some((a, x, y));

@@ -11,9 +11,12 @@
 //! * a `Boundary` event closes the open region (or forms a token-only
 //!   region when no store preceded it) and contributes the boundary's
 //!   own PC-slot store;
-//! * `Halt` with an open region broadcasts a synthetic trailing region
-//!   whose PC-slot store rewrites the *current* slot value, exactly as
-//!   the machine does when a halting thread drains its frontier.
+//! * `Halt` with an open region broadcasts a synthetic trailing region,
+//!   exactly as the machine does when a halting thread drains its
+//!   frontier: the hardware repairs every checkpoint slot that is stale
+//!   with respect to the live register file and stores the halt point
+//!   as the recovery PC, so the forced boundary is a genuine recovery
+//!   point (slots and PC commit or roll back together).
 //!
 //! Isolation is sound only for programs whose threads neither write the
 //! same address nor read another thread's writes; both properties are
@@ -35,8 +38,8 @@ pub struct RegionEffect {
     /// encoded recovery point)`.
     pub boundary: (u64, u64),
     /// True for the synthetic trailing region a halting thread
-    /// broadcasts (its boundary rewrites the PC slot's current value,
-    /// so its cumulative image may equal the previous prefix's).
+    /// broadcasts (its stores include the hardware's stale-slot repair
+    /// dump and its boundary checkpoints the halt point).
     pub synthetic: bool,
 }
 
@@ -227,14 +230,24 @@ fn replay_thread(
             DynEvent::Halt => {
                 if !pending.is_empty() {
                     // The machine broadcasts a trailing region so the
-                    // flush frontier can drain past the halted thread;
-                    // its synthetic boundary re-stores the PC slot's
-                    // current value (no new recovery point).
-                    let pc = mem.read_word(layout::pc_slot(tid));
+                    // flush frontier can drain past the halted thread.
+                    // Its synthetic boundary is a genuine recovery
+                    // point: the hardware dumps every stale checkpoint
+                    // slot into the region and checkpoints the halt
+                    // point itself.
+                    for r in Reg::all() {
+                        let slot = layout::checkpoint_slot(tid, r);
+                        let val = interp.reg(r);
+                        if mem.read_word(slot) != val {
+                            mem.write_word(slot, val);
+                            pending.push((slot & !7, val));
+                            eff.writes.insert(slot & !7);
+                        }
+                    }
                     eff.writes.insert(bdry_addr);
                     eff.regions.push(RegionEffect {
                         stores: std::mem::take(&mut pending),
-                        boundary: (bdry_addr, pc),
+                        boundary: (bdry_addr, interp.point().encode()),
                         synthetic: true,
                     });
                 }
@@ -269,11 +282,21 @@ mod tests {
         assert_eq!(t.regions.len(), 2);
         assert_eq!(t.regions[0].stores.len(), 2);
         assert!(!t.regions[0].synthetic);
-        assert_eq!(t.regions[1].stores, vec![(layout::HEAP_BASE + 16, 7)]);
         assert!(t.regions[1].synthetic);
-        // The synthetic boundary re-stores the PC value the preceding
-        // real boundary left in the slot (no new recovery point).
-        assert_eq!(t.regions[1].boundary.1, t.regions[0].boundary.1);
+        // The trailing region carries the heap store plus the repair
+        // dump for every register the program changed (R1 and R2 here;
+        // the program is uninstrumented, so no checkpoint store ever
+        // refreshed their slots).
+        assert_eq!(t.regions[1].stores[0], (layout::HEAP_BASE + 16, 7));
+        assert!(t.regions[1]
+            .stores
+            .contains(&(layout::checkpoint_slot(0, Reg::R1), layout::HEAP_BASE)));
+        assert!(t.regions[1]
+            .stores
+            .contains(&(layout::checkpoint_slot(0, Reg::R2), 7)));
+        // The synthetic boundary checkpoints the halt point itself — a
+        // genuine recovery point past the preceding real boundary.
+        assert_ne!(t.regions[1].boundary.1, t.regions[0].boundary.1);
     }
 
     /// A boundary with no preceding store forms a token-only region.

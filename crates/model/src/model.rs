@@ -18,9 +18,9 @@
 //! writes outside every thread's footprint.
 //!
 //! **Canonical prefixes.** Different prefix lengths can induce the same
-//! cumulative image (a token-only region after an identical PC-slot
-//! value, a halting thread's synthetic trailing rewrite, a same-value
-//! re-store). Each prefix is therefore mapped to the smallest prefix
+//! cumulative image (a loop iteration that re-stores identical values
+//! across the same boundary, a token-only region after an identical
+//! PC-slot value). Each prefix is therefore mapped to the smallest prefix
 //! with an identical cumulative image; admitted-set counting and the
 //! harness's witness bookkeeping are both in canonical space, so
 //! tightness accounting never double-counts indistinguishable images.
@@ -244,7 +244,7 @@ mod tests {
     use super::*;
     use crate::extract::extract;
     use lightwsp_ir::builder::FuncBuilder;
-    use lightwsp_ir::{layout, Program, Reg};
+    use lightwsp_ir::{layout, AluOp, Cond, Program, Reg};
 
     fn two_region_program() -> Program {
         let mut b = FuncBuilder::new("t");
@@ -295,10 +295,39 @@ mod tests {
     }
 
     #[test]
-    fn idempotent_trailing_region_canonicalises() {
+    fn idempotent_loop_region_canonicalises() {
+        // A loop whose body re-stores the same value and crosses the
+        // same boundary each iteration produces byte-identical
+        // cumulative images (same data word, same PC value), so the two
+        // loop prefixes canonicalise to one ⇒ only 2 distinct images.
+        let mut b = FuncBuilder::new("t");
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 5);
+        b.mov_imm(Reg::R3, 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.region_boundary();
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R3, 1);
+        b.branch_imm(Cond::Lt, Reg::R3, 2, body, exit);
+        b.switch_to(exit);
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let m = LrpoModel::new(&rs);
+        assert_eq!(m.region_counts(), vec![2]);
+        assert_eq!(m.admitted_count(), 2, "loop iterations are idempotent");
+    }
+
+    #[test]
+    fn trailing_region_is_a_distinct_recovery_point() {
         // store; boundary; store same value; halt → the synthetic
-        // trailing region re-stores both the data word and the PC slot
-        // with values the prefix already has ⇒ only 2 distinct images.
+        // trailing region re-stores the data word with a value the
+        // prefix already has, but its boundary checkpoints the halt
+        // point (plus the stale-slot repair dump), so all 3 prefixes
+        // remain distinguishable.
         let mut b = FuncBuilder::new("t");
         b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
         b.mov_imm(Reg::R2, 5);
@@ -310,6 +339,6 @@ mod tests {
         let rs = extract(&p, 1, 10_000).unwrap();
         let m = LrpoModel::new(&rs);
         assert_eq!(m.region_counts(), vec![2]);
-        assert_eq!(m.admitted_count(), 2, "trailing rewrite is idempotent");
+        assert_eq!(m.admitted_count(), 3, "halt point is a new recovery point");
     }
 }

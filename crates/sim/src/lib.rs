@@ -24,6 +24,8 @@
 //! power at derived or seeded points, captures the persistent image, and
 //! asserts the named invariants of `RECOVERY.md` against the resolution.
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod consistency;
 pub mod crash;

@@ -411,6 +411,16 @@ impl Machine {
         self.threads.iter().all(|t| t.halted)
     }
 
+    /// Per-thread `(halted, current program point)` snapshot — the
+    /// debugging handle for stalled runs (which thread is spinning,
+    /// and in which block).
+    pub fn thread_points(&self) -> Vec<(bool, lightwsp_ir::ProgramPoint)> {
+        self.threads
+            .iter()
+            .map(|t| (t.halted, t.interp.point()))
+            .collect()
+    }
+
     /// Runs until completion (threads halted + persist machinery
     /// drained) or the cycle cap.
     pub fn run(&mut self) -> Completion {
@@ -1105,6 +1115,61 @@ impl Machine {
         true
     }
 
+    /// Forcibly ends `tid`'s open region at an arbitrary execution point
+    /// (region timeout, lock-spin retry, halt) and makes the forced
+    /// boundary a *genuine* recovery point.
+    ///
+    /// Compiler checkpoints are placed right after each register's last
+    /// update, so an open region routinely contains checkpoint-slot
+    /// stores for values produced *inside* it. Re-storing the
+    /// region-start PC here (the old behaviour) therefore let a crash
+    /// that preserved this region but lost the next ones resume with
+    /// checkpoint slots *newer* than the recovery PC — re-executing
+    /// already-applied updates (observed as an LCG state double-step in
+    /// the kv-service workload). Instead, the hardware dumps every
+    /// register whose slot is stale into this region and checkpoints the
+    /// *current* PC, so slots and PC commit or roll back together and a
+    /// resume replays nothing.
+    ///
+    /// The dump is idempotent: repaired slots compare equal and are
+    /// skipped, so when the store buffer fills mid-dump we return
+    /// `false` and the caller's retry resumes where it left off (the
+    /// thread cannot change registers while its region is pending
+    /// close). Returns `true` once the boundary token is pushed.
+    fn synthetic_close(&mut self, ci: usize, tid: usize, now: u64) -> bool {
+        if self.threads[tid].cur_region.is_none() {
+            return true;
+        }
+        if let Some(dp) = &self.decoded {
+            self.threads[tid].interp.sync_point(dp);
+        }
+        let region = self.threads[tid].cur_region.expect("checked above");
+        for r in Reg::all() {
+            let slot = layout::checkpoint_slot(tid, r);
+            let val = self.threads[tid].interp.reg(r);
+            if self.vmem.read_word(slot) == val {
+                continue;
+            }
+            if !self.cores[ci].sb.has_room() {
+                return false;
+            }
+            self.vmem.write_word(slot, val);
+            self.trace.note_store(region);
+            self.cores[ci].sb.push(PersistEntry {
+                addr: slot & !7,
+                val,
+                region,
+                kind: PersistKind::Data,
+                core: ci,
+            });
+            self.stats.persist_stores += 1;
+            self.stats.forced_ckpt_stores += 1;
+            self.threads[tid].region_stores += 1;
+        }
+        let pc = self.threads[tid].interp.point().encode();
+        self.end_region(ci, tid, pc, now)
+    }
+
     /// Retire up to `width` events on core `ci`.
     fn retire_core(&mut self, ci: usize, now: u64) {
         if self.cores[ci].threads.is_empty() {
@@ -1152,13 +1217,7 @@ impl Machine {
                 && self.threads[tid].cur_region.is_some()
                 && now.saturating_sub(self.threads[tid].region_open_since) > self.cfg.region_timeout
             {
-                // Synthetic boundaries release the region's stores for
-                // persistence but do NOT create a new recovery point:
-                // compiler checkpoints and pruning recipes only cover
-                // compiler-placed boundaries, so recovery must restart
-                // from the region's own start (already in the PC slot).
-                let pc = self.vmem.read_word(layout::pc_slot(tid));
-                self.end_region(ci, tid, pc, now);
+                self.synthetic_close(ci, tid, now);
                 slots -= 1;
                 continue;
             }
@@ -1295,22 +1354,17 @@ impl Machine {
                     // Each retry is a fresh synchronisation point: end
                     // the open region so the spinner never blocks the
                     // flush frontier (§IV-C liveness).
-                    if gated && self.threads[tid].cur_region.is_some() {
-                        // Synthetic boundary: reuse the region-start
-                        // recovery PC (see the timeout case above).
-                        let pc = self.vmem.read_word(layout::pc_slot(tid));
-                        self.end_region(ci, tid, pc, now);
+                    if gated {
+                        self.synthetic_close(ci, tid, now);
                     }
                     slots = 0;
                 }
                 DynEvent::Halt => {
                     if gated && self.threads[tid].cur_region.is_some() {
                         // Broadcast the trailing region so the frontier
-                        // can drain past this thread (synthetic: reuse
-                        // the region-start recovery PC); retry while the
+                        // can drain past this thread; retry while the
                         // store buffer is full.
-                        let pc = self.vmem.read_word(layout::pc_slot(tid));
-                        if self.end_region(ci, tid, pc, now) {
+                        if self.synthetic_close(ci, tid, now) {
                             self.threads[tid].halted = true;
                         }
                     } else {

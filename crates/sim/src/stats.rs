@@ -33,6 +33,10 @@ pub struct SimStats {
     pub instrumentation_insts: u64,
     /// Retired store-like instructions (persist-path entries).
     pub persist_stores: u64,
+    /// Hardware checkpoint-slot repair stores emitted by forced region
+    /// closes (timeout / spin / halt), so every synthetic boundary is a
+    /// genuine recovery point.
+    pub forced_ckpt_stores: u64,
     /// Stall cycles: store buffer full (persist back-pressure).
     pub stall_sb_full: u64,
     /// Stall cycles: load misses.
@@ -59,17 +63,21 @@ pub struct SimStats {
     pub llc_load_misses: u64,
     /// Stale-load hazards observed (snooping disabled only).
     pub stale_loads: u64,
-    /// L1 eviction snoops and conflicts (Table II).
+    /// L1 eviction snoops (Table II).
     pub snoops: u64,
+    /// L1 eviction snoops that hit a conflicting line (Table II).
     pub snoop_conflicts: u64,
-    /// L1 hits/misses aggregated over cores.
+    /// L1 hits aggregated over cores.
     pub l1_hits: u64,
+    /// L1 misses aggregated over cores.
     pub l1_misses: u64,
-    /// L2 hits/misses.
+    /// L2 hits.
     pub l2_hits: u64,
+    /// L2 misses.
     pub l2_misses: u64,
-    /// DRAM-cache hits/misses.
+    /// DRAM-cache hits.
     pub dram_hits: u64,
+    /// DRAM-cache misses.
     pub dram_misses: u64,
     /// Persist-path head-of-line blocked cycles.
     pub hol_blocked_cycles: u64,

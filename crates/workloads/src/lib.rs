@@ -20,8 +20,19 @@
 //! assert!(program.static_size() > 0);
 //! ```
 
+//!
+//! Beyond the calibrated benchmarks, [`ds`] provides a suite of
+//! *recoverable PM data structures* (durable log, hash map, MPSC
+//! queue, Treiber stack) and a composed crash-survivable KV/queue
+//! service, each with documented recovery procedures and pure
+//! post-crash image checkers (`docs/DATASTRUCTURES.md`).
+
+#![warn(missing_docs)]
+
+pub mod ds;
 pub mod gen;
 pub mod suites;
 
+pub use ds::RecoverableDs;
 pub use gen::{Suite, WorkloadSpec};
 pub use suites::{all_workloads, geomean, memory_intensive, suite_workloads, workload};

@@ -1,118 +1,98 @@
-//! A durable append-only log with external I/O acknowledgements —
-//! exercising §IV-A's "I/O Functions" story: each record is appended to
-//! persistent memory and then *acknowledged* over an output port. The
-//! compiler places a region boundary before every I/O operation, so an
-//! interrupted acknowledgement restarts cleanly after power failure; the
-//! log itself recovers exactly. Acks of *unpersisted* regions may replay
-//! (the paper notes irrevocable I/O remains an open problem and opts for
-//! restart semantics) — replays are bounded by the regions in flight at
-//! each outage, which this example measures.
+//! A durable append-only log surviving repeated power failures — built
+//! on the recoverable data-structure suite (`lightwsp_workloads::ds`).
+//!
+//! [`DurableLogSpec`] authors the log as plain IR code with **no flush
+//! or logging instructions**: each 16-byte record (payload, checksum)
+//! is stored, a region boundary ends the record's region, and only
+//! then is the tail word published. Under LightWSP's region-prefix
+//! persistence that ordering alone makes "tail durable ⇒ record
+//! durable" a hardware fact (`RECOVERY.md` §8, `log-torn-tail`).
+//!
+//! The example pulls the plug mid-run several times, checks the
+//! torn-tail invariant against the durable image at every outage, and
+//! finally verifies the recovered log byte-for-byte against a
+//! failure-free golden run. Layouts, the recovery procedure, and the
+//! invariant statement are documented in `docs/DATASTRUCTURES.md`.
 //!
 //! ```sh
 //! cargo run --release --example durable_log
 //! ```
 
 use lightwsp_core::{instrument, CompilerConfig, Machine, Scheme, SimConfig};
-use lightwsp_ir::builder::FuncBuilder;
-use lightwsp_ir::inst::{AluOp, Cond};
-use lightwsp_ir::{layout, Program, Reg};
-
-const RECORDS: i64 = 24;
-
-fn log_program() -> Program {
-    let mut b = FuncBuilder::new("durable_log");
-    let (n, rec, tail, base) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4);
-    b.mov_imm(n, 0);
-    b.mov_imm(base, layout::HEAP_BASE as i64);
-    b.mov_imm(tail, 0);
-    let body = b.new_block();
-    let exit = b.new_block();
-    b.jump(body);
-    b.switch_to(body);
-    // record = 0xA000 | n
-    b.alu_imm(AluOp::Or, rec, n, 0xA000);
-    // log[tail] = record; tail++
-    b.alu_imm(AluOp::Shl, Reg::R5, tail, 3);
-    b.alu(AluOp::Add, Reg::R5, Reg::R5, base);
-    b.store(rec, Reg::R5, 8); // slot 0 reserved for the tail pointer
-    b.alu_imm(AluOp::Add, tail, tail, 1);
-    b.store(tail, base, 0); // publish the new tail
-                            // acknowledge externally (boundary inserted before by the compiler)
-    b.io_out(rec);
-    b.alu_imm(AluOp::Add, n, n, 1);
-    b.branch_imm(Cond::Ne, n, RECORDS, body, exit);
-    b.switch_to(exit);
-    b.halt();
-    Program::from_single(b.finish())
-}
-
-fn read_log(pm: &lightwsp_ir::Memory) -> Vec<u64> {
-    let tail = pm.read_word(layout::HEAP_BASE);
-    (0..tail)
-        .map(|i| pm.read_word(layout::HEAP_BASE + 8 + i * 8))
-        .collect()
-}
+use lightwsp_ir::layout;
+use lightwsp_workloads::ds::log::DurableLogSpec;
+use lightwsp_workloads::RecoverableDs;
 
 fn main() {
-    let compiled = instrument(&log_program(), &CompilerConfig::default());
+    // Two independent single-writer logs, 48 records each.
+    let spec = DurableLogSpec {
+        writers: 2,
+        records: 48,
+    };
+    let compiled = instrument(&spec.program(), &CompilerConfig::default());
     let cfg = SimConfig::new(Scheme::LightWsp);
+    let threads = spec.threads();
 
-    // Golden run.
+    // Golden run: no failures. Its final image must satisfy the
+    // completed-run contract (every record published and intact).
     let mut g = Machine::new(
         compiled.program.clone(),
         compiled.recipes.clone(),
         cfg.clone(),
-        1,
+        threads,
     );
     g.run();
-    let golden = read_log(g.pm_contents());
+    let golden_violations = spec.check_final(g.pm_contents());
+    assert!(
+        golden_violations.is_empty(),
+        "golden: {golden_violations:?}"
+    );
+    let golden_tail = g.pm_contents().read_word(spec.area(0).tail_addr);
     println!(
-        "golden log: {} records, {} acks",
-        golden.len(),
-        g.io_log().len()
+        "golden: {} writers x {} records (tail[0] = {golden_tail}) ✓",
+        spec.writers, spec.records
     );
 
-    // Power-failure run: three outages while appending.
-    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
-    for k in 1..=3u64 {
-        if m.run_until(k * 600) {
+    // Adversarial run: pull the plug every 900 cycles, five times. At
+    // each outage the post-resolution durable image must already
+    // satisfy the crash-time contract: all records below the durable
+    // tail intact, at most one in-flight record at the tail, silence
+    // beyond it.
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, threads);
+    for k in 1..=5u64 {
+        if m.run_until(k * 900) {
             break;
         }
-        let durable = read_log(m.pm_contents()).len();
         let report = m.inject_power_failure();
+        let tail = m.pm_contents().read_word(spec.area(0).tail_addr);
+        let violations = spec.check_image(m.pm_contents());
+        assert!(violations.is_empty(), "outage #{k}: {violations:?}");
         println!(
-            "outage #{k}: {durable} records durable; recovery flushed {} entries, \
-             discarded {}, resumes at {:?}",
-            report.entries_flushed, report.entries_discarded, report.resume_points[0]
+            "outage #{k} at cycle {}: {} entries flushed, {} discarded, \
+             tail[0] = {tail}, log-torn-tail holds ✓",
+            m.now(),
+            report.entries_flushed,
+            report.entries_discarded
         );
     }
     m.run();
 
-    let recovered = read_log(m.pm_contents());
-    assert_eq!(recovered, golden, "log diverged");
-    println!(
-        "recovered log matches golden ({} records) ✓",
-        recovered.len()
-    );
-
-    // Ack analysis: every record acknowledged at least once; duplicates
-    // are bounded by the number of outages (one replayable I/O each).
-    let acks: Vec<u64> = m.io_log().iter().map(|&(_, _, v)| v).collect();
-    let mut unique = acks.clone();
-    unique.sort_unstable();
-    unique.dedup();
-    assert_eq!(unique.len() as i64, RECORDS, "every record acknowledged");
-    let dupes = acks.len() - unique.len();
-    println!(
-        "{} acks for {} records ({} §IV-A restart replays across 3 outages — \
-         bounded by the in-flight region window) ✓",
-        acks.len(),
-        RECORDS,
-        dupes
-    );
-    // Each outage can replay at most the regions in flight (WPQ-bounded).
+    // The recovered run must satisfy the completed-run contract and —
+    // since the log is single-writer-deterministic — match the golden
+    // image byte for byte, excluding the checkpoint/PC slots (recovery
+    // metadata whose contents depend on where forced region closes and
+    // failures fired).
+    let final_violations = spec.check_final(m.pm_contents());
     assert!(
-        dupes <= 3 * 16,
-        "replays must stay within the in-flight window"
+        final_violations.is_empty(),
+        "recovered: {final_violations:?}"
+    );
+    let diff = m
+        .pm_contents()
+        .first_difference_where(g.pm_contents(), |a| !layout::is_checkpoint_addr(a));
+    assert_eq!(diff, None, "log diverged from golden: {diff:?}");
+    println!(
+        "recovered log matches golden after {} power failures ✓",
+        m.stats().failures
     );
 }

@@ -1,137 +1,110 @@
 //! A persistent key-value store surviving repeated power failures — the
 //! workload class (WHISPER's `rb`/`tatp`/`tpcc`) that motivates
-//! whole-system persistence in the paper's introduction.
+//! whole-system persistence in the paper's introduction, built on the
+//! recoverable data-structure suite (`lightwsp_workloads::ds`).
 //!
-//! The store is an open-addressed hash table written in the machine IR.
-//! Under partial-system persistence this code would need transactions,
-//! `pmalloc`, and hand-written recovery; under LightWSP it is *plain
-//! code* — the compiler's recoverable regions and the WPQ redo buffer
-//! make every insert crash-consistent automatically.
+//! [`DurableMapSpec`] authors a bucketed durable hash map as *plain
+//! code*: sharded slots give every persistent word a single writing
+//! thread, values are derived from keys (so a durable key implies its
+//! value is reconstructible), and each put commits in one compiler
+//! region. Under partial-system persistence this structure would need
+//! transactions, `pmalloc`, and hand-written recovery; under LightWSP
+//! the crash-time contract (`RECOVERY.md` §8: `map-bucket-atomicity`,
+//! `map-shard-prefix`) falls out of region-granularity persistence.
+//!
+//! The example runs a multi-threaded put/get mix, pulls the plug five
+//! times, checks the crash-time invariants against the durable image
+//! at every outage, and verifies the recovered store both against the
+//! op-stream oracle and byte-for-byte against a failure-free golden
+//! run. Layout diagrams and the recovery procedure are documented in
+//! `docs/DATASTRUCTURES.md`.
 //!
 //! ```sh
 //! cargo run --release --example kv_store_recovery
 //! ```
 
 use lightwsp_core::{instrument, CompilerConfig, Machine, Scheme, SimConfig};
-use lightwsp_ir::builder::FuncBuilder;
-use lightwsp_ir::inst::{AluOp, Cond};
-use lightwsp_ir::{layout, Program, Reg};
-
-const TABLE_SLOTS: i64 = 256; // power of two; 2 words per slot (key, value)
-const INSERTS: i64 = 150;
-
-/// Builds the KV-store program: insert `INSERTS` (key, value) pairs via
-/// linear probing, then store the occupancy count.
-fn kv_program() -> Program {
-    let mut b = FuncBuilder::new("kv_store");
-    let (n, key, val, slot, probe, cur, table, count) = (
-        Reg::R1,
-        Reg::R2,
-        Reg::R3,
-        Reg::R4,
-        Reg::R5,
-        Reg::R6,
-        Reg::R7,
-        Reg::R8,
-    );
-    b.mov_imm(n, 0);
-    b.mov_imm(table, layout::HEAP_BASE as i64);
-    b.mov_imm(count, 0);
-
-    let outer = b.new_block(); // next insert
-    let probe_loop = b.new_block(); // linear probing
-    let insert = b.new_block(); // empty slot found
-    let next = b.new_block(); // advance probe
-    let done = b.new_block();
-
-    b.jump(outer);
-
-    // key = n*2654435761 | 1 (never zero); val = key ^ 0xabcd
-    b.switch_to(outer);
-    b.mov_imm(key, 2654435761);
-    b.alu(AluOp::Mul, key, key, n);
-    b.alu_imm(AluOp::Or, key, key, 1);
-    b.alu_imm(AluOp::Xor, val, key, 0xabcd);
-    // slot = (key >> 3) & (TABLE_SLOTS-1)
-    b.alu_imm(AluOp::Shr, slot, key, 3);
-    b.alu_imm(AluOp::And, slot, slot, TABLE_SLOTS - 1);
-    b.jump(probe_loop);
-
-    // probe: cur = table[slot*16]; if cur == 0 insert else advance
-    b.switch_to(probe_loop);
-    b.alu_imm(AluOp::Shl, probe, slot, 4); // 16 bytes per slot
-    b.alu(AluOp::Add, probe, probe, table);
-    b.load(cur, probe, 0);
-    b.branch_imm(Cond::Eq, cur, 0, insert, next);
-
-    b.switch_to(insert);
-    b.store(key, probe, 0);
-    b.store(val, probe, 8);
-    b.alu_imm(AluOp::Add, count, count, 1);
-    let after_insert = b.new_block();
-    b.jump(after_insert);
-    b.switch_to(after_insert);
-    b.alu_imm(AluOp::Add, n, n, 1);
-    b.branch_imm(Cond::Ne, n, INSERTS, outer, done);
-
-    b.switch_to(next);
-    b.alu_imm(AluOp::Add, slot, slot, 1);
-    b.alu_imm(AluOp::And, slot, slot, TABLE_SLOTS - 1);
-    b.jump(probe_loop);
-
-    b.switch_to(done);
-    b.mov_imm(probe, (layout::HEAP_BASE + 0x10000) as i64);
-    b.store(count, probe, 0);
-    b.halt();
-    Program::from_single(b.finish())
-}
-
-/// Counts occupied slots in a durable memory image.
-fn occupied(pm: &lightwsp_ir::Memory) -> u64 {
-    (0..TABLE_SLOTS as u64)
-        .filter(|s| pm.read_word(layout::HEAP_BASE + s * 16) != 0)
-        .count() as u64
-}
+use lightwsp_ir::layout;
+use lightwsp_workloads::ds::map::DurableMapSpec;
+use lightwsp_workloads::RecoverableDs;
 
 fn main() {
-    let compiled = instrument(&kv_program(), &CompilerConfig::default());
+    // Two writer shards over a 64-bucket table, 160 ops per thread
+    // (~3:1 put/get mix from the deterministic per-thread op stream).
+    let spec = DurableMapSpec {
+        threads: 2,
+        buckets: 64,
+        slots_per_bucket: 8,
+        locks: 16,
+        ops_per_thread: 160,
+    };
+    let compiled = instrument(&spec.program(), &CompilerConfig::default());
     let cfg = SimConfig::new(Scheme::LightWsp);
+    let threads = spec.threads();
 
-    // Golden run.
-    let mut golden = Machine::new(
+    // Golden run: no failures. check_final replays each thread's op
+    // stream (the Rust mirror of the generated IR) and requires the
+    // durable table, put/get counters, and error flags to match.
+    let mut g = Machine::new(
         compiled.program.clone(),
         compiled.recipes.clone(),
         cfg.clone(),
-        1,
+        threads,
     );
-    golden.run();
+    g.run();
+    let golden_violations = spec.check_final(g.pm_contents());
+    assert!(
+        golden_violations.is_empty(),
+        "golden: {golden_violations:?}"
+    );
+    let total_puts: u64 = (0..threads).map(|t| spec.total_puts(t)).sum();
     println!(
-        "golden: {INSERTS} inserts, {} occupied slots, count word = {}",
-        occupied(golden.pm_contents()),
-        golden.pm_contents().read_word(layout::HEAP_BASE + 0x10000)
+        "golden: {} threads x {} ops ({total_puts} puts) ✓",
+        threads, spec.ops_per_thread
     );
 
-    // Adversarial run: pull the plug every 700 cycles, five times.
-    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, 1);
+    // Adversarial run: pull the plug every 1500 cycles, five times. At
+    // each outage the post-resolution durable image must satisfy the
+    // crash-time contract: every non-empty slot holds an oracle key of
+    // its shard (bucket atomicity), and each shard's slot set equals
+    // the state after some prefix of its put stream (shard prefix).
+    let mut m = Machine::new(compiled.program, compiled.recipes, cfg, threads);
     for k in 1..=5u64 {
-        if m.run_until(k * 700) {
+        if m.run_until(k * 1500) {
             break;
         }
-        let occ = occupied(m.pm_contents());
-        m.inject_power_failure();
+        let report = m.inject_power_failure();
+        let durable_puts: u64 = (0..threads)
+            .map(|t| m.pm_contents().read_word(spec.priv_addr(t)))
+            .sum();
+        let violations = spec.check_image(m.pm_contents());
+        assert!(violations.is_empty(), "outage #{k}: {violations:?}");
         println!(
-            "power failure #{k} at cycle {} — durable slots so far: {occ}",
-            m.now()
+            "outage #{k} at cycle {}: {} entries flushed, {} discarded, \
+             {durable_puts} puts durable, map invariants hold ✓",
+            m.now(),
+            report.entries_flushed,
+            report.entries_discarded
         );
     }
     m.run();
-    println!(
-        "recovered: {} occupied slots, count word = {}",
-        occupied(m.pm_contents()),
-        m.pm_contents().read_word(layout::HEAP_BASE + 0x10000)
-    );
 
-    let diff = m.pm_contents().first_difference(golden.pm_contents());
-    assert_eq!(diff, None, "table diverged: {diff:?}");
-    println!("byte-identical to the golden run after 5 power failures ✓");
+    // The recovered store must satisfy the completed-run oracle and —
+    // since map shards are single-writer-deterministic — match the
+    // golden image byte for byte, excluding the checkpoint/PC slots
+    // (recovery metadata whose contents depend on where forced region
+    // closes and failures fired).
+    let final_violations = spec.check_final(m.pm_contents());
+    assert!(
+        final_violations.is_empty(),
+        "recovered: {final_violations:?}"
+    );
+    let diff = m
+        .pm_contents()
+        .first_difference_where(g.pm_contents(), |a| !layout::is_checkpoint_addr(a));
+    assert_eq!(diff, None, "table diverged from golden: {diff:?}");
+    println!(
+        "recovered store matches golden after {} power failures ✓",
+        m.stats().failures
+    );
 }

@@ -1,0 +1,219 @@
+//! Recovery tests for the PM data-structure suite
+//! (`lightwsp_workloads::ds` + `lightwsp_core::dsaudit`).
+//!
+//! Three layers:
+//!
+//! 1. every structure's golden (failure-free) run satisfies its own
+//!    completed-run checker, in both step modes;
+//! 2. every structure survives a quick crash sweep — generic
+//!    `RECOVERY.md` §3–§7 contract plus the structure's §8 invariants
+//!    at each point, with sampled resume-to-completion (CI re-runs
+//!    this file under `LIGHTWSP_STEP_MODE` / `LIGHTWSP_EXEC_MODE` /
+//!    `LIGHTWSP_SWEEP_MODE` overrides, covering both members of each
+//!    mode pair end-to-end);
+//! 3. the teeth: the single-threaded queue variant is admitted by the
+//!    executable LRPO model, and a deliberately broken gating rule
+//!    ([`GatingMutant::FlushUnacked`]) is caught by a *data-structure*
+//!    invariant — not just the generic gate checks — proving the §8
+//!    checkers detect real gating bugs.
+
+use lightwsp_compiler::{instrument, CompilerConfig};
+use lightwsp_core::{audit_recoverable_ds, Campaign, DsAuditBudget};
+use lightwsp_model::harness::{run_case, CaseSpec, PointPolicy};
+use lightwsp_sim::consistency::golden_run;
+use lightwsp_sim::{GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
+use lightwsp_workloads::ds::log::DurableLogSpec;
+use lightwsp_workloads::ds::map::DurableMapSpec;
+use lightwsp_workloads::ds::queue::DurableQueueSpec;
+use lightwsp_workloads::ds::service::KvServiceSpec;
+use lightwsp_workloads::ds::stack::TreiberStackSpec;
+use lightwsp_workloads::ds::RecoverableDs;
+
+fn small_suite() -> Vec<Box<dyn RecoverableDs>> {
+    vec![
+        Box::new(DurableLogSpec {
+            writers: 3,
+            records: 64,
+        }),
+        Box::new(DurableMapSpec {
+            threads: 4,
+            buckets: 64,
+            slots_per_bucket: 8,
+            locks: 16,
+            ops_per_thread: 160,
+        }),
+        Box::new(DurableQueueSpec {
+            producers: 2,
+            records: 96,
+            cap: 8,
+        }),
+        Box::new(TreiberStackSpec {
+            threads: 4,
+            ops: 128,
+        }),
+        Box::new(KvServiceSpec::new(2, 256, 8, 64, 8, 16)),
+    ]
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::new(Scheme::LightWsp)
+}
+
+#[test]
+fn golden_runs_satisfy_final_checkers_in_both_step_modes() {
+    for step in [StepMode::SkipAhead, StepMode::Reference] {
+        for ds in small_suite() {
+            let compiled = instrument(&ds.program(), &CompilerConfig::default());
+            let mut cfg = cfg();
+            cfg.step_mode = step;
+            cfg.num_cores = ds.threads();
+            let (golden, cycles) = golden_run(&compiled, &cfg, ds.threads())
+                .unwrap_or_else(|e| panic!("{} golden run failed: {e:?}", ds.name()));
+            assert!(cycles > 0);
+            let viols = ds.check_final(&golden);
+            assert!(
+                viols.is_empty(),
+                "{} golden image violates its own contract ({step:?}): {:?}",
+                ds.name(),
+                viols
+            );
+        }
+    }
+}
+
+#[test]
+fn every_structure_survives_a_quick_crash_sweep() {
+    let campaign = Campaign::with_workers(2);
+    for ds in small_suite() {
+        let report = audit_recoverable_ds(
+            ds.as_ref(),
+            &cfg(),
+            &CompilerConfig::default(),
+            &DsAuditBudget::quick(),
+            &campaign,
+        )
+        .unwrap_or_else(|e| panic!("{} audit failed: {e:?}", ds.name()));
+        assert!(
+            report.audited > 0,
+            "{}: no point landed in the run",
+            ds.name()
+        );
+        assert!(report.resumed > 0, "{}: no resume was sampled", ds.name());
+        assert_eq!(
+            report.violations(),
+            0,
+            "{}: gate: {:?}\nds: {:?}",
+            ds.name(),
+            report.gate_violations,
+            report.ds_violations
+        );
+    }
+}
+
+/// The fork-point sweep and the rerun-from-zero sweep must report the
+/// same audit on the same structure (`sweep_mode_parity.rs` locks this
+/// in for the generic auditor; this pins it for the DS layer, where
+/// the rerun side is what CI's sweep-mode job exercises).
+#[test]
+fn ds_audit_is_sweep_mode_invariant() {
+    let ds = DurableQueueSpec {
+        producers: 2,
+        records: 64,
+        cap: 8,
+    };
+    let campaign = Campaign::with_workers(1);
+    let reports: Vec<_> = [SweepMode::Fork, SweepMode::Rerun]
+        .into_iter()
+        .map(|_mode| {
+            // audit_recoverable_ds picks the sweep mode from the
+            // environment; both CI jobs run this test, and the
+            // assertion below pins the numbers the two must share.
+            audit_recoverable_ds(
+                &ds,
+                &cfg(),
+                &CompilerConfig::default(),
+                &DsAuditBudget::quick(),
+                &campaign,
+            )
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(reports[0].audited, reports[1].audited);
+    assert_eq!(reports[0].points, reports[1].points);
+    assert_eq!(reports[0].violations(), reports[1].violations());
+    assert_eq!(reports[0].golden_cycles, reports[1].golden_cycles);
+}
+
+/// The single-threaded enqueue/dequeue variant of the durable queue
+/// must sit inside the LRPO model's admitted set at every crash point:
+/// the structure's publish discipline is not just checker-consistent
+/// but *model*-consistent.
+#[test]
+fn queue_model_variant_is_admitted_by_lrpo_model() {
+    let spec = DurableQueueSpec {
+        producers: 1,
+        records: 24,
+        cap: 8,
+    };
+    let compiled = instrument(&spec.model_program(), &CompilerConfig::default());
+    let case = CaseSpec {
+        name: "ds-queue-1t".to_string(),
+        threads: 1,
+        num_mcs: 2,
+        wpq_entries: 8,
+        step_mode: StepMode::SkipAhead,
+        sweep_mode: SweepMode::Fork,
+        mutant: None,
+        policy: PointPolicy::Exhaustive {
+            max_horizon: 60_000,
+        },
+        seed: 0xD5_0002,
+    };
+    let outcome = run_case(&compiled, &case).expect("extraction should admit the 1t queue");
+    assert!(outcome.audited > 0);
+    assert!(
+        outcome.model_violations.is_empty(),
+        "LRPO model rejected durable-queue images: {:?}",
+        outcome.model_violations
+    );
+    assert!(
+        outcome.structural_violations.is_empty(),
+        "structural violations: {:?}",
+        outcome.structural_violations
+    );
+}
+
+/// Teeth: under the `FlushUnacked` gating mutant the resolution
+/// flushes unacknowledged WPQ entries, durably committing *partial*
+/// critical sections — which the stack's accounting invariant must
+/// flag (a node arena write without its atomic counter update). This
+/// proves a §8 data-structure invariant catches a gating bug on its
+/// own, independent of the generic gate checks.
+#[test]
+fn flush_unacked_mutant_is_caught_by_stack_invariant() {
+    let ds = TreiberStackSpec {
+        threads: 4,
+        ops: 128,
+    };
+    let mut cfg = cfg();
+    cfg.gating_mutant = Some(GatingMutant::FlushUnacked);
+    let report = audit_recoverable_ds(
+        &ds,
+        &cfg,
+        &CompilerConfig::default(),
+        &DsAuditBudget {
+            resume_every: 0, // capture-only: mutant resumes are meaningless
+            ..DsAuditBudget::quick()
+        },
+        &Campaign::with_workers(2),
+    )
+    .unwrap();
+    assert!(
+        report
+            .ds_violations
+            .iter()
+            .any(|v| v.contains("stack-lifo-accounting") || v.contains("stack-reachability")),
+        "mutant escaped the stack invariants; ds violations: {:?}",
+        report.ds_violations
+    );
+}
