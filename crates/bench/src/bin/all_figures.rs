@@ -1,208 +1,37 @@
 //! Regenerates every table and figure of the paper's evaluation into
-//! `results/`, fanning all simulations across one shared [`Campaign`]
-//! (so baselines and compilations are reused across figures). Run with
-//! `--quick` for a fast smoke pass; set `LIGHTWSP_THREADS` to pin the
-//! worker count and `LIGHTWSP_STEP_MODE` to force a stepper.
+//! `results/`, fanning all simulations across one shared
+//! [`Campaign`](lightwsp_core::Campaign) and writing the
+//! machine-readable `BENCH_eval.json` (per-run records, step-mode and
+//! exec-mode timing sections, campaign metadata).
 //!
-//! Also writes `BENCH_eval.json`: one machine-readable record per
-//! Fig. 7 run (workload, scheme, cycles, wall-clock ms, threads),
-//! campaign metadata — worker count, per-phase wall-clock, the speedup
-//! of the `--quick` fig07+fig11 subset over the recorded serial
-//! pre-optimization baseline — the step-mode section: every
-//! Fig. 7/Fig. 11 single-thread cell timed under both `StepMode`s with
-//! batch and per-cell-geomean speedups of the event-driven skip-ahead
-//! core over the per-cycle reference stepper — and the exec-mode
-//! section: the dispatch-level kernel speedups of the decoded micro-op
-//! engine over the tree-walking interpreter plus every Fig. 7
-//! single-thread cell timed (and parity-checked) under both
-//! `ExecMode`s.
+//! Flags and environment:
 //!
-//! [`Campaign`]: lightwsp_core::Campaign
-use lightwsp_bench::{emit, emit_text, execmode, figures, stepmode};
-use lightwsp_core::{Campaign, ExperimentOptions, Job, Scheme};
-use lightwsp_workloads::all_workloads;
-use std::fmt::Write as _;
-use std::time::Instant;
-
-/// Serial, pre-optimization (SipHash maps, per-word memory, no shared
-/// caches, one thread, per-cycle stepping) wall-clock of the
-/// fig07+fig11 `--quick` subset on the reference container (1 core):
-/// 4.39 s + 5.29 s. The acceptance speedup in `BENCH_eval.json` is
-/// measured against this.
-const SERIAL_SEED_FIG07_FIG11_QUICK_S: f64 = 9.68;
-
-/// Wall-clock of the fig07+fig11 generators at the `--quick` budget on
-/// a fresh campaign — the subset the serial-seed baseline recorded.
-fn quick_subset_wall_s() -> f64 {
-    let opts = ExperimentOptions::quick();
-    let c = Campaign::new();
-    let t0 = Instant::now();
-    let _ = figures::fig07(&c, &opts);
-    let _ = figures::fig11(&c, &opts);
-    t0.elapsed().as_secs_f64()
-}
+//! * `--quick` — reduced instruction budget for smoke runs;
+//! * `--filter=<p,p,...>` (or `LIGHTWSP_FILTER`) — run only the
+//!   sections whose id contains a pattern (`fig07`…`fig18`, `tab02`,
+//!   `cam`, `regions`, `hwcost`, `runs`, `stepmode`, `execmode`);
+//!   `w:<pat>` narrows the per-run matrix by workload name;
+//! * `LIGHTWSP_STORE=<dir>` — attach the persistent result store:
+//!   cells whose configuration and code digests match are served
+//!   instead of re-simulated, making warm re-runs regenerate
+//!   `BENCH_eval.json` byte-identically (bar the `"cache"` line) in a
+//!   fraction of the cold wall-clock;
+//! * `LIGHTWSP_THREADS`, `LIGHTWSP_STEP_MODE`, `LIGHTWSP_EXEC_MODE`,
+//!   `LIGHTWSP_DIGEST_SALT` as everywhere else.
+//!
+//! The heavy lifting lives in [`lightwsp_bench::evalrun`].
+use lightwsp_bench::evalrun::{run_eval, EvalOptions};
 
 fn main() {
-    let opts = lightwsp_bench::common_options();
-    let quick = std::env::args().any(|a| a == "--quick");
-    let c = lightwsp_bench::campaign();
-    let t0 = Instant::now();
-    emit(&figures::fig07(&c, &opts));
-    let fig07_s = t0.elapsed().as_secs_f64();
-    let t_fig11 = Instant::now();
-    emit(&figures::fig11(&c, &opts));
-    let fig11_s = t_fig11.elapsed().as_secs_f64();
-    emit(&figures::fig08(&c, &opts));
-    emit(&figures::fig09(&c, &opts));
-    emit(&figures::fig10(&c, &opts));
-    emit(&figures::fig12(&c, &opts));
-    emit(&figures::fig13(&c, &opts));
-    emit(&figures::fig14(&c, &opts));
-    emit(&figures::fig15(&c, &opts));
-    let (fig16, overflow) = figures::fig16(&c, &opts);
-    emit(&fig16);
-    emit_text("secVF5_overflow", &overflow);
-    emit(&figures::fig17(&c, &opts));
-    emit(&figures::fig18(&c, &opts));
-    emit(&figures::tab02(&c, &opts));
-    emit_text("secVG2_cam", &figures::tab_cam());
-    emit_text("secVG3_regions", &figures::tab_region_stats(&c, &opts));
-    emit_text("secVG4_hwcost", &figures::tab_hw_cost());
-    let total_s = t0.elapsed().as_secs_f64();
-
-    // Per-run benchmark records over the Fig. 7 matrix. The campaign's
-    // caches are warm from the figure passes, so these wall-clocks
-    // reflect the simulate-only cost of each (workload, scheme) cell.
-    let schemes = [Scheme::Capri, Scheme::Ppa, Scheme::LightWsp];
-    let jobs: Vec<Job> = all_workloads()
-        .iter()
-        .flat_map(|w| schemes.iter().map(|&s| Job::new(&opts, w, s)))
-        .collect();
-    let timed = c.run_many_timed(&jobs);
-
-    // The serial-seed acceptance baseline was captured on the `--quick`
-    // fig07+fig11 subset; in a full run that subset is measured
-    // separately (a few extra seconds) so the field is never null.
-    let quick_subset_s = if quick {
-        fig07_s + fig11_s
-    } else {
-        quick_subset_wall_s()
-    };
-    let seed_speedup = SERIAL_SEED_FIG07_FIG11_QUICK_S / quick_subset_s.max(1e-9);
-
-    // Step-mode comparison: every Fig. 7 / Fig. 11 single-thread cell
-    // timed under the per-cycle reference stepper and the event-driven
-    // skip-ahead core (best-of-5, machine run only, cycle-checked; the
-    // high rep count suppresses scheduling noise on small cells).
-    eprintln!("timing step modes over the fig07+fig11 single-thread cells...");
-    let cells = stepmode::fig07_fig11_cells(&opts);
-    let timings = stepmode::compare_cells(&cells, 5);
-    let summary = stepmode::summarize(&timings);
-
-    // Exec-mode comparison: the dispatch-level kernels (bare engines on
-    // the pure-compute dense variants — where the ≥2x acceptance bar
-    // lives) and every Fig. 7 single-thread cell under both exec modes
-    // (parity-checked, best-of-5). See the execmode module docs for the
-    // two-level design.
-    eprintln!("timing exec modes (dispatch kernels + fig07 single-thread cells)...");
-    let kernels = execmode::dispatch_kernels(60_000, 20);
-    let dispatch_geomean = execmode::dispatch_geomean(&kernels);
-    let exec_cells = execmode::fig07_cells(&opts);
-    let exec_timings = execmode::compare_cells(&exec_cells, 5);
-    let exec_summary = execmode::summarize(&exec_timings);
-
-    let mut json = String::from("{\n");
-    let _ = write!(
-        json,
-        "  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"total_wall_s\": {:.3},\n    \"fig07_wall_s\": {:.3},\n    \"fig11_wall_s\": {:.3},\n    \"serial_seed_fig07_fig11_quick_s\": {:.2},\n    \"quick_subset_wall_s\": {:.3},\n    \"speedup_fig07_fig11_vs_serial_seed\": {:.2},\n    \"stepmode_cells\": {},\n    \"stepmode_fig07_fig11_reference_s\": {:.3},\n    \"stepmode_fig07_fig11_skip_ahead_s\": {:.3},\n    \"skip_ahead_speedup_fig07_fig11\": {:.2},\n    \"skip_ahead_geomean_speedup_cells\": {:.2},\n    \"exec_dispatch_geomean_speedup\": {:.2},\n    \"execmode_cells\": {},\n    \"execmode_fig07_reference_s\": {:.3},\n    \"execmode_fig07_decoded_s\": {:.3},\n    \"decoded_geomean_speedup_cells\": {:.2},\n    \"decoded_dense_geomean_speedup\": {:.2}\n  }},\n",
-        c.workers(),
-        quick,
-        total_s,
-        fig07_s,
-        fig11_s,
-        SERIAL_SEED_FIG07_FIG11_QUICK_S,
-        quick_subset_s,
-        seed_speedup,
-        summary.cells,
-        summary.reference_s,
-        summary.skip_ahead_s,
-        summary.batch_speedup,
-        summary.geomean_speedup,
-        dispatch_geomean,
-        exec_summary.cells,
-        exec_summary.reference_s,
-        exec_summary.decoded_s,
-        exec_summary.geomean_speedup,
-        exec_summary.dense_geomean_speedup,
-    );
-    json.push_str("  \"runs\": [\n");
-    for (i, (r, wall_ms)) in timed.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \"wall_ms\": {:.3}, \"threads\": {}}}{}",
-            r.workload,
-            r.scheme.name(),
-            r.stats.cycles,
-            wall_ms,
-            r.threads,
-            if i + 1 < timed.len() { "," } else { "" },
-        );
-    }
-    json.push_str("  ],\n  \"step_mode_runs\": [\n");
-    for (i, t) in timings.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"figure\": \"{}\", \"workload\": \"{}\", \"scheme\": \"{}\", \"cycles\": {}, \"reference_ms\": {:.3}, \"skip_ahead_ms\": {:.3}, \"speedup\": {:.2}}}{}",
-            t.figure,
-            t.workload,
-            t.scheme.name(),
-            t.cycles,
-            t.reference_s * 1e3,
-            t.skip_ahead_s * 1e3,
-            t.speedup(),
-            if i + 1 < timings.len() { "," } else { "" },
-        );
-    }
-    json.push_str("  ],\n  \"exec_dispatch_kernels\": [\n");
-    for (i, k) in kernels.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"workload\": \"{}\", \"insts\": {}, \"tree_ms\": {:.3}, \"decoded_ms\": {:.3}, \"speedup\": {:.2}}}{}",
-            k.workload,
-            k.insts,
-            k.tree_s * 1e3,
-            k.decoded_s * 1e3,
-            k.speedup(),
-            if i + 1 < kernels.len() { "," } else { "" },
-        );
-    }
-    json.push_str("  ],\n  \"exec_mode_runs\": [\n");
-    for (i, t) in exec_timings.iter().enumerate() {
-        let _ = writeln!(
-            json,
-            "    {{\"figure\": \"{}\", \"workload\": \"{}\", \"scheme\": \"{}\", \"compute_dense\": {}, \"cycles\": {}, \"reference_ms\": {:.3}, \"decoded_ms\": {:.3}, \"speedup\": {:.2}}}{}",
-            t.figure,
-            t.workload,
-            t.scheme.name(),
-            t.compute_dense,
-            t.cycles,
-            t.reference_s * 1e3,
-            t.decoded_s * 1e3,
-            t.speedup(),
-            if i + 1 < exec_timings.len() { "," } else { "" },
-        );
-    }
-    json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write("BENCH_eval.json", &json) {
+    let eo = EvalOptions::from_env_args();
+    let summary = run_eval(&eo);
+    if let Err(e) = std::fs::write("BENCH_eval.json", &summary.json) {
         eprintln!("warning: could not write BENCH_eval.json: {e}");
     }
-    eprintln!(
-        "all figures regenerated in {total_s:.1}s ({} workers; fig07 {fig07_s:.1}s, fig11 {fig11_s:.1}s; skip-ahead {:.2}x batch / {:.2}x geomean over {} cells; decoded dispatch {:.2}x geomean, dense cells {:.2}x geomean)",
-        c.workers(),
-        summary.batch_speedup,
-        summary.geomean_speedup,
-        summary.cells,
-        dispatch_geomean,
-        exec_summary.dense_geomean_speedup,
-    );
+    if let Some(store) = &eo.store {
+        if let Err(e) = store.flush() {
+            eprintln!("warning: could not flush result store: {e}");
+        }
+    }
+    eprintln!("{}", summary.headline);
 }

@@ -17,10 +17,17 @@
 //! Writes `results/crash_audit.txt` plus machine-readable
 //! `BENCH_crash.json` (one record per workload×config cell). `--quick`
 //! shrinks the matrix and point budget for CI; `LIGHTWSP_THREADS` pins
-//! the worker count and `LIGHTWSP_SWEEP_MODE` the matrix sweep mode.
-use lightwsp_bench::sweepmode::{compare_sweep, dense_points};
-use lightwsp_core::recovery::{audit_workload_crashes, AuditBudget};
-use lightwsp_core::{Experiment, Scheme, SimConfig};
+//! the worker count, `LIGHTWSP_SWEEP_MODE` the matrix sweep mode, and
+//! `LIGHTWSP_STORE` attaches the persistent result store — warm
+//! re-runs on unchanged code serve every cell (audit reports, sweep
+//! timings, wall-clocks) from the store.
+use lightwsp_bench::evalrun::cache_line;
+use lightwsp_core::cache::{f64_bits, f64_from_bits};
+use lightwsp_core::recovery::{audit_workload_crashes_cached, AuditBudget};
+use lightwsp_core::{
+    digest_debug, memo_value, Experiment, JsonWriter, ResultStore, Scheme, SimConfig, StoreKey,
+    TextRecord,
+};
 use lightwsp_sim::{CrashPointKind, GatingMutant, SweepMode};
 use lightwsp_workloads::workload;
 use std::fmt::Write as _;
@@ -88,14 +95,18 @@ fn main() {
     } else {
         &["hmmer", "mcf", "xz", "vacation", "radix"]
     };
-    let c = lightwsp_bench::campaign();
+    let store = lightwsp_bench::store();
+    let store = store.as_ref();
+    let mut c = lightwsp_bench::campaign();
+    if let Some(s) = store {
+        c.attach_store(s.clone());
+    }
     let t0 = Instant::now();
 
     let mut out = String::from("== RECOVERY.md audit — seeded & derived crash-point sweep ==\n");
-    let mut json_cells = String::new();
+    let mut cells = Vec::new();
     let mut violations_total = 0usize;
     let mut audited_total = 0usize;
-    let mut first_cell = true;
     for name in workloads {
         let mut w = workload(name).expect("known workload");
         if w.threads > 4 {
@@ -103,8 +114,16 @@ fn main() {
         }
         for config in &CONFIGS {
             let cfg = (config.build)(&opts.sim);
-            let rep = match audit_workload_crashes(&w, &opts, &cfg, &budget, &c) {
-                Ok(rep) => rep,
+            let rep = match audit_workload_crashes_cached(
+                store,
+                config.name,
+                &w,
+                &opts,
+                &cfg,
+                &budget,
+                &c,
+            ) {
+                Ok((rep, _hit)) => rep,
                 Err(e) => {
                     let _ = writeln!(out, "{name:<10} {:<16} GOLDEN RUN FAILED: {e}", config.name);
                     violations_total += 1;
@@ -129,30 +148,7 @@ fn main() {
             for v in rep.violations.iter().take(5) {
                 let _ = writeln!(out, "    VIOLATION {v}");
             }
-            let by_kind: Vec<String> = CrashPointKind::ALL
-                .iter()
-                .enumerate()
-                .map(|(i, k)| format!("\"{}\": {}", k.name(), rep.audited_by_kind[i]))
-                .collect();
-            let _ = write!(
-                json_cells,
-                "{}    {{\"workload\": \"{name}\", \"config\": \"{}\", \"points\": {}, \
-                 \"audited\": {}, \"beyond_end\": {}, \"violations\": {}, \
-                 \"entries_flushed\": {}, \"entries_discarded\": {}, \"undo_rolled_back\": {}, \
-                 \"golden_cycles\": {}, \"audited_by_kind\": {{{}}}}}",
-                if first_cell { "" } else { ",\n" },
-                config.name,
-                rep.points,
-                rep.audited,
-                rep.beyond_end,
-                rep.violations.len(),
-                rep.entries_flushed,
-                rep.entries_discarded,
-                rep.undo_rolled_back,
-                rep.golden_cycles,
-                by_kind.join(", "),
-            );
-            first_cell = false;
+            cells.push((name.to_string(), config.name, rep));
         }
     }
 
@@ -162,9 +158,17 @@ fn main() {
     let mut mutant_cfg = (CONFIGS[0].build)(&opts.sim);
     mutant_cfg.gating_mutant = Some(GatingMutant::FlushUnacked);
     let w = workload(workloads[0]).expect("known workload");
-    let mutant_violations = audit_workload_crashes(&w, &opts, &mutant_cfg, &budget, &c)
-        .map(|rep| rep.violations.len())
-        .unwrap_or(usize::MAX); // golden-run error under a mutant counts as caught
+    let mutant_violations = audit_workload_crashes_cached(
+        store,
+        "LightWSP+FlushUnacked",
+        &w,
+        &opts,
+        &mutant_cfg,
+        &budget,
+        &c,
+    )
+    .map(|(rep, _)| rep.violations.len())
+    .unwrap_or(usize::MAX); // golden-run error under a mutant counts as caught
     let mutant_caught = mutant_violations > 0;
     let _ = writeln!(
         out,
@@ -176,31 +180,85 @@ fn main() {
     // Fork-sweep engine benchmark: a dense capture-only sweep (cut +
     // structural check at every point, no resume — the exhaustive-model
     // shape where rerun's O(P·H) prefix replay dominates), timed in
-    // both sweep modes with a per-point digest cross-check.
+    // both sweep modes with a per-point digest cross-check. The whole
+    // stage is one memoized record: its wall-clocks are only meaningful
+    // measured cold, and the recorded speedup is what the acceptance
+    // assert checks on a warm pass.
     let (cap_per_kind, dense_seeded) = if quick { (8, 60) } else { (64, 540) };
-    let sweep_cfg = {
-        let mut c = (CONFIGS[0].build)(&opts.sim);
-        c.num_cores = 1;
-        c
-    };
-    let sweep_w = workload("hmmer").expect("known workload");
-    let compiled = Experiment::new(opts.clone()).compile(&sweep_w, sweep_cfg.scheme);
-    let (points, horizon) =
-        dense_points(&compiled, &sweep_cfg, 1, cap_per_kind, dense_seeded, 0x5EE9);
-    let sweep = compare_sweep(&compiled, &sweep_cfg, 1, &points);
-    violations_total += sweep.fork.violations + sweep.rerun.violations;
+    let sweep_rec = memo_value(
+        store,
+        &StoreKey::new(
+            "section",
+            "densesweep",
+            "hmmer",
+            digest_debug(&(&opts, cap_per_kind, dense_seeded, 0x5EE9u64)),
+            0,
+            store.map_or(0, ResultStore::code),
+        ),
+        |s| {
+            let rec = TextRecord::decode(s)?;
+            for f in ["fork_wall_s", "rerun_wall_s"] {
+                rec.f64(f)?;
+            }
+            for f in ["points", "audited", "horizon", "violations", "identical"] {
+                rec.num::<u64>(f)?;
+            }
+            Ok(rec)
+        },
+        TextRecord::encode,
+        || {
+            use lightwsp_bench::sweepmode::{compare_sweep, dense_points};
+            let sweep_cfg = {
+                let mut c = (CONFIGS[0].build)(&opts.sim);
+                c.num_cores = 1;
+                c
+            };
+            let sweep_w = workload("hmmer").expect("known workload");
+            let compiled = Experiment::new(opts.clone()).compile(&sweep_w, sweep_cfg.scheme);
+            let (points, horizon) =
+                dense_points(&compiled, &sweep_cfg, 1, cap_per_kind, dense_seeded, 0x5EE9);
+            let sweep = compare_sweep(&compiled, &sweep_cfg, 1, &points);
+            let mut rec = TextRecord::default();
+            rec.set("points", sweep.fork.points);
+            rec.set("audited", sweep.fork.audited);
+            rec.set("horizon", horizon);
+            rec.set("violations", sweep.fork.violations + sweep.rerun.violations);
+            rec.set("identical", u64::from(sweep.identical()));
+            rec.set_f64("fork_wall_s", sweep.fork.wall_s);
+            rec.set_f64("rerun_wall_s", sweep.rerun.wall_s);
+            rec
+        },
+    )
+    .0;
+    let fork_wall_s = sweep_rec.f64("fork_wall_s").unwrap_or(0.0);
+    let rerun_wall_s = sweep_rec.f64("rerun_wall_s").unwrap_or(0.0);
+    let sweep_speedup = rerun_wall_s / fork_wall_s.max(1e-12);
+    let sweep_identical = sweep_rec.num::<u64>("identical").unwrap_or(0) == 1;
+    let horizon = sweep_rec.num::<u64>("horizon").unwrap_or(0);
+    violations_total += sweep_rec.num::<usize>("violations").unwrap_or(0);
     let _ = writeln!(
         out,
         "sweep-engine: hmmer dense capture sweep, {} points over {horizon} cycles: \
-         fork {:.3}s, rerun {:.3}s, speedup {:.1}x (states identical: {})",
-        sweep.fork.points,
-        sweep.fork.wall_s,
-        sweep.rerun.wall_s,
-        sweep.speedup(),
-        sweep.identical(),
+         fork {fork_wall_s:.3}s, rerun {rerun_wall_s:.3}s, speedup {sweep_speedup:.1}x \
+         (states identical: {sweep_identical})",
+        sweep_rec.num::<u64>("points").unwrap_or(0),
     );
 
-    let total_s = t0.elapsed().as_secs_f64();
+    let total_s = memo_value(
+        store,
+        &StoreKey::new(
+            "metawall",
+            "crash-audit-wall",
+            "wall",
+            digest_debug(&(&opts, quick)),
+            0,
+            store.map_or(0, ResultStore::code),
+        ),
+        |s| f64_from_bits(s.trim()),
+        |v| f64_bits(*v),
+        || t0.elapsed().as_secs_f64(),
+    )
+    .0;
     let _ = writeln!(
         out,
         "total: {audited_total} crash points audited, {violations_total} violations, {total_s:.1}s ({} workers)",
@@ -208,29 +266,61 @@ fn main() {
     );
     lightwsp_bench::emit_text("crash_audit", &out);
 
-    let json = format!(
-        "{{\n  \"meta\": {{\n    \"threads\": {},\n    \"quick\": {},\n    \"seeded_per_cell\": {},\n    \"derived_cap_per_kind\": {},\n    \"seed\": {},\n    \"sweep_mode\": \"{}\",\n    \"total_wall_s\": {:.3},\n    \"audited_total\": {},\n    \"violations_total\": {},\n    \"mutant_flush_unacked_caught\": {}\n  }},\n  \"sweep\": {{\n    \"workload\": \"hmmer\",\n    \"points\": {},\n    \"audited\": {},\n    \"horizon_cycles\": {},\n    \"fork_wall_s\": {:.4},\n    \"rerun_wall_s\": {:.4},\n    \"speedup\": {:.2},\n    \"states_identical\": {}\n  }},\n  \"cells\": [\n{}\n  ]\n}}\n",
-        c.workers(),
-        quick,
-        budget.seeded,
-        budget.derived_per_kind,
-        budget.seed,
-        SweepMode::from_env().name(),
-        total_s,
-        audited_total,
-        violations_total,
-        mutant_caught,
-        sweep.fork.points,
-        sweep.fork.audited,
-        horizon,
-        sweep.fork.wall_s,
-        sweep.rerun.wall_s,
-        sweep.speedup(),
-        sweep.identical(),
-        json_cells,
-    );
-    if let Err(e) = std::fs::write("BENCH_crash.json", &json) {
+    let mut jw = JsonWriter::new();
+    jw.object("meta");
+    jw.field("threads", c.workers());
+    jw.field("quick", quick);
+    jw.field("seeded_per_cell", budget.seeded);
+    jw.field("derived_cap_per_kind", budget.derived_per_kind);
+    jw.field("seed", budget.seed);
+    jw.field_str("sweep_mode", SweepMode::from_env().name());
+    jw.field("total_wall_s", format_args!("{total_s:.3}"));
+    jw.field("audited_total", audited_total);
+    jw.field("violations_total", violations_total);
+    jw.field("mutant_flush_unacked_caught", mutant_caught);
+    jw.field("cache", cache_line(&c));
+    jw.close();
+    jw.object("sweep");
+    jw.field_str("workload", "hmmer");
+    jw.field("points", sweep_rec.num::<u64>("points").unwrap_or(0));
+    jw.field("audited", sweep_rec.num::<u64>("audited").unwrap_or(0));
+    jw.field("horizon_cycles", horizon);
+    jw.field("fork_wall_s", format_args!("{fork_wall_s:.4}"));
+    jw.field("rerun_wall_s", format_args!("{rerun_wall_s:.4}"));
+    jw.field("speedup", format_args!("{sweep_speedup:.2}"));
+    jw.field("states_identical", sweep_identical);
+    jw.close();
+    jw.array("cells");
+    for (wname, cname, rep) in &cells {
+        let by_kind: Vec<String> = CrashPointKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("\"{}\": {}", k.name(), rep.audited_by_kind[i]))
+            .collect();
+        jw.elem(&format!(
+            "{{\"workload\": \"{wname}\", \"config\": \"{cname}\", \"points\": {}, \
+             \"audited\": {}, \"beyond_end\": {}, \"violations\": {}, \
+             \"entries_flushed\": {}, \"entries_discarded\": {}, \"undo_rolled_back\": {}, \
+             \"golden_cycles\": {}, \"audited_by_kind\": {{{}}}}}",
+            rep.points,
+            rep.audited,
+            rep.beyond_end,
+            rep.violations.len(),
+            rep.entries_flushed,
+            rep.entries_discarded,
+            rep.undo_rolled_back,
+            rep.golden_cycles,
+            by_kind.join(", "),
+        ));
+    }
+    jw.close();
+    if let Err(e) = std::fs::write("BENCH_crash.json", jw.finish()) {
         eprintln!("warning: could not write BENCH_crash.json: {e}");
+    }
+    if let Some(s) = store {
+        if let Err(e) = s.flush() {
+            eprintln!("warning: could not flush result store: {e}");
+        }
     }
     assert_eq!(
         violations_total, 0,
@@ -241,8 +331,7 @@ fn main() {
         "auditor missed the FlushUnacked gating mutant — invariants are vacuous"
     );
     assert!(
-        sweep.speedup() > 1.0,
-        "fork sweep mode did not beat rerun ({:.2}x)",
-        sweep.speedup()
+        sweep_speedup > 1.0,
+        "fork sweep mode did not beat rerun ({sweep_speedup:.2}x)"
     );
 }

@@ -16,18 +16,26 @@
 //!    the replayed op-stream oracle at every sampled resume.
 //! 3. **LRPO admittance** — the single-threaded variant of every
 //!    structure must sit inside the executable persistency model's
-//!    admitted set at every crash point ([`run_case`]).
+//!    admitted set at every crash point
+//!    ([`run_case`](lightwsp_model::run_case)).
 //! 4. **Teeth** — the `FlushUnacked` gating mutant must be flagged by
 //!    a *data-structure* invariant (a §8 checker, not just the
 //!    generic gate checks).
 //!
 //! `--quick` shrinks the service run and point budgets for CI;
 //! `LIGHTWSP_THREADS`, `LIGHTWSP_STEP_MODE`, `LIGHTWSP_EXEC_MODE` and
-//! `LIGHTWSP_SWEEP_MODE` apply as everywhere else.
+//! `LIGHTWSP_SWEEP_MODE` apply as everywhere else, and
+//! `LIGHTWSP_STORE` attaches the persistent result store — warm
+//! re-runs on unchanged code serve every audit cell, model case and
+//! wall-clock from the store.
 
+use lightwsp_bench::evalrun::cache_line;
 use lightwsp_compiler::{instrument, CompilerConfig};
-use lightwsp_core::dsaudit::{audit_recoverable_ds, DsAuditBudget, DsAuditReport};
-use lightwsp_model::harness::{run_case, CaseSpec, PointPolicy};
+use lightwsp_core::cache::{f64_bits, f64_from_bits};
+use lightwsp_core::dsaudit::{audit_recoverable_ds_cached, DsAuditBudget};
+use lightwsp_core::oracle::run_case_cached;
+use lightwsp_core::{digest_debug, memo_value, DsCellRecord, JsonWriter, ResultStore, StoreKey};
+use lightwsp_model::harness::{CaseSpec, PointPolicy};
 use lightwsp_sim::{GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
 use lightwsp_workloads::ds::log::DurableLogSpec;
 use lightwsp_workloads::ds::map::DurableMapSpec;
@@ -46,23 +54,52 @@ fn base_cfg() -> SimConfig {
 }
 
 struct Cell {
-    report: DsAuditReport,
+    report: DsCellRecord,
     ops: u64,
     wall_s: f64,
 }
 
+/// One store-cached structure sweep: the audit cell and its cold
+/// wall-clock are both memoized (the stored wall is what the JSON
+/// reports on a warm pass).
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     out: &mut String,
+    store: Option<&ResultStore>,
     ds: &dyn RecoverableDs,
+    ds_digest: u64,
     ops: u64,
     cfg: &SimConfig,
     budget: &DsAuditBudget,
     campaign: &lightwsp_core::Campaign,
 ) -> Cell {
     let t0 = Instant::now();
-    let report = audit_recoverable_ds(ds, cfg, &CompilerConfig::default(), budget, campaign)
-        .unwrap_or_else(|e| panic!("{}: golden run failed: {e:?}", ds.name()));
-    let wall_s = t0.elapsed().as_secs_f64();
+    let (report, _hit) = audit_recoverable_ds_cached(
+        store,
+        ds,
+        cfg,
+        &CompilerConfig::default(),
+        budget,
+        campaign,
+        ds_digest,
+    )
+    .unwrap_or_else(|e| panic!("{}: golden run failed: {e:?}", ds.name()));
+    let measured = t0.elapsed().as_secs_f64();
+    let wall_s = memo_value(
+        store,
+        &StoreKey::new(
+            "metawall",
+            report.name.clone(),
+            "ds-wall",
+            digest_debug(&(ds_digest, cfg, budget)),
+            0,
+            store.map_or(0, ResultStore::code),
+        ),
+        |s| f64_from_bits(s.trim()),
+        |v| f64_bits(*v),
+        || measured,
+    )
+    .0;
     let _ = writeln!(
         out,
         "{:<14} threads={:<2} ops={:<8} golden_cycles={:<9} points={:<4} audited={:<4} \
@@ -90,28 +127,15 @@ fn sweep(
     }
 }
 
-fn cell_json(c: &Cell) -> String {
-    format!(
-        "{{\"structure\": \"{}\", \"ops\": {}, \"golden_cycles\": {}, \"points\": {}, \
-         \"audited\": {}, \"beyond_end\": {}, \"resumed\": {}, \"gate_violations\": {}, \
-         \"ds_violations\": {}, \"wall_s\": {:.3}}}",
-        c.report.name,
-        c.ops,
-        c.report.golden_cycles,
-        c.report.points,
-        c.report.audited,
-        c.report.beyond_end,
-        c.report.resumed,
-        c.report.gate_violations.len(),
-        c.report.ds_violations.len(),
-        c.wall_s,
-    )
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = base_cfg();
-    let campaign = lightwsp_bench::campaign();
+    let store = lightwsp_bench::store();
+    let store = store.as_ref();
+    let mut campaign = lightwsp_bench::campaign();
+    if let Some(s) = store {
+        campaign.attach_store(s.clone());
+    }
     let t0 = Instant::now();
     let mut out = String::from(
         "== Recoverable PM data-structure suite + KV/queue service (docs/DATASTRUCTURES.md) ==\n",
@@ -154,10 +178,46 @@ fn main() {
         ops: stk_n,
     };
     let mut cells = vec![
-        sweep(&mut out, &log, 4 * log_n, &cfg, &unit_budget, &campaign),
-        sweep(&mut out, &map, 4 * map_n, &cfg, &unit_budget, &campaign),
-        sweep(&mut out, &queue, 2 * 3 * q_n, &cfg, &unit_budget, &campaign),
-        sweep(&mut out, &stack, 4 * stk_n, &cfg, &unit_budget, &campaign),
+        sweep(
+            &mut out,
+            store,
+            &log,
+            digest_debug(&log),
+            4 * log_n,
+            &cfg,
+            &unit_budget,
+            &campaign,
+        ),
+        sweep(
+            &mut out,
+            store,
+            &map,
+            digest_debug(&map),
+            4 * map_n,
+            &cfg,
+            &unit_budget,
+            &campaign,
+        ),
+        sweep(
+            &mut out,
+            store,
+            &queue,
+            digest_debug(&queue),
+            2 * 3 * q_n,
+            &cfg,
+            &unit_budget,
+            &campaign,
+        ),
+        sweep(
+            &mut out,
+            store,
+            &stack,
+            digest_debug(&stack),
+            4 * stk_n,
+            &cfg,
+            &unit_budget,
+            &campaign,
+        ),
     ];
 
     // Stage 2: the service headline — ≥1M ops, ≥500 audited points.
@@ -179,9 +239,22 @@ fn main() {
     if !quick {
         svc_cfg.max_cycles = svc_cfg.max_cycles.max(400_000_000);
     }
+    // Digest the construction knobs, not the spec itself: the spec
+    // caches derived state in a `HashMap`, whose `Debug` order is
+    // process-random and would defeat the store key.
+    let svc_digest = digest_debug(&(
+        service.clients,
+        service.ops_per_client,
+        service.cap,
+        service.buckets,
+        service.slots_per_bucket,
+        service.locks,
+    ));
     let svc = sweep(
         &mut out,
+        store,
         &service,
+        svc_digest,
         svc_ops,
         &svc_cfg,
         &service_budget,
@@ -194,48 +267,45 @@ fn main() {
 
     // Stage 3: LRPO-model admittance of the single-threaded variants.
     let model_n = if quick { 16 } else { 32 };
-    let singles: Vec<(String, lightwsp_ir::Program)> = vec![
-        (
-            "log-1t".into(),
-            DurableLogSpec {
+    let singles: Vec<(String, lightwsp_ir::Program, u64)> = vec![
+        {
+            let s = DurableLogSpec {
                 writers: 1,
                 records: model_n,
-            }
-            .program(),
-        ),
-        (
-            "map-1t".into(),
-            DurableMapSpec {
+            };
+            ("log-1t".into(), s.program(), digest_debug(&s))
+        },
+        {
+            let s = DurableMapSpec {
                 threads: 1,
                 buckets: 16,
                 slots_per_bucket: 4,
                 locks: 8,
                 ops_per_thread: model_n,
-            }
-            .program(),
-        ),
-        (
-            "queue-1t".into(),
-            DurableQueueSpec {
+            };
+            ("map-1t".into(), s.program(), digest_debug(&s))
+        },
+        {
+            let s = DurableQueueSpec {
                 producers: 1,
                 records: model_n,
                 cap: 8,
-            }
-            .model_program(),
-        ),
-        (
-            "stack-1t".into(),
-            TreiberStackSpec {
+            };
+            ("queue-1t".into(), s.model_program(), digest_debug(&s))
+        },
+        {
+            let s = TreiberStackSpec {
                 threads: 1,
                 ops: model_n,
-            }
-            .program(),
-        ),
+            };
+            ("stack-1t".into(), s.program(), digest_debug(&s))
+        },
     ];
-    let mut model_cells = String::new();
+    let mut model_records = Vec::new();
     let mut model_violations = 0usize;
-    for (i, (name, program)) in singles.iter().enumerate() {
-        let compiled = instrument(program, &CompilerConfig::default());
+    for (name, program, spec_digest) in &singles {
+        let ccfg = CompilerConfig::default();
+        let compiled = instrument(program, &ccfg);
         let case = CaseSpec {
             name: name.clone(),
             threads: 1,
@@ -249,9 +319,10 @@ fn main() {
             },
             seed: 0xD5_0002,
         };
-        let o = run_case(&compiled, &case)
-            .unwrap_or_else(|e| panic!("{name}: model extraction failed: {e:?}"));
-        model_violations += o.model_violations.len() + o.structural_violations.len();
+        let (o, _hit) =
+            run_case_cached(store, &compiled, &case, digest_debug(&(spec_digest, &ccfg)))
+                .unwrap_or_else(|e| panic!("{name}: model extraction failed: {e:?}"));
+        model_violations += o.violations();
         let _ = writeln!(
             out,
             "model {:<10} points={:<5} audited={:<5} admitted={:<8} witnessed={:<5} \
@@ -264,19 +335,7 @@ fn main() {
             o.model_violations.len(),
             o.structural_violations.len(),
         );
-        let _ = write!(
-            model_cells,
-            "{}    {{\"case\": \"{}\", \"points\": {}, \"audited\": {}, \"admitted\": {}, \
-             \"witnessed\": {}, \"model_violations\": {}, \"structural_violations\": {}}}",
-            if i == 0 { "" } else { ",\n" },
-            o.name,
-            o.points,
-            o.audited,
-            o.admitted,
-            o.witnessed,
-            o.model_violations.len(),
-            o.structural_violations.len(),
-        );
+        model_records.push(o);
     }
 
     // Stage 4: teeth — a gating bug must trip a §8 DS invariant.
@@ -286,7 +345,8 @@ fn main() {
         threads: 4,
         ops: if quick { 128 } else { 1024 },
     };
-    let teeth = audit_recoverable_ds(
+    let teeth = audit_recoverable_ds_cached(
+        store,
         &teeth_stack,
         &mutant_cfg,
         &CompilerConfig::default(),
@@ -295,8 +355,9 @@ fn main() {
             ..unit_budget
         },
         &campaign,
+        digest_debug(&teeth_stack),
     )
-    .map(|r| {
+    .map(|(r, _)| {
         r.ds_violations
             .iter()
             .filter(|v| v.contains("stack-"))
@@ -311,7 +372,21 @@ fn main() {
         teeth,
     );
 
-    let total_s = t0.elapsed().as_secs_f64();
+    let total_s = memo_value(
+        store,
+        &StoreKey::new(
+            "metawall",
+            "ds-service-wall",
+            "wall",
+            digest_debug(&(&cfg, quick)),
+            0,
+            store.map_or(0, ResultStore::code),
+        ),
+        |s| f64_from_bits(s.trim()),
+        |v| f64_bits(*v),
+        || t0.elapsed().as_secs_f64(),
+    )
+    .0;
     let _ = writeln!(
         out,
         "total: service {svc_ops} ops / {svc_audited} crash audits; \
@@ -321,27 +396,60 @@ fn main() {
     );
     lightwsp_bench::emit_text("ds_service", &out);
 
-    let cells_json: Vec<String> = cells.iter().map(cell_json).collect();
-    let json = format!(
-        "{{\n  \"meta\": {{\n    \"quick\": {},\n    \"workers\": {},\n    \
-         \"sweep_mode\": \"{}\",\n    \"service_ops\": {},\n    \"service_audited\": {},\n    \
-         \"violations_total\": {},\n    \"model_violations\": {},\n    \
-         \"mutant_flush_unacked_caught_by_ds\": {},\n    \"total_wall_s\": {:.3}\n  }},\n  \
-         \"structures\": [\n    {}\n  ],\n  \"model\": [\n{}\n  ]\n}}\n",
-        quick,
-        campaign.workers(),
-        SweepMode::from_env().name(),
-        svc_ops,
-        svc_audited,
-        violations_total,
-        model_violations,
-        mutant_caught,
-        total_s,
-        cells_json.join(",\n    "),
-        model_cells,
-    );
-    if let Err(e) = std::fs::write("BENCH_ds.json", &json) {
+    let mut jw = JsonWriter::new();
+    jw.object("meta");
+    jw.field("quick", quick);
+    jw.field("workers", campaign.workers());
+    jw.field_str("sweep_mode", SweepMode::from_env().name());
+    jw.field("service_ops", svc_ops);
+    jw.field("service_audited", svc_audited);
+    jw.field("violations_total", violations_total);
+    jw.field("model_violations", model_violations);
+    jw.field("mutant_flush_unacked_caught_by_ds", mutant_caught);
+    jw.field("total_wall_s", format_args!("{total_s:.3}"));
+    jw.field("cache", cache_line(&campaign));
+    jw.close();
+    jw.array("structures");
+    for c in &cells {
+        jw.elem(&format!(
+            "{{\"structure\": \"{}\", \"ops\": {}, \"golden_cycles\": {}, \"points\": {}, \
+             \"audited\": {}, \"beyond_end\": {}, \"resumed\": {}, \"gate_violations\": {}, \
+             \"ds_violations\": {}, \"wall_s\": {:.3}}}",
+            c.report.name,
+            c.ops,
+            c.report.golden_cycles,
+            c.report.points,
+            c.report.audited,
+            c.report.beyond_end,
+            c.report.resumed,
+            c.report.gate_violations.len(),
+            c.report.ds_violations.len(),
+            c.wall_s,
+        ));
+    }
+    jw.close();
+    jw.array("model");
+    for o in &model_records {
+        jw.elem(&format!(
+            "{{\"case\": \"{}\", \"points\": {}, \"audited\": {}, \"admitted\": {}, \
+             \"witnessed\": {}, \"model_violations\": {}, \"structural_violations\": {}}}",
+            o.name,
+            o.points,
+            o.audited,
+            o.admitted,
+            o.witnessed,
+            o.model_violations.len(),
+            o.structural_violations.len(),
+        ));
+    }
+    jw.close();
+    if let Err(e) = std::fs::write("BENCH_ds.json", jw.finish()) {
         eprintln!("warning: could not write BENCH_ds.json: {e}");
+    }
+    if let Some(s) = store {
+        if let Err(e) = s.flush() {
+            eprintln!("warning: could not flush result store: {e}");
+        }
     }
 
     assert_eq!(

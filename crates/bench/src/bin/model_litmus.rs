@@ -15,13 +15,23 @@
 //! 3. a seeded fuzz sweep (≥ 2000 generated programs by default, 200
 //!    under `--quick`) at mechanism-derived plus seeded crash points.
 //!
-//! Writes `results/model_litmus.txt` and exits non-zero on any
-//! admitted-set violation, structural violation, unkilled mutant, or
-//! fork/rerun divergence — the CI gate for the persistency model.
+//! Writes `results/model_litmus.txt` plus machine-readable
+//! `BENCH_model.json` and exits non-zero on any admitted-set
+//! violation, structural violation, unkilled mutant, or fork/rerun
+//! divergence — the CI gate for the persistency model.
+//! `LIGHTWSP_STORE` attaches the persistent result store: sweeps,
+//! matrices and wall-clocks are served from it on a warm re-run.
 
+use lightwsp_bench::evalrun::cache_line;
 use lightwsp_bench::sweepmode::compare_sweep;
-use lightwsp_core::oracle::{mutant_name, ALL_MUTANTS};
-use lightwsp_core::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, CaseOutcome, SweepReport};
+use lightwsp_core::cache::{f64_bits, f64_from_bits};
+use lightwsp_core::oracle::{
+    fuzz_sweep_cached, litmus_sweep_cached, mutant_kill_matrix_cached, ALL_MUTANTS,
+};
+use lightwsp_core::{
+    digest_debug, memo_value, CaseRecord, JsonWriter, ResultStore, StoreKey, SweepRecord,
+    TextRecord,
+};
 use lightwsp_model::harness::sim_config;
 use lightwsp_model::{litmus_suite, CaseSpec, PointPolicy};
 use lightwsp_sim::{CrashInjector, CrashPoint, CrashPointKind, StepMode, SweepMode};
@@ -31,7 +41,7 @@ use std::time::Instant;
 /// Fixed fuzz seed: CI and the paper artifact reproduce bit-identically.
 const FUZZ_SEED: u64 = 0x11BD_57A7;
 
-fn summarize(out: &mut String, label: &str, mode: StepMode, rep: &SweepReport) {
+fn summarize(out: &mut String, label: &str, mode: StepMode, rep: &SweepRecord) {
     let _ = writeln!(
         out,
         "{label:<8} ({:<10}) cases={:<5} points={:<7} audited={:<7} admitted={:<7} \
@@ -61,21 +71,43 @@ fn summarize(out: &mut String, label: &str, mode: StepMode, rep: &SweepReport) {
 
 /// True if two case outcomes are identical field-for-field — the
 /// fork/rerun parity predicate (violation strings included).
-fn same_outcome(a: &CaseOutcome, b: &CaseOutcome) -> bool {
-    a.name == b.name
-        && a.points == b.points
-        && a.audited == b.audited
-        && a.admitted == b.admitted
-        && a.witnessed == b.witnessed
-        && a.witnessed_cross_thread == b.witnessed_cross_thread
-        && a.model_violations == b.model_violations
-        && a.structural_violations == b.structural_violations
+fn same_outcome(a: &CaseRecord, b: &CaseRecord) -> bool {
+    a == b
+}
+
+fn memo_wall(
+    store: Option<&ResultStore>,
+    name: &str,
+    config: u64,
+    measured: impl FnOnce() -> f64,
+) -> f64 {
+    let key = StoreKey::new(
+        "metawall",
+        name,
+        "wall",
+        config,
+        0,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_value(
+        store,
+        &key,
+        |s| f64_from_bits(s.trim()),
+        |v| f64_bits(*v),
+        measured,
+    )
+    .0
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let fuzz_count: u64 = if quick { 200 } else { 2400 };
-    let c = lightwsp_core::Campaign::new();
+    let store = lightwsp_bench::store();
+    let store = store.as_ref();
+    let mut c = lightwsp_core::Campaign::new();
+    if let Some(s) = store {
+        c.attach_store(s.clone());
+    }
     let t0 = Instant::now();
     let mut out = String::from("== LRPO model oracle — litmus & fuzz differential sweep ==\n");
     let mut violations = 0usize;
@@ -86,19 +118,22 @@ fn main() {
     // rerun-from-zero mode over the same points. The outcomes must be
     // identical; the wall-clock ratio is the fork engine's speedup on
     // the exhaustive sweeps (each point's pre-crash state costs one COW
-    // fork instead of an O(H) prefix replay).
+    // fork instead of an O(H) prefix replay). Each (step, sweep) sweep
+    // is one stored record; the per-sweep-mode wall-clocks are
+    // memoized alongside, so the speedup assert passes on the cold
+    // measurement whenever the cells are served warm.
     let mut litmus_wall = [0.0f64; 2];
-    let mut fork_outcomes: Vec<Vec<CaseOutcome>> = Vec::new();
+    let mut fork_reports: Vec<SweepRecord> = Vec::new();
     for (si, sweep) in [SweepMode::Fork, SweepMode::Rerun].into_iter().enumerate() {
         let ts = Instant::now();
         for (mi, mode) in [StepMode::SkipAhead, StepMode::Reference]
             .into_iter()
             .enumerate()
         {
-            let (rep, outcomes) = litmus_sweep(&c, mode, sweep);
+            let (rep, _hit) = litmus_sweep_cached(store, &c, mode, sweep);
             if sweep == SweepMode::Fork {
                 summarize(&mut out, "litmus", mode, &rep);
-                for o in &outcomes {
+                for o in &rep.outcomes {
                     let _ = writeln!(
                         out,
                         "    {:<24} points={:<5} audited={:<5} admitted={:<4} witnessed={:<4} \
@@ -109,19 +144,20 @@ fn main() {
                         o.admitted,
                         o.witnessed,
                         o.overapprox(),
-                        o.model_violations.len() + o.structural_violations.len(),
+                        o.violations(),
                     );
                 }
                 violations += rep.violations();
                 extract_errors += rep.extract_errors.len();
-                fork_outcomes.push(outcomes);
+                fork_reports.push(rep);
             } else {
-                let diverged = fork_outcomes[mi]
+                let fork = &fork_reports[mi].outcomes;
+                let diverged = fork
                     .iter()
-                    .zip(&outcomes)
+                    .zip(&rep.outcomes)
                     .filter(|(a, b)| !same_outcome(a, b))
                     .count()
-                    + fork_outcomes[mi].len().abs_diff(outcomes.len());
+                    + fork.len().abs_diff(rep.outcomes.len());
                 assert_eq!(
                     diverged,
                     0,
@@ -131,7 +167,12 @@ fn main() {
                 );
             }
         }
-        litmus_wall[si] = ts.elapsed().as_secs_f64();
+        let name = if si == 0 {
+            "litmus-wall-fork"
+        } else {
+            "litmus-wall-rerun"
+        };
+        litmus_wall[si] = memo_wall(store, name, 0, || ts.elapsed().as_secs_f64());
     }
     let litmus_speedup = litmus_wall[1] / litmus_wall[0].max(1e-12);
     let _ = writeln!(
@@ -147,68 +188,96 @@ fn main() {
     // part the fork engine actually replaces — delivering the pre-crash
     // machine state at every cycle of every litmus — where rerun pays
     // the O(P·H) prefix replay and fork pays O(H) once. Digests are
-    // cross-checked point-by-point inside `compare_sweep`.
-    let mut dense_fork_s = 0.0f64;
-    let mut dense_rerun_s = 0.0f64;
-    let mut dense_points = 0usize;
-    let suite = litmus_suite();
-    for l in &suite {
-        let spec = CaseSpec {
-            name: l.name.to_string(),
-            threads: l.threads,
-            num_mcs: l.num_mcs,
-            wpq_entries: l.wpq_entries,
-            step_mode: StepMode::SkipAhead,
-            sweep_mode: SweepMode::Fork,
-            mutant: None,
-            policy: PointPolicy::Exhaustive { max_horizon: 4096 },
-            seed: 0x11735,
-        };
-        let cfg = sim_config(&spec);
-        let injector = CrashInjector::new(&l.compiled, cfg.clone(), l.threads);
-        let (_, horizon) = injector.derived_points(1);
-        let raw: Vec<CrashPoint> = (1..horizon)
-            .map(|cycle| CrashPoint {
-                cycle,
-                kind: CrashPointKind::Seeded,
-            })
-            .collect();
-        let pts = CrashInjector::prepare_points(&raw);
-        let cmp = compare_sweep(&l.compiled, &cfg, l.threads, &pts);
-        dense_fork_s += cmp.fork.wall_s;
-        dense_rerun_s += cmp.rerun.wall_s;
-        dense_points += pts.len();
-    }
+    // cross-checked point-by-point inside `compare_sweep`. One memoized
+    // record for the whole stage.
+    let dense = memo_value(
+        store,
+        &StoreKey::new(
+            "section",
+            "densecapture",
+            "litmus-suite",
+            0,
+            0,
+            store.map_or(0, ResultStore::code),
+        ),
+        |s| {
+            let rec = TextRecord::decode(s)?;
+            rec.num::<u64>("points")?;
+            rec.num::<u64>("litmuses")?;
+            rec.f64("fork_s")?;
+            rec.f64("rerun_s")?;
+            Ok(rec)
+        },
+        TextRecord::encode,
+        || {
+            let mut fork_s = 0.0f64;
+            let mut rerun_s = 0.0f64;
+            let mut points = 0usize;
+            let suite = litmus_suite();
+            for l in &suite {
+                let spec = CaseSpec {
+                    name: l.name.to_string(),
+                    threads: l.threads,
+                    num_mcs: l.num_mcs,
+                    wpq_entries: l.wpq_entries,
+                    step_mode: StepMode::SkipAhead,
+                    sweep_mode: SweepMode::Fork,
+                    mutant: None,
+                    policy: PointPolicy::Exhaustive { max_horizon: 4096 },
+                    seed: 0x11735,
+                };
+                let cfg = sim_config(&spec);
+                let injector = CrashInjector::new(&l.compiled, cfg.clone(), l.threads);
+                let (_, horizon) = injector.derived_points(1);
+                let raw: Vec<CrashPoint> = (1..horizon)
+                    .map(|cycle| CrashPoint {
+                        cycle,
+                        kind: CrashPointKind::Seeded,
+                    })
+                    .collect();
+                let pts = CrashInjector::prepare_points(&raw);
+                let cmp = compare_sweep(&l.compiled, &cfg, l.threads, &pts);
+                fork_s += cmp.fork.wall_s;
+                rerun_s += cmp.rerun.wall_s;
+                points += pts.len();
+            }
+            let mut rec = TextRecord::default();
+            rec.set("points", points);
+            rec.set("litmuses", suite.len());
+            rec.set_f64("fork_s", fork_s);
+            rec.set_f64("rerun_s", rerun_s);
+            rec
+        },
+    )
+    .0;
+    let dense_fork_s = dense.f64("fork_s").unwrap_or(0.0);
+    let dense_rerun_s = dense.f64("rerun_s").unwrap_or(0.0);
+    let dense_points = dense.num::<u64>("points").unwrap_or(0);
     let dense_speedup = dense_rerun_s / dense_fork_s.max(1e-12);
     let _ = writeln!(
         out,
         "sweep-engine: dense per-cycle capture sweep ({} litmuses, {dense_points} points): \
          fork {dense_fork_s:.2}s, rerun {dense_rerun_s:.2}s, speedup {dense_speedup:.1}x \
          (states identical)",
-        suite.len(),
+        dense.num::<u64>("litmuses").unwrap_or(0),
     );
 
     // Stage 2: mutant kill matrix (skip-ahead + fork; step modes are
     // bit-identical and the litmus stage already covers both, sweep
     // modes likewise via the stage-1 parity check).
-    let matrix = mutant_kill_matrix(&c, StepMode::SkipAhead, SweepMode::Fork);
+    let (matrix, _hit) = mutant_kill_matrix_cached(store, &c, StepMode::SkipAhead, SweepMode::Fork);
     let mut unkilled = 0usize;
     for mk in &matrix {
-        let detectors: Vec<String> = mk
-            .killed_by
-            .iter()
-            .map(|(l, d)| format!("{l}/{d}"))
-            .collect();
         let _ = writeln!(
             out,
             "mutant {:<18} {} ({} detections: {})",
-            mutant_name(mk.mutant),
+            mk.mutant,
             if mk.killed() { "KILLED" } else { "SURVIVED" },
             mk.killed_by.len(),
-            if detectors.is_empty() {
+            if mk.killed_by.is_empty() {
                 "-".to_string()
             } else {
-                detectors.join(", ")
+                mk.killed_by.join(", ")
             },
         );
         if !mk.killed() {
@@ -218,23 +287,100 @@ fn main() {
 
     // Stage 3: fuzz sweep, both step modes (fork engine; fork/rerun
     // parity is enforced by stage 1 and `tests/sweep_mode_parity.rs`).
+    let mut fuzz_reports: Vec<(StepMode, SweepRecord)> = Vec::new();
     for mode in [StepMode::SkipAhead, StepMode::Reference] {
-        let rep = fuzz_sweep(&c, FUZZ_SEED, fuzz_count, mode, SweepMode::Fork);
+        let (rep, _hit) =
+            fuzz_sweep_cached(store, &c, FUZZ_SEED, fuzz_count, mode, SweepMode::Fork);
         summarize(&mut out, "fuzz", mode, &rep);
         violations += rep.violations();
         extract_errors += rep.extract_errors.len();
+        fuzz_reports.push((mode, rep));
     }
 
+    let total_s = memo_wall(store, "model-litmus-wall", digest_debug(&quick), || {
+        t0.elapsed().as_secs_f64()
+    });
     let _ = writeln!(
         out,
         "total: fuzz_seed={FUZZ_SEED:#x} fuzz_cases={fuzz_count}/mode, {violations} violations, \
          {extract_errors} extract errors, {unkilled} unkilled mutants, \
          litmus_audit_speedup={litmus_speedup:.1}x, \
-         dense_capture_speedup={dense_speedup:.1}x, {:.1}s ({} workers)",
-        t0.elapsed().as_secs_f64(),
+         dense_capture_speedup={dense_speedup:.1}x, {total_s:.1}s ({} workers)",
         c.workers(),
     );
     lightwsp_bench::emit_text("model_litmus", &out);
+
+    let mut jw = JsonWriter::new();
+    jw.object("meta");
+    jw.field("threads", c.workers());
+    jw.field("quick", quick);
+    jw.field("fuzz_seed", FUZZ_SEED);
+    jw.field("fuzz_cases_per_mode", fuzz_count);
+    jw.field("violations", violations);
+    jw.field("extract_errors", extract_errors);
+    jw.field("unkilled_mutants", unkilled);
+    jw.field("mutants_total", ALL_MUTANTS.len());
+    jw.field("litmus_fork_wall_s", format_args!("{:.4}", litmus_wall[0]));
+    jw.field("litmus_rerun_wall_s", format_args!("{:.4}", litmus_wall[1]));
+    jw.field("litmus_audit_speedup", format_args!("{litmus_speedup:.2}"));
+    jw.field("dense_points", dense_points);
+    jw.field("dense_fork_wall_s", format_args!("{dense_fork_s:.4}"));
+    jw.field("dense_rerun_wall_s", format_args!("{dense_rerun_s:.4}"));
+    jw.field("dense_capture_speedup", format_args!("{dense_speedup:.2}"));
+    jw.field("total_wall_s", format_args!("{total_s:.3}"));
+    jw.field("cache", cache_line(&c));
+    jw.close();
+    jw.array("litmus");
+    for o in &fork_reports[0].outcomes {
+        jw.elem(&format!(
+            "{{\"case\": \"{}\", \"points\": {}, \"audited\": {}, \"admitted\": {}, \
+             \"witnessed\": {}, \"overapprox\": {}, \"violations\": {}}}",
+            o.name,
+            o.points,
+            o.audited,
+            o.admitted,
+            o.witnessed,
+            o.overapprox(),
+            o.violations(),
+        ));
+    }
+    jw.close();
+    jw.array("mutants");
+    for mk in &matrix {
+        jw.elem(&format!(
+            "{{\"mutant\": \"{}\", \"killed\": {}, \"detections\": {}}}",
+            mk.mutant,
+            mk.killed(),
+            mk.killed_by.len(),
+        ));
+    }
+    jw.close();
+    jw.array("fuzz");
+    for (mode, rep) in &fuzz_reports {
+        jw.elem(&format!(
+            "{{\"step_mode\": \"{}\", \"cases\": {}, \"points\": {}, \"audited\": {}, \
+             \"admitted\": {}, \"witnessed\": {}, \"cross_thread\": {}, \"overapprox\": {}, \
+             \"violations\": {}}}",
+            mode.name(),
+            rep.cases,
+            rep.points,
+            rep.audited,
+            rep.admitted,
+            rep.witnessed,
+            rep.witnessed_cross_thread,
+            rep.overapprox(),
+            rep.violations(),
+        ));
+    }
+    jw.close();
+    if let Err(e) = std::fs::write("BENCH_model.json", jw.finish()) {
+        eprintln!("warning: could not write BENCH_model.json: {e}");
+    }
+    if let Some(s) = store {
+        if let Err(e) = s.flush() {
+            eprintln!("warning: could not flush result store: {e}");
+        }
+    }
 
     assert_eq!(
         violations, 0,

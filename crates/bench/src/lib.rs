@@ -33,9 +33,88 @@
 //! runs) and writes both stdout and `results/<id>.txt`.
 
 use lightwsp_core::report::Figure;
-use lightwsp_core::{Campaign, Experiment, ExperimentOptions};
+use lightwsp_core::{Campaign, Experiment, ExperimentOptions, ResultStore};
 use std::fs;
 use std::path::PathBuf;
+
+/// Opens the campaign result store named by the `LIGHTWSP_STORE`
+/// environment variable (a directory path, created on demand), or
+/// returns `None` when the variable is unset. An unopenable store is a
+/// warning, not an error — every bin degrades to compute-everything.
+pub fn store() -> Option<ResultStore> {
+    let dir = std::env::var("LIGHTWSP_STORE").ok()?;
+    if dir.is_empty() {
+        return None;
+    }
+    match ResultStore::open(&dir) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("warning: could not open result store {dir}: {e}");
+            None
+        }
+    }
+}
+
+/// Cell selection for `all_figures`: comma-separated patterns from
+/// `--filter=<p,p,...>` (or the `LIGHTWSP_FILTER` environment variable;
+/// the flag wins). A bare pattern selects every section whose id
+/// contains it (`fig07`, `fig11`, `tab02`, `cam`, `regions`, `hwcost`,
+/// `runs`, `stepmode`, `execmode`); a `w:<pat>` pattern additionally
+/// narrows the per-run benchmark matrix to workloads whose name
+/// contains `<pat>`. No patterns → everything runs.
+#[derive(Clone, Debug, Default)]
+pub struct Filter {
+    sections: Vec<String>,
+    workloads: Vec<String>,
+}
+
+impl Filter {
+    /// Parses a comma-separated pattern list.
+    pub fn parse(spec: &str) -> Filter {
+        let mut f = Filter::default();
+        for pat in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if let Some(w) = pat.strip_prefix("w:") {
+                f.workloads.push(w.to_string());
+            } else {
+                f.sections.push(pat.to_string());
+            }
+        }
+        f
+    }
+
+    /// Builds the filter from `--filter=` CLI flags and
+    /// `LIGHTWSP_FILTER`.
+    pub fn from_env_args() -> Filter {
+        let spec = std::env::args()
+            .find_map(|a| a.strip_prefix("--filter=").map(str::to_string))
+            .or_else(|| std::env::var("LIGHTWSP_FILTER").ok())
+            .unwrap_or_default();
+        Filter::parse(&spec)
+    }
+
+    /// True when section `id` should run.
+    pub fn section(&self, id: &str) -> bool {
+        self.sections.is_empty() || self.sections.iter().any(|p| id.contains(p.as_str()))
+    }
+
+    /// True when workload `name` belongs in the per-run matrix.
+    pub fn workload(&self, name: &str) -> bool {
+        self.workloads.is_empty() || self.workloads.iter().any(|p| name.contains(p.as_str()))
+    }
+
+    /// Canonical rendering (sorted, deduplicated) — the part of the
+    /// memoization keys that must not depend on pattern order.
+    pub fn normalized(&self) -> String {
+        let mut sections = self.sections.clone();
+        let mut workloads: Vec<String> = self.workloads.iter().map(|w| format!("w:{w}")).collect();
+        sections.sort();
+        sections.dedup();
+        workloads.sort();
+        workloads.dedup();
+        sections.extend(workloads);
+        sections.join(",")
+    }
+}
 
 /// Parses the common CLI flags (`--quick`) and the
 /// `LIGHTWSP_STEP_MODE` (`skip`/`reference`) and `LIGHTWSP_EXEC_MODE`
@@ -98,6 +177,7 @@ pub fn emit_text(id: &str, text: &str) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
 }
+pub mod evalrun;
 pub mod execmode;
 pub mod figures;
 pub mod stepmode;

@@ -1,0 +1,863 @@
+//! Digest-keyed result caching on top of [`lightwsp_store`].
+//!
+//! The store holds opaque string payloads; this module owns the codecs
+//! that turn the evaluation's result types into those payloads and
+//! back, plus the [`memo_record`] discipline every cached computation
+//! follows:
+//!
+//! * **errors are never cached** — a failed golden run or extraction is
+//!   recomputed every time;
+//! * **corrupt records fall back to recompute** — a record that fails
+//!   to decode (e.g. written by a future format) is treated as a miss
+//!   and overwritten, never trusted;
+//! * **wall-clock values are part of the record** — a warm run serves
+//!   the cold run's measured timings verbatim, which is what makes
+//!   `BENCH_*.json` byte-identical across warm re-runs.
+//!
+//! Record families (the `kind` field of [`StoreKey`]): `"run"` (whole
+//! simulation runs, written by [`Campaign`](crate::Campaign)),
+//! `"crashcell"` ([`CrashCellRecord`]), `"dscell"` ([`DsCellRecord`]),
+//! `"case"` ([`CaseRecord`]), `"sweeprep"` ([`SweepRecord`]),
+//! `"killmatrix"` ([`MutantKillRecord`] lists), `"section"` /
+//! `"metawall"` ([`TextRecord`], used by the `all_figures` harness for
+//! memoized timing sections and meta wall-clock fields).
+
+use crate::dsaudit::DsAuditReport;
+use lightwsp_model::harness::CaseOutcome;
+use lightwsp_sim::CrashAuditReport;
+use lightwsp_store::{ResultStore, StoreKey};
+use std::collections::BTreeMap;
+
+pub use lightwsp_store::{code_digest, code_digest_from_env, digest_debug, digest_str};
+
+/// Escapes whitespace and backslashes, so escaped strings are safe
+/// both as one-line list items and as `kv_line` values (which split on
+/// whitespace).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            ' ' => out.push_str("\\s"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`].
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('s') => out.push(' '),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Renders `name=value` pairs as one line (values must not contain
+/// whitespace; strings go through [`esc`] plus their own field rules).
+fn kv_line(pairs: &[(&str, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses a [`kv_line`].
+fn parse_kv(line: &str) -> Result<BTreeMap<&str, &str>, String> {
+    let mut map = BTreeMap::new();
+    for pair in line.split_whitespace() {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("malformed kv pair {pair:?}"))?;
+        map.insert(k, v);
+    }
+    Ok(map)
+}
+
+fn kv_get<T: std::str::FromStr>(map: &BTreeMap<&str, &str>, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    map.get(name)
+        .ok_or_else(|| format!("missing field {name}"))?
+        .parse()
+        .map_err(|e| format!("field {name}: {e}"))
+}
+
+/// Encodes an `f64` as its bit pattern (decoding is bit-exact; stored
+/// wall-clocks must reproduce the cold run's rendering digit-for-digit).
+pub fn f64_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`f64_bits`].
+pub fn f64_from_bits(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| format!("bad f64 bits {s:?}: {e}"))
+}
+
+/// The caching discipline: serve `key` from `store` when present and
+/// decodable, otherwise compute, record on success, and return. The
+/// boolean is `true` when the result came from the store. With no
+/// store, always computes.
+///
+/// # Errors
+///
+/// Propagates `compute`'s error (errors are never cached).
+pub fn memo_record<T, E>(
+    store: Option<&ResultStore>,
+    key: &StoreKey,
+    decode: impl Fn(&str) -> Result<T, String>,
+    encode: impl Fn(&T) -> String,
+    compute: impl FnOnce() -> Result<T, E>,
+) -> Result<(T, bool), E> {
+    if let Some(store) = store {
+        if let Some(raw) = store.get(key) {
+            if let Ok(v) = decode(&raw) {
+                return Ok((v, true));
+            }
+        }
+        let v = compute()?;
+        store.put(key.clone(), encode(&v));
+        Ok((v, false))
+    } else {
+        compute().map(|v| (v, false))
+    }
+}
+
+/// [`memo_record`] for infallible computations.
+pub fn memo_value<T>(
+    store: Option<&ResultStore>,
+    key: &StoreKey,
+    decode: impl Fn(&str) -> Result<T, String>,
+    encode: impl Fn(&T) -> String,
+    compute: impl FnOnce() -> T,
+) -> (T, bool) {
+    let r: Result<(T, bool), std::convert::Infallible> =
+        memo_record(store, key, decode, encode, || Ok(compute()));
+    match r {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+fn list_lines(out: &mut String, tag: &str, items: &[String]) {
+    for item in items {
+        out.push('\n');
+        out.push_str(tag);
+        out.push('\t');
+        out.push_str(&esc(item));
+    }
+}
+
+fn split_record(text: &str) -> (&str, Vec<(&str, String)>) {
+    let mut lines = text.lines();
+    let head = lines.next().unwrap_or("");
+    let items = lines
+        .filter_map(|l| l.split_once('\t').map(|(tag, v)| (tag, unesc(v))))
+        .collect();
+    (head, items)
+}
+
+fn take_list(items: &[(&str, String)], tag: &str) -> Vec<String> {
+    items
+        .iter()
+        .filter(|(t, _)| *t == tag)
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Crash-audit cells
+// ---------------------------------------------------------------------
+
+/// The stored shape of one crash-audit cell: everything
+/// `crash_audit`'s report/JSON emission reads from a
+/// [`CrashAuditReport`], with violations flattened to display strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrashCellRecord {
+    /// Points requested.
+    pub points: usize,
+    /// Points that actually interrupted the run.
+    pub audited: usize,
+    /// Points past the end of the run.
+    pub beyond_end: usize,
+    /// Audited points per crash-point kind.
+    pub audited_by_kind: [usize; 6],
+    /// Rendered invariant violations (empty = contract held).
+    pub violations: Vec<String>,
+    /// WPQ entries battery-flushed across audited failures.
+    pub entries_flushed: u64,
+    /// WPQ entries discarded across audited failures.
+    pub entries_discarded: u64,
+    /// Undo-log rollbacks applied across audited failures.
+    pub undo_rolled_back: u64,
+    /// Cycles of the failure-free golden run.
+    pub golden_cycles: u64,
+}
+
+impl From<&CrashAuditReport> for CrashCellRecord {
+    fn from(r: &CrashAuditReport) -> CrashCellRecord {
+        CrashCellRecord {
+            points: r.points,
+            audited: r.audited,
+            beyond_end: r.beyond_end,
+            audited_by_kind: r.audited_by_kind,
+            violations: r.violations.iter().map(|v| v.to_string()).collect(),
+            entries_flushed: r.entries_flushed,
+            entries_discarded: r.entries_discarded,
+            undo_rolled_back: r.undo_rolled_back,
+            golden_cycles: r.golden_cycles,
+        }
+    }
+}
+
+impl CrashCellRecord {
+    /// Serialises for the store.
+    pub fn encode(&self) -> String {
+        let mut out = kv_line(&[
+            ("points", self.points.to_string()),
+            ("audited", self.audited.to_string()),
+            ("beyond_end", self.beyond_end.to_string()),
+            (
+                "by_kind",
+                self.audited_by_kind
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            ("entries_flushed", self.entries_flushed.to_string()),
+            ("entries_discarded", self.entries_discarded.to_string()),
+            ("undo_rolled_back", self.undo_rolled_back.to_string()),
+            ("golden_cycles", self.golden_cycles.to_string()),
+        ]);
+        list_lines(&mut out, "v", &self.violations);
+        out
+    }
+
+    /// Parses [`CrashCellRecord::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or malformed field.
+    pub fn decode(text: &str) -> Result<CrashCellRecord, String> {
+        let (head, items) = split_record(text);
+        let map = parse_kv(head)?;
+        let by_kind_raw: String = kv_get(&map, "by_kind")?;
+        let mut audited_by_kind = [0usize; 6];
+        let parts: Vec<&str> = by_kind_raw.split(',').collect();
+        if parts.len() != 6 {
+            return Err(format!("by_kind needs 6 entries, got {}", parts.len()));
+        }
+        for (slot, p) in audited_by_kind.iter_mut().zip(parts) {
+            *slot = p.parse().map_err(|e| format!("by_kind: {e}"))?;
+        }
+        Ok(CrashCellRecord {
+            points: kv_get(&map, "points")?,
+            audited: kv_get(&map, "audited")?,
+            beyond_end: kv_get(&map, "beyond_end")?,
+            audited_by_kind,
+            violations: take_list(&items, "v"),
+            entries_flushed: kv_get(&map, "entries_flushed")?,
+            entries_discarded: kv_get(&map, "entries_discarded")?,
+            undo_rolled_back: kv_get(&map, "undo_rolled_back")?,
+            golden_cycles: kv_get(&map, "golden_cycles")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data-structure audit cells
+// ---------------------------------------------------------------------
+
+/// The stored shape of one recoverable-DS audit cell (see
+/// [`DsAuditReport`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsCellRecord {
+    /// Structure name.
+    pub name: String,
+    /// Points prepared.
+    pub points: usize,
+    /// Points audited.
+    pub audited: usize,
+    /// Points past the end of the run.
+    pub beyond_end: usize,
+    /// Audited points resumed to completion.
+    pub resumed: usize,
+    /// Cycles of the failure-free run.
+    pub golden_cycles: u64,
+    /// Generic recovery-contract violations, rendered.
+    pub gate_violations: Vec<String>,
+    /// Structure-invariant violations.
+    pub ds_violations: Vec<String>,
+}
+
+impl From<&DsAuditReport> for DsCellRecord {
+    fn from(r: &DsAuditReport) -> DsCellRecord {
+        DsCellRecord {
+            name: r.name.clone(),
+            points: r.points,
+            audited: r.audited,
+            beyond_end: r.beyond_end,
+            resumed: r.resumed,
+            golden_cycles: r.golden_cycles,
+            gate_violations: r.gate_violations.iter().map(|v| v.to_string()).collect(),
+            ds_violations: r.ds_violations.clone(),
+        }
+    }
+}
+
+impl DsCellRecord {
+    /// Total violation count (gate + structure).
+    pub fn violations(&self) -> usize {
+        self.gate_violations.len() + self.ds_violations.len()
+    }
+
+    /// Serialises for the store.
+    pub fn encode(&self) -> String {
+        let mut out = kv_line(&[
+            ("name", esc(&self.name)),
+            ("points", self.points.to_string()),
+            ("audited", self.audited.to_string()),
+            ("beyond_end", self.beyond_end.to_string()),
+            ("resumed", self.resumed.to_string()),
+            ("golden_cycles", self.golden_cycles.to_string()),
+        ]);
+        list_lines(&mut out, "g", &self.gate_violations);
+        list_lines(&mut out, "d", &self.ds_violations);
+        out
+    }
+
+    /// Parses [`DsCellRecord::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or malformed field.
+    pub fn decode(text: &str) -> Result<DsCellRecord, String> {
+        let (head, items) = split_record(text);
+        let map = parse_kv(head)?;
+        Ok(DsCellRecord {
+            name: unesc(map.get("name").ok_or("missing field name")?),
+            points: kv_get(&map, "points")?,
+            audited: kv_get(&map, "audited")?,
+            beyond_end: kv_get(&map, "beyond_end")?,
+            resumed: kv_get(&map, "resumed")?,
+            golden_cycles: kv_get(&map, "golden_cycles")?,
+            gate_violations: take_list(&items, "g"),
+            ds_violations: take_list(&items, "d"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model-oracle cases and sweep reports
+// ---------------------------------------------------------------------
+
+/// The stored shape of one model-harness [`CaseOutcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseRecord {
+    /// Case name.
+    pub name: String,
+    /// Crash points requested.
+    pub points: usize,
+    /// Points that actually interrupted the run.
+    pub audited: usize,
+    /// Size of the model's admitted set.
+    pub admitted: u128,
+    /// Distinct canonical images observed.
+    pub witnessed: usize,
+    /// Witnessed images with a cross-thread prefix combination.
+    pub witnessed_cross_thread: usize,
+    /// Images outside the admitted set.
+    pub model_violations: Vec<String>,
+    /// Structural invariant violations.
+    pub structural_violations: Vec<String>,
+}
+
+impl From<&CaseOutcome> for CaseRecord {
+    fn from(o: &CaseOutcome) -> CaseRecord {
+        CaseRecord {
+            name: o.name.clone(),
+            points: o.points,
+            audited: o.audited,
+            admitted: o.admitted,
+            witnessed: o.witnessed,
+            witnessed_cross_thread: o.witnessed_cross_thread,
+            model_violations: o.model_violations.clone(),
+            structural_violations: o.structural_violations.clone(),
+        }
+    }
+}
+
+impl CaseRecord {
+    /// Unwitnessed admitted images (see [`CaseOutcome::overapprox`]).
+    pub fn overapprox(&self) -> u128 {
+        self.admitted.saturating_sub(self.witnessed as u128)
+    }
+
+    /// Total violation count.
+    pub fn violations(&self) -> usize {
+        self.model_violations.len() + self.structural_violations.len()
+    }
+
+    /// Serialises for the store.
+    pub fn encode(&self) -> String {
+        let mut out = kv_line(&[
+            ("name", esc(&self.name)),
+            ("points", self.points.to_string()),
+            ("audited", self.audited.to_string()),
+            ("admitted", self.admitted.to_string()),
+            ("witnessed", self.witnessed.to_string()),
+            ("cross", self.witnessed_cross_thread.to_string()),
+        ]);
+        list_lines(&mut out, "m", &self.model_violations);
+        list_lines(&mut out, "s", &self.structural_violations);
+        out
+    }
+
+    /// Parses [`CaseRecord::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or malformed field.
+    pub fn decode(text: &str) -> Result<CaseRecord, String> {
+        let (head, items) = split_record(text);
+        let map = parse_kv(head)?;
+        Ok(CaseRecord {
+            name: unesc(map.get("name").ok_or("missing field name")?),
+            points: kv_get(&map, "points")?,
+            audited: kv_get(&map, "audited")?,
+            admitted: kv_get(&map, "admitted")?,
+            witnessed: kv_get(&map, "witnessed")?,
+            witnessed_cross_thread: kv_get(&map, "cross")?,
+            model_violations: take_list(&items, "m"),
+            structural_violations: take_list(&items, "s"),
+        })
+    }
+
+    /// Encodes a whole outcome list (one record per `#`-prefixed
+    /// block) — litmus sweeps store their per-case outcomes alongside
+    /// the aggregate.
+    pub fn encode_list(records: &[CaseRecord]) -> String {
+        records
+            .iter()
+            .map(|r| r.encode())
+            .collect::<Vec<_>>()
+            .join("\n#\n")
+    }
+
+    /// Parses [`CaseRecord::encode_list`] output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first malformed block.
+    pub fn decode_list(text: &str) -> Result<Vec<CaseRecord>, String> {
+        if text.is_empty() {
+            return Ok(Vec::new());
+        }
+        text.split("\n#\n").map(CaseRecord::decode).collect()
+    }
+}
+
+/// The stored shape of an aggregate
+/// [`SweepReport`](crate::SweepReport), with its per-case outcomes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRecord {
+    /// Cases run.
+    pub cases: usize,
+    /// Points requested across all cases.
+    pub points: usize,
+    /// Points audited.
+    pub audited: usize,
+    /// Sum of admitted-set sizes.
+    pub admitted: u128,
+    /// Distinct images witnessed.
+    pub witnessed: usize,
+    /// Cross-thread witnessed images.
+    pub witnessed_cross_thread: usize,
+    /// Model violations across the sweep.
+    pub model_violations: Vec<String>,
+    /// Structural violations across the sweep.
+    pub structural_violations: Vec<String>,
+    /// Extraction errors across the sweep.
+    pub extract_errors: Vec<String>,
+    /// Per-case outcomes (litmus sweeps; empty for fuzz).
+    pub outcomes: Vec<CaseRecord>,
+}
+
+impl SweepRecord {
+    /// Builds from an aggregate report plus optional outcomes.
+    pub fn new(rep: &crate::SweepReport, outcomes: &[CaseOutcome]) -> SweepRecord {
+        SweepRecord {
+            cases: rep.cases,
+            points: rep.points,
+            audited: rep.audited,
+            admitted: rep.admitted,
+            witnessed: rep.witnessed,
+            witnessed_cross_thread: rep.witnessed_cross_thread,
+            model_violations: rep.model_violations.clone(),
+            structural_violations: rep.structural_violations.clone(),
+            extract_errors: rep.extract_errors.clone(),
+            outcomes: outcomes.iter().map(CaseRecord::from).collect(),
+        }
+    }
+
+    /// Total violation count (model + structural).
+    pub fn violations(&self) -> usize {
+        self.model_violations.len() + self.structural_violations.len()
+    }
+
+    /// Unwitnessed admitted images.
+    pub fn overapprox(&self) -> u128 {
+        self.admitted.saturating_sub(self.witnessed as u128)
+    }
+
+    /// Serialises for the store.
+    pub fn encode(&self) -> String {
+        let mut out = kv_line(&[
+            ("cases", self.cases.to_string()),
+            ("points", self.points.to_string()),
+            ("audited", self.audited.to_string()),
+            ("admitted", self.admitted.to_string()),
+            ("witnessed", self.witnessed.to_string()),
+            ("cross", self.witnessed_cross_thread.to_string()),
+        ]);
+        list_lines(&mut out, "m", &self.model_violations);
+        list_lines(&mut out, "s", &self.structural_violations);
+        list_lines(&mut out, "e", &self.extract_errors);
+        out.push_str("\n##\n");
+        out.push_str(&CaseRecord::encode_list(&self.outcomes));
+        out
+    }
+
+    /// Parses [`SweepRecord::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or malformed field.
+    pub fn decode(text: &str) -> Result<SweepRecord, String> {
+        let (head_part, outcome_part) = match text.split_once("\n##\n") {
+            Some((h, o)) => (h, o),
+            None => (text, ""),
+        };
+        let (head, items) = split_record(head_part);
+        let map = parse_kv(head)?;
+        Ok(SweepRecord {
+            cases: kv_get(&map, "cases")?,
+            points: kv_get(&map, "points")?,
+            audited: kv_get(&map, "audited")?,
+            admitted: kv_get(&map, "admitted")?,
+            witnessed: kv_get(&map, "witnessed")?,
+            witnessed_cross_thread: kv_get(&map, "cross")?,
+            model_violations: take_list(&items, "m"),
+            structural_violations: take_list(&items, "s"),
+            extract_errors: take_list(&items, "e"),
+            outcomes: CaseRecord::decode_list(outcome_part)?,
+        })
+    }
+}
+
+/// One row of the stored mutant kill matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutantKillRecord {
+    /// Mutant name (see [`crate::oracle::mutant_name`]).
+    pub mutant: String,
+    /// `litmus/detector` strings that flagged it.
+    pub killed_by: Vec<String>,
+}
+
+impl From<&crate::oracle::MutantKill> for MutantKillRecord {
+    fn from(m: &crate::oracle::MutantKill) -> MutantKillRecord {
+        MutantKillRecord {
+            mutant: crate::oracle::mutant_name(m.mutant).to_string(),
+            killed_by: m
+                .killed_by
+                .iter()
+                .map(|(litmus, detector)| format!("{litmus}/{detector}"))
+                .collect(),
+        }
+    }
+}
+
+impl MutantKillRecord {
+    /// True if at least one litmus killed the mutant.
+    pub fn killed(&self) -> bool {
+        !self.killed_by.is_empty()
+    }
+
+    /// Serialises a whole matrix for the store.
+    pub fn encode_list(rows: &[MutantKillRecord]) -> String {
+        rows.iter()
+            .map(|r| {
+                let mut out = kv_line(&[("mutant", esc(&r.mutant))]);
+                list_lines(&mut out, "k", &r.killed_by);
+                out
+            })
+            .collect::<Vec<_>>()
+            .join("\n#\n")
+    }
+
+    /// Parses [`MutantKillRecord::encode_list`] output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first malformed row.
+    pub fn decode_list(text: &str) -> Result<Vec<MutantKillRecord>, String> {
+        if text.is_empty() {
+            return Ok(Vec::new());
+        }
+        text.split("\n#\n")
+            .map(|block| {
+                let (head, items) = split_record(block);
+                let map = parse_kv(head)?;
+                Ok(MutantKillRecord {
+                    mutant: unesc(map.get("mutant").ok_or("missing field mutant")?),
+                    killed_by: take_list(&items, "k"),
+                })
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Free-form sections (memoized timing blocks, meta wall-clocks)
+// ---------------------------------------------------------------------
+
+/// A stored record pairing named scalar fields with a free-form text
+/// body — the shape of `all_figures`' memoized timing sections (the
+/// body is the pre-rendered JSON array, the fields the summary numbers
+/// that feed `meta`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TextRecord {
+    /// Named scalar fields (stored verbatim; use [`f64_bits`] for
+    /// floats that must survive bit-exactly).
+    pub fields: BTreeMap<String, String>,
+    /// The text body.
+    pub text: String,
+}
+
+impl TextRecord {
+    /// Gets a field parsed via [`f64_from_bits`].
+    ///
+    /// # Errors
+    ///
+    /// Missing field or malformed bits.
+    pub fn f64(&self, name: &str) -> Result<f64, String> {
+        f64_from_bits(
+            self.fields
+                .get(name)
+                .ok_or_else(|| format!("missing {name}"))?,
+        )
+    }
+
+    /// Gets a field parsed with `FromStr`.
+    ///
+    /// # Errors
+    ///
+    /// Missing field or parse failure.
+    pub fn num<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.fields
+            .get(name)
+            .ok_or_else(|| format!("missing {name}"))?
+            .parse()
+            .map_err(|e| format!("field {name}: {e}"))
+    }
+
+    /// Sets a scalar field.
+    pub fn set(&mut self, name: &str, value: impl ToString) {
+        self.fields.insert(name.to_string(), value.to_string());
+    }
+
+    /// Sets an `f64` field bit-exactly.
+    pub fn set_f64(&mut self, name: &str, value: f64) {
+        self.set(name, f64_bits(value));
+    }
+
+    /// Serialises for the store.
+    pub fn encode(&self) -> String {
+        let pairs: Vec<(&str, String)> = self
+            .fields
+            .iter()
+            .map(|(k, v)| (k.as_str(), esc(v)))
+            .collect();
+        format!("{}\n--\n{}", kv_line(&pairs), self.text)
+    }
+
+    /// Parses [`TextRecord::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Malformed header line.
+    pub fn decode(text: &str) -> Result<TextRecord, String> {
+        let (head, body) = text
+            .split_once("\n--\n")
+            .ok_or("text record missing -- separator")?;
+        let fields = parse_kv(head)?
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), unesc(v)))
+            .collect();
+        Ok(TextRecord {
+            fields,
+            text: body.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_cell_roundtrip() {
+        let r = CrashCellRecord {
+            points: 10,
+            audited: 8,
+            beyond_end: 2,
+            audited_by_kind: [1, 2, 3, 0, 1, 1],
+            violations: vec!["bad\nnews".into(), "worse\ttabs".into()],
+            entries_flushed: 100,
+            entries_discarded: 7,
+            undo_rolled_back: 3,
+            golden_cycles: 123_456,
+        };
+        assert_eq!(CrashCellRecord::decode(&r.encode()).unwrap(), r);
+        assert!(CrashCellRecord::decode("points=1").is_err());
+    }
+
+    #[test]
+    fn ds_cell_roundtrip() {
+        let r = DsCellRecord {
+            name: "kv service".into(),
+            points: 500,
+            audited: 480,
+            beyond_end: 20,
+            resumed: 24,
+            golden_cycles: 9_999_999,
+            gate_violations: vec![],
+            ds_violations: vec!["stack-lost-op @cycle 42".into()],
+        };
+        assert_eq!(DsCellRecord::decode(&r.encode()).unwrap(), r);
+        assert_eq!(r.violations(), 1);
+    }
+
+    #[test]
+    fn sweep_record_roundtrip_with_outcomes() {
+        let case = CaseRecord {
+            name: "mp+boundary".into(),
+            points: 100,
+            audited: 90,
+            admitted: u128::from(u64::MAX) * 3,
+            witnessed: 40,
+            witnessed_cross_thread: 5,
+            model_violations: vec![],
+            structural_violations: vec!["gate flushed early".into()],
+        };
+        let r = SweepRecord {
+            cases: 1,
+            points: 100,
+            audited: 90,
+            admitted: case.admitted,
+            witnessed: 40,
+            witnessed_cross_thread: 5,
+            model_violations: vec!["img outside set".into()],
+            structural_violations: vec![],
+            extract_errors: vec![],
+            outcomes: vec![case],
+        };
+        let d = SweepRecord::decode(&r.encode()).unwrap();
+        assert_eq!(d, r);
+        assert_eq!(d.violations(), 1);
+        assert!(d.overapprox() > 0);
+    }
+
+    #[test]
+    fn kill_matrix_roundtrip() {
+        let rows = vec![
+            MutantKillRecord {
+                mutant: "FlushUnacked".into(),
+                killed_by: vec!["mp/model".into(), "sb/structural".into()],
+            },
+            MutantKillRecord {
+                mutant: "DropAck".into(),
+                killed_by: vec![],
+            },
+        ];
+        let d = MutantKillRecord::decode_list(&MutantKillRecord::encode_list(&rows)).unwrap();
+        assert_eq!(d, rows);
+        assert!(d[0].killed() && !d[1].killed());
+    }
+
+    #[test]
+    fn text_record_roundtrip_and_f64() {
+        let mut r = TextRecord::default();
+        r.set_f64("wall_s", 1.234_567_8);
+        r.set("cells", 42u32);
+        r.text = "  {\"a\": 1},\n  {\"b\": 2}".into();
+        let d = TextRecord::decode(&r.encode()).unwrap();
+        assert_eq!(d, r);
+        assert_eq!(d.f64("wall_s").unwrap().to_bits(), 1.234_567_8f64.to_bits());
+        assert_eq!(d.num::<u32>("cells").unwrap(), 42);
+    }
+
+    #[test]
+    fn memo_value_serves_and_falls_back_on_corrupt() {
+        let store = ResultStore::in_memory_with(1);
+        let key = StoreKey::new("section", "x", "", 0, 0, 1);
+        let (v, hit) = memo_value(
+            Some(&store),
+            &key,
+            |s| Ok(s.to_string()),
+            |v: &String| v.clone(),
+            || "computed".to_string(),
+        );
+        assert!(!hit);
+        assert_eq!(v, "computed");
+        let (v, hit) = memo_value(
+            Some(&store),
+            &key,
+            |s| Ok(s.to_string()),
+            |v: &String| v.clone(),
+            || unreachable!("served"),
+        );
+        assert!(hit);
+        assert_eq!(v, "computed");
+        // A record that fails decoding is recomputed and overwritten.
+        store.put(key.clone(), "garbage".into());
+        let (v, hit) = memo_value(
+            Some(&store),
+            &key,
+            |s| {
+                if s == "garbage" {
+                    Err("corrupt".into())
+                } else {
+                    Ok(s.to_string())
+                }
+            },
+            |v: &String| v.clone(),
+            || "recomputed".to_string(),
+        );
+        assert!(!hit);
+        assert_eq!(v, "recomputed");
+        assert_eq!(store.get(&key).as_deref(), Some("recomputed"));
+    }
+}

@@ -26,11 +26,13 @@
 //! [`crate::recovery::audit_workload_crashes`], so reports are
 //! bit-identical regardless of worker count.
 
+use crate::cache::{digest_debug, memo_record, DsCellRecord};
 use crate::campaign::Campaign;
 use lightwsp_compiler::{instrument, CompilerConfig};
 use lightwsp_sim::consistency::{golden_run, ConsistencyError};
 use lightwsp_sim::crash::check_capture;
 use lightwsp_sim::{Completion, CrashInjector, CrashPoint, InvariantViolation, SimConfig};
+use lightwsp_store::{ResultStore, StoreKey};
 use lightwsp_workloads::ds::RecoverableDs;
 
 /// Point budget and resume sampling for one structure's audit.
@@ -166,6 +168,46 @@ pub fn audit_recoverable_ds(
         report.merge(part);
     }
     Ok(report)
+}
+
+/// Store-cached [`audit_recoverable_ds`]: serves the cell from `store`
+/// when a record exists for the same structure name, scheme,
+/// configuration digest and code digest; otherwise runs the audit and
+/// records it. The boolean is `true` on a cache hit.
+///
+/// `ds_digest` must cover every construction parameter of `ds` that is
+/// not implied by its name (operation counts, seeds) — trait objects
+/// carry no `Debug` rendering, so the caller owns that part of the key.
+/// The simulator config, compiler config and budget are digested here.
+///
+/// # Errors
+///
+/// Propagates [`ConsistencyError`] from the golden run; errors are
+/// never cached.
+pub fn audit_recoverable_ds_cached(
+    store: Option<&ResultStore>,
+    ds: &dyn RecoverableDs,
+    cfg: &SimConfig,
+    ccfg: &CompilerConfig,
+    budget: &DsAuditBudget,
+    campaign: &Campaign,
+    ds_digest: u64,
+) -> Result<(DsCellRecord, bool), ConsistencyError> {
+    let key = StoreKey::new(
+        "dscell",
+        ds.name(),
+        cfg.scheme.name(),
+        digest_debug(&(ds_digest, ds.threads(), cfg, ccfg, budget)),
+        0,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_record(
+        store,
+        &key,
+        DsCellRecord::decode,
+        DsCellRecord::encode,
+        || audit_recoverable_ds(ds, cfg, ccfg, budget, campaign).map(|r| (&r).into()),
+    )
 }
 
 /// Audits one sorted chunk with a dedicated sweeper. `start` is the

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
 pub mod dsaudit;
 pub mod experiment;
@@ -41,12 +42,27 @@ pub mod oracle;
 pub mod recovery;
 pub mod report;
 
-pub use campaign::{Campaign, Job};
-pub use dsaudit::{audit_recoverable_ds, DsAuditBudget, DsAuditReport};
+pub use cache::{
+    memo_record, memo_value, CaseRecord, CrashCellRecord, DsCellRecord, MutantKillRecord,
+    SweepRecord, TextRecord,
+};
+pub use campaign::{Campaign, CampaignCacheStats, Job};
+pub use dsaudit::{
+    audit_recoverable_ds, audit_recoverable_ds_cached, DsAuditBudget, DsAuditReport,
+};
 pub use experiment::{Experiment, ExperimentOptions, RunResult};
 pub use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 pub use lightwsp_model::harness::CaseOutcome;
 pub use lightwsp_sim::{Completion, Machine, Scheme, SimConfig, SimStats};
+pub use lightwsp_store::{
+    code_digest, code_digest_from_env, digest_debug, digest_str, CacheStats, ResultStore, StoreKey,
+};
 pub use lightwsp_workloads::{Suite, WorkloadSpec};
-pub use oracle::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, MutantKill, SweepReport};
-pub use recovery::{audit_workload_crashes, check_workload_recovery, AuditBudget};
+pub use oracle::{
+    fuzz_sweep, fuzz_sweep_cached, litmus_sweep, litmus_sweep_cached, mutant_kill_matrix,
+    mutant_kill_matrix_cached, run_case_cached, MutantKill, SweepReport,
+};
+pub use recovery::{
+    audit_workload_crashes, audit_workload_crashes_cached, check_workload_recovery, AuditBudget,
+};
+pub use report::JsonWriter;

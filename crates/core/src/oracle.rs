@@ -6,10 +6,16 @@
 //! is embarrassingly parallel — cases share nothing — so the sweep
 //! scales with `LIGHTWSP_THREADS` exactly like the experiment harness.
 
+use crate::cache::{
+    digest_debug, memo_record, memo_value, CaseRecord, MutantKillRecord, SweepRecord,
+};
 use crate::campaign::Campaign;
+use lightwsp_compiler::Compiled;
 use lightwsp_model::harness::{run_case, CaseOutcome, CaseSpec, PointPolicy};
+use lightwsp_model::ExtractError;
 use lightwsp_model::{gen_case, litmus_suite};
 use lightwsp_sim::{GatingMutant, StepMode, SweepMode};
+use lightwsp_store::{ResultStore, StoreKey};
 
 /// Aggregate of one sweep (litmus suite or a fuzz batch).
 #[derive(Clone, Debug, Default)]
@@ -220,4 +226,135 @@ pub fn mutant_kill_matrix(
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Store-cached entry points
+// ---------------------------------------------------------------------
+//
+// All four wrappers follow the same shape: build a [`StoreKey`] from
+// the sweep's identity plus a digest of every input that shapes the
+// result, serve the stored record on a hit, otherwise run the sweep
+// and record it. The boolean is `true` on a cache hit; errors are
+// never cached.
+
+/// Store-cached [`run_case`] for a single model-oracle case.
+///
+/// `case_digest` must cover how `compiled` was constructed (program
+/// identity plus compiler config) — `Compiled` carries no `Debug`
+/// rendering, so the caller owns that part of the key. The spec is
+/// digested here.
+///
+/// # Errors
+///
+/// Propagates [`ExtractError`] for out-of-domain programs.
+pub fn run_case_cached(
+    store: Option<&ResultStore>,
+    compiled: &Compiled,
+    spec: &CaseSpec,
+    case_digest: u64,
+) -> Result<(CaseRecord, bool), ExtractError> {
+    let key = StoreKey::new(
+        "case",
+        &spec.name,
+        format!("{:?}/{:?}", spec.step_mode, spec.sweep_mode),
+        digest_debug(&(case_digest, spec)),
+        0,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_record(store, &key, CaseRecord::decode, CaseRecord::encode, || {
+        run_case(compiled, spec).map(|out| (&out).into())
+    })
+}
+
+/// Store-cached [`litmus_sweep`]: one record holds the aggregate plus
+/// every per-litmus outcome, keyed by the mode pair. The litmus suite
+/// itself is source code, so its identity rides on the code digest.
+pub fn litmus_sweep_cached(
+    store: Option<&ResultStore>,
+    campaign: &Campaign,
+    step_mode: StepMode,
+    sweep_mode: SweepMode,
+) -> (SweepRecord, bool) {
+    let key = StoreKey::new(
+        "sweeprep",
+        "litmus-suite",
+        format!("{step_mode:?}/{sweep_mode:?}"),
+        digest_debug(&(step_mode, sweep_mode)),
+        0,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_value(
+        store,
+        &key,
+        SweepRecord::decode,
+        SweepRecord::encode,
+        || {
+            let (rep, outcomes) = litmus_sweep(campaign, step_mode, sweep_mode);
+            SweepRecord::new(&rep, &outcomes)
+        },
+    )
+}
+
+/// Store-cached [`fuzz_sweep`], keyed by the stream seed, case count
+/// and mode pair. The record carries no per-case outcomes (the fuzz
+/// aggregate is all the bins read).
+pub fn fuzz_sweep_cached(
+    store: Option<&ResultStore>,
+    campaign: &Campaign,
+    seed: u64,
+    count: u64,
+    step_mode: StepMode,
+    sweep_mode: SweepMode,
+) -> (SweepRecord, bool) {
+    let key = StoreKey::new(
+        "sweeprep",
+        "fuzz",
+        format!("{step_mode:?}/{sweep_mode:?}"),
+        digest_debug(&(seed, count, step_mode, sweep_mode)),
+        seed,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_value(
+        store,
+        &key,
+        SweepRecord::decode,
+        SweepRecord::encode,
+        || {
+            SweepRecord::new(
+                &fuzz_sweep(campaign, seed, count, step_mode, sweep_mode),
+                &[],
+            )
+        },
+    )
+}
+
+/// Store-cached [`mutant_kill_matrix`]: one record holds the whole
+/// matrix for a mode pair.
+pub fn mutant_kill_matrix_cached(
+    store: Option<&ResultStore>,
+    campaign: &Campaign,
+    step_mode: StepMode,
+    sweep_mode: SweepMode,
+) -> (Vec<MutantKillRecord>, bool) {
+    let key = StoreKey::new(
+        "killmatrix",
+        "litmus-suite",
+        format!("{step_mode:?}/{sweep_mode:?}"),
+        digest_debug(&(step_mode, sweep_mode)),
+        0,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_value(
+        store,
+        &key,
+        MutantKillRecord::decode_list,
+        |rows| MutantKillRecord::encode_list(rows),
+        || {
+            mutant_kill_matrix(campaign, step_mode, sweep_mode)
+                .iter()
+                .map(MutantKillRecord::from)
+                .collect()
+        },
+    )
 }

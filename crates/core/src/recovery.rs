@@ -15,12 +15,14 @@
 //!   [`Campaign`] worker pool. `cargo run -p lightwsp-bench --bin
 //!   crash_audit` drives it over the full workload×scheme matrix.
 
+use crate::cache::{digest_debug, memo_record, CrashCellRecord};
 use crate::campaign::Campaign;
 use crate::experiment::{Experiment, ExperimentOptions};
 use lightwsp_sim::consistency::{
     check_crash_consistency, golden_run, ConsistencyError, ConsistencyReport,
 };
 use lightwsp_sim::{CrashAuditReport, CrashInjector, CrashPoint, Scheme, SimConfig};
+use lightwsp_store::{ResultStore, StoreKey};
 use lightwsp_workloads::WorkloadSpec;
 
 /// Runs the crash-consistency oracle on `spec` with failures injected
@@ -125,6 +127,42 @@ pub fn audit_workload_crashes(
         report.merge(part);
     }
     Ok(report)
+}
+
+/// Store-cached [`audit_workload_crashes`]: serves the cell from
+/// `store` when a record exists for the same workload, scheme `label`,
+/// configuration digest (every audit input: workload spec, experiment
+/// options, simulator config, budget) and code digest; otherwise runs
+/// the audit and records it. The boolean is `true` on a cache hit.
+///
+/// # Errors
+///
+/// Propagates [`ConsistencyError`] from the golden run; errors are
+/// never cached.
+pub fn audit_workload_crashes_cached(
+    store: Option<&ResultStore>,
+    label: &str,
+    spec: &WorkloadSpec,
+    opts: &ExperimentOptions,
+    cfg: &SimConfig,
+    budget: &AuditBudget,
+    campaign: &Campaign,
+) -> Result<(CrashCellRecord, bool), ConsistencyError> {
+    let key = StoreKey::new(
+        "crashcell",
+        spec.name,
+        label,
+        digest_debug(&(spec, opts, cfg, budget)),
+        0,
+        store.map_or(0, ResultStore::code),
+    );
+    memo_record(
+        store,
+        &key,
+        CrashCellRecord::decode,
+        CrashCellRecord::encode,
+        || audit_workload_crashes(spec, opts, cfg, budget, campaign).map(|r| (&r).into()),
+    )
 }
 
 #[cfg(test)]

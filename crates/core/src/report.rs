@@ -1,7 +1,155 @@
 //! Result tables: serialisable records plus paper-style text rendering
-//! used by every figure harness.
+//! used by every figure harness, and the shared [`JsonWriter`] behind
+//! every `BENCH_*.json` artifact.
 
 use lightwsp_workloads::{geomean, Suite};
+
+/// Minimal streaming JSON writer: tracks container nesting, commas and
+/// two-space indentation so the bench bins stop hand-rolling both. The
+/// output style matches the repo's benchmark artifacts — pretty-printed
+/// containers, one-line objects for array elements.
+///
+/// ```
+/// use lightwsp_core::report::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.object("meta");
+/// w.field("threads", 8);
+/// w.field_str("mode", "quick");
+/// w.close();
+/// w.array("runs");
+/// w.elem("{\"workload\": \"bzip2\"}");
+/// w.close();
+/// let json = w.finish();
+/// assert!(json.starts_with("{\n  \"meta\""));
+/// assert!(json.ends_with("}\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: opener char, plus `true` once the
+    /// container has a member (controls comma placement).
+    stack: Vec<(char, bool)>,
+}
+
+impl JsonWriter {
+    /// Starts the root object.
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            out: String::from("{"),
+            stack: vec![('{', false)],
+        }
+    }
+
+    /// Quotes and escapes a string as a JSON value (shared with
+    /// callers that pre-render one-line elements).
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    fn member(&mut self, name: Option<&str>) {
+        if let Some((_, populated)) = self.stack.last_mut() {
+            if *populated {
+                self.out.push(',');
+            }
+            *populated = true;
+        }
+        self.out.push('\n');
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+        if let Some(name) = name {
+            self.out.push_str(&Self::quote(name));
+            self.out.push_str(": ");
+        }
+    }
+
+    /// Opens a named nested object.
+    pub fn object(&mut self, name: &str) {
+        self.member(Some(name));
+        self.out.push('{');
+        self.stack.push(('{', false));
+    }
+
+    /// Opens a named array.
+    pub fn array(&mut self, name: &str) {
+        self.member(Some(name));
+        self.out.push('[');
+        self.stack.push(('[', false));
+    }
+
+    /// Closes the innermost container.
+    pub fn close(&mut self) {
+        let (opener, populated) = self.stack.pop().unwrap_or(('{', false));
+        if populated {
+            self.out.push('\n');
+            for _ in 0..self.stack.len() {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(if opener == '[' { ']' } else { '}' });
+    }
+
+    /// Writes a field with a raw (pre-rendered) JSON value — numbers
+    /// with caller-controlled formatting, booleans, or whole inline
+    /// objects.
+    pub fn field(&mut self, name: &str, raw: impl std::fmt::Display) {
+        self.member(Some(name));
+        self.out.push_str(&raw.to_string());
+    }
+
+    /// Writes a string field (quoted and escaped).
+    pub fn field_str(&mut self, name: &str, value: &str) {
+        self.field(name, Self::quote(value));
+    }
+
+    /// Writes one array element from raw (pre-rendered) JSON — the
+    /// bins' one-line cell objects.
+    pub fn elem(&mut self, raw: &str) {
+        self.member(None);
+        self.out.push_str(raw);
+    }
+
+    /// Writes a raw pre-rendered *block* of array elements (already
+    /// comma-joined and indented) — the shape memoized sections are
+    /// stored in. No-op on an empty block.
+    pub fn elems_block(&mut self, block: &str) {
+        if block.is_empty() {
+            return;
+        }
+        if let Some((_, populated)) = self.stack.last_mut() {
+            if *populated {
+                self.out.push(',');
+            }
+            *populated = true;
+        }
+        self.out.push('\n');
+        self.out.push_str(block.trim_end_matches('\n'));
+    }
+
+    /// Closes every open container and returns the document (with a
+    /// trailing newline, matching the artifacts' existing style).
+    pub fn finish(mut self) -> String {
+        while !self.stack.is_empty() {
+            self.close();
+        }
+        self.out.push('\n');
+        self.out
+    }
+}
 
 /// Aggregates values for display: geometric mean when all values are
 /// positive (slowdowns), arithmetic mean otherwise (rates that can be
@@ -197,6 +345,42 @@ mod tests {
         assert!((g - (1.1f64 * 1.3 * 2.0).powf(1.0 / 3.0)).abs() < 1e-9);
         let sg = f.suite_geomean("S1", Suite::Cpu2006);
         assert!((sg - (1.1f64 * 1.3).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_writer_nests_commas_and_indent() {
+        let mut w = JsonWriter::new();
+        w.object("meta");
+        w.field("threads", 8);
+        w.field_str("label", "a \"b\"\n");
+        w.close();
+        w.array("cells");
+        w.elem("{\"x\": 1}");
+        w.elem("{\"x\": 2}");
+        w.close();
+        w.array("empty");
+        w.close();
+        let json = w.finish();
+        assert_eq!(
+            json,
+            "{\n  \"meta\": {\n    \"threads\": 8,\n    \"label\": \"a \\\"b\\\"\\n\"\n  },\n  \
+             \"cells\": [\n    {\"x\": 1},\n    {\"x\": 2}\n  ],\n  \"empty\": []\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_writer_elems_block_joins_prerendered_sections() {
+        let mut w = JsonWriter::new();
+        w.array("rows");
+        w.elems_block("    {\"a\": 1},\n    {\"a\": 2}\n");
+        w.elems_block("");
+        w.elems_block("    {\"a\": 3}");
+        w.close();
+        let json = w.finish();
+        assert_eq!(
+            json,
+            "{\n  \"rows\": [\n    {\"a\": 1},\n    {\"a\": 2},\n    {\"a\": 3}\n  ]\n}\n"
+        );
     }
 
     #[test]

@@ -95,6 +95,122 @@ pub struct SimStats {
     pub io_ops: u64,
 }
 
+/// A stat-field value that can round-trip through the store's text
+/// record format.
+trait StatFieldCodec: Sized {
+    fn enc(&self) -> String;
+    fn dec(s: &str) -> Result<Self, String>;
+}
+
+impl StatFieldCodec for u64 {
+    fn enc(&self) -> String {
+        self.to_string()
+    }
+    fn dec(s: &str) -> Result<u64, String> {
+        s.parse().map_err(|e| format!("{e}: {s:?}"))
+    }
+}
+
+impl StatFieldCodec for usize {
+    fn enc(&self) -> String {
+        self.to_string()
+    }
+    fn dec(s: &str) -> Result<usize, String> {
+        s.parse().map_err(|e| format!("{e}: {s:?}"))
+    }
+}
+
+impl StatFieldCodec for f64 {
+    // Bit-exact round-trip: the step-mode parity suite compares stats
+    // with `==`, so a stored record must decode to the identical f64.
+    fn enc(&self) -> String {
+        format!("{:016x}", self.to_bits())
+    }
+    fn dec(s: &str) -> Result<f64, String> {
+        u64::from_str_radix(s, 16)
+            .map(f64::from_bits)
+            .map_err(|e| format!("{e}: {s:?}"))
+    }
+}
+
+/// Generates [`SimStats::encode_record`] / [`SimStats::decode_record`]
+/// from one field list. Decode builds a struct literal, so adding a
+/// field to [`SimStats`] without extending this list is a compile
+/// error — the codec can never silently drop a counter.
+macro_rules! sim_stats_codec {
+    ($($field:ident),+ $(,)?) => {
+        impl SimStats {
+            /// Serialises every counter as `name=value` pairs (floats
+            /// as hex bit patterns, so decoding is bit-exact).
+            pub fn encode_record(&self) -> String {
+                let parts: Vec<String> =
+                    vec![$(format!(concat!(stringify!($field), "={}"), self.$field.enc())),+];
+                parts.join(" ")
+            }
+
+            /// Parses [`SimStats::encode_record`] output.
+            ///
+            /// # Errors
+            ///
+            /// Describes the first missing or malformed field.
+            pub fn decode_record(text: &str) -> Result<SimStats, String> {
+                let mut map = std::collections::BTreeMap::new();
+                for pair in text.split_whitespace() {
+                    let (name, value) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed stat pair {pair:?}"))?;
+                    map.insert(name, value);
+                }
+                Ok(SimStats {
+                    $($field: {
+                        let raw = map
+                            .get(stringify!($field))
+                            .ok_or_else(|| format!("missing stat {}", stringify!($field)))?;
+                        StatFieldCodec::dec(raw)
+                            .map_err(|e| format!("stat {}: {e}", stringify!($field)))?
+                    }),+
+                })
+            }
+        }
+    };
+}
+
+sim_stats_codec!(
+    cycles,
+    insts,
+    instrumentation_insts,
+    persist_stores,
+    forced_ckpt_stores,
+    stall_sb_full,
+    stall_load_miss,
+    stall_boundary_wait,
+    stall_lock_spin,
+    regions,
+    regions_committed,
+    persist_latency_sum,
+    region_insts_sum,
+    region_stores_sum,
+    wpq_overflows,
+    wpq_load_hits,
+    llc_load_misses,
+    stale_loads,
+    snoops,
+    snoop_conflicts,
+    l1_hits,
+    l1_misses,
+    l2_hits,
+    l2_misses,
+    dram_hits,
+    dram_misses,
+    hol_blocked_cycles,
+    failures,
+    reexecuted_insts,
+    tp_estimate,
+    wpq_mean_occupancy,
+    wpq_max_occupancy,
+    io_ops,
+);
+
 impl SimStats {
     /// Instructions per cycle.
     pub fn ipc(&self) -> f64 {
@@ -210,6 +326,30 @@ mod tests {
         assert!((s.instrumentation_fraction() - 0.07).abs() < 1e-9);
         assert!((s.persistence_efficiency() - 99.0).abs() < 1e-9);
         assert!((s.wpq_hits_per_minsts() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_codec_roundtrips_bit_exactly() {
+        let s = SimStats {
+            cycles: 123,
+            insts: u64::MAX,
+            wpq_mean_occupancy: 0.1 + 0.2, // not exactly representable
+            wpq_max_occupancy: 17,
+            io_ops: 9,
+            ..SimStats::default()
+        };
+        let rec = s.encode_record();
+        let d = SimStats::decode_record(&rec).unwrap();
+        assert_eq!(d, s);
+        assert_eq!(
+            d.wpq_mean_occupancy.to_bits(),
+            s.wpq_mean_occupancy.to_bits()
+        );
+        assert!(
+            SimStats::decode_record("cycles=1").is_err(),
+            "missing fields"
+        );
+        assert!(SimStats::decode_record(&rec.replace("io_ops=9", "io_ops=x")).is_err());
     }
 
     #[test]

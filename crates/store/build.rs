@@ -1,0 +1,81 @@
+//! Computes the workspace *code digest* baked into `lightwsp-store`.
+//!
+//! The digest fingerprints every Rust source file whose behaviour can
+//! influence a stored simulation result: the IR, compiler, memory
+//! system, simulator, model, workload roster, the core facade, and the
+//! store itself (its key/codec formats are part of a record's meaning).
+//! The `lightwsp-bench` harness is deliberately excluded — it only
+//! orchestrates which cells run, and each cell's own inputs are already
+//! captured by its configuration digest.
+//!
+//! Every hashed file is also declared `rerun-if-changed`, so editing
+//! any of them rebuilds this crate and flips
+//! `env!("LIGHTWSP_CODE_DIGEST")` — which is exactly the invalidation
+//! signal the incremental re-bench machinery keys on.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates (relative to `crates/`) whose sources define what a result
+/// *means*. Keep in sync with the list in `DESIGN.md` §6.6.
+const DIGESTED_CRATES: &[&str] = &[
+    "ir",
+    "compiler",
+    "mem",
+    "sim",
+    "model",
+    "workloads",
+    "core",
+    "store",
+    "shims/rand",
+];
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap());
+    let crates_root = manifest.parent().unwrap().to_path_buf();
+    let mut files = Vec::new();
+    for krate in DIGESTED_CRATES {
+        collect(&crates_root.join(krate).join("src"), &mut files);
+    }
+    // build.rs of this crate is part of the scheme too.
+    files.push(manifest.join("build.rs"));
+    files.sort();
+
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for file in &files {
+        // Hash the path relative to crates/ (stable across checkouts)
+        // and the file contents.
+        let rel = file
+            .strip_prefix(&crates_root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        fnv1a(&mut h, rel.as_bytes());
+        fnv1a(&mut h, &[0]);
+        fnv1a(&mut h, &fs::read(file).unwrap_or_default());
+        fnv1a(&mut h, &[0xFF]);
+        println!("cargo:rerun-if-changed={}", file.display());
+    }
+    println!("cargo:rustc-env=LIGHTWSP_CODE_DIGEST={h:016x}");
+}

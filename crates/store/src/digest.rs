@@ -1,0 +1,105 @@
+//! Input digests: the invalidation currency of the result store.
+//!
+//! A stored record is addressed by a [`StoreKey`](crate::StoreKey)
+//! whose `config` field is a digest of *everything the producing
+//! computation consumed* (options, workload spec, budgets, seeds) and
+//! whose `code` field is the workspace **code digest** — a build-time
+//! fingerprint of every source file that can change what a simulation
+//! produces (see `build.rs`). A cell is served from the store only when
+//! both digests match, so:
+//!
+//! * changing a configuration knob invalidates exactly the cells whose
+//!   config digest includes that knob;
+//! * changing any simulation-relevant source file flips the code digest
+//!   and invalidates every cell at once.
+//!
+//! Digests are 64-bit FNV-1a over stable text (usually a value's
+//! `Debug` rendering, the same fingerprinting idiom the campaign's
+//! in-memory caches use). FNV is not cryptographic; keys also carry the
+//! workload/scheme names in the clear, so an accidental collision would
+//! additionally have to agree on those to alias a record.
+
+use std::fmt::Debug;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 64-bit FNV-1a over a string.
+pub fn digest_str(s: &str) -> u64 {
+    digest_bytes(s.as_bytes())
+}
+
+/// Digest of a value's `Debug` rendering — the standard way to
+/// fingerprint a configuration struct for a store key.
+pub fn digest_debug<T: Debug + ?Sized>(value: &T) -> u64 {
+    digest_str(&format!("{value:?}"))
+}
+
+/// Order-sensitive combination of two digests (not XOR, so swapped
+/// operands produce a different result).
+pub fn combine(a: u64, b: u64) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&a.to_le_bytes());
+    bytes[8..].copy_from_slice(&b.to_le_bytes());
+    digest_bytes(&bytes)
+}
+
+/// The code digest baked in at build time (hex; see `build.rs`).
+pub const BUILD_CODE_DIGEST_HEX: &str = env!("LIGHTWSP_CODE_DIGEST");
+
+/// The build-time code digest as a number.
+pub fn build_code_digest() -> u64 {
+    u64::from_str_radix(BUILD_CODE_DIGEST_HEX, 16).expect("build script emits 16 hex digits")
+}
+
+/// The effective code digest: the build-time digest, perturbed by
+/// `salt` when one is given. The CI incremental-rebench job uses
+/// `LIGHTWSP_DIGEST_SALT` (threaded through [`code_digest_from_env`])
+/// to simulate a code change without editing a source file.
+pub fn code_digest(salt: Option<&str>) -> u64 {
+    match salt {
+        None | Some("") => build_code_digest(),
+        Some(s) => combine(build_code_digest(), digest_str(s)),
+    }
+}
+
+/// [`code_digest`] with the salt taken from the `LIGHTWSP_DIGEST_SALT`
+/// environment variable (unset or empty = unsalted).
+pub fn code_digest_from_env() -> u64 {
+    code_digest(std::env::var("LIGHTWSP_DIGEST_SALT").ok().as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digests_are_stable_and_distinct() {
+        assert_eq!(digest_str("abc"), digest_str("abc"));
+        assert_ne!(digest_str("abc"), digest_str("abd"));
+        assert_ne!(digest_debug(&(1u32, "x")), digest_debug(&(2u32, "x")));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+    }
+
+    #[test]
+    fn salt_perturbs_code_digest() {
+        assert_eq!(code_digest(None), build_code_digest());
+        assert_eq!(code_digest(Some("")), build_code_digest());
+        assert_ne!(code_digest(Some("x")), build_code_digest());
+        assert_ne!(code_digest(Some("x")), code_digest(Some("y")));
+    }
+}

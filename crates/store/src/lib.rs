@@ -1,0 +1,52 @@
+//! `lightwsp-store`: a spine-style persistent result store for
+//! million-point simulation campaigns.
+//!
+//! The evaluation harness produces results at four scales — whole-run
+//! figure cells, crash-audit sweeps with thousands of fork points,
+//! model-litmus capture sweeps, and data-structure audits — and before
+//! this crate every `cargo run --bin all_figures` recomputed all of
+//! them from scratch. The store makes results *durable and addressable*
+//! instead: each record is keyed by
+//! `(kind, workload, scheme, config-digest, point, code-digest)`
+//! ([`StoreKey`]), appended to immutable sorted [`Batch`]es, organised
+//! into a [`Spine`] with background merge/compaction, and queried
+//! through merged [`Cursor`]s. Because the **code digest** (a
+//! build-time fingerprint of every simulation-relevant source file,
+//! see [`digest`]) is part of the key, a warm re-run on unchanged code
+//! re-simulates nothing, a config tweak invalidates exactly the
+//! affected cells, and historical records from older builds remain
+//! queryable for perf-trajectory analysis.
+//!
+//! The crate is dependency-free (it sits *below* `lightwsp-core` in
+//! the workspace graph) and stores opaque string payloads; the codec
+//! for each record family lives with the type that owns it, in
+//! `lightwsp-core::cache`.
+//!
+//! ```
+//! use lightwsp_store::{ResultStore, StoreKey};
+//!
+//! let store = ResultStore::in_memory_with(0xC0DE);
+//! let key = StoreKey::new("run", "bzip2", "LightWSP", 42, 0, store.code());
+//! let (value, hit) = store.memo(&key, || "cycles=123".to_string());
+//! assert!(!hit);
+//! let (value2, hit2) = store.memo(&key, || unreachable!("served from store"));
+//! assert!(hit2);
+//! assert_eq!(value, value2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod digest;
+pub mod key;
+pub mod spine;
+pub mod store;
+
+pub use batch::{Batch, Entry};
+pub use digest::{
+    build_code_digest, code_digest, code_digest_from_env, combine, digest_bytes, digest_debug,
+    digest_str, BUILD_CODE_DIGEST_HEX,
+};
+pub use key::StoreKey;
+pub use spine::{Cursor, Spine, MERGE_FANOUT};
+pub use store::{CacheStats, ResultStore, AUTOFLUSH_ENTRIES};

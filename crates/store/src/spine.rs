@@ -1,0 +1,247 @@
+//! The spine: a collection of immutable batches presenting one merged,
+//! last-writer-wins view.
+//!
+//! Modelled on the DBSP/feldera trace spine: appends push whole sealed
+//! [`Batch`]es, queries run against *all* resident batches through a
+//! k-way merged [`Cursor`], and a size-tiered policy picks adjacent
+//! batch pairs to merge so the batch count stays bounded without ever
+//! mutating a sealed batch. Because key collisions always resolve to
+//! the highest sequence number — inside a batch, across batches in a
+//! cursor, and during merges alike — the queryable contents are
+//! independent of when or how often compaction ran.
+
+use crate::batch::{Batch, Entry};
+use crate::key::StoreKey;
+use std::sync::Arc;
+
+/// Merge fan-out: a merge step fires once a spine holds more batches
+/// than this.
+pub const MERGE_FANOUT: usize = 4;
+
+/// An ordered collection of immutable batches (oldest first).
+#[derive(Clone, Debug, Default)]
+pub struct Spine {
+    batches: Vec<Arc<Batch>>,
+}
+
+impl Spine {
+    /// An empty spine.
+    pub fn new() -> Spine {
+        Spine::default()
+    }
+
+    /// Inserts a sealed batch, keeping the list ordered by sequence
+    /// coverage (oldest first). Empty batches are dropped.
+    pub fn insert(&mut self, batch: Arc<Batch>) {
+        if batch.is_empty() {
+            return;
+        }
+        let at = self
+            .batches
+            .partition_point(|b| b.seq_lo() <= batch.seq_lo());
+        self.batches.insert(at, batch);
+    }
+
+    /// Number of resident batches.
+    pub fn batch_count(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Total resident entries (pre-dedup across batches).
+    pub fn entry_count(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).sum()
+    }
+
+    /// The resident batches, oldest first.
+    pub fn batches(&self) -> &[Arc<Batch>] {
+        &self.batches
+    }
+
+    /// Looks `key` up across all batches (newest batch wins ties by
+    /// construction: entries carry their sequence number).
+    pub fn get(&self, key: &StoreKey) -> Option<&Entry> {
+        self.batches
+            .iter()
+            .filter_map(|b| b.get(key))
+            .max_by_key(|e| e.seq)
+    }
+
+    /// Picks the next merge: the adjacent pair with the smallest
+    /// combined entry count, but only when the spine exceeds
+    /// [`MERGE_FANOUT`] batches. Deterministic: ties go to the lower
+    /// index.
+    pub fn merge_candidate(&self) -> Option<(usize, usize)> {
+        if self.batches.len() <= MERGE_FANOUT {
+            return None;
+        }
+        (0..self.batches.len() - 1)
+            .min_by_key(|&i| self.batches[i].len() + self.batches[i + 1].len())
+            .map(|i| (i, i + 1))
+    }
+
+    /// Replaces batches `i` and `i + 1` with `merged` (built by the
+    /// caller via [`Batch::merge`], possibly off-lock). Returns the
+    /// two replaced batches so the caller can retire their files.
+    pub fn replace_pair(&mut self, i: usize, merged: Arc<Batch>) -> (Arc<Batch>, Arc<Batch>) {
+        let b = self.batches.remove(i + 1);
+        let a = std::mem::replace(&mut self.batches[i], merged);
+        (a, b)
+    }
+
+    /// A merged, deduplicated cursor over the whole spine.
+    pub fn cursor(&self) -> Cursor {
+        Cursor::new(self.batches.clone(), None)
+    }
+
+    /// A cursor positioned at the first key of `kind` that stops after
+    /// the family ends.
+    pub fn cursor_kind(&self, kind: &str) -> Cursor {
+        let mut c = Cursor::new(self.batches.clone(), Some(kind.to_string()));
+        c.seek(&StoreKey::kind_floor(kind));
+        c
+    }
+}
+
+/// A merged last-writer-wins iterator over a snapshot of batches.
+///
+/// Owns `Arc` clones of the batches it reads, so it stays valid after
+/// the spine advances (appends/merges behind it affect later cursors,
+/// not this one) — the "consistent view" half of the spine contract.
+pub struct Cursor {
+    batches: Vec<Arc<Batch>>,
+    pos: Vec<usize>,
+    kind: Option<String>,
+}
+
+impl Cursor {
+    fn new(batches: Vec<Arc<Batch>>, kind: Option<String>) -> Cursor {
+        let pos = vec![0; batches.len()];
+        Cursor { batches, pos, kind }
+    }
+
+    /// Advances every head to the first entry `>= key`.
+    pub fn seek(&mut self, key: &StoreKey) {
+        for (b, p) in self.batches.iter().zip(self.pos.iter_mut()) {
+            *p = (*p).max(b.lower_bound(key));
+        }
+    }
+
+    /// The smallest un-consumed key, if any (ignoring the kind bound).
+    fn min_key(&self) -> Option<StoreKey> {
+        self.batches
+            .iter()
+            .zip(&self.pos)
+            .filter_map(|(b, &p)| b.entries().get(p).map(|e| e.key.clone()))
+            .min()
+    }
+}
+
+impl Iterator for Cursor {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        let key = self.min_key()?;
+        if let Some(kind) = &self.kind {
+            if key.kind != *kind {
+                return None;
+            }
+        }
+        // Take the winning entry for `key` and advance every head
+        // sitting on it.
+        let mut best: Option<Entry> = None;
+        for (b, p) in self.batches.iter().zip(self.pos.iter_mut()) {
+            if let Some(e) = b.entries().get(*p) {
+                if e.key == key {
+                    if best.as_ref().is_none_or(|cur| e.seq > cur.seq) {
+                        best = Some(e.clone());
+                    }
+                    *p += 1;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(w: &str, seq: u64, value: &str) -> Entry {
+        Entry {
+            key: StoreKey::new("run", w, "s", 0, 0, 0),
+            seq,
+            value: value.into(),
+        }
+    }
+
+    fn spine_of(groups: &[&[Entry]]) -> Spine {
+        let mut s = Spine::new();
+        for g in groups {
+            s.insert(Arc::new(Batch::seal(g.to_vec())));
+        }
+        s
+    }
+
+    #[test]
+    fn cursor_is_merged_and_last_writer_wins() {
+        let s = spine_of(&[
+            &[entry("a", 1, "a1"), entry("c", 2, "c1")],
+            &[entry("b", 3, "b1"), entry("c", 4, "c2")],
+        ]);
+        let got: Vec<(String, String)> = s
+            .cursor()
+            .map(|e| (e.key.workload.clone(), e.value.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("a".into(), "a1".into()),
+                ("b".into(), "b1".into()),
+                ("c".into(), "c2".into()),
+            ]
+        );
+        assert_eq!(s.get(&entry("c", 0, "").key).unwrap().value, "c2");
+    }
+
+    #[test]
+    fn merge_candidate_fires_only_above_fanout() {
+        let one = [entry("a", 1, "x")];
+        let mut groups: Vec<&[Entry]> = Vec::new();
+        for _ in 0..MERGE_FANOUT {
+            groups.push(&one);
+        }
+        let s = spine_of(&groups);
+        assert!(s.merge_candidate().is_none());
+        groups.push(&one);
+        let s = spine_of(&groups);
+        assert!(s.merge_candidate().is_some());
+    }
+
+    #[test]
+    fn replace_pair_preserves_query_results() {
+        let mut s = spine_of(&[
+            &[entry("a", 1, "a1")],
+            &[entry("a", 2, "a2"), entry("b", 3, "b1")],
+            &[entry("c", 4, "c1")],
+        ]);
+        let merged = Arc::new(Batch::merge(&s.batches()[0], &s.batches()[1]));
+        s.replace_pair(0, merged);
+        assert_eq!(s.batch_count(), 2);
+        assert_eq!(s.get(&entry("a", 0, "").key).unwrap().value, "a2");
+        assert_eq!(s.cursor().count(), 3);
+    }
+
+    #[test]
+    fn kind_cursor_stops_at_family_end() {
+        let mut s = Spine::new();
+        let mut e1 = entry("w", 1, "r");
+        e1.key.kind = "run".into();
+        let mut e2 = entry("w", 2, "t");
+        e2.key.kind = "steptime".into();
+        s.insert(Arc::new(Batch::seal(vec![e1, e2])));
+        let runs: Vec<Entry> = s.cursor_kind("run").collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].value, "r");
+    }
+}

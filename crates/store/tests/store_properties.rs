@@ -1,0 +1,143 @@
+//! Property tests for the result store.
+//!
+//! Two contracts matter to the incremental re-bench machinery and are
+//! pinned here:
+//!
+//! 1. **Compaction invisibility** — any interleaving of puts, flushes
+//!    (batch seals) and merge/compaction steps yields exactly the same
+//!    queryable contents as sealing every entry into one batch: queries
+//!    are last-writer-wins by global sequence number, independent of
+//!    the batch layout history.
+//! 2. **Digest invalidation exactness** — perturbing one configuration
+//!    knob invalidates exactly the cells whose config digest includes
+//!    that knob, and perturbing the code digest invalidates every cell
+//!    at once (that is the contract the warm/cold CI job relies on).
+
+use lightwsp_store::{digest_debug, Batch, Entry, ResultStore, StoreKey};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A compact op language: put (key-index, value-tag), flush, compact.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u8, u16),
+    Flush,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| Op::Put(k % 24, v)),
+        Just(Op::Flush),
+        Just(Op::Compact),
+    ]
+}
+
+/// Key space: three kinds, a few workloads/schemes, point from index.
+fn key(i: u8) -> StoreKey {
+    let kinds = ["run", "crashcell", "steptime"];
+    let workloads = ["bzip2", "hmmer", "queue"];
+    StoreKey::new(
+        kinds[(i % 3) as usize],
+        workloads[(i / 3 % 3) as usize],
+        if i.is_multiple_of(2) {
+            "LightWSP"
+        } else {
+            "Capri"
+        },
+        u64::from(i / 6),
+        u64::from(i % 5),
+        0xC0DE,
+    )
+}
+
+proptest! {
+    /// Contract 1: the store's merged view equals a single sealed batch
+    /// of the same entries, whatever the flush/compaction interleaving.
+    #[test]
+    fn interleaved_ops_match_single_batch(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let store = ResultStore::in_memory_with(0xC0DE);
+        let mut all: Vec<Entry> = Vec::new();
+        let mut seq = 0u64;
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let value = format!("v{v}");
+                    all.push(Entry { key: key(*k), seq, value: value.clone() });
+                    seq += 1;
+                    store.put(key(*k), value);
+                }
+                Op::Flush => { store.flush().unwrap(); }
+                Op::Compact => { store.compact_all().unwrap(); }
+            }
+        }
+        let reference = Batch::seal(all);
+        let got: Vec<Entry> = store.cursor(None).collect();
+        prop_assert_eq!(got.len(), reference.entries().len());
+        for (g, r) in got.iter().zip(reference.entries()) {
+            prop_assert_eq!(&g.key, &r.key);
+            prop_assert_eq!(&g.value, &r.value, "key {}", g.key);
+        }
+        // Point lookups agree too, and kind cursors partition the view.
+        for r in reference.entries() {
+            let got = store.get(&r.key);
+            prop_assert_eq!(got.as_deref(), Some(r.value.as_str()));
+        }
+        let by_kind: usize = ["run", "crashcell", "steptime"]
+            .iter()
+            .map(|k| store.kind_entries(k).len())
+            .sum();
+        prop_assert_eq!(by_kind, reference.entries().len());
+    }
+
+    /// Contract 2: knob perturbation invalidates exactly the cells
+    /// whose config digest includes that knob; code-digest perturbation
+    /// invalidates everything.
+    #[test]
+    fn digest_perturbation_invalidates_exactly_affected_cells(
+        knob_a in any::<u32>(),
+        knob_b in any::<u32>(),
+        delta in 1u32..1000,
+    ) {
+        let code = 0xC0DEu64;
+        let workloads = ["bzip2", "hmmer", "queue", "btree"];
+        // Scheme "narrow" depends only on knob_a; scheme "wide" on both.
+        let keys_for = |a: u32, b: u32, code: u64| -> BTreeMap<StoreKey, &'static str> {
+            let mut m = BTreeMap::new();
+            for w in workloads {
+                m.insert(
+                    StoreKey::new("run", w, "narrow", digest_debug(&a), 0, code),
+                    w,
+                );
+                m.insert(
+                    StoreKey::new("run", w, "wide", digest_debug(&(a, b)), 0, code),
+                    w,
+                );
+            }
+            m
+        };
+
+        let store = ResultStore::in_memory_with(code);
+        for (k, w) in keys_for(knob_a, knob_b, code) {
+            store.put(k, format!("result-{w}"));
+        }
+
+        // Unchanged knobs: every cell is served.
+        for k in keys_for(knob_a, knob_b, code).keys() {
+            prop_assert!(store.get(k).is_some());
+        }
+        // Perturb knob_b: exactly the "wide" cells miss.
+        for (k, _) in keys_for(knob_a, knob_b.wrapping_add(delta), code) {
+            let hit = store.get(&k).is_some();
+            prop_assert_eq!(hit, k.scheme == "narrow", "key {}", k);
+        }
+        // Perturb knob_a: every cell misses (both schemes depend on it).
+        for k in keys_for(knob_a.wrapping_add(delta), knob_b, code).keys() {
+            prop_assert!(store.get(k).is_none(), "key {}", k);
+        }
+        // Perturb the code digest: every cell misses.
+        for k in keys_for(knob_a, knob_b, code ^ u64::from(delta)).keys() {
+            prop_assert!(store.get(k).is_none(), "key {}", k);
+        }
+    }
+}
