@@ -35,7 +35,7 @@ use lightwsp_core::cache::{f64_bits, f64_from_bits};
 use lightwsp_core::dsaudit::{audit_recoverable_ds_cached, DsAuditBudget};
 use lightwsp_core::oracle::run_case_cached;
 use lightwsp_core::{digest_debug, memo_value, DsCellRecord, JsonWriter, ResultStore, StoreKey};
-use lightwsp_model::harness::{CaseSpec, PointPolicy};
+use lightwsp_model::harness::{CaseSpec, EnumMode, PointPolicy};
 use lightwsp_sim::{GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
 use lightwsp_workloads::ds::log::DurableLogSpec;
 use lightwsp_workloads::ds::map::DurableMapSpec;
@@ -265,15 +265,26 @@ fn main() {
 
     let violations_total: usize = cells.iter().map(|c| c.report.violations()).sum();
 
-    // Stage 3: LRPO-model admittance of the single-threaded variants.
+    // Stage 3: LRPO-model admittance of the model-domain variants —
+    // the single-threaded shapes under the historical over-approximate
+    // enumeration, plus the *multi-thread* producers-only queue and
+    // clients-only service request path under exact enumeration (their
+    // cross-thread region interleavings must be cuts of the traced
+    // protocol order).
     let model_n = if quick { 16 } else { 32 };
-    let singles: Vec<(String, lightwsp_ir::Program, u64)> = vec![
+    let model_cases: Vec<(String, lightwsp_ir::Program, u64, usize, EnumMode)> = vec![
         {
             let s = DurableLogSpec {
                 writers: 1,
                 records: model_n,
             };
-            ("log-1t".into(), s.program(), digest_debug(&s))
+            (
+                "log-1t".into(),
+                s.program(),
+                digest_debug(&s),
+                1,
+                EnumMode::Overapprox,
+            )
         },
         {
             let s = DurableMapSpec {
@@ -283,7 +294,13 @@ fn main() {
                 locks: 8,
                 ops_per_thread: model_n,
             };
-            ("map-1t".into(), s.program(), digest_debug(&s))
+            (
+                "map-1t".into(),
+                s.program(),
+                digest_debug(&s),
+                1,
+                EnumMode::Overapprox,
+            )
         },
         {
             let s = DurableQueueSpec {
@@ -291,24 +308,70 @@ fn main() {
                 records: model_n,
                 cap: 8,
             };
-            ("queue-1t".into(), s.model_program(), digest_debug(&s))
+            (
+                "queue-1t".into(),
+                s.model_program(),
+                digest_debug(&s),
+                1,
+                EnumMode::Overapprox,
+            )
         },
         {
             let s = TreiberStackSpec {
                 threads: 1,
                 ops: model_n,
             };
-            ("stack-1t".into(), s.program(), digest_debug(&s))
+            (
+                "stack-1t".into(),
+                s.program(),
+                digest_debug(&s),
+                1,
+                EnumMode::Overapprox,
+            )
+        },
+        {
+            let s = DurableQueueSpec {
+                producers: 3,
+                records: 6,
+                cap: 8,
+            };
+            (
+                "queue-producers-3t".into(),
+                s.model_program_producers(),
+                digest_debug(&s),
+                s.producers,
+                EnumMode::Exact,
+            )
+        },
+        {
+            let s = KvServiceSpec::new(2, 24, 8, 64, 8, 16);
+            // Knob digest, as for the sweep above: the spec's cached
+            // HashMap state has process-random Debug order.
+            let d = digest_debug(&(
+                s.clients,
+                s.ops_per_client,
+                s.cap,
+                s.buckets,
+                s.slots_per_bucket,
+                s.locks,
+            ));
+            (
+                "service-clients-2t".into(),
+                s.model_program_clients(),
+                d,
+                s.clients,
+                EnumMode::Exact,
+            )
         },
     ];
     let mut model_records = Vec::new();
     let mut model_violations = 0usize;
-    for (name, program, spec_digest) in &singles {
+    for (name, program, spec_digest, threads, enum_mode) in &model_cases {
         let ccfg = CompilerConfig::default();
         let compiled = instrument(program, &ccfg);
         let case = CaseSpec {
             name: name.clone(),
-            threads: 1,
+            threads: *threads,
             num_mcs: 2,
             wpq_entries: 8,
             step_mode: StepMode::SkipAhead,
@@ -318,6 +381,7 @@ fn main() {
                 max_horizon: 120_000,
             },
             seed: 0xD5_0002,
+            enum_mode: *enum_mode,
         };
         let (o, _hit) =
             run_case_cached(store, &compiled, &case, digest_debug(&(spec_digest, &ccfg)))
@@ -325,12 +389,14 @@ fn main() {
         model_violations += o.violations();
         let _ = writeln!(
             out,
-            "model {:<10} points={:<5} audited={:<5} admitted={:<8} witnessed={:<5} \
-             model_viol={} structural_viol={}",
+            "model {:<20} ({:<10}) points={:<5} audited={:<5} admitted={:<8} exact={:<8} \
+             witnessed={:<5} model_viol={} structural_viol={}",
             o.name,
+            enum_mode.name(),
             o.points,
             o.audited,
             o.admitted,
+            o.exact_admitted.map_or("-".to_string(), |e| e.to_string()),
             o.witnessed,
             o.model_violations.len(),
             o.structural_violations.len(),
@@ -432,11 +498,14 @@ fn main() {
     for o in &model_records {
         jw.elem(&format!(
             "{{\"case\": \"{}\", \"points\": {}, \"audited\": {}, \"admitted\": {}, \
-             \"witnessed\": {}, \"model_violations\": {}, \"structural_violations\": {}}}",
+             \"exact\": {}, \"witnessed\": {}, \"model_violations\": {}, \
+             \"structural_violations\": {}}}",
             o.name,
             o.points,
             o.audited,
             o.admitted,
+            o.exact_admitted
+                .map_or("null".to_string(), |e| e.to_string()),
             o.witnessed,
             o.model_violations.len(),
             o.structural_violations.len(),

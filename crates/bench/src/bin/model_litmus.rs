@@ -2,23 +2,32 @@
 //! (`lightwsp-model`) differentially checked against the cycle-level
 //! simulator.
 //!
-//! Three stages, all fanned over the [`Campaign`](lightwsp_core::Campaign)
-//! worker pool and all run in **both** step modes:
+//! Stages, all fanned over the [`Campaign`](lightwsp_core::Campaign)
+//! worker pool:
 //!
-//! 1. the hand-written litmus suite, power-cut at every cycle of each
-//!    traced run (exhaustive for these program sizes) — swept in the
-//!    fork-point engine ([`SweepMode::Fork`]) *and* re-swept in the
-//!    legacy rerun-from-zero mode, whose outcomes must be identical
-//!    and whose wall-clock ratio is the recorded fork-engine speedup;
-//! 2. the gating-mutant kill matrix — every mutant must be killed by at
-//!    least one litmus, by the model or the structural detector;
-//! 3. a seeded fuzz sweep (≥ 2000 generated programs by default, 200
-//!    under `--quick`) at mechanism-derived plus seeded crash points.
+//! 1. the hand-written litmus suite in **both** step modes, power-cut
+//!    at every cycle of each traced run (exhaustive for these program
+//!    sizes) — swept in the fork-point engine ([`SweepMode::Fork`])
+//!    *and* re-swept in the legacy rerun-from-zero mode, whose outcomes
+//!    must be identical and whose wall-clock ratio is the recorded
+//!    fork-engine speedup; then re-run under **exact** enumeration
+//!    (admitted set = cuts of the traced protocol order), reporting the
+//!    per-litmus exact-vs-over-approx delta, and feeding the
+//!    model-mutant kill matrix — each deliberately-loose enumeration
+//!    rule must be falsified by a fully-witnessed litmus;
+//! 2. the gating-mutant kill matrix — every simulator mutant must be
+//!    killed by at least one litmus, by the model or the structural
+//!    detector;
+//! 3. seeded fuzz sweeps in both step modes (≥ 2000 generated programs
+//!    per stream by default, 200 under `--quick`): the uniform stream
+//!    over-approximate, the cross-thread-biased stream under exact
+//!    enumeration.
 //!
 //! Writes `results/model_litmus.txt` plus machine-readable
 //! `BENCH_model.json` and exits non-zero on any admitted-set
-//! violation, structural violation, unkilled mutant, or fork/rerun
-//! divergence — the CI gate for the persistency model.
+//! violation, structural violation, unkilled gating or model mutant,
+//! missing exact-tightness delta, or fork/rerun divergence — the CI
+//! gate for the persistency model.
 //! `LIGHTWSP_STORE` attaches the persistent result store: sweeps,
 //! matrices and wall-clocks are served from it on a warm re-run.
 
@@ -26,14 +35,15 @@ use lightwsp_bench::evalrun::cache_line;
 use lightwsp_bench::sweepmode::compare_sweep;
 use lightwsp_core::cache::{f64_bits, f64_from_bits};
 use lightwsp_core::oracle::{
-    fuzz_sweep_cached, litmus_sweep_cached, mutant_kill_matrix_cached, ALL_MUTANTS,
+    fuzz_sweep_cached, litmus_sweep_cached, model_mutant_kill_matrix, mutant_kill_matrix_cached,
+    ALL_MUTANTS,
 };
 use lightwsp_core::{
     digest_debug, memo_value, CaseRecord, JsonWriter, ResultStore, StoreKey, SweepRecord,
     TextRecord,
 };
-use lightwsp_model::harness::sim_config;
-use lightwsp_model::{litmus_suite, CaseSpec, PointPolicy};
+use lightwsp_model::harness::{sim_config, EnumMode};
+use lightwsp_model::{litmus_suite, CaseSpec, FuzzBias, ModelMutant, PointPolicy};
 use lightwsp_sim::{CrashInjector, CrashPoint, CrashPointKind, StepMode, SweepMode};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -45,12 +55,17 @@ fn summarize(out: &mut String, label: &str, mode: StepMode, rep: &SweepRecord) {
     let _ = writeln!(
         out,
         "{label:<8} ({:<10}) cases={:<5} points={:<7} audited={:<7} admitted={:<7} \
-         witnessed={:<6} cross_thread={:<4} overapprox={:<6} violations={}",
+         exact={:<7} witnessed={:<6} cross_thread={:<4} overapprox={:<6} violations={}",
         mode.name(),
         rep.cases,
         rep.points,
         rep.audited,
         rep.admitted,
+        if rep.exact_admitted > 0 {
+            rep.exact_admitted.to_string()
+        } else {
+            "-".to_string()
+        },
         rep.witnessed,
         rep.witnessed_cross_thread,
         rep.overapprox(),
@@ -130,7 +145,7 @@ fn main() {
             .into_iter()
             .enumerate()
         {
-            let (rep, _hit) = litmus_sweep_cached(store, &c, mode, sweep);
+            let (rep, _hit) = litmus_sweep_cached(store, &c, mode, sweep, EnumMode::Overapprox);
             if sweep == SweepMode::Fork {
                 summarize(&mut out, "litmus", mode, &rep);
                 for o in &rep.outcomes {
@@ -225,6 +240,7 @@ fn main() {
                     mutant: None,
                     policy: PointPolicy::Exhaustive { max_horizon: 4096 },
                     seed: 0x11735,
+                    enum_mode: EnumMode::Overapprox,
                 };
                 let cfg = sim_config(&spec);
                 let injector = CrashInjector::new(&l.compiled, cfg.clone(), l.threads);
@@ -262,10 +278,90 @@ fn main() {
         dense.num::<u64>("litmuses").unwrap_or(0),
     );
 
-    // Stage 2: mutant kill matrix (skip-ahead + fork; step modes are
-    // bit-identical and the litmus stage already covers both, sweep
-    // modes likewise via the stage-1 parity check).
-    let (matrix, _hit) = mutant_kill_matrix_cached(store, &c, StepMode::SkipAhead, SweepMode::Fork);
+    // Stage 1c: exact enumeration mode — the same suite with the
+    // admitted set constrained to the cuts of each run's traced
+    // protocol order (skip-ahead + fork; step/sweep parity is pinned by
+    // stage 1 and the exact set rides the same trace either way). Every
+    // observed image must still be admitted, and the per-litmus
+    // exact-vs-over-approx delta is the tightness the protocol order
+    // buys.
+    let (exact_rep, _hit) = litmus_sweep_cached(
+        store,
+        &c,
+        StepMode::SkipAhead,
+        SweepMode::Fork,
+        EnumMode::Exact,
+    );
+    summarize(&mut out, "exact", StepMode::SkipAhead, &exact_rep);
+    violations += exact_rep.violations();
+    extract_errors += exact_rep.extract_errors.len();
+    let mut strict_deltas = 0usize;
+    let _ = writeln!(
+        out,
+        "exact-vs-overapprox per litmus (canonical admitted images):"
+    );
+    for o in &exact_rep.outcomes {
+        let exact = o.exact_admitted.unwrap_or(o.admitted);
+        if o.exact_delta() > 0 {
+            strict_deltas += 1;
+        }
+        let _ = writeln!(
+            out,
+            "    {:<24} overapprox={:<6} exact={:<6} delta={:<6} witnessed={:<5} \
+             fully_witnessed={}",
+            o.name,
+            o.admitted,
+            exact,
+            o.exact_delta(),
+            o.witnessed,
+            o.exact_fully_witnessed(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "exact: {} litmuses strictly tighter, {} fully witnessed of {}",
+        strict_deltas,
+        exact_rep.exact_complete,
+        exact_rep.outcomes.len(),
+    );
+
+    // Stage 1d: model-mutant kill matrix — deliberately-loose
+    // enumeration rules, each of which must admit more images than some
+    // litmus whose sweep witnessed its *entire* exact set (so the
+    // surplus is proven unreachable, falsifying the mutant by
+    // observation). Pure aggregation over the stage-1c outcomes.
+    let model_matrix = model_mutant_kill_matrix(&exact_rep.outcomes);
+    let mut mm_unkilled = 0usize;
+    for row in &model_matrix {
+        let _ = writeln!(
+            out,
+            "model-mutant {:<20} {} ({} falsifying litmuses: {})",
+            row.mutant,
+            if row.killed() { "KILLED" } else { "SURVIVED" },
+            row.killed_by.len(),
+            if row.killed_by.is_empty() {
+                "-".to_string()
+            } else {
+                row.killed_by.join(", ")
+            },
+        );
+        if !row.killed() {
+            mm_unkilled += 1;
+        }
+    }
+
+    // Stage 2: gating-mutant kill matrix (skip-ahead + fork; step modes
+    // are bit-identical and the litmus stage already covers both, sweep
+    // modes likewise via the stage-1 parity check). Over-approximate
+    // enumeration: the mutants perturb the simulated hardware, so a
+    // traced protocol order from a broken machine proves nothing.
+    let (matrix, _hit) = mutant_kill_matrix_cached(
+        store,
+        &c,
+        StepMode::SkipAhead,
+        SweepMode::Fork,
+        EnumMode::Overapprox,
+    );
     let mut unkilled = 0usize;
     for mk in &matrix {
         let _ = writeln!(
@@ -285,16 +381,33 @@ fn main() {
         }
     }
 
-    // Stage 3: fuzz sweep, both step modes (fork engine; fork/rerun
+    // Stage 3: fuzz sweeps, both step modes (fork engine; fork/rerun
     // parity is enforced by stage 1 and `tests/sweep_mode_parity.rs`).
-    let mut fuzz_reports: Vec<(StepMode, SweepRecord)> = Vec::new();
-    for mode in [StepMode::SkipAhead, StepMode::Reference] {
-        let (rep, _hit) =
-            fuzz_sweep_cached(store, &c, FUZZ_SEED, fuzz_count, mode, SweepMode::Fork);
-        summarize(&mut out, "fuzz", mode, &rep);
-        violations += rep.violations();
-        extract_errors += rep.extract_errors.len();
-        fuzz_reports.push((mode, rep));
+    // The uniform stream runs over-approximate (the historical gate);
+    // the cross-thread-biased stream — always ≥ 2 threads, the shapes
+    // where the modes differ — runs under exact enumeration, so every
+    // observed image must be a cut of its run's protocol order.
+    let mut fuzz_reports: Vec<(FuzzBias, StepMode, SweepRecord)> = Vec::new();
+    for (bias, enum_mode) in [
+        (FuzzBias::Uniform, EnumMode::Overapprox),
+        (FuzzBias::CrossThread, EnumMode::Exact),
+    ] {
+        for mode in [StepMode::SkipAhead, StepMode::Reference] {
+            let (rep, _hit) = fuzz_sweep_cached(
+                store,
+                &c,
+                FUZZ_SEED,
+                fuzz_count,
+                mode,
+                SweepMode::Fork,
+                enum_mode,
+                bias,
+            );
+            summarize(&mut out, &format!("fuzz:{}", bias.name()), mode, &rep);
+            violations += rep.violations();
+            extract_errors += rep.extract_errors.len();
+            fuzz_reports.push((bias, mode, rep));
+        }
     }
 
     let total_s = memo_wall(store, "model-litmus-wall", digest_debug(&quick), || {
@@ -302,8 +415,9 @@ fn main() {
     });
     let _ = writeln!(
         out,
-        "total: fuzz_seed={FUZZ_SEED:#x} fuzz_cases={fuzz_count}/mode, {violations} violations, \
-         {extract_errors} extract errors, {unkilled} unkilled mutants, \
+        "total: fuzz_seed={FUZZ_SEED:#x} fuzz_cases={fuzz_count}/mode/bias, \
+         {violations} violations, {extract_errors} extract errors, {unkilled} unkilled gating \
+         mutants, {mm_unkilled} unkilled model mutants, {strict_deltas} strict exact deltas, \
          litmus_audit_speedup={litmus_speedup:.1}x, \
          dense_capture_speedup={dense_speedup:.1}x, {total_s:.1}s ({} workers)",
         c.workers(),
@@ -320,6 +434,10 @@ fn main() {
     jw.field("extract_errors", extract_errors);
     jw.field("unkilled_mutants", unkilled);
     jw.field("mutants_total", ALL_MUTANTS.len());
+    jw.field("unkilled_model_mutants", mm_unkilled);
+    jw.field("model_mutants_total", ModelMutant::ALL.len());
+    jw.field("exact_strict_deltas", strict_deltas);
+    jw.field("exact_fully_witnessed", exact_rep.exact_complete);
     jw.field("litmus_fork_wall_s", format_args!("{:.4}", litmus_wall[0]));
     jw.field("litmus_rerun_wall_s", format_args!("{:.4}", litmus_wall[1]));
     jw.field("litmus_audit_speedup", format_args!("{litmus_speedup:.2}"));
@@ -331,17 +449,32 @@ fn main() {
     jw.field("cache", cache_line(&c));
     jw.close();
     jw.array("litmus");
-    for o in &fork_reports[0].outcomes {
+    for (o, e) in fork_reports[0].outcomes.iter().zip(&exact_rep.outcomes) {
+        assert_eq!(o.name, e.name, "suite order diverged between enum modes");
         jw.elem(&format!(
             "{{\"case\": \"{}\", \"points\": {}, \"audited\": {}, \"admitted\": {}, \
-             \"witnessed\": {}, \"overapprox\": {}, \"violations\": {}}}",
+             \"exact\": {}, \"delta\": {}, \"witnessed\": {}, \"overapprox\": {}, \
+             \"fully_witnessed\": {}, \"violations\": {}}}",
             o.name,
             o.points,
             o.audited,
             o.admitted,
+            e.exact_admitted.unwrap_or(e.admitted),
+            e.exact_delta(),
             o.witnessed,
             o.overapprox(),
-            o.violations(),
+            e.exact_fully_witnessed(),
+            o.violations() + e.violations(),
+        ));
+    }
+    jw.close();
+    jw.array("model_mutants");
+    for row in &model_matrix {
+        jw.elem(&format!(
+            "{{\"mutant\": \"{}\", \"killed\": {}, \"falsified_by\": {}}}",
+            row.mutant,
+            row.killed(),
+            row.killed_by.len(),
         ));
     }
     jw.close();
@@ -356,16 +489,18 @@ fn main() {
     }
     jw.close();
     jw.array("fuzz");
-    for (mode, rep) in &fuzz_reports {
+    for (bias, mode, rep) in &fuzz_reports {
         jw.elem(&format!(
-            "{{\"step_mode\": \"{}\", \"cases\": {}, \"points\": {}, \"audited\": {}, \
-             \"admitted\": {}, \"witnessed\": {}, \"cross_thread\": {}, \"overapprox\": {}, \
-             \"violations\": {}}}",
+            "{{\"bias\": \"{}\", \"step_mode\": \"{}\", \"cases\": {}, \"points\": {}, \
+             \"audited\": {}, \"admitted\": {}, \"exact\": {}, \"witnessed\": {}, \
+             \"cross_thread\": {}, \"overapprox\": {}, \"violations\": {}}}",
+            bias.name(),
             mode.name(),
             rep.cases,
             rep.points,
             rep.audited,
             rep.admitted,
+            rep.exact_admitted,
             rep.witnessed,
             rep.witnessed_cross_thread,
             rep.overapprox(),
@@ -405,5 +540,16 @@ fn main() {
         0,
         "a gating mutant survived the litmus suite ({} mutants total)",
         ALL_MUTANTS.len()
+    );
+    assert!(
+        strict_deltas >= 1,
+        "exact mode never beat the over-approximation on any litmus"
+    );
+    assert_eq!(
+        mm_unkilled,
+        0,
+        "a loose model mutant survived: no fully-witnessed litmus falsified it \
+         ({} model mutants total)",
+        ModelMutant::ALL.len()
     );
 }

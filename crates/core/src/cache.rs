@@ -370,6 +370,70 @@ impl DsCellRecord {
 // Model-oracle cases and sweep reports
 // ---------------------------------------------------------------------
 
+/// The stored shape of one mutant-model verdict
+/// ([`lightwsp_model::MutantModelRow`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MutantModelRecord {
+    /// Mutant name (`drop_ack_order` & co).
+    pub name: String,
+    /// Size of the mutant's admitted set (`None` when its enumeration
+    /// cap was exceeded).
+    pub count: Option<u128>,
+    /// True when the case's fully-witnessed sweep falsified the mutant.
+    pub killed: bool,
+}
+
+impl MutantModelRecord {
+    fn render(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.name,
+            self.count.map_or("-".to_string(), |c| c.to_string()),
+            if self.killed { "killed" } else { "alive" }
+        )
+    }
+
+    fn parse(s: &str) -> Result<MutantModelRecord, String> {
+        let mut it = s.split('/');
+        let name = it.next().ok_or("empty mutant row")?.to_string();
+        let count = match it.next().ok_or("mutant row missing count")? {
+            "-" => None,
+            c => Some(
+                c.parse::<u128>()
+                    .map_err(|e| format!("mutant count: {e}"))?,
+            ),
+        };
+        let killed = match it.next().ok_or("mutant row missing verdict")? {
+            "killed" => true,
+            "alive" => false,
+            other => return Err(format!("bad mutant verdict {other:?}")),
+        };
+        Ok(MutantModelRecord {
+            name,
+            count,
+            killed,
+        })
+    }
+}
+
+/// Comma-joins a bucket vector for a kv value (no whitespace).
+fn buckets_to_csv(v: &[u64]) -> String {
+    v.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Inverse of [`buckets_to_csv`]; an empty string is an empty vector.
+fn csv_to_buckets(s: &str) -> Result<Vec<u64>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|x| x.parse::<u64>().map_err(|e| format!("bucket: {e}")))
+        .collect()
+}
+
 /// The stored shape of one model-harness [`CaseOutcome`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct CaseRecord {
@@ -379,12 +443,20 @@ pub struct CaseRecord {
     pub points: usize,
     /// Points that actually interrupted the run.
     pub audited: usize,
-    /// Size of the model's admitted set.
+    /// Size of the over-approximate admitted set.
     pub admitted: u128,
+    /// Size of the exact admitted set (exact-mode sweeps only).
+    pub exact_admitted: Option<u128>,
     /// Distinct canonical images observed.
     pub witnessed: usize,
     /// Witnessed images with a cross-thread prefix combination.
     pub witnessed_cross_thread: usize,
+    /// Witnessed images per thread-count bucket.
+    pub witnessed_buckets: Vec<u64>,
+    /// Exact admitted images per thread-count bucket (exact mode only).
+    pub exact_buckets: Option<Vec<u64>>,
+    /// Mutant-model verdicts (exact mode only).
+    pub model_mutants: Vec<MutantModelRecord>,
     /// Images outside the admitted set.
     pub model_violations: Vec<String>,
     /// Structural invariant violations.
@@ -398,8 +470,20 @@ impl From<&CaseOutcome> for CaseRecord {
             points: o.points,
             audited: o.audited,
             admitted: o.admitted,
+            exact_admitted: o.exact_admitted,
             witnessed: o.witnessed,
             witnessed_cross_thread: o.witnessed_cross_thread,
+            witnessed_buckets: o.witnessed_buckets.clone(),
+            exact_buckets: o.exact_buckets.clone(),
+            model_mutants: o
+                .model_mutants
+                .iter()
+                .map(|m| MutantModelRecord {
+                    name: m.name.clone(),
+                    count: m.count,
+                    killed: m.killed,
+                })
+                .collect(),
             model_violations: o.model_violations.clone(),
             structural_violations: o.structural_violations.clone(),
         }
@@ -407,9 +491,24 @@ impl From<&CaseOutcome> for CaseRecord {
 }
 
 impl CaseRecord {
-    /// Unwitnessed admitted images (see [`CaseOutcome::overapprox`]).
+    /// Unwitnessed admitted images under the mode's own set (see
+    /// [`CaseOutcome::overapprox`]).
     pub fn overapprox(&self) -> u128 {
-        self.admitted.saturating_sub(self.witnessed as u128)
+        self.exact_admitted
+            .unwrap_or(self.admitted)
+            .saturating_sub(self.witnessed as u128)
+    }
+
+    /// Over-approximate images the exact mode excluded (0 when the
+    /// sweep ran over-approximate).
+    pub fn exact_delta(&self) -> u128 {
+        self.exact_admitted
+            .map_or(0, |e| self.admitted.saturating_sub(e))
+    }
+
+    /// True when the sweep witnessed the whole exact set cleanly.
+    pub fn exact_fully_witnessed(&self) -> bool {
+        self.model_violations.is_empty() && self.exact_admitted == Some(self.witnessed as u128)
     }
 
     /// Total violation count.
@@ -419,14 +518,31 @@ impl CaseRecord {
 
     /// Serialises for the store.
     pub fn encode(&self) -> String {
-        let mut out = kv_line(&[
+        let mut pairs = vec![
             ("name", esc(&self.name)),
             ("points", self.points.to_string()),
             ("audited", self.audited.to_string()),
             ("admitted", self.admitted.to_string()),
             ("witnessed", self.witnessed.to_string()),
             ("cross", self.witnessed_cross_thread.to_string()),
-        ]);
+            ("wbuckets", buckets_to_csv(&self.witnessed_buckets)),
+        ];
+        if let Some(e) = self.exact_admitted {
+            pairs.push(("exact", e.to_string()));
+        }
+        if let Some(eb) = &self.exact_buckets {
+            pairs.push(("ebuckets", buckets_to_csv(eb)));
+        }
+        let mut out = kv_line(&pairs);
+        list_lines(
+            &mut out,
+            "mm",
+            &self
+                .model_mutants
+                .iter()
+                .map(MutantModelRecord::render)
+                .collect::<Vec<_>>(),
+        );
         list_lines(&mut out, "m", &self.model_violations);
         list_lines(&mut out, "s", &self.structural_violations);
         out
@@ -445,8 +561,21 @@ impl CaseRecord {
             points: kv_get(&map, "points")?,
             audited: kv_get(&map, "audited")?,
             admitted: kv_get(&map, "admitted")?,
+            exact_admitted: match map.get("exact") {
+                Some(v) => Some(v.parse().map_err(|e| format!("field exact: {e}"))?),
+                None => None,
+            },
             witnessed: kv_get(&map, "witnessed")?,
             witnessed_cross_thread: kv_get(&map, "cross")?,
+            witnessed_buckets: csv_to_buckets(map.get("wbuckets").copied().unwrap_or(""))?,
+            exact_buckets: match map.get("ebuckets") {
+                Some(v) => Some(csv_to_buckets(v)?),
+                None => None,
+            },
+            model_mutants: take_list(&items, "mm")
+                .iter()
+                .map(|s| MutantModelRecord::parse(s))
+                .collect::<Result<_, _>>()?,
             model_violations: take_list(&items, "m"),
             structural_violations: take_list(&items, "s"),
         })
@@ -488,6 +617,10 @@ pub struct SweepRecord {
     pub audited: usize,
     /// Sum of admitted-set sizes.
     pub admitted: u128,
+    /// Sum of exact admitted-set sizes (0 for over-approximate sweeps).
+    pub exact_admitted: u128,
+    /// Cases whose exact set was fully witnessed violation-free.
+    pub exact_complete: usize,
     /// Distinct images witnessed.
     pub witnessed: usize,
     /// Cross-thread witnessed images.
@@ -510,6 +643,8 @@ impl SweepRecord {
             points: rep.points,
             audited: rep.audited,
             admitted: rep.admitted,
+            exact_admitted: rep.exact_admitted,
+            exact_complete: rep.exact_complete,
             witnessed: rep.witnessed,
             witnessed_cross_thread: rep.witnessed_cross_thread,
             model_violations: rep.model_violations.clone(),
@@ -536,6 +671,8 @@ impl SweepRecord {
             ("points", self.points.to_string()),
             ("audited", self.audited.to_string()),
             ("admitted", self.admitted.to_string()),
+            ("exact", self.exact_admitted.to_string()),
+            ("excomplete", self.exact_complete.to_string()),
             ("witnessed", self.witnessed.to_string()),
             ("cross", self.witnessed_cross_thread.to_string()),
         ]);
@@ -564,6 +701,8 @@ impl SweepRecord {
             points: kv_get(&map, "points")?,
             audited: kv_get(&map, "audited")?,
             admitted: kv_get(&map, "admitted")?,
+            exact_admitted: kv_get(&map, "exact")?,
+            exact_complete: kv_get(&map, "excomplete")?,
             witnessed: kv_get(&map, "witnessed")?,
             witnessed_cross_thread: kv_get(&map, "cross")?,
             model_violations: take_list(&items, "m"),
@@ -767,16 +906,35 @@ mod tests {
             points: 100,
             audited: 90,
             admitted: u128::from(u64::MAX) * 3,
+            exact_admitted: Some(41),
             witnessed: 40,
             witnessed_cross_thread: 5,
+            witnessed_buckets: vec![1, 30, 9],
+            exact_buckets: Some(vec![1, 31, 9]),
+            model_mutants: vec![
+                MutantModelRecord {
+                    name: "drop_ack_order".into(),
+                    count: Some(u128::from(u64::MAX) * 3),
+                    killed: false,
+                },
+                MutantModelRecord {
+                    name: "unordered_prefixes".into(),
+                    count: None,
+                    killed: false,
+                },
+            ],
             model_violations: vec![],
             structural_violations: vec!["gate flushed early".into()],
         };
+        assert_eq!(case.exact_delta(), u128::from(u64::MAX) * 3 - 41);
+        assert!(!case.exact_fully_witnessed(), "41 exact vs 40 witnessed");
         let r = SweepRecord {
             cases: 1,
             points: 100,
             audited: 90,
             admitted: case.admitted,
+            exact_admitted: 41,
+            exact_complete: 0,
             witnessed: 40,
             witnessed_cross_thread: 5,
             model_violations: vec!["img outside set".into()],
@@ -788,6 +946,30 @@ mod tests {
         assert_eq!(d, r);
         assert_eq!(d.violations(), 1);
         assert!(d.overapprox() > 0);
+    }
+
+    #[test]
+    fn case_record_roundtrip_without_exact_fields() {
+        // Over-approximate sweeps carry no exact fields; the record
+        // must encode and decode without them.
+        let case = CaseRecord {
+            name: "plain".into(),
+            points: 10,
+            audited: 10,
+            admitted: 7,
+            exact_admitted: None,
+            witnessed: 6,
+            witnessed_cross_thread: 0,
+            witnessed_buckets: vec![1, 5],
+            exact_buckets: None,
+            model_mutants: vec![],
+            model_violations: vec![],
+            structural_violations: vec![],
+        };
+        let d = CaseRecord::decode(&case.encode()).unwrap();
+        assert_eq!(d, case);
+        assert_eq!(d.exact_delta(), 0);
+        assert_eq!(d.overapprox(), 1);
     }
 
     #[test]

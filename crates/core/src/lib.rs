@@ -59,8 +59,8 @@ pub use lightwsp_store::{
 };
 pub use lightwsp_workloads::{Suite, WorkloadSpec};
 pub use oracle::{
-    fuzz_sweep, fuzz_sweep_cached, litmus_sweep, litmus_sweep_cached, mutant_kill_matrix,
-    mutant_kill_matrix_cached, run_case_cached, MutantKill, SweepReport,
+    fuzz_sweep, fuzz_sweep_cached, litmus_sweep, litmus_sweep_cached, model_mutant_kill_matrix,
+    mutant_kill_matrix, mutant_kill_matrix_cached, run_case_cached, MutantKill, SweepReport,
 };
 pub use recovery::{
     audit_workload_crashes, audit_workload_crashes_cached, check_workload_recovery, AuditBudget,

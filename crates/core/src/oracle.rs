@@ -11,9 +11,8 @@ use crate::cache::{
 };
 use crate::campaign::Campaign;
 use lightwsp_compiler::Compiled;
-use lightwsp_model::harness::{run_case, CaseOutcome, CaseSpec, PointPolicy};
-use lightwsp_model::ExtractError;
-use lightwsp_model::{gen_case, litmus_suite};
+use lightwsp_model::harness::{run_case, CaseOutcome, CaseSpec, EnumMode, PointPolicy};
+use lightwsp_model::{gen_case_biased, litmus_suite, ExtractError, FuzzBias, ModelMutant};
 use lightwsp_sim::{GatingMutant, StepMode, SweepMode};
 use lightwsp_store::{ResultStore, StoreKey};
 
@@ -28,6 +27,11 @@ pub struct SweepReport {
     pub audited: usize,
     /// Sum of admitted-set sizes (saturating).
     pub admitted: u128,
+    /// Sum of exact admitted-set sizes (0 for over-approximate sweeps).
+    pub exact_admitted: u128,
+    /// Cases whose exact set was fully witnessed violation-free — the
+    /// cases that pin the reachable set and arm mutant-model kills.
+    pub exact_complete: usize,
     /// Distinct canonical images witnessed, summed over cases.
     pub witnessed: usize,
     /// Witnessed images realising a cross-thread prefix combination —
@@ -48,6 +52,12 @@ impl SweepReport {
         self.points += out.points;
         self.audited += out.audited;
         self.admitted = self.admitted.saturating_add(out.admitted);
+        if let Some(e) = out.exact_admitted {
+            self.exact_admitted = self.exact_admitted.saturating_add(e);
+            if out.exact_fully_witnessed() {
+                self.exact_complete += 1;
+            }
+        }
         self.witnessed += out.witnessed;
         self.witnessed_cross_thread += out.witnessed_cross_thread;
         self.model_violations.extend(out.model_violations.clone());
@@ -68,12 +78,14 @@ impl SweepReport {
 }
 
 /// Runs the full litmus suite under `step_mode`/`sweep_mode` with a
-/// per-cycle exhaustive crash sweep, in parallel. Returns the aggregate
-/// plus the per-litmus outcomes (in suite order).
+/// per-cycle exhaustive crash sweep, in parallel, in the requested
+/// enumeration mode. Returns the aggregate plus the per-litmus
+/// outcomes (in suite order).
 pub fn litmus_sweep(
     campaign: &Campaign,
     step_mode: StepMode,
     sweep_mode: SweepMode,
+    enum_mode: EnumMode,
 ) -> (SweepReport, Vec<CaseOutcome>) {
     let suite = litmus_suite();
     let outcomes = campaign.map_parallel(&suite, |l, _| {
@@ -84,6 +96,7 @@ pub fn litmus_sweep(
             wpq_entries: l.wpq_entries,
             step_mode,
             sweep_mode,
+            enum_mode,
             mutant: None,
             policy: PointPolicy::Exhaustive { max_horizon: 4096 },
             seed: 0x11735,
@@ -106,24 +119,28 @@ pub fn litmus_sweep(
 
 /// Runs `count` generated programs from the stream rooted at `seed`
 /// under `step_mode`/`sweep_mode`, each audited at mechanism-derived
-/// plus seeded crash points, in parallel.
+/// plus seeded crash points, in parallel. `bias` selects the generator
+/// distribution and `enum_mode` the admitted-set enumeration.
 pub fn fuzz_sweep(
     campaign: &Campaign,
     seed: u64,
     count: u64,
     step_mode: StepMode,
     sweep_mode: SweepMode,
+    enum_mode: EnumMode,
+    bias: FuzzBias,
 ) -> SweepReport {
     let indices: Vec<u64> = (0..count).collect();
     let outcomes = campaign.map_parallel(&indices, |&idx, _| {
-        let case = gen_case(seed, idx);
+        let case = gen_case_biased(seed, idx, bias);
         let spec = CaseSpec {
-            name: format!("fuzz-{seed:#x}-{idx}"),
+            name: format!("fuzz-{}-{seed:#x}-{idx}", bias.name()),
             threads: case.threads,
             num_mcs: case.num_mcs,
             wpq_entries: case.wpq_entries,
             step_mode,
             sweep_mode,
+            enum_mode,
             mutant: None,
             policy: PointPolicy::Derived {
                 cap_per_kind: 3,
@@ -178,10 +195,13 @@ impl MutantKill {
 
 /// Arms each mutant in turn and runs the whole litmus suite against it
 /// (both detectors active), in parallel over `(mutant, litmus)` pairs.
+/// Gating mutants perturb the simulated hardware, so `enum_mode`
+/// chooses how tight the model-side detector is.
 pub fn mutant_kill_matrix(
     campaign: &Campaign,
     step_mode: StepMode,
     sweep_mode: SweepMode,
+    enum_mode: EnumMode,
 ) -> Vec<MutantKill> {
     let suite = litmus_suite();
     let pairs: Vec<(GatingMutant, usize)> = ALL_MUTANTS
@@ -197,6 +217,7 @@ pub fn mutant_kill_matrix(
             wpq_entries: l.wpq_entries,
             step_mode,
             sweep_mode,
+            enum_mode,
             mutant: Some(mutant),
             policy: PointPolicy::Exhaustive { max_horizon: 4096 },
             seed: 0xDEAD_5EED,
@@ -222,6 +243,32 @@ pub fn mutant_kill_matrix(
             }
             MutantKill {
                 mutant: m,
+                killed_by,
+            }
+        })
+        .collect()
+}
+
+/// Aggregates the per-case mutant-*model* verdicts of an exact-mode
+/// litmus sweep into a kill matrix: one row per [`ModelMutant`], listing
+/// the litmuses whose fully-witnessed sweeps falsified it (tagged with
+/// the mutant's admitted-set size there). Pure aggregation — the
+/// verdicts were computed by `run_case`, so this costs no simulation.
+pub fn model_mutant_kill_matrix(outcomes: &[CaseRecord]) -> Vec<MutantKillRecord> {
+    ModelMutant::ALL
+        .iter()
+        .map(|m| {
+            let mut killed_by = Vec::new();
+            for out in outcomes {
+                for row in &out.model_mutants {
+                    if row.name == m.name() && row.killed {
+                        let count = row.count.map_or("-".to_string(), |c| c.to_string());
+                        killed_by.push(format!("{}/{count}", out.name));
+                    }
+                }
+            }
+            MutantKillRecord {
+                mutant: m.name().to_string(),
                 killed_by,
             }
         })
@@ -275,12 +322,13 @@ pub fn litmus_sweep_cached(
     campaign: &Campaign,
     step_mode: StepMode,
     sweep_mode: SweepMode,
+    enum_mode: EnumMode,
 ) -> (SweepRecord, bool) {
     let key = StoreKey::new(
         "sweeprep",
         "litmus-suite",
-        format!("{step_mode:?}/{sweep_mode:?}"),
-        digest_debug(&(step_mode, sweep_mode)),
+        format!("{step_mode:?}/{sweep_mode:?}/{}", enum_mode.name()),
+        digest_debug(&(step_mode, sweep_mode, enum_mode)),
         0,
         store.map_or(0, ResultStore::code),
     );
@@ -290,7 +338,7 @@ pub fn litmus_sweep_cached(
         SweepRecord::decode,
         SweepRecord::encode,
         || {
-            let (rep, outcomes) = litmus_sweep(campaign, step_mode, sweep_mode);
+            let (rep, outcomes) = litmus_sweep(campaign, step_mode, sweep_mode, enum_mode);
             SweepRecord::new(&rep, &outcomes)
         },
     )
@@ -299,6 +347,7 @@ pub fn litmus_sweep_cached(
 /// Store-cached [`fuzz_sweep`], keyed by the stream seed, case count
 /// and mode pair. The record carries no per-case outcomes (the fuzz
 /// aggregate is all the bins read).
+#[allow(clippy::too_many_arguments)]
 pub fn fuzz_sweep_cached(
     store: Option<&ResultStore>,
     campaign: &Campaign,
@@ -306,12 +355,14 @@ pub fn fuzz_sweep_cached(
     count: u64,
     step_mode: StepMode,
     sweep_mode: SweepMode,
+    enum_mode: EnumMode,
+    bias: FuzzBias,
 ) -> (SweepRecord, bool) {
     let key = StoreKey::new(
         "sweeprep",
-        "fuzz",
-        format!("{step_mode:?}/{sweep_mode:?}"),
-        digest_debug(&(seed, count, step_mode, sweep_mode)),
+        format!("fuzz-{}", bias.name()),
+        format!("{step_mode:?}/{sweep_mode:?}/{}", enum_mode.name()),
+        digest_debug(&(seed, count, step_mode, sweep_mode, enum_mode, bias)),
         seed,
         store.map_or(0, ResultStore::code),
     );
@@ -322,7 +373,9 @@ pub fn fuzz_sweep_cached(
         SweepRecord::encode,
         || {
             SweepRecord::new(
-                &fuzz_sweep(campaign, seed, count, step_mode, sweep_mode),
+                &fuzz_sweep(
+                    campaign, seed, count, step_mode, sweep_mode, enum_mode, bias,
+                ),
                 &[],
             )
         },
@@ -336,12 +389,13 @@ pub fn mutant_kill_matrix_cached(
     campaign: &Campaign,
     step_mode: StepMode,
     sweep_mode: SweepMode,
+    enum_mode: EnumMode,
 ) -> (Vec<MutantKillRecord>, bool) {
     let key = StoreKey::new(
         "killmatrix",
         "litmus-suite",
-        format!("{step_mode:?}/{sweep_mode:?}"),
-        digest_debug(&(step_mode, sweep_mode)),
+        format!("{step_mode:?}/{sweep_mode:?}/{}", enum_mode.name()),
+        digest_debug(&(step_mode, sweep_mode, enum_mode)),
         0,
         store.map_or(0, ResultStore::code),
     );
@@ -351,7 +405,7 @@ pub fn mutant_kill_matrix_cached(
         MutantKillRecord::decode_list,
         |rows| MutantKillRecord::encode_list(rows),
         || {
-            mutant_kill_matrix(campaign, step_mode, sweep_mode)
+            mutant_kill_matrix(campaign, step_mode, sweep_mode, enum_mode)
                 .iter()
                 .map(MutantKillRecord::from)
                 .collect()

@@ -99,6 +99,19 @@ pub enum ExtractError {
         /// The runaway thread.
         thread: usize,
     },
+    /// A traced protocol order disagrees with the extracted region
+    /// structure: the trace attributes a different number of regions to
+    /// a thread than the isolated replay produced. Either the trace was
+    /// truncated (capacity) or extraction and machine diverged — both
+    /// are harness bugs, never a program property.
+    ProtocolMismatch {
+        /// The disagreeing thread.
+        thread: usize,
+        /// Regions the trace attributes to the thread.
+        traced: usize,
+        /// Regions the isolated replay produced for the thread.
+        replayed: usize,
+    },
 }
 
 impl std::fmt::Display for ExtractError {
@@ -124,7 +137,104 @@ impl std::fmt::Display for ExtractError {
             ExtractError::StepBudget { thread } => {
                 write!(f, "thread {thread} exceeded the replay step budget")
             }
+            ExtractError::ProtocolMismatch {
+                thread,
+                traced,
+                replayed,
+            } => write!(
+                f,
+                "protocol order attributes {traced} regions to thread {thread} \
+                 but isolated replay produced {replayed}"
+            ),
         }
+    }
+}
+
+/// The boundary-ACK/flush-ID protocol order witnessed by one traced
+/// mainline run: the owning thread of every region, listed in global
+/// region-ID order (IDs are handed out by one monotone counter, so this
+/// sequence *is* the order in which region boundaries retired and their
+/// flush IDs were fenced).
+///
+/// Because the machine is deterministic and the crash harness forks the
+/// mainline run (or re-runs it with the same seed), a single traced
+/// order is valid for every crash point of the run: any durable image
+/// is the install image plus the effects of a *cut* of this sequence
+/// (the first `F` regions for some frontier `F`), never an arbitrary
+/// per-thread prefix combination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolOrder {
+    threads: Vec<usize>,
+}
+
+impl ProtocolOrder {
+    /// Wraps a thread sequence in region-ID order. The harness builds
+    /// this from the simulator's region trace (`RegionTraceLog`
+    /// timelines are already sorted by region ID).
+    pub fn new(threads: Vec<usize>) -> ProtocolOrder {
+        ProtocolOrder { threads }
+    }
+
+    /// Number of regions in the witnessed order.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True when the trace recorded no regions at all.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// The owning thread of each region, in region-ID order.
+    pub fn threads(&self) -> &[usize] {
+        &self.threads
+    }
+
+    /// Checks that the traced order and an extracted region structure
+    /// agree on per-thread region counts (the 1:1 correspondence that
+    /// makes cut enumeration meaningful).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::ProtocolMismatch`] for the first thread
+    /// whose traced and replayed region counts differ.
+    pub fn validate(&self, rs: &RegionStructure) -> Result<(), ExtractError> {
+        let mut traced = vec![0usize; rs.threads.len()];
+        for &t in &self.threads {
+            if t >= traced.len() {
+                return Err(ExtractError::ProtocolMismatch {
+                    thread: t,
+                    traced: self.threads.iter().filter(|&&x| x == t).count(),
+                    replayed: 0,
+                });
+            }
+            traced[t] += 1;
+        }
+        for (t, eff) in rs.threads.iter().enumerate() {
+            if traced[t] != eff.regions.len() {
+                return Err(ExtractError::ProtocolMismatch {
+                    thread: t,
+                    traced: traced[t],
+                    replayed: eff.regions.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The per-thread prefix vector at every frontier `F = 0 ..= len()`:
+    /// `cuts()[F][t]` = how many of thread `t`'s regions fall among the
+    /// first `F` regions of the global order. These `len() + 1` vectors
+    /// are the *only* prefix combinations the protocol can make durable.
+    pub fn cuts(&self, num_threads: usize) -> Vec<Vec<usize>> {
+        let mut counts = vec![0usize; num_threads];
+        let mut out = Vec::with_capacity(self.threads.len() + 1);
+        out.push(counts.clone());
+        for &t in &self.threads {
+            counts[t] += 1;
+            out.push(counts.clone());
+        }
+        out
     }
 }
 

@@ -64,15 +64,61 @@ impl Rng {
     }
 }
 
-/// Generates case `idx` of the stream rooted at `seed`.
+/// Generator bias for the drawn shapes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FuzzBias {
+    /// The historical distribution: 1–3 threads, any MC/WPQ shape,
+    /// 1–5 regions per thread.
+    #[default]
+    Uniform,
+    /// Cross-thread-heavy: always ≥ 2 threads (2–4), multi-MC shapes
+    /// with small WPQs, and more-but-smaller regions per thread — the
+    /// distribution that maximises distinct cross-thread interleavings
+    /// on the global region-ID order, where exact mode differs most
+    /// from the over-approximation.
+    CrossThread,
+}
+
+impl FuzzBias {
+    /// Stable name for records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzBias::Uniform => "uniform",
+            FuzzBias::CrossThread => "cross_thread",
+        }
+    }
+}
+
+/// Generates case `idx` of the stream rooted at `seed` with the
+/// historical [`FuzzBias::Uniform`] distribution.
 pub fn gen_case(seed: u64, idx: u64) -> FuzzCase {
-    let mut rng = Rng(seed ^ idx.wrapping_mul(0xA076_1D64_78BD_642F));
+    gen_case_biased(seed, idx, FuzzBias::Uniform)
+}
+
+/// Generates case `idx` of the stream rooted at `seed` under `bias`.
+/// Still a pure function of `(seed, idx, bias)`; the two biases draw
+/// from decorrelated streams.
+pub fn gen_case_biased(seed: u64, idx: u64, bias: FuzzBias) -> FuzzCase {
+    let salt = match bias {
+        FuzzBias::Uniform => 0,
+        FuzzBias::CrossThread => 0x51C5_AB1E_0DDC_0FFE,
+    };
+    let mut rng = Rng(seed ^ salt ^ idx.wrapping_mul(0xA076_1D64_78BD_642F));
     // Warm the stream so nearby (seed, idx) pairs decorrelate.
     rng.next();
 
-    let threads = 1 + rng.below(3) as usize;
-    let num_mcs = [1usize, 2, 4][rng.below(3) as usize];
-    let wpq_entries = [8usize, 16, 64][rng.below(3) as usize];
+    let (threads, num_mcs, wpq_entries) = match bias {
+        FuzzBias::Uniform => (
+            1 + rng.below(3) as usize,
+            [1usize, 2, 4][rng.below(3) as usize],
+            [8usize, 16, 64][rng.below(3) as usize],
+        ),
+        FuzzBias::CrossThread => (
+            2 + rng.below(3) as usize,
+            [2usize, 4][rng.below(2) as usize],
+            [8usize, 16][rng.below(2) as usize],
+        ),
+    };
 
     let mut b = FuncBuilder::new("fuzz");
     // R1 = this thread's stripe base = HEAP_BASE + (tid << 13).
@@ -80,12 +126,19 @@ pub fn gen_case(seed: u64, idx: u64) -> FuzzCase {
     b.alu_imm(AluOp::Shl, Reg::R2, Reg::R0, 13);
     b.alu(AluOp::Add, Reg::R1, Reg::R1, Reg::R2);
 
-    let regions = 1 + rng.below(5); // 1..=5
+    let regions = match bias {
+        FuzzBias::Uniform => 1 + rng.below(5),     // 1..=5
+        FuzzBias::CrossThread => 2 + rng.below(5), // 2..=6
+    };
     for r in 0..regions {
         // Mostly small regions; occasionally a burst bigger than the
         // smallest WPQ to exercise the overflow/undo-log fallback.
-        let stores = if rng.chance(12) {
+        // Cross-thread bias keeps regions small so more of them fit in
+        // the horizon and interleave.
+        let stores = if rng.chance(if bias == FuzzBias::CrossThread { 6 } else { 12 }) {
             10 + rng.below(8)
+        } else if bias == FuzzBias::CrossThread {
+            rng.below(4)
         } else {
             rng.below(7)
         };
@@ -139,6 +192,22 @@ pub fn gen_case(seed: u64, idx: u64) -> FuzzCase {
 mod tests {
     use super::*;
     use crate::extract::extract;
+
+    /// Cross-thread bias must always draw ≥ 2 threads and stay inside
+    /// the extraction domain, deterministically.
+    #[test]
+    fn cross_thread_bias_is_concurrent_and_extractable() {
+        for idx in 0..64 {
+            let a = gen_case_biased(0xC0FFEE, idx, FuzzBias::CrossThread);
+            let b = gen_case_biased(0xC0FFEE, idx, FuzzBias::CrossThread);
+            assert!(a.threads >= 2, "case {idx} drew {} threads", a.threads);
+            assert!(a.num_mcs >= 2);
+            assert_eq!(a.threads, b.threads);
+            let rs = extract(&a.compiled.program, a.threads, 1_000_000)
+                .unwrap_or_else(|e| panic!("case {idx} outside model domain: {e}"));
+            assert!(rs.threads.iter().any(|t| !t.regions.is_empty()));
+        }
+    }
 
     /// Every generated case must sit inside the extraction domain and
     /// regenerate bit-identically from (seed, idx).

@@ -8,7 +8,7 @@
 //! *structure* (replayed functionally from the IR, with no cycle-level
 //! state), enumerates the set of post-crash PM images LRPO admits.
 //!
-//! ## The model
+//! ## The exact rule
 //!
 //! LRPO's contract (§III-A, §IV-B, §IV-F) is that the durable image
 //! after *any* power failure is the install image plus the effects of a
@@ -17,41 +17,65 @@
 //! MC's WPQ, MCs flush in region-ID order, and the §IV-F resolution
 //! battery-flushes exactly the contiguous boundary-everywhere run from
 //! the commit frontier (undo-logging makes the §IV-D overflow fallback
-//! image-transparent for unsurvivable regions). Region IDs are drawn
-//! from one global monotone counter and each thread allocates its IDs
-//! in its own program order, so the global survivable prefix projects
-//! onto **each thread as a prefix of that thread's regions**.
+//! image-transparent for unsurvivable regions). Region IDs come from
+//! one global monotone counter, so for a given run the admitted set is
+//! exactly the `N + 1` **cuts** of that run's global region sequence —
+//! nothing else can be durable together.
 //!
-//! For programs whose threads write disjoint addresses and never read
-//! another thread's writes (verified dynamically during extraction —
-//! see [`extract()`]), per-thread region effects are independent of the
-//! interleaving, and the admitted set is exactly
+//! The model supports two enumeration modes over the same per-thread
+//! structure (threads must write disjoint addresses and never read
+//! another thread's writes; both are verified dynamically during
+//! extraction — see [`extract()`]):
 //!
-//! ```text
-//!   { install ⊕ effects(prefix₁) ⊕ … ⊕ effects(prefixₙ)
-//!       : prefixₜ a per-thread region prefix }
-//! ```
+//! * **Exact mode** ([`model::LrpoModel::with_protocol`]): a
+//!   [`extract::ProtocolOrder`] — the owning thread of every region in
+//!   region-ID order, read off one traced mainline run — constrains
+//!   cross-thread combinations to the cuts of the observed sequence.
+//!   The machine is deterministic and the crash sweeper forks (or
+//!   re-runs) the same mainline, so one trace is valid for every crash
+//!   point: the model is *exact modulo the trace*.
+//! * **Over-approximate mode** ([`model::LrpoModel::new`], the
+//!   historical default): every combination of per-thread region
+//!   prefixes is admitted. Sound, trace-free, and retained both as the
+//!   fallback and as the envelope the exact set is measured against.
 //!
-//! This is a deliberate, *documented over-approximation*: the model
-//! admits every combination of per-thread prefixes, while a real
-//! execution only realises combinations compatible with the global
-//! region-ID order of that run. The differential harness accounts for
-//! the gap explicitly (see [`model::LrpoModel::admitted_count`] and the
-//! witness bookkeeping in [`harness`]).
+//! Counting in both modes is in **canonical image space**: prefixes
+//! whose normalized images coincide (idempotent rewrites, stores of the
+//! install value) collapse, so admitted/witnessed accounting never
+//! double-counts indistinguishable images.
+//!
+//! ## Mutant models: pinning from both sides
+//!
+//! Exactness claims need falsifiers on both sides. Observed crash
+//! images already gate from below (every image must be admitted); the
+//! [`model::ModelMutant`]s gate from above: deliberately-loose rules —
+//! drop the boundary-ACK order, let per-thread regions persist as
+//! unordered subsets, ignore flush-ID fencing within the committing
+//! region — each admit a strict superset on cross-thread shapes. When
+//! a sweep witnesses the *entire* exact set violation-free, the
+//! reachable set is pinned exactly, and every mutant admitting more
+//! images is thereby falsified by observation (see
+//! [`harness::MutantModelRow`]).
 //!
 //! ## The harness
 //!
-//! [`litmus`] holds ~16 hand-written litmus programs (cross-MC boundary
-//! races, WPQ-capacity/overflow regions, back-to-back boundaries, NUMA
-//! address striping); [`fuzz`] generates thousands of seeded random
-//! programs. [`harness`] runs each through the cycle-level simulator,
+//! [`litmus`] holds ~28 hand-written litmus programs: the original
+//! mechanism corners (cross-MC boundary races, WPQ-capacity/overflow
+//! regions, back-to-back boundaries, NUMA striping) plus a delay-free
+//! concurrency suite — helping/combining, CAS-with-payload
+//! publication, flush-free handoff, MC-skewed helping races —
+//! projected onto per-thread-disjoint stripes. [`fuzz`] generates
+//! thousands of seeded random programs, with a cross-thread-biased
+//! mode ([`fuzz::FuzzBias::CrossThread`]) that always draws ≥ 2
+//! threads. [`harness`] runs each through the cycle-level simulator,
 //! cuts power at every mechanism-derived crash point (exhaustively at
-//! every cycle for small programs) in both `StepMode::SkipAhead` and
-//! `StepMode::Reference`, and asserts every observed crash image is in
-//! the model's admitted set — and that each admitted image is either
-//! witnessed by some crash point or counted against the documented
-//! over-approximation. The same harness re-arms the test-only
-//! [`lightwsp_sim::GatingMutant`]s and requires each to be killed.
+//! every cycle for small programs) in both `StepMode`s and both
+//! enumeration modes, and asserts every observed crash image is
+//! admitted — reporting witnessed coverage per thread-count bucket and
+//! the exact-vs-over-approximate delta per case. The same harness
+//! re-arms the test-only [`lightwsp_sim::GatingMutant`]s (simulator
+//! mutants) and evaluates the model mutants, requiring each to be
+//! killed.
 
 #![warn(missing_docs)]
 
@@ -61,8 +85,10 @@ pub mod harness;
 pub mod litmus;
 pub mod model;
 
-pub use extract::{extract, ExtractError, RegionEffect, RegionStructure, ThreadEffects};
-pub use fuzz::{gen_case, FuzzCase};
-pub use harness::{run_case, CaseOutcome, CaseSpec, PointPolicy};
+pub use extract::{
+    extract, ExtractError, ProtocolOrder, RegionEffect, RegionStructure, ThreadEffects,
+};
+pub use fuzz::{gen_case, gen_case_biased, FuzzBias, FuzzCase};
+pub use harness::{run_case, CaseOutcome, CaseSpec, EnumMode, MutantModelRow, PointPolicy};
 pub use litmus::{litmus_suite, Litmus};
-pub use model::{LrpoModel, ModelViolation};
+pub use model::{LrpoModel, ModelMutant, ModelViolation};

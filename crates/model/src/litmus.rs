@@ -15,7 +15,7 @@
 
 use lightwsp_compiler::{instrument, Compiled, CompilerConfig};
 use lightwsp_ir::builder::FuncBuilder;
-use lightwsp_ir::{layout, AluOp, FuncId, Program, Reg};
+use lightwsp_ir::{layout, AluOp, Cond, FuncId, Program, Reg};
 
 /// One litmus case: a program plus the hardware shape to run it on.
 #[derive(Clone, Debug)]
@@ -349,6 +349,341 @@ pub fn litmus_suite() -> Vec<Litmus> {
         });
     }
 
+    // -- delay-free concurrency projections --------------------------
+    //
+    // Patterns from the delay-free-concurrency literature (helping/
+    // combining, CAS-with-payload publication, flush-free handoff),
+    // projected onto per-thread-disjoint stripes: extraction forbids
+    // real cross-thread data flow, so each litmus keeps every thread's
+    // *persist-ordering skeleton* — announce-before-combine,
+    // payload-before-flag, publish-before-ack — while the cross-thread
+    // part is exactly what exact mode constrains: which combinations of
+    // those per-thread stages can be durable together, per the traced
+    // boundary-ACK order.
+
+    {
+        // Flat-combining projection: each thread announces its op, then
+        // a separate region records the combined result. A durable
+        // "combined" word without the announce would be a lost help.
+        let mut b = FuncBuilder::new("helping_combining");
+        stripe_base(&mut b);
+        b.mov_imm(Reg::R3, 0x111); // announce: op descriptor
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0x222); // combine: result + done flag
+        b.store(Reg::R3, Reg::R1, 8);
+        b.mov_imm(Reg::R3, 1);
+        b.store(Reg::R3, Reg::R1, 16);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "helping-combining",
+            description: "announce-then-combine per thread: exact cuts order the helping stages",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // Three-way helping: announce / help / done as three regions per
+        // thread — 9 regions interleave on the global ID order, so the
+        // over-approximate product (4^3 = 64) dwarfs the ≤ 10 cuts.
+        let mut b = FuncBuilder::new("helping_3t");
+        stripe_base(&mut b);
+        for (stage, val) in [(0i64, 0x0Ai64), (8, 0x0B), (16, 0x0C)] {
+            b.mov_imm(Reg::R3, val);
+            b.store(Reg::R3, Reg::R1, stage);
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "helping-interleave-3t",
+            description: "3 threads × 3 helping stages: exact cuts vs a 64-image product",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 3,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // CAS-with-payload, two-region form: the payload burst persists
+        // a region *before* the flag+sequence region. A durable flag
+        // with a torn payload is the bug this pattern exists to avoid.
+        let mut b = FuncBuilder::new("cas_payload");
+        stripe_base(&mut b);
+        burst(&mut b, 3, 8, 0x300); // payload
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0x77); // flag
+        b.store(Reg::R3, Reg::R1, 64);
+        b.mov_imm(Reg::R3, 1); // sequence
+        b.store(Reg::R3, Reg::R1, 72);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "cas-payload-publish",
+            description: "payload region before flag region: publication order across threads",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // CAS-with-payload, one-region form: LightWSP makes flush-free
+        // publication atomic per region — payload and flag commit
+        // together or not at all, on every thread.
+        let mut b = FuncBuilder::new("cas_payload_atomic");
+        stripe_base(&mut b);
+        burst(&mut b, 3, 8, 0x400);
+        b.mov_imm(Reg::R3, 0x88);
+        b.store(Reg::R3, Reg::R1, 64);
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 2);
+        b.store(Reg::R3, Reg::R1, 72);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "cas-payload-same-region",
+            description: "payload+flag in one region: flush-free publication is region-atomic",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // Flush-free handoff projection: a producer-side slot/tail pair
+        // and a consumer-side journal, as alternating small regions on
+        // separate threads. No explicit flush anywhere — the boundary
+        // ACK order *is* the handoff order.
+        let mut b = FuncBuilder::new("handoff");
+        stripe_base(&mut b);
+        for r in 0..3i64 {
+            b.mov_imm(Reg::R3, 0x500 + r); // slot payload
+            b.store(Reg::R3, Reg::R1, r * 16);
+            b.mov_imm(Reg::R3, r + 1); // tail bump
+            b.store(Reg::R3, Reg::R1, 256);
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "flush-free-handoff",
+            description: "slot-then-tail rounds with no flushes: ACK order is the handoff order",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // Four threads, each a 2-region publish/ack chain across 4 MCs:
+        // the chain of 8 regions makes most of the 3^4 = 81 product
+        // combinations non-cuts.
+        let mut b = FuncBuilder::new("handoff_4t");
+        stripe_base(&mut b);
+        b.mov_imm(Reg::R3, 0x600);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.store(Reg::R3, Reg::R1, 64);
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0x601);
+        b.store(Reg::R3, Reg::R1, 128);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "handoff-chain-4t",
+            description: "4 threads × publish/ack regions on 4 MCs: cuts ≪ the 81-image product",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 4,
+            num_mcs: 4,
+            wpq_entries: 16,
+        });
+    }
+
+    {
+        // MC-skewed helping race: every announce/combine region stripes
+        // all four MCs under 8-entry WPQs, so boundary delivery skews
+        // exactly where helping patterns are most exposed.
+        let mut b = FuncBuilder::new("skew_helping");
+        stripe_base(&mut b);
+        for r in 0..2i64 {
+            for (i, off) in [0i64, 64, 128, 192].iter().enumerate() {
+                b.mov_imm(Reg::R3, (r + 1) * 0x700 + i as i64);
+                b.store(Reg::R3, Reg::R1, *off + r * 256);
+            }
+            b.region_boundary();
+        }
+        b.halt();
+        out.push(Litmus {
+            name: "mc-skew-helping",
+            description: "4 threads × 4-MC-striped helping stages under tiny WPQs: skewed ACKs",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 4,
+            num_mcs: 4,
+            wpq_entries: 8,
+        });
+    }
+
+    {
+        // Asymmetric region counts (t0: 1, t1: 3, t2: 5 via tid-scaled
+        // loop): the per-thread prefix product is lopsided and the cut
+        // constraint bites hardest. Built unrolled per thread id by
+        // branching on R0.
+        let mut b = FuncBuilder::new("asym");
+        let body = b.new_block();
+        let exit = b.new_block();
+        stripe_base(&mut b);
+        // regions = 2*tid + 1
+        b.alu_imm(AluOp::Shl, Reg::R4, Reg::R0, 1);
+        b.alu_imm(AluOp::Add, Reg::R4, Reg::R4, 1);
+        b.mov_imm(Reg::R5, 0);
+        b.jump(body);
+        b.switch_to(body);
+        b.alu_imm(AluOp::Add, Reg::R3, Reg::R5, 0x90);
+        b.alu_imm(AluOp::Shl, Reg::R6, Reg::R5, 3);
+        b.alu(AluOp::Add, Reg::R6, Reg::R6, Reg::R1);
+        b.store(Reg::R3, Reg::R6, 0);
+        b.region_boundary();
+        b.alu_imm(AluOp::Add, Reg::R5, Reg::R5, 1);
+        b.branch_reg(Cond::Lt, Reg::R5, Reg::R4, body, exit);
+        b.switch_to(exit);
+        b.halt();
+        out.push(Litmus {
+            name: "asym-threads",
+            description: "1/3/5 regions per thread: lopsided product vs the single global chain",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 3,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // Token-only boundary chains racing data regions: thread stripes
+        // differ only in *what* commits (recovery points vs data), but
+        // every token still occupies a slot in the global ID order.
+        let mut b = FuncBuilder::new("token_data");
+        let tokens = b.new_block();
+        let data = b.new_block();
+        let exit = b.new_block();
+        stripe_base(&mut b);
+        b.branch_imm(Cond::Eq, Reg::R0, 0, tokens, data);
+        b.switch_to(tokens);
+        b.region_boundary();
+        b.region_boundary();
+        b.region_boundary();
+        b.region_boundary();
+        b.jump(exit);
+        b.switch_to(data);
+        b.mov_imm(Reg::R3, 0xA1);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0xA2);
+        b.store(Reg::R3, Reg::R1, 8);
+        b.region_boundary();
+        b.jump(exit);
+        b.switch_to(exit);
+        b.halt();
+        out.push(Litmus {
+            name: "token-vs-data-race",
+            description: "token-only chains on t0 race data regions on t1 in the global ID order",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // Overflow racing across threads: both threads push a burst
+        // larger than the 8-entry WPQ, then a small tail region — the
+        // undo-log fallback and the cut constraint interact.
+        let mut b = FuncBuilder::new("wide_burst");
+        stripe_base(&mut b);
+        burst(&mut b, 12, 8, 0xB00);
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0xB99);
+        b.store(Reg::R3, Reg::R1, 256);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "wide-burst-race",
+            description: "two 12-store overflow regions race into 8-entry WPQs, then small tails",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 8,
+        });
+    }
+
+    {
+        // One thread publishes early and halts; the other runs a long
+        // chain. The traced order is dominated by the long tail, so the
+        // exact set is near-linear while the product is not.
+        let mut b = FuncBuilder::new("publish_idle");
+        let short = b.new_block();
+        let long = b.new_block();
+        let exit = b.new_block();
+        stripe_base(&mut b);
+        b.branch_imm(Cond::Eq, Reg::R0, 0, short, long);
+        b.switch_to(short);
+        b.mov_imm(Reg::R3, 0xC1);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0xC2);
+        b.store(Reg::R3, Reg::R1, 8);
+        b.region_boundary();
+        b.jump(exit);
+        b.switch_to(long);
+        for i in 0..6i64 {
+            b.mov_imm(Reg::R3, 0xD0 + i);
+            b.store(Reg::R3, Reg::R1, i * 8);
+            b.region_boundary();
+        }
+        b.jump(exit);
+        b.switch_to(exit);
+        b.halt();
+        out.push(Litmus {
+            name: "publish-then-idle",
+            description: "early publisher halts while a 6-region chain runs: near-linear cuts",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
+    {
+        // Cross-thread canonicalisation: both threads rewrite their own
+        // words with repeated values (idempotent middle regions), so
+        // canonical-space counting must stay consistent between the cut
+        // set and the per-thread product.
+        let mut b = FuncBuilder::new("same_value_race");
+        stripe_base(&mut b);
+        b.mov_imm(Reg::R3, 0xE0);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.store(Reg::R3, Reg::R1, 0); // idempotent rewrite
+        b.region_boundary();
+        b.mov_imm(Reg::R3, 0xE1);
+        b.store(Reg::R3, Reg::R1, 0);
+        b.region_boundary();
+        b.halt();
+        out.push(Litmus {
+            name: "same-value-race",
+            description: "idempotent middle regions on both threads: canonical cuts stay exact",
+            compiled: wrap(Program::from_single(b.finish())),
+            threads: 2,
+            num_mcs: 2,
+            wpq_entries: 64,
+        });
+    }
+
     // -- compiler-instrumented ---------------------------------------
 
     {
@@ -413,7 +748,7 @@ mod tests {
     #[test]
     fn suite_extracts_cleanly() {
         let suite = litmus_suite();
-        assert!(suite.len() >= 15, "suite shrank to {}", suite.len());
+        assert!(suite.len() >= 27, "suite shrank to {}", suite.len());
         for l in &suite {
             let rs = extract(&l.compiled.program, l.threads, 1_000_000)
                 .unwrap_or_else(|e| panic!("litmus {} outside model domain: {e}", l.name));

@@ -1,38 +1,60 @@
 //! The admitted-image oracle: given a [`RegionStructure`], decides
 //! membership of an observed post-crash PM image in LRPO's admitted set
-//! and accounts for the set's size.
+//! and accounts for the set's size — in two enumeration modes.
 //!
-//! The admitted set is `install ⊕ overlay₁(k₁) ⊕ … ⊕ overlayₙ(kₙ)` over
-//! all per-thread prefix lengths `kₜ`, where `overlayₜ(k)` is the
-//! cumulative address→value map of thread `t`'s first `k` regions (data
-//! stores in program order, then the boundary's PC-slot store — within
-//! one region the order is irrelevant to the *cumulative* image except
-//! for same-address pairs, which the map applies in program order, as
-//! the §IV-F region-sorted battery flush does).
+//! **Over-approximate mode** ([`LrpoModel::new`]): the admitted set is
+//! `install ⊕ overlay₁(k₁) ⊕ … ⊕ overlayₙ(kₙ)` over all per-thread
+//! prefix lengths `kₜ`, where `overlayₜ(k)` is the cumulative
+//! address→value map of thread `t`'s first `k` regions (data stores in
+//! program order, then the boundary's PC-slot store). Cross-thread
+//! prefix combinations are unconstrained, so this mode can admit images
+//! the boundary-ACK/flush-ID protocol never produces. It is sound and
+//! cheap, and is retained as the fallback when no trace is available.
+//!
+//! **Exact mode** ([`LrpoModel::with_protocol`]): the same per-thread
+//! overlays, but cross-thread combinations are constrained by the
+//! [`ProtocolOrder`] witnessed in the run's region trace. Region IDs
+//! come from one monotone counter and the §IV-F resolution makes a
+//! *contiguous ID prefix* durable, so the only reachable images are the
+//! `N + 1` cuts of the traced global order — exact modulo the trace
+//! (the machine is deterministic, so one mainline trace covers every
+//! crash point of the run).
 //!
 //! Because extraction verified cross-thread write disjointness,
 //! membership decomposes per thread: project the observed image onto
 //! thread `t`'s write footprint and scan its `n+1` candidate prefixes.
 //! A final whole-image replay (install + chosen overlays vs observed,
 //! via [`Memory::first_difference`]) closes the loop against stray
-//! writes outside every thread's footprint.
+//! writes outside every thread's footprint. Exact mode adds a set
+//! lookup: the canonical witness vector must be a cut of the trace.
 //!
 //! **Canonical prefixes.** Different prefix lengths can induce the same
-//! cumulative image (a loop iteration that re-stores identical values
-//! across the same boundary, a token-only region after an identical
-//! PC-slot value). Each prefix is therefore mapped to the smallest prefix
-//! with an identical cumulative image; admitted-set counting and the
-//! harness's witness bookkeeping are both in canonical space, so
-//! tightness accounting never double-counts indistinguishable images.
+//! *image* (a loop iteration that re-stores identical values across the
+//! same boundary, or a store that rewrites the install value). Each
+//! prefix maps to the smallest prefix with an identical **normalized
+//! image** — the cumulative map with entries equal to the install value
+//! dropped — so admitted-set counting, exact-cut counting, and witness
+//! bookkeeping are all in canonical (image) space and never
+//! double-count indistinguishable images.
+//!
+//! **Mutant models** ([`ModelMutant`]): deliberately-loose enumeration
+//! rules that pin the exact rule from the other side. Each mutant
+//! admits a superset of the exact set; on a case whose point sweep
+//! witnessed *every* exact image (`witnessed == exact_count`), any
+//! mutant with a larger admitted set provably admits an image the
+//! hardware cannot produce — the observed images falsify it. See
+//! [`LrpoModel::mutant_count`].
 
-use crate::extract::RegionStructure;
+use crate::extract::{ProtocolOrder, RegionStructure};
 use lightwsp_ir::fxhash::{FxHashMap, FxHashSet};
 use lightwsp_ir::Memory;
 
 /// One thread's prefix-image table.
 #[derive(Clone, Debug)]
 struct ThreadModel {
-    /// `cum[k]` = cumulative overlay of the first `k` regions.
+    /// `cum[k]` = normalized cumulative overlay of the first `k`
+    /// regions (entries whose value equals the install value at that
+    /// address are dropped, so map equality is image equality).
     cum: Vec<FxHashMap<u64, u64>>,
     /// `canon[k]` = smallest `j` with `cum[j] == cum[k]`.
     canon: Vec<usize>,
@@ -40,16 +62,34 @@ struct ThreadModel {
     distinct: usize,
     /// The thread's write footprint (all keys any overlay can hold).
     writes: FxHashSet<u64>,
+    /// `deltas[i]` = region `i`'s raw store sequence (data stores in
+    /// program order, then the boundary store) — the mutant models
+    /// re-enumerate from these.
+    deltas: Vec<Vec<(u64, u64)>>,
+}
+
+/// The exact-mode constraint derived from one traced run.
+#[derive(Clone, Debug)]
+struct ExactSet {
+    /// The traced protocol order (threads in region-ID order).
+    order: ProtocolOrder,
+    /// Raw per-thread prefix vector at every frontier `F = 0..=N`.
+    raw_cuts: Vec<Vec<usize>>,
+    /// Deduplicated canonical cut vectors, in frontier order.
+    canonical: Vec<Vec<usize>>,
+    /// Membership set over canonical cut vectors.
+    set: FxHashSet<Vec<usize>>,
 }
 
 /// An observed image outside the admitted set.
 #[derive(Clone, Debug)]
 pub struct ModelViolation {
     /// The thread whose projection matched no prefix, when the failure
-    /// localises to one thread (`None` for whole-image mismatches).
+    /// localises to one thread (`None` for whole-image mismatches and
+    /// exact-mode cut violations).
     pub thread: Option<usize>,
     /// Human-readable specifics: nearest prefix and first differing
-    /// address/value.
+    /// address/value, or the non-cut prefix vector.
     pub detail: String,
 }
 
@@ -62,30 +102,85 @@ impl std::fmt::Display for ModelViolation {
     }
 }
 
+/// A deliberately-loose enumeration rule, used to falsify looseness:
+/// every mutant admits a superset of the exact cut set, and a fully
+/// witnessed sweep proves the surplus images unreachable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelMutant {
+    /// Drop the boundary-ACK ordering constraint entirely: admit every
+    /// per-thread prefix combination (the retained over-approximate
+    /// mode, recast as a mutant).
+    DropAckOrder,
+    /// Allow a thread's regions to persist out of order: admit every
+    /// per-thread region *subset* (applied in ID order), not just
+    /// prefixes — as if same-MC WPQ entries could drain unordered.
+    UnorderedPrefixes,
+    /// Ignore flush-ID fencing within the committing region: admit
+    /// every cut plus store-granular partial images of the next region
+    /// in trace order, without its boundary — as if the battery flush
+    /// were not atomic per region.
+    IgnoreFlushFence,
+}
+
+impl ModelMutant {
+    /// Every mutant model, in reporting order.
+    pub const ALL: [ModelMutant; 3] = [
+        ModelMutant::DropAckOrder,
+        ModelMutant::UnorderedPrefixes,
+        ModelMutant::IgnoreFlushFence,
+    ];
+
+    /// Stable snake-case name for records and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelMutant::DropAckOrder => "drop_ack_order",
+            ModelMutant::UnorderedPrefixes => "unordered_prefixes",
+            ModelMutant::IgnoreFlushFence => "ignore_flush_fence",
+        }
+    }
+}
+
+/// Region-count cap per thread for [`ModelMutant::UnorderedPrefixes`]'s
+/// `2^n` subset enumeration; larger threads make the count unavailable
+/// rather than silently wrong.
+const SUBSET_CAP: usize = 14;
+
 /// The executable LRPO persistency model for one program.
 #[derive(Clone, Debug)]
 pub struct LrpoModel {
     base: Memory,
     threads: Vec<ThreadModel>,
+    exact: Option<ExactSet>,
 }
 
 impl LrpoModel {
     /// Builds the prefix-image tables from an extracted region
-    /// structure.
+    /// structure (over-approximate mode: cross-thread combinations
+    /// unconstrained).
     pub fn new(rs: &RegionStructure) -> LrpoModel {
+        let base = rs.install.clone();
         let threads = rs
             .threads
             .iter()
             .map(|t| {
                 let n = t.regions.len();
+                let mut deltas: Vec<Vec<(u64, u64)>> = Vec::with_capacity(n);
                 let mut cum: Vec<FxHashMap<u64, u64>> = Vec::with_capacity(n + 1);
                 cum.push(FxHashMap::default());
                 for r in &t.regions {
+                    let mut delta = r.stores.clone();
+                    delta.push(r.boundary);
                     let mut next = cum.last().expect("non-empty").clone();
-                    for &(a, v) in &r.stores {
-                        next.insert(a, v);
+                    for &(a, v) in &delta {
+                        // Normalize as we go: an entry equal to the
+                        // install value is image-invisible.
+                        if v == base.read_word(a) {
+                            next.remove(&a);
+                        } else {
+                            next.insert(a, v);
+                        }
                     }
-                    next.insert(r.boundary.0, r.boundary.1);
+                    deltas.push(delta);
                     cum.push(next);
                 }
                 let mut canon = Vec::with_capacity(n + 1);
@@ -99,21 +194,80 @@ impl LrpoModel {
                     canon,
                     distinct,
                     writes: t.writes.clone(),
+                    deltas,
                 }
             })
             .collect();
         LrpoModel {
-            base: rs.install.clone(),
+            base,
             threads,
+            exact: None,
         }
     }
 
-    /// Size of the admitted set in canonical space: the product over
-    /// threads of their distinct cumulative images (saturating).
+    /// Builds the model in **exact mode**: cross-thread combinations
+    /// constrained to the cuts of `order`, the protocol order witnessed
+    /// by the run's region trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::extract::ExtractError::ProtocolMismatch`] when
+    /// the trace and the replayed structure disagree on per-thread
+    /// region counts.
+    pub fn with_protocol(
+        rs: &RegionStructure,
+        order: &ProtocolOrder,
+    ) -> Result<LrpoModel, crate::extract::ExtractError> {
+        order.validate(rs)?;
+        let mut m = LrpoModel::new(rs);
+        let raw_cuts = order.cuts(rs.threads.len());
+        let mut set: FxHashSet<Vec<usize>> = FxHashSet::default();
+        let mut canonical = Vec::new();
+        for cut in &raw_cuts {
+            let c: Vec<usize> = cut
+                .iter()
+                .enumerate()
+                .map(|(t, &k)| m.threads[t].canon[k])
+                .collect();
+            if set.insert(c.clone()) {
+                canonical.push(c);
+            }
+        }
+        m.exact = Some(ExactSet {
+            order: order.clone(),
+            raw_cuts,
+            canonical,
+            set,
+        });
+        Ok(m)
+    }
+
+    /// True when the model carries a protocol order (exact mode).
+    pub fn is_exact(&self) -> bool {
+        self.exact.is_some()
+    }
+
+    /// Size of the over-approximate admitted set in canonical space:
+    /// the product over threads of their distinct cumulative images
+    /// (saturating). Defined in both modes — in exact mode this is the
+    /// envelope the exact set is compared against.
     pub fn admitted_count(&self) -> u128 {
         self.threads
             .iter()
             .fold(1u128, |acc, t| acc.saturating_mul(t.distinct as u128))
+    }
+
+    /// Size of the exact admitted set: the number of distinct canonical
+    /// cut images of the traced protocol order. `None` when the model
+    /// was built without a trace.
+    pub fn exact_count(&self) -> Option<u128> {
+        self.exact.as_ref().map(|e| e.canonical.len() as u128)
+    }
+
+    /// The canonical cut vectors of the exact set, in frontier order
+    /// (exact mode only).
+    pub fn exact_cuts(&self) -> Option<&[Vec<usize>]> {
+        self.exact.as_ref().map(|e| e.canonical.as_slice())
     }
 
     /// Per-thread region counts (diagnostics/reporting).
@@ -121,9 +275,10 @@ impl LrpoModel {
         self.threads.iter().map(|t| t.cum.len() - 1).collect()
     }
 
-    /// Enumerates every canonical prefix vector of the admitted set, in
-    /// lexicographic order. Only call when [`LrpoModel::admitted_count`]
-    /// is small (litmus-sized programs); the harness guards this.
+    /// Enumerates every canonical prefix vector of the over-approximate
+    /// admitted set, in lexicographic order. Only call when
+    /// [`LrpoModel::admitted_count`] is small (litmus-sized programs);
+    /// the harness guards this.
     pub fn enumerate_canonical(&self) -> Vec<Vec<usize>> {
         let mut out: Vec<Vec<usize>> = vec![Vec::new()];
         for t in &self.threads {
@@ -148,16 +303,41 @@ impl LrpoModel {
         out
     }
 
-    /// Checks whether `observed` is an admitted post-crash image.
+    /// Checks whether `observed` is an admitted post-crash image under
+    /// the model's mode: per-thread prefix membership (both modes),
+    /// whole-image replay (both modes), and — in exact mode — cut
+    /// membership of the canonical witness vector in the traced order.
     /// On success returns the canonical per-thread prefix vector that
     /// witnesses membership (the harness's tightness bookkeeping).
     ///
     /// # Errors
     ///
-    /// Returns a [`ModelViolation`] naming the offending thread (or the
-    /// first whole-image difference) when no prefix vector reproduces
-    /// `observed`.
+    /// Returns a [`ModelViolation`] naming the offending thread, the
+    /// first whole-image difference, or the non-cut prefix vector when
+    /// `observed` is outside the admitted set.
     pub fn check_image(&self, observed: &Memory) -> Result<Vec<usize>, ModelViolation> {
+        let witness = self.check_image_overapprox(observed)?;
+        if let Some(ex) = &self.exact {
+            if !ex.set.contains(&witness) {
+                return Err(ModelViolation {
+                    thread: None,
+                    detail: format!(
+                        "canonical prefix vector {witness:?} is admitted by the \
+                         over-approximation but is not a cut of the traced \
+                         protocol order ({} cuts over {} regions)",
+                        ex.canonical.len(),
+                        ex.order.len()
+                    ),
+                });
+            }
+        }
+        Ok(witness)
+    }
+
+    /// The over-approximate membership check alone (ignores any
+    /// attached protocol order). Exposed so exact-mode callers can
+    /// also account for the envelope.
+    pub fn check_image_overapprox(&self, observed: &Memory) -> Result<Vec<usize>, ModelViolation> {
         let mut witness = Vec::with_capacity(self.threads.len());
         for (tid, t) in self.threads.iter().enumerate() {
             let n = t.cum.len() - 1;
@@ -229,6 +409,12 @@ impl LrpoModel {
         Ok(witness)
     }
 
+    /// Does the exact set admit the canonical prefix vector `ks`?
+    /// `None` when the model carries no protocol order.
+    pub fn exact_admits(&self, ks: &[usize]) -> Option<bool> {
+        self.exact.as_ref().map(|e| e.set.contains(ks))
+    }
+
     /// Does the model consider `ks` (canonical) reachable only through
     /// the cross-thread over-approximation? True when `ks` selects a
     /// non-empty prefix on more than one thread — single-thread
@@ -236,6 +422,100 @@ impl LrpoModel {
     /// prefix's last boundary delivery.
     pub fn is_cross_thread_combination(&self, ks: &[usize]) -> bool {
         ks.iter().filter(|&&k| k > 0).count() > 1
+    }
+
+    /// Size of `mutant`'s admitted set (distinct images), or `None`
+    /// when the model carries no protocol order — mutants are defined
+    /// relative to the exact rule — or when
+    /// [`ModelMutant::UnorderedPrefixes`]'s subset enumeration exceeds
+    /// its per-thread region cap.
+    ///
+    /// Every mutant admits a superset of the exact set, so
+    /// `mutant_count >= exact_count` always; a *fully witnessed* sweep
+    /// (`witnessed == exact_count`, zero violations) therefore falsifies
+    /// any mutant with `mutant_count > exact_count`: the surplus images
+    /// are proven unreachable because the whole reachable set was
+    /// observed.
+    pub fn mutant_count(&self, mutant: ModelMutant) -> Option<u128> {
+        let ex = self.exact.as_ref()?;
+        match mutant {
+            ModelMutant::DropAckOrder => Some(self.admitted_count()),
+            ModelMutant::UnorderedPrefixes => self.unordered_count(),
+            ModelMutant::IgnoreFlushFence => Some(self.flush_fence_count(ex)),
+        }
+    }
+
+    /// Distinct images over per-thread region *subsets* applied in ID
+    /// order (product across threads, saturating).
+    fn unordered_count(&self) -> Option<u128> {
+        let mut total = 1u128;
+        for t in &self.threads {
+            let n = t.deltas.len();
+            if n > SUBSET_CAP {
+                return None;
+            }
+            let mut images: FxHashSet<Vec<(u64, u64)>> = FxHashSet::default();
+            for mask in 0u32..(1u32 << n) {
+                let mut img: FxHashMap<u64, u64> = FxHashMap::default();
+                for (i, delta) in t.deltas.iter().enumerate() {
+                    if mask & (1 << i) == 0 {
+                        continue;
+                    }
+                    for &(a, v) in delta {
+                        img.insert(a, v);
+                    }
+                }
+                images.insert(self.freeze(img));
+            }
+            total = total.saturating_mul(images.len() as u128);
+        }
+        Some(total)
+    }
+
+    /// Distinct images over exact cuts plus store-granular partial
+    /// prefixes of the region committing next at each frontier,
+    /// without its boundary store.
+    fn flush_fence_count(&self, ex: &ExactSet) -> u128 {
+        let mut images: FxHashSet<Vec<(u64, u64)>> = FxHashSet::default();
+        for cut in &ex.canonical {
+            images.insert(self.freeze(self.cut_image(cut)));
+        }
+        for (f, &t) in ex.order.threads().iter().enumerate() {
+            let ridx = ex.raw_cuts[f][t];
+            let delta = &self.threads[t].deltas[ridx];
+            let data = &delta[..delta.len() - 1]; // drop the boundary store
+            for j in 1..=data.len() {
+                let mut img = self.cut_image(&ex.raw_cuts[f]);
+                for &(a, v) in &data[..j] {
+                    img.insert(a, v);
+                }
+                images.insert(self.freeze(img));
+            }
+        }
+        images.len() as u128
+    }
+
+    /// Union of the per-thread overlays at prefix vector `ks` (write
+    /// footprints are disjoint, so plain insertion is exact).
+    fn cut_image(&self, ks: &[usize]) -> FxHashMap<u64, u64> {
+        let mut img = FxHashMap::default();
+        for (t, &k) in self.threads.iter().zip(ks) {
+            for (&a, &v) in &t.cum[k] {
+                img.insert(a, v);
+            }
+        }
+        img
+    }
+
+    /// Normalizes a raw overlay into a sorted, install-value-free pair
+    /// list — the hashable identity of an image.
+    fn freeze(&self, img: FxHashMap<u64, u64>) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = img
+            .into_iter()
+            .filter(|&(a, val)| val != self.base.read_word(a))
+            .collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -322,6 +602,30 @@ mod tests {
     }
 
     #[test]
+    fn store_of_install_value_canonicalises() {
+        // A region whose only effect is re-storing the install value
+        // (0 over an untouched heap word) plus a boundary that repeats
+        // the previous PC value is image-invisible: normalized
+        // canonicalisation must fold it into the preceding prefix.
+        let mut b = FuncBuilder::new("t");
+        b.mov_imm(Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 0);
+        b.store(Reg::R2, Reg::R1, 0); // writes install value 0
+        b.region_boundary();
+        b.halt();
+        let p = Program::from_single(b.finish());
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let m = LrpoModel::new(&rs);
+        // The boundary store still changes the PC slot, so prefixes 0
+        // and 1 stay distinct — but the heap word contributes nothing:
+        // the k=1 overlay must not contain an (addr, 0) entry.
+        let mut img = rs.install.clone();
+        let (a, v) = rs.threads[0].regions[0].boundary;
+        img.write_word(a, v);
+        assert_eq!(m.check_image(&img).unwrap(), vec![1]);
+    }
+
+    #[test]
     fn trailing_region_is_a_distinct_recovery_point() {
         // store; boundary; store same value; halt → the synthetic
         // trailing region re-stores the data word with a value the
@@ -340,5 +644,90 @@ mod tests {
         let m = LrpoModel::new(&rs);
         assert_eq!(m.region_counts(), vec![2]);
         assert_eq!(m.admitted_count(), 3, "halt point is a new recovery point");
+    }
+
+    fn two_thread_two_region_program() -> Program {
+        // Each thread writes its own 8 KiB stripe: two regions each,
+        // disjoint across threads.
+        let mut b = FuncBuilder::new("t");
+        b.alu_imm(AluOp::Shl, Reg::R1, Reg::R0, 13);
+        b.alu_imm(AluOp::Add, Reg::R1, Reg::R1, layout::HEAP_BASE as i64);
+        b.mov_imm(Reg::R2, 1);
+        b.store(Reg::R2, Reg::R1, 0);
+        b.region_boundary();
+        b.mov_imm(Reg::R2, 2);
+        b.store(Reg::R2, Reg::R1, 8);
+        b.region_boundary();
+        b.halt();
+        Program::from_single(b.finish())
+    }
+
+    #[test]
+    fn exact_mode_is_a_strict_subset_of_overapprox() {
+        let p = two_thread_two_region_program();
+        let rs = extract(&p, 2, 10_000).unwrap();
+        // A plausible interleaved trace: t0 r1, t1 r1, t0 r2, t1 r2.
+        let order = ProtocolOrder::new(vec![0, 1, 0, 1]);
+        let m = LrpoModel::with_protocol(&rs, &order).unwrap();
+        assert_eq!(m.admitted_count(), 9, "3 x 3 unconstrained");
+        assert_eq!(m.exact_count(), Some(5), "N + 1 cuts, all distinct");
+        // Cut (1, 1) is admitted; combination (2, 0) is not a cut.
+        assert_eq!(m.exact_admits(&[1, 1]), Some(true));
+        assert_eq!(m.exact_admits(&[2, 0]), Some(false));
+
+        // A non-cut image passes the over-approx check but fails exact.
+        let mut img = rs.install.clone();
+        for t in 0..1 {
+            for r in &rs.threads[t].regions {
+                for &(a, v) in &r.stores {
+                    img.write_word(a, v);
+                }
+                img.write_word(r.boundary.0, r.boundary.1);
+            }
+        }
+        assert!(m.check_image_overapprox(&img).is_ok());
+        let err = m.check_image(&img).unwrap_err();
+        assert!(err.detail.contains("not a cut"), "got: {}", err.detail);
+    }
+
+    #[test]
+    fn protocol_mismatch_is_rejected() {
+        let p = two_thread_two_region_program();
+        let rs = extract(&p, 2, 10_000).unwrap();
+        let order = ProtocolOrder::new(vec![0, 1, 0]); // t1 short one region
+        assert!(LrpoModel::with_protocol(&rs, &order).is_err());
+    }
+
+    #[test]
+    fn mutant_counts_dominate_exact() {
+        let p = two_thread_two_region_program();
+        let rs = extract(&p, 2, 10_000).unwrap();
+        let order = ProtocolOrder::new(vec![0, 1, 0, 1]);
+        let m = LrpoModel::with_protocol(&rs, &order).unwrap();
+        let exact = m.exact_count().unwrap();
+        for mutant in ModelMutant::ALL {
+            let c = m.mutant_count(mutant).unwrap();
+            assert!(c >= exact, "{} admits {c} < exact {exact}", mutant.name());
+        }
+        // DropAckOrder is exactly the over-approximation.
+        assert_eq!(
+            m.mutant_count(ModelMutant::DropAckOrder),
+            Some(m.admitted_count())
+        );
+        // Both looseness axes are strictly looser on this shape.
+        assert!(m.mutant_count(ModelMutant::DropAckOrder).unwrap() > exact);
+        assert!(m.mutant_count(ModelMutant::UnorderedPrefixes).unwrap() > exact);
+        assert!(m.mutant_count(ModelMutant::IgnoreFlushFence).unwrap() > exact);
+    }
+
+    #[test]
+    fn mutants_unavailable_without_protocol() {
+        let p = two_region_program();
+        let rs = extract(&p, 1, 10_000).unwrap();
+        let m = LrpoModel::new(&rs);
+        assert_eq!(m.exact_count(), None);
+        for mutant in ModelMutant::ALL {
+            assert_eq!(m.mutant_count(mutant), None);
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Property tests for the two enumeration modes' agreement contract.
+//!
+//! Exact mode filters the over-approximation through one traced
+//! protocol order, so whatever order a run happens to produce:
+//!
+//! 1. **Subset** — every canonical cut of the protocol order is one of
+//!    the over-approximation's canonical prefix vectors, and the exact
+//!    count never exceeds the over-approximate count. This holds for
+//!    *any* valid interleaving, not just the one the simulator would
+//!    trace, so the property quantifies over random merges.
+//! 2. **Single-thread collapse** — with one thread there is exactly
+//!    one merge, whose cuts are all the thread's prefixes: the two
+//!    modes must agree exactly (same canonical sets, same count).
+//!
+//! Programs are drawn from the harness's own generator
+//! ([`lightwsp_model::gen_case_biased`]), so the sampled shapes are the
+//! ones the differential sweeps actually run.
+
+use lightwsp_model::{extract, gen_case_biased, FuzzBias, LrpoModel, ProtocolOrder};
+use proptest::prelude::*;
+
+/// Extraction budget matching the harness default.
+const STEPS: u64 = 1_000_000;
+
+/// Merges per-thread region counts into one global order using `picks`
+/// as the tie-breaking randomness (round-robin over non-empty threads,
+/// rotated by the drawn picks).
+fn random_merge(counts: &[usize], picks: &[u64]) -> Vec<usize> {
+    let mut left = counts.to_vec();
+    let mut order = Vec::with_capacity(left.iter().sum());
+    let mut i = 0;
+    while left.iter().any(|&c| c > 0) {
+        let live: Vec<usize> = (0..left.len()).filter(|&t| left[t] > 0).collect();
+        let pick = picks.get(i).copied().unwrap_or(i as u64) as usize % live.len();
+        let t = live[pick];
+        left[t] -= 1;
+        order.push(t);
+        i += 1;
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Exact ⊆ over-approx for cross-thread-biased programs under any
+    /// interleaving of the per-thread region streams.
+    #[test]
+    fn exact_is_subset_of_overapprox(
+        seed in 0u64..1 << 48,
+        idx in 0u64..64,
+        picks in prop::collection::vec(0u64..16, 64..65),
+    ) {
+        let case = gen_case_biased(seed, idx, FuzzBias::CrossThread);
+        let rs = extract(&case.compiled.program, case.threads, STEPS)
+            .expect("generator stays inside the extraction domain");
+        let over = LrpoModel::new(&rs);
+        let envelope: std::collections::HashSet<Vec<usize>> =
+            over.enumerate_canonical().into_iter().collect();
+
+        let order = random_merge(&over.region_counts(), &picks);
+        let exact = LrpoModel::with_protocol(&rs, &ProtocolOrder::new(order))
+            .expect("a merge of the true per-thread counts always validates");
+
+        let cuts = exact.exact_cuts().expect("exact mode carries its cuts");
+        prop_assert!(exact.exact_count().unwrap() <= exact.admitted_count());
+        for cut in cuts {
+            prop_assert!(
+                envelope.contains(cut),
+                "exact cut {cut:?} missing from the over-approximation"
+            );
+        }
+    }
+
+    /// With a single thread the two modes agree exactly.
+    #[test]
+    fn single_thread_modes_agree(seed in 0u64..1 << 48, idx in 0u64..64) {
+        let case = gen_case_biased(seed, idx, FuzzBias::Uniform);
+        if case.threads != 1 {
+            return Ok(());
+        }
+        let rs = extract(&case.compiled.program, 1, STEPS)
+            .expect("generator stays inside the extraction domain");
+        let over = LrpoModel::new(&rs);
+        let n = over.region_counts()[0];
+        let exact = LrpoModel::with_protocol(&rs, &ProtocolOrder::new(vec![0; n])).unwrap();
+
+        prop_assert_eq!(exact.exact_count().unwrap(), over.admitted_count());
+        let cuts: std::collections::HashSet<Vec<usize>> =
+            exact.exact_cuts().unwrap().iter().cloned().collect();
+        let envelope: std::collections::HashSet<Vec<usize>> =
+            over.enumerate_canonical().into_iter().collect();
+        prop_assert_eq!(cuts, envelope);
+    }
+}

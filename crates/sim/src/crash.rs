@@ -36,8 +36,10 @@
 use crate::config::{SimConfig, SweepMode};
 use crate::consistency::{golden_run, ConsistencyError};
 use crate::machine::{Completion, CrashCapture, Machine};
+use crate::trace::RegionTimeline;
 use lightwsp_compiler::Compiled;
 use lightwsp_ir::{layout, Memory};
+use lightwsp_mem::RegionId;
 
 /// Which mechanism window a crash point probes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -277,20 +279,42 @@ impl<'a> CrashInjector<'a> {
         )
     }
 
+    /// Runs the workload once with region tracing enabled and returns
+    /// every region's timeline in global region-ID order plus the
+    /// run's total cycles. This is the per-run protocol witness: the
+    /// timelines' thread fields, read off in region-ID order, are
+    /// exactly the bdry-ACK/flush-ID commit order the machine realises
+    /// (the model crate's `ProtocolOrder`). The run is deterministic,
+    /// so one trace is valid for every crash point of the same config.
+    pub fn traced_timelines(&self) -> (Vec<(RegionId, RegionTimeline)>, u64) {
+        let mut cfg = self.cfg.clone();
+        cfg.trace_regions = 8192;
+        let mut m = self.machine(cfg);
+        m.run();
+        (m.region_trace().timelines(), m.now())
+    }
+
     /// Derives crash points from a traced run of the workload: for each
     /// observed region timeline, one point per applicable
     /// [`CrashPointKind`] window, evenly sampled down to `cap_per_kind`
     /// points per kind. Also returns the traced run's total cycles (the
     /// horizon for [`CrashInjector::seeded_points`]).
     pub fn derived_points(&self, cap_per_kind: usize) -> (Vec<CrashPoint>, u64) {
-        let mut cfg = self.cfg.clone();
-        cfg.trace_regions = 8192;
-        let mut m = self.machine(cfg);
-        m.run();
-        let horizon = m.now();
+        let (timelines, horizon) = self.traced_timelines();
+        (self.derived_points_from(&timelines, cap_per_kind), horizon)
+    }
+
+    /// [`CrashInjector::derived_points`] over an already-captured
+    /// trace, so callers that also need the protocol order pay for one
+    /// traced run instead of two.
+    pub fn derived_points_from(
+        &self,
+        timelines: &[(RegionId, RegionTimeline)],
+        cap_per_kind: usize,
+    ) -> Vec<CrashPoint> {
         let noc = self.cfg.mem.noc_latency;
         let mut by_kind: [Vec<u64>; 6] = Default::default();
-        for (_region, t) in m.region_trace().timelines() {
+        for (_region, t) in timelines {
             if let (Some(s), Some(b)) = (t.sampled, t.boundary_retired) {
                 by_kind[CrashPointKind::MidRegion.idx()].push(s + (b - s) / 2);
             }
@@ -321,7 +345,7 @@ impl<'a> CrashInjector<'a> {
                 }
             }
         }
-        (points, horizon)
+        points
     }
 
     /// `n` seeded pseudo-random crash cycles uniform over

@@ -360,6 +360,26 @@ impl DurableQueueSpec {
         b.halt();
         Program::from_single(b.finish())
     }
+    /// A producers-only multi-thread variant for exact-mode LRPO
+    /// admittance: every producer thread runs the real enqueue protocol
+    /// (fresh-region discipline, payload/checksum/tail publish) against
+    /// its own ring, but no consumer runs, so the only cross-thread
+    /// word the producers *read* — `cons` — keeps its install value and
+    /// the program stays inside the extraction domain (disjoint writes,
+    /// no foreign-write reads). Requires `records ≤ cap`: with no
+    /// consumer, flow control admits exactly one ring's worth.
+    pub fn model_program_producers(&self) -> Program {
+        assert!(self.cap.is_power_of_two());
+        assert!(
+            self.records <= self.cap,
+            "producers-only variant needs records ≤ cap (no consumer ever frees a slot)"
+        );
+        let mut b = FuncBuilder::new("durable_queue_producers");
+        let entry = b.new_block();
+        b.jump(entry);
+        self.emit_producer(&mut b, entry);
+        Program::from_single(b.finish())
+    }
 }
 
 impl RecoverableDs for DurableQueueSpec {

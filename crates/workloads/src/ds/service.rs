@@ -644,6 +644,101 @@ impl KvServiceSpec {
         );
     }
 
+    /// A clients-only multi-thread variant for exact-mode LRPO
+    /// admittance: each client thread runs only its *request path* —
+    /// observe `cons`, fresh region, ring record + journal record,
+    /// boundary, publish both tails — against its own ring and journal.
+    /// Map operations are omitted (their bucket locks are shared words,
+    /// outside the extraction domain) and no server runs, so `cons`
+    /// keeps its install value and the program is write-disjoint with
+    /// no foreign-write reads. Per-client op counts are baked as
+    /// immediates from the precomputed streams; requires
+    /// `reqs(c) ≤ cap` for every client (no server frees slots).
+    pub fn model_program_clients(&self) -> Program {
+        for c in 0..self.clients {
+            assert!(
+                self.reqs(c) <= self.cap,
+                "clients-only variant needs reqs({c}) = {} ≤ cap = {} (no server ever \
+                 advances cons)",
+                self.reqs(c),
+                self.cap
+            );
+        }
+        let mut b = FuncBuilder::new("kv_service_clients");
+        let (seq, key, tmp, addr, csum, jcur, metab) = (
+            Reg::R1,
+            Reg::R2,
+            Reg::R3,
+            Reg::R4,
+            Reg::R5,
+            Reg::R6,
+            Reg::R7,
+        );
+        let bodies: Vec<_> = (0..self.clients).map(|_| b.new_block()).collect();
+        // Dispatch chain on the thread id; the last test's else-edge
+        // falls through to the last client's body.
+        for (c, &body) in bodies.iter().enumerate().take(self.clients - 1) {
+            let next = b.new_block();
+            b.branch_imm(Cond::Eq, Reg::R0, c as i64, body, next);
+            b.switch_to(next);
+        }
+        let last = self.clients - 1;
+        b.jump(bodies[last]);
+
+        for (c, &client_body) in bodies.iter().enumerate() {
+            let ring = self.ring(c);
+            let journal = self.journal(c);
+            let n = self.reqs(c);
+            b.switch_to(client_body);
+            if n == 0 {
+                b.halt();
+                continue;
+            }
+            b.mov_imm(metab, self.meta_addr(c) as i64);
+            b.mov_imm(jcur, journal.rec_base as i64);
+            b.mov_imm(seq, 0);
+            let spin = b.new_block();
+            let body = b.new_block();
+            let done = b.new_block();
+            b.hint_trip_count(spin, n.min(u32::MAX as u64) as u32);
+            b.jump(spin);
+
+            // Same observe-then-store discipline as the real client;
+            // with no server, `cons` stays at its install value and
+            // `reqs ≤ cap` makes the check pass first try.
+            b.switch_to(spin);
+            b.load(tmp, metab, 64);
+            b.alu_imm(AluOp::Add, tmp, tmp, self.cap as i64);
+            b.branch_reg(Cond::Lt, seq, tmp, body, spin);
+
+            b.switch_to(body);
+            b.region_boundary();
+            b.mov_imm(key, ((c as u64) << 40) as i64);
+            b.alu(AluOp::Or, key, key, seq);
+            b.alu_imm(AluOp::Xor, key, key, SVC_RKEY_SALT as i64);
+            super::emit_mix(&mut b, key, tmp);
+            b.alu_imm(AluOp::Or, key, key, 1);
+            b.alu_imm(AluOp::And, addr, seq, self.cap as i64 - 1);
+            b.alu_imm(AluOp::Shl, addr, addr, 4);
+            b.alu_imm(AluOp::Add, addr, addr, ring.slot_base as i64);
+            b.store(key, addr, 0);
+            b.alu_imm(AluOp::Add, csum, seq, CSUM_TAG as i64);
+            b.alu(AluOp::Xor, csum, key, csum);
+            b.store(csum, addr, 8);
+            b.store(key, jcur, 0);
+            b.store(csum, jcur, 8);
+            b.region_boundary();
+            b.alu_imm(AluOp::Add, seq, seq, 1);
+            b.store(seq, metab, 0);
+            b.store(seq, metab, 128);
+            b.alu_imm(AluOp::Add, jcur, jcur, 16);
+            b.branch_imm(Cond::Ne, seq, n as i64, spin, done);
+            b.switch_to(done);
+            b.halt();
+        }
+        Program::from_single(b.finish())
+    }
+
     fn shard_matches(&self, pm: &Memory, shard: usize, state: &HashMap<usize, u64>) -> bool {
         let lay = self.map_layout();
         let spt = lay.slots_per_shard();

@@ -19,7 +19,7 @@
 
 use lightwsp_compiler::{instrument, CompilerConfig};
 use lightwsp_core::{audit_recoverable_ds, Campaign, DsAuditBudget};
-use lightwsp_model::harness::{run_case, CaseSpec, PointPolicy};
+use lightwsp_model::harness::{run_case, CaseSpec, EnumMode, PointPolicy};
 use lightwsp_sim::consistency::golden_run;
 use lightwsp_sim::{GatingMutant, Scheme, SimConfig, StepMode, SweepMode};
 use lightwsp_workloads::ds::log::DurableLogSpec;
@@ -168,6 +168,7 @@ fn queue_model_variant_is_admitted_by_lrpo_model() {
             max_horizon: 60_000,
         },
         seed: 0xD5_0002,
+        enum_mode: EnumMode::Overapprox,
     };
     let outcome = run_case(&compiled, &case).expect("extraction should admit the 1t queue");
     assert!(outcome.audited > 0);
@@ -181,6 +182,102 @@ fn queue_model_variant_is_admitted_by_lrpo_model() {
         "structural violations: {:?}",
         outcome.structural_violations
     );
+}
+
+/// The *multi-thread* producers-only queue variant must sit inside the
+/// exact-mode admitted set at every crash point: the enqueue protocol's
+/// cross-thread region interleaving is explained by the traced
+/// boundary-ACK order, not just the per-thread over-approximation.
+#[test]
+fn queue_producers_variant_is_admitted_by_exact_model() {
+    let spec = DurableQueueSpec {
+        producers: 3,
+        records: 6,
+        cap: 8,
+    };
+    let compiled = instrument(&spec.model_program_producers(), &CompilerConfig::default());
+    let case = CaseSpec {
+        name: "ds-queue-producers-3t".to_string(),
+        threads: spec.producers,
+        num_mcs: 2,
+        wpq_entries: 8,
+        step_mode: StepMode::SkipAhead,
+        sweep_mode: SweepMode::Fork,
+        mutant: None,
+        policy: PointPolicy::Exhaustive {
+            max_horizon: 60_000,
+        },
+        seed: 0xD5_0003,
+        enum_mode: EnumMode::Exact,
+    };
+    let outcome =
+        run_case(&compiled, &case).expect("extraction should admit the producers-only queue");
+    assert!(outcome.audited > 0);
+    assert!(
+        outcome.model_violations.is_empty(),
+        "exact LRPO model rejected producer images: {:?}",
+        outcome.model_violations
+    );
+    assert!(
+        outcome.structural_violations.is_empty(),
+        "structural violations: {:?}",
+        outcome.structural_violations
+    );
+    let exact = outcome
+        .exact_admitted
+        .expect("exact mode must report its admitted count");
+    assert!(
+        exact <= outcome.admitted,
+        "exact set ({exact}) exceeds the over-approximation ({})",
+        outcome.admitted
+    );
+    assert!(
+        exact < outcome.admitted,
+        "3 producers × 7 regions each should make exact strictly tighter \
+         (exact {exact}, over-approx {})",
+        outcome.admitted
+    );
+}
+
+/// Same teeth for the composed service: the clients-only request-path
+/// variant (rings + journals, two regions per op) is admitted by exact
+/// mode across every crash point.
+#[test]
+fn service_clients_variant_is_admitted_by_exact_model() {
+    let spec = KvServiceSpec::new(2, 24, 8, 64, 8, 16);
+    assert!(
+        (0..spec.clients).all(|c| spec.reqs(c) >= 1),
+        "op mix drew no requests; pick a different ops_per_client"
+    );
+    let compiled = instrument(&spec.model_program_clients(), &CompilerConfig::default());
+    let case = CaseSpec {
+        name: "ds-service-clients-2t".to_string(),
+        threads: spec.clients,
+        num_mcs: 2,
+        wpq_entries: 8,
+        step_mode: StepMode::SkipAhead,
+        sweep_mode: SweepMode::Fork,
+        mutant: None,
+        policy: PointPolicy::Exhaustive {
+            max_horizon: 60_000,
+        },
+        seed: 0xD5_0004,
+        enum_mode: EnumMode::Exact,
+    };
+    let outcome =
+        run_case(&compiled, &case).expect("extraction should admit the clients-only service");
+    assert!(outcome.audited > 0);
+    assert!(
+        outcome.model_violations.is_empty(),
+        "exact LRPO model rejected service request-path images: {:?}",
+        outcome.model_violations
+    );
+    assert!(
+        outcome.structural_violations.is_empty(),
+        "structural violations: {:?}",
+        outcome.structural_violations
+    );
+    assert!(outcome.exact_admitted.is_some());
 }
 
 /// Teeth: under the `FlushUnacked` gating mutant the resolution

@@ -15,7 +15,11 @@
 //!    is the always-on smoke).
 
 use lightwsp_core::oracle::{mutant_name, ALL_MUTANTS};
-use lightwsp_core::{fuzz_sweep, litmus_sweep, mutant_kill_matrix, Campaign};
+use lightwsp_core::{
+    fuzz_sweep, litmus_sweep, model_mutant_kill_matrix, mutant_kill_matrix, Campaign, CaseRecord,
+};
+use lightwsp_model::harness::EnumMode;
+use lightwsp_model::{FuzzBias, ModelMutant};
 use lightwsp_sim::{GatingMutant, StepMode, SweepMode};
 
 const BOTH_MODES: [StepMode; 2] = [StepMode::SkipAhead, StepMode::Reference];
@@ -26,7 +30,8 @@ const BOTH_MODES: [StepMode; 2] = [StepMode::SkipAhead, StepMode::Reference];
 fn litmus_suite_is_clean_in_both_step_modes() {
     let campaign = Campaign::new();
     for mode in BOTH_MODES {
-        let (report, outcomes) = litmus_sweep(&campaign, mode, SweepMode::default());
+        let (report, outcomes) =
+            litmus_sweep(&campaign, mode, SweepMode::default(), EnumMode::Overapprox);
         assert!(
             report.extract_errors.is_empty(),
             "litmus outside model domain ({}): {:?}",
@@ -72,7 +77,12 @@ fn litmus_suite_is_clean_in_both_step_modes() {
 #[test]
 fn all_gating_mutants_are_killed() {
     let campaign = Campaign::new();
-    let matrix = mutant_kill_matrix(&campaign, StepMode::SkipAhead, SweepMode::default());
+    let matrix = mutant_kill_matrix(
+        &campaign,
+        StepMode::SkipAhead,
+        SweepMode::default(),
+        EnumMode::Overapprox,
+    );
     assert_eq!(matrix.len(), ALL_MUTANTS.len());
     for mk in &matrix {
         assert!(
@@ -98,13 +108,144 @@ fn all_gating_mutants_are_killed() {
     );
 }
 
+/// Exact mode (cuts of the traced protocol order) is clean across the
+/// whole suite, never admits more than the over-approximation, and is
+/// *strictly* tighter on at least one cross-thread litmus — the
+/// tentpole claim, pinned in CI.
+#[test]
+fn exact_mode_is_clean_and_strictly_tighter() {
+    let campaign = Campaign::new();
+    let (report, outcomes) = litmus_sweep(
+        &campaign,
+        StepMode::SkipAhead,
+        SweepMode::default(),
+        EnumMode::Exact,
+    );
+    assert!(
+        report.extract_errors.is_empty(),
+        "exact-mode extraction failed: {:?}",
+        report.extract_errors
+    );
+    assert_eq!(
+        report.violations(),
+        0,
+        "exact mode rejected observed images: {:?} {:?}",
+        report.model_violations,
+        report.structural_violations
+    );
+    let mut strictly_tighter = 0;
+    for out in &outcomes {
+        let exact = out
+            .exact_admitted
+            .unwrap_or_else(|| panic!("litmus {}: exact mode reported no count", out.name));
+        assert!(
+            exact <= out.admitted,
+            "litmus {}: exact {exact} exceeds over-approx {}",
+            out.name,
+            out.admitted
+        );
+        if exact < out.admitted {
+            strictly_tighter += 1;
+        }
+        // Bucket bookkeeping partitions what was seen.
+        assert_eq!(
+            out.witnessed_buckets.iter().sum::<u64>(),
+            out.witnessed as u64,
+            "litmus {}: witnessed buckets don't partition",
+            out.name
+        );
+        if let Some(eb) = &out.exact_buckets {
+            assert_eq!(
+                eb.iter().map(|&b| u128::from(b)).sum::<u128>(),
+                exact,
+                "litmus {}: exact buckets don't partition the exact set",
+                out.name
+            );
+        }
+    }
+    assert!(
+        strictly_tighter >= 1,
+        "no litmus had a strict exact-vs-over-approx gap"
+    );
+}
+
+/// Two-sided gating: every deliberately-loose model mutant is falsified
+/// by at least one litmus whose sweep witnessed its *entire* exact set
+/// (surplus admitted images thereby proven unreachable).
+#[test]
+fn all_model_mutants_are_killed() {
+    let campaign = Campaign::new();
+    let (_, outcomes) = litmus_sweep(
+        &campaign,
+        StepMode::SkipAhead,
+        SweepMode::default(),
+        EnumMode::Exact,
+    );
+    let records: Vec<CaseRecord> = outcomes.iter().map(CaseRecord::from).collect();
+    assert!(
+        records.iter().any(|r| r.exact_fully_witnessed()),
+        "no litmus sweep witnessed its whole exact set; the kill matrix has no teeth"
+    );
+    let matrix = model_mutant_kill_matrix(&records);
+    assert_eq!(matrix.len(), ModelMutant::ALL.len());
+    for row in &matrix {
+        assert!(
+            row.killed(),
+            "model mutant {} survived: no fully-witnessed litmus exceeded its exact count",
+            row.mutant
+        );
+    }
+}
+
+/// A small fixed-seed cross-thread-biased fuzz batch is clean under
+/// exact mode: the generator's multi-thread cases all sit inside the
+/// traced-cut admitted set.
+#[test]
+fn cross_thread_fuzz_smoke_is_clean_in_exact_mode() {
+    let campaign = Campaign::new();
+    let report = fuzz_sweep(
+        &campaign,
+        0xF00D_FACE,
+        32,
+        StepMode::SkipAhead,
+        SweepMode::default(),
+        EnumMode::Exact,
+        FuzzBias::CrossThread,
+    );
+    assert!(
+        report.extract_errors.is_empty(),
+        "cross-thread generator produced out-of-domain case: {:?}",
+        report.extract_errors
+    );
+    assert_eq!(report.cases, 32);
+    assert_eq!(
+        report.violations(),
+        0,
+        "exact-mode fuzz violations: {:?} {:?}",
+        report.model_violations,
+        report.structural_violations
+    );
+    assert!(
+        report.exact_admitted <= report.admitted,
+        "summed exact sets exceed the over-approximation"
+    );
+}
+
 /// A small fixed-seed fuzz batch passes the differential check in both
 /// step modes.
 #[test]
 fn fuzz_smoke_is_clean_in_both_step_modes() {
     let campaign = Campaign::new();
     for mode in BOTH_MODES {
-        let report = fuzz_sweep(&campaign, 0xF00D_FACE, 48, mode, SweepMode::default());
+        let report = fuzz_sweep(
+            &campaign,
+            0xF00D_FACE,
+            48,
+            mode,
+            SweepMode::default(),
+            EnumMode::Overapprox,
+            FuzzBias::Uniform,
+        );
         assert!(
             report.extract_errors.is_empty(),
             "generator produced out-of-domain case ({}): {:?}",
