@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the memory-path fast paths: the
+//! standard [`lightwsp_bench::mempath`] streams through the fast-path
+//! `SetAssocCache` (+ residency filter) and the reference
+//! `SetAssocCacheRef` (+ linear buffer scan), one pair of timings per
+//! stream. The `mem_smoke` CI gate enforces floors on the same
+//! streams; this bench exists for precise before/after numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightwsp_bench::mempath::{self, L1_GEOMETRY};
+use lightwsp_mem::cache::SetAssocCache;
+use lightwsp_mem::cache_ref::SetAssocCacheRef;
+use lightwsp_mem::line_filter::LineFilter;
+use std::hint::black_box;
+
+fn bench_streams(c: &mut Criterion) {
+    let (sets, ways, line) = L1_GEOMETRY;
+    for stream in mempath::micro_streams(10_000) {
+        c.bench_function(&format!("mem_path/{}/fast", stream.name), |b| {
+            let mut filter = LineFilter::new(line);
+            for &a in &stream.buffer {
+                filter.insert(a);
+            }
+            let buffer = stream.buffer.clone();
+            let mut cache = SetAssocCache::new(sets, ways, line);
+            b.iter(|| {
+                for &(addr, w) in &stream.trace {
+                    black_box(cache.access(addr, w, stream.policy, |la| {
+                        filter.maybe_contains_line(la)
+                            && buffer.iter().any(|&x| x / line == la / line)
+                    }));
+                }
+            })
+        });
+        c.bench_function(&format!("mem_path/{}/reference", stream.name), |b| {
+            let buffer = stream.buffer.clone();
+            let mut cache = SetAssocCacheRef::new(sets, ways, line);
+            b.iter(|| {
+                for &(addr, w) in &stream.trace {
+                    black_box(cache.access(addr, w, stream.policy, |la| {
+                        buffer.iter().any(|&x| x / line == la / line)
+                    }));
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -61,7 +61,7 @@ fn bench_wpq(c: &mut Criterion) {
 
 fn bench_persist_path(c: &mut Criterion) {
     c.bench_function("persist_path/issue_deliver", |b| {
-        let mut p = PersistPath::new(40, 1);
+        let mut p = PersistPath::new(40, 1, 64);
         let mut now = 0u64;
         b.iter(|| {
             now += 1;

@@ -9,7 +9,8 @@
 //! * `--quick` — reduced instruction budget for smoke runs;
 //! * `--filter=<p,p,...>` (or `LIGHTWSP_FILTER`) — run only the
 //!   sections whose id contains a pattern (`fig07`…`fig18`, `tab02`,
-//!   `cam`, `regions`, `hwcost`, `runs`, `stepmode`, `execmode`);
+//!   `cam`, `regions`, `hwcost`, `runs`, `stepmode`, `execmode`,
+//!   `mem_path`);
 //!   `w:<pat>` narrows the per-run matrix by workload name;
 //! * `LIGHTWSP_STORE=<dir>` — attach the persistent result store:
 //!   cells whose configuration and code digests match are served

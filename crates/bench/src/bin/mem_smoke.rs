@@ -1,0 +1,114 @@
+//! CI perf gate for the memory-hierarchy fast path. Two sections, per
+//! the two-level design in [`lightwsp_bench::mempath`]:
+//!
+//! 1. **Model level** — the fast-path `SetAssocCache` + residency
+//!    filter against the reference `SetAssocCacheRef` + linear buffer
+//!    scan on the standard micro streams. Fails if the geomean
+//!    fast-vs-reference speedup falls below [`MODEL_GEOMEAN_FLOOR`] or
+//!    any single stream falls below [`MODEL_STREAM_FLOOR`] — both
+//!    wall-time *ratios* on identical work, so the gate is
+//!    host-speed-independent.
+//! 2. **Machine level** — the compute-dense Fig. 7 cells under both
+//!    exec modes (`--quick` budget or `paper_default`), reusing the
+//!    exec-mode cell comparison with its parity cross-check. The dense
+//!    geomean must stay at or above [`DENSE_GEOMEAN_FLOOR`]: wall time
+//!    on these cells is dominated by the shared memory path, so a
+//!    memory-path regression lands here even when the dispatch gate
+//!    (`exec_smoke`) still passes.
+
+use lightwsp_bench::{execmode, mempath};
+
+/// Minimum geomean speedup of the fast cache model over the reference
+/// model across the micro streams (measured ~2x; see EXPERIMENTS.md).
+const MODEL_GEOMEAN_FLOOR: f64 = 1.3;
+
+/// Per-stream floor — the fast path must never be meaningfully slower
+/// than the model it replaced on any standard stream.
+const MODEL_STREAM_FLOOR: f64 = 0.9;
+
+/// Machine-level geomean floor on the compute-dense cells (decoded
+/// over reference wall time, same gate shape as `exec_smoke`).
+const DENSE_GEOMEAN_FLOOR: f64 = 1.0;
+
+/// Accesses per micro stream in the gate run.
+const STREAM_ACCESSES: usize = 200_000;
+
+fn main() {
+    let mut failed = false;
+
+    // Section 1: model level.
+    let streams = mempath::micro_streams(STREAM_ACCESSES);
+    let timings: Vec<_> = streams.iter().map(|s| mempath::time_stream(s, 5)).collect();
+    for t in &timings {
+        println!(
+            "mem_path {:>13}: ref {:>6.2}ns/acc fast {:>6.2}ns/acc speedup {:>5.2}x  ({})",
+            t.name,
+            t.reference_ns(),
+            t.fast_ns(),
+            t.speedup(),
+            t.what,
+        );
+        if t.speedup() < MODEL_STREAM_FLOOR {
+            eprintln!(
+                "FAIL: stream {} at {:.2}x, below the {MODEL_STREAM_FLOOR:.2}x floor",
+                t.name,
+                t.speedup()
+            );
+            failed = true;
+        }
+    }
+    let model_geomean = mempath::stream_geomean(&timings);
+    println!(
+        "mem_path model geomean: {:.2}x over {} streams (floor {MODEL_GEOMEAN_FLOOR:.1}x)",
+        model_geomean,
+        timings.len()
+    );
+    if model_geomean < MODEL_GEOMEAN_FLOOR {
+        eprintln!(
+            "FAIL: model geomean {model_geomean:.2}x below the {MODEL_GEOMEAN_FLOOR:.1}x floor"
+        );
+        failed = true;
+    }
+
+    // Section 2: machine level (dense cells, parity + no-regression).
+    // `--model-only` stops after section 1 (fast iteration while tuning
+    // the cache model; CI always runs both).
+    if std::env::args().any(|a| a == "--model-only") {
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let opts = lightwsp_bench::common_options();
+    let cells: Vec<_> = execmode::fig07_cells(&opts)
+        .into_iter()
+        .filter(|c| execmode::is_compute_dense(c.spec.name))
+        .collect();
+    let timings = execmode::compare_cells(&cells, 5);
+    for t in &timings {
+        println!(
+            "mem_path {:>12} {:>9}: ref {:>8.2}ms decoded {:>8.2}ms speedup {:>5.2}x ({} cycles)",
+            t.workload,
+            t.scheme.name(),
+            t.reference_s * 1e3,
+            t.decoded_s * 1e3,
+            t.speedup(),
+            t.cycles,
+        );
+    }
+    let s = execmode::summarize(&timings);
+    println!(
+        "mem_path dense geomean: {:.2}x over {} cells (floor {DENSE_GEOMEAN_FLOOR:.1}x)",
+        s.dense_geomean_speedup, s.dense_cells,
+    );
+    if s.dense_geomean_speedup < DENSE_GEOMEAN_FLOOR {
+        eprintln!(
+            "FAIL: dense geomean {:.2}x below the {DENSE_GEOMEAN_FLOOR:.1}x floor",
+            s.dense_geomean_speedup
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

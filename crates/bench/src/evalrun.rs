@@ -12,7 +12,7 @@
 //! for the single-line `"cache"` meta field (mask with
 //! `grep -v '"cache":'` when comparing).
 
-use crate::{emit, emit_text, execmode, figures, stepmode, Filter};
+use crate::{emit, emit_text, execmode, figures, mempath, stepmode, Filter};
 use lightwsp_core::cache::{f64_bits, f64_from_bits};
 use lightwsp_core::{
     digest_debug, memo_value, Campaign, ExperimentOptions, Job, JsonWriter, ResultStore, Scheme,
@@ -387,6 +387,47 @@ pub fn run_eval(eo: &EvalOptions) -> EvalSummary {
         (kernels_rec, cells_rec)
     });
 
+    // Memory-path micro streams: the fast-path cache model (+ residency
+    // filter) vs its executable specification on the standard stream
+    // set, one memoized record.
+    let mem = f.section("mem_path").then(|| {
+        eprintln!("timing memory-path micro streams (fast vs reference cache models)...");
+        let key = section_key(store, "mem_path", cfg_digest);
+        memo_value(
+            store,
+            &key,
+            |s| decode_section(s, &["streams"], &["stream_geomean"]),
+            TextRecord::encode,
+            || {
+                let n = if eo.quick { 20_000 } else { 200_000 };
+                let timings: Vec<_> = mempath::micro_streams(n)
+                    .iter()
+                    .map(|s| mempath::time_stream(s, 5))
+                    .collect();
+                let mut rec = TextRecord::default();
+                rec.set("streams", timings.len() as u64);
+                rec.set_f64("stream_geomean", mempath::stream_geomean(&timings));
+                let mut rows = Vec::with_capacity(timings.len());
+                for t in &timings {
+                    rows.push(format!(
+                        "    {{\"stream\": \"{}\", \"what\": \"{}\", \"accesses\": {}, \
+                         \"fast_ns_per_access\": {:.2}, \"reference_ns_per_access\": {:.2}, \
+                         \"speedup\": {:.2}}}",
+                        t.name,
+                        t.what,
+                        t.accesses,
+                        t.fast_ns(),
+                        t.reference_ns(),
+                        t.speedup(),
+                    ));
+                }
+                rec.text = rows.join(",\n");
+                rec
+            },
+        )
+        .0
+    });
+
     let wall_s = t0.elapsed().as_secs_f64();
     let total_s = memo_wall(
         store,
@@ -463,6 +504,13 @@ pub fn run_eval(eo: &EvalOptions) -> EvalSummary {
             format_args!("{:.2}", cells.f64("dense_geomean_speedup").unwrap_or(0.0)),
         );
     }
+    if let Some(rec) = &mem {
+        w.field("mem_path_streams", rec.num::<u64>("streams").unwrap_or(0));
+        w.field(
+            "mem_path_stream_geomean_speedup",
+            format_args!("{:.2}", rec.f64("stream_geomean").unwrap_or(0.0)),
+        );
+    }
     w.field("cache", cache_line(&c));
     w.close();
     if let Some(timed) = &timed {
@@ -493,6 +541,11 @@ pub fn run_eval(eo: &EvalOptions) -> EvalSummary {
         w.elems_block(&cells.text);
         w.close();
     }
+    if let Some(rec) = &mem {
+        w.array("mem_path_runs");
+        w.elems_block(&rec.text);
+        w.close();
+    }
     let json = w.finish();
 
     let stats = c.cache_stats();
@@ -520,6 +573,14 @@ pub fn run_eval(eo: &EvalOptions) -> EvalSummary {
             "; decoded dispatch {:.2}x geomean, dense cells {:.2}x geomean",
             kernels.f64("dispatch_geomean").unwrap_or(0.0),
             cells.f64("dense_geomean_speedup").unwrap_or(0.0),
+        );
+    }
+    if let Some(rec) = &mem {
+        let _ = write!(
+            headline,
+            "; mem-path micro {:.2}x geomean over {} streams",
+            rec.f64("stream_geomean").unwrap_or(0.0),
+            rec.num::<u64>("streams").unwrap_or(0),
         );
     }
     headline.push(')');

@@ -180,5 +180,6 @@ pub fn emit_text(id: &str, text: &str) {
 pub mod evalrun;
 pub mod execmode;
 pub mod figures;
+pub mod mempath;
 pub mod stepmode;
 pub mod sweepmode;

@@ -1,0 +1,225 @@
+//! Memory-path timing harness: micro streams over the cache models and
+//! the dense-cell machine-level measurement behind the `mem_path`
+//! criterion bench, the `mem_smoke` CI gate, and the `mem_path_runs`
+//! section of `BENCH_eval.json`.
+//!
+//! Two levels, mirroring the exec-mode harness split:
+//!
+//! * **Model level** ([`micro_streams`]): synthetic access streams
+//!   driven through the fast-path [`SetAssocCache`] and its executable
+//!   specification [`SetAssocCacheRef`] side by side — same addresses,
+//!   same victim policy, same conflict source (a [`LineFilter`] probe
+//!   vs the linear buffer scan it replaces). The two models are
+//!   access-for-access equivalent (proven by the differential proptests
+//!   in `crates/mem/tests/mem_fast_path.rs`), so the wall-time ratio is
+//!   a pure measurement of the fast path: MRU way memo, SoA tag scan,
+//!   shift/mask address split, residency-filter snoop.
+//! * **Machine level**: the compute-dense Fig. 7 cells under the
+//!   decoded engine, reusing [`crate::execmode::compare_cells`] — wall
+//!   time there is dominated by the shared per-access memory path, so
+//!   this is where a memory-path regression shows up end to end.
+//!
+//! [`SetAssocCache`]: lightwsp_mem::cache::SetAssocCache
+//! [`SetAssocCacheRef`]: lightwsp_mem::cache_ref::SetAssocCacheRef
+//! [`LineFilter`]: lightwsp_mem::line_filter::LineFilter
+
+use lightwsp_mem::cache::{SetAssocCache, VictimPolicy};
+use lightwsp_mem::cache_ref::SetAssocCacheRef;
+use lightwsp_mem::line_filter::LineFilter;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// L1 geometry of the paper's Table I system (128 sets × 8 ways × 64 B).
+pub const L1_GEOMETRY: (usize, usize, u64) = (128, 8, 64);
+
+/// One synthetic access stream: name plus a pre-generated address/write
+/// trace and the snooped "buffer" contents it runs against.
+pub struct Stream {
+    /// Stream id (stable — keys the criterion bench and eval rows).
+    pub name: &'static str,
+    /// What the stream exercises.
+    pub what: &'static str,
+    /// `(addr, is_write)` trace.
+    pub trace: Vec<(u64, bool)>,
+    /// Addresses resident in the snooped persist front end.
+    pub buffer: Vec<u64>,
+    /// Victim policy the stream runs under.
+    pub policy: VictimPolicy,
+}
+
+/// Measured wall time of one stream through both models.
+pub struct StreamTiming {
+    /// The stream's id.
+    pub name: &'static str,
+    /// What the stream exercises.
+    pub what: &'static str,
+    /// Accesses per measured pass.
+    pub accesses: usize,
+    /// Best-of-reps seconds, fast-path model + residency filter.
+    pub fast_s: f64,
+    /// Best-of-reps seconds, reference model + linear buffer scan.
+    pub reference_s: f64,
+}
+
+impl StreamTiming {
+    /// Reference / fast wall-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.reference_s / self.fast_s.max(1e-12)
+    }
+
+    /// Nanoseconds per access, fast model.
+    pub fn fast_ns(&self) -> f64 {
+        self.fast_s * 1e9 / self.accesses as f64
+    }
+
+    /// Nanoseconds per access, reference model.
+    pub fn reference_ns(&self) -> f64 {
+        self.reference_s * 1e9 / self.accesses as f64
+    }
+}
+
+/// Deterministic LCG (no external RNG in the hot loop, reproducible
+/// streams across runs and hosts).
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 16
+}
+
+/// The standard stream set over the Table I L1 geometry.
+///
+/// `n` is the accesses per stream; the CI gate uses a small `n`, the
+/// criterion bench a larger one.
+pub fn micro_streams(n: usize) -> Vec<Stream> {
+    let (sets, _ways, line) = L1_GEOMETRY;
+    let mut streams = Vec::new();
+
+    // 1. Same-line streak: back-to-back hits on one line — the MRU
+    // way-memo path, and the dominant pattern in dense compute.
+    streams.push(Stream {
+        name: "hit_streak",
+        what: "same-line hit streak (MRU memo)",
+        trace: (0..n)
+            .map(|i| (0x4000 + (i as u64 % 8) * 8, i % 4 == 0))
+            .collect(),
+        buffer: Vec::new(),
+        policy: VictimPolicy::Full,
+    });
+
+    // 2. Resident working-set walk: hits spread over many sets/ways —
+    // the dense tag scan without memo help.
+    let resident: Vec<u64> = (0..(sets as u64 * 4)).map(|i| i * line).collect();
+    streams.push(Stream {
+        name: "resident_walk",
+        what: "strided hits across sets (tag scan)",
+        trace: (0..n)
+            .map(|i| (resident[i % resident.len()], false))
+            .collect(),
+        buffer: Vec::new(),
+        policy: VictimPolicy::Full,
+    });
+
+    // 3. Capacity churn: every access a miss with an eviction — the
+    // LRU-order victim path, clean victims.
+    streams.push(Stream {
+        name: "evict_churn",
+        what: "all-miss eviction churn (LRU scan)",
+        trace: (0..n)
+            .map(|i| (0x10_0000 + (i as u64) * line * sets as u64, false))
+            .collect(),
+        buffer: Vec::new(),
+        policy: VictimPolicy::Full,
+    });
+
+    // 4. Dirty-victim snoop under a populated front end: random mix of
+    // writes (dirtying lines) and conflicting victims, so the conflict
+    // closure — filter probe vs linear scan — is on the hot path.
+    let mut st = 0x5eed_u64;
+    let span = sets as u64 * 16;
+    let trace: Vec<(u64, bool)> = (0..n)
+        .map(|_| {
+            let r = lcg(&mut st);
+            (((r % span) * line), r & 2 == 0)
+        })
+        .collect();
+    let buffer: Vec<u64> = (0..48).map(|_| (lcg(&mut st) % span) * line + 8).collect();
+    streams.push(Stream {
+        name: "snoop_mix",
+        what: "random write mix, populated front end (snoop)",
+        trace,
+        buffer,
+        policy: VictimPolicy::Full,
+    });
+
+    streams
+}
+
+/// Times `stream` through both models, best of `reps` passes each
+/// (models alternate within a rep so noise bursts hit both sides).
+pub fn time_stream(stream: &Stream, reps: u32) -> StreamTiming {
+    let (sets, ways, line) = L1_GEOMETRY;
+    let mut fast_s = f64::INFINITY;
+    let mut reference_s = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        // Fast model: the residency signature rejects the common
+        // no-occupant snoop in one probe; positives are confirmed by
+        // the scan, exactly as the front-end buffer's CAM search does.
+        let mut filter = LineFilter::new(line);
+        for &a in &stream.buffer {
+            filter.insert(a);
+        }
+        let buffer = stream.buffer.clone();
+        let mut fast = SetAssocCache::new(sets, ways, line);
+        let t0 = Instant::now();
+        for &(addr, w) in &stream.trace {
+            black_box(fast.access(addr, w, stream.policy, |la| {
+                filter.maybe_contains_line(la) && buffer.iter().any(|&b| b / line == la / line)
+            }));
+        }
+        fast_s = fast_s.min(t0.elapsed().as_secs_f64());
+
+        // Reference model: linear scan of the buffer, division per
+        // entry — the shape the filter replaced.
+        let buffer = stream.buffer.clone();
+        let mut reference = SetAssocCacheRef::new(sets, ways, line);
+        let t0 = Instant::now();
+        for &(addr, w) in &stream.trace {
+            black_box(reference.access(addr, w, stream.policy, |la| {
+                buffer.iter().any(|&b| b / line == la / line)
+            }));
+        }
+        reference_s = reference_s.min(t0.elapsed().as_secs_f64());
+
+        // The models must agree access-for-access; a cheap end-state
+        // cross-check keeps the timing harness honest too.
+        assert_eq!(
+            fast.hit_miss(),
+            reference.hit_miss(),
+            "model divergence on stream {}",
+            stream.name
+        );
+        assert_eq!(
+            fast.snoop_stats(),
+            reference.snoop_stats(),
+            "snoop divergence on stream {}",
+            stream.name
+        );
+    }
+    StreamTiming {
+        name: stream.name,
+        what: stream.what,
+        accesses: stream.trace.len(),
+        fast_s,
+        reference_s,
+    }
+}
+
+/// Geometric mean of the per-stream fast-vs-reference speedups.
+pub fn stream_geomean(timings: &[StreamTiming]) -> f64 {
+    if timings.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = timings.iter().map(|t| t.speedup().ln()).sum();
+    (log_sum / timings.len() as f64).exp()
+}

@@ -111,6 +111,11 @@ impl Interp {
         };
         let tid = self.tid;
         let mut alus = 0u32;
+        // Retired-instruction count batches in a register for the whole
+        // dispatch loop and folds into the field once at batch exit —
+        // nothing reads `insts_executed` mid-batch (the compiled-block
+        // tier only adds to it, and addition commutes).
+        let mut executed = 0u64;
         let ev = loop {
             if alus >= budget {
                 break None;
@@ -120,29 +125,29 @@ impl Interp {
                     self.regs[dst.index()] =
                         op.apply(self.regs[lhs.index()], self.regs[rhs.index()]);
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                 }
                 MicroOp::AluImm { op, dst, src, imm } => {
                     self.regs[dst.index()] = op.apply(self.regs[src.index()], imm);
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                 }
                 MicroOp::MovImm { dst, imm } => {
                     self.regs[dst.index()] = imm;
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                 }
                 MicroOp::Nop => {
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                 }
                 MicroOp::Jump { target } => {
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur = self.enter_block(dec, target, &mut alus, budget);
                     comp = 0;
                 }
@@ -156,14 +161,14 @@ impl Interp {
                     let taken = cond.eval(self.regs[src.index()], self.operand(rhs));
                     let t = if taken { then_blk } else { else_blk };
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur = self.enter_block(dec, t, &mut alus, budget);
                     comp = 0;
                 }
                 MicroOp::Load { dst, base, offset } => {
                     let addr = self.regs[base.index()].wrapping_add(offset);
                     self.regs[dst.index()] = mem.read_word_cached(addr);
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Load { addr: addr & !7 });
                 }
@@ -171,7 +176,7 @@ impl Interp {
                     let addr = self.regs[base.index()].wrapping_add(offset) & !7;
                     let val = self.regs[src.index()];
                     mem.write_word(addr, val);
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Store {
                         addr,
@@ -180,7 +185,7 @@ impl Interp {
                     });
                 }
                 MicroOp::Fence => {
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Fence);
                 }
@@ -190,7 +195,7 @@ impl Interp {
                     self.regs[dst.index()] = old;
                     let new = op.apply(old, self.regs[src.index()]);
                     mem.write_word(a, new);
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Store {
                         addr: a,
@@ -207,7 +212,7 @@ impl Interp {
                     }
                     let val = 1 + tid as u64;
                     mem.write_word(a, val);
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Store {
                         addr: a,
@@ -218,7 +223,7 @@ impl Interp {
                 MicroOp::LockRelease { lock } => {
                     let a = self.regs[lock.index()] & !7;
                     mem.write_word(a, 0);
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Store {
                         addr: a,
@@ -228,14 +233,14 @@ impl Interp {
                 }
                 MicroOp::Io { src } => {
                     let val = self.regs[src.index()];
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur += 1;
                     break Some(DynEvent::Io { val });
                 }
                 MicroOp::Boundary { pc_enc } => {
                     let slot = layout::pc_slot(tid);
                     mem.write_word(slot, pc_enc);
-                    self.insts_executed += 1;
+                    executed += 1;
                     self.instrumentation_executed += 1;
                     cur += 1;
                     break Some(DynEvent::Boundary {
@@ -247,7 +252,7 @@ impl Interp {
                     let slot = layout::checkpoint_slot(tid, reg);
                     let val = self.regs[reg.index()];
                     mem.write_word(slot, val);
-                    self.insts_executed += 1;
+                    executed += 1;
                     self.instrumentation_executed += 1;
                     cur += 1;
                     break Some(DynEvent::Store {
@@ -263,7 +268,7 @@ impl Interp {
                     let sp = self.regs[Reg::SP.index()].wrapping_sub(8);
                     self.regs[Reg::SP.index()] = sp;
                     mem.write_word(sp, ret_enc);
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur = dec.blocks[callee_block as usize].start;
                     comp = 0;
                     break Some(DynEvent::Store {
@@ -273,7 +278,7 @@ impl Interp {
                     });
                 }
                 MicroOp::Ret => {
-                    self.insts_executed += 1;
+                    executed += 1;
                     let sp = self.regs[Reg::SP.index()];
                     if sp >= layout::initial_sp(tid) {
                         // Returning from the entry frame: thread done.
@@ -288,7 +293,7 @@ impl Interp {
                     break Some(DynEvent::Load { addr: sp & !7 });
                 }
                 MicroOp::Halt => {
-                    self.insts_executed += 1;
+                    executed += 1;
                     self.finished = true;
                     break Some(DynEvent::Halt);
                 }
@@ -301,13 +306,13 @@ impl Interp {
                     if comp == 0 {
                         let addr = self.regs[base.index()].wrapping_add(offset);
                         self.regs[dst.index()] = mem.read_word_cached(addr);
-                        self.insts_executed += 1;
+                        executed += 1;
                         comp = 1;
                         break Some(DynEvent::Load { addr: addr & !7 });
                     }
                     self.apply_fused(alu);
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     comp = 0;
                     cur += 1;
                 }
@@ -320,7 +325,7 @@ impl Interp {
                     if comp == 0 {
                         self.apply_fused(alu);
                         alus += 1;
-                        self.insts_executed += 1;
+                        executed += 1;
                         comp = 1;
                         // Loop back: the store component must re-check
                         // the budget before executing.
@@ -329,7 +334,7 @@ impl Interp {
                     let addr = self.regs[base.index()].wrapping_add(offset) & !7;
                     let val = self.regs[src.index()];
                     mem.write_word(addr, val);
-                    self.insts_executed += 1;
+                    executed += 1;
                     comp = 0;
                     cur += 1;
                     break Some(DynEvent::Store {
@@ -347,13 +352,13 @@ impl Interp {
                     if comp == 0 {
                         self.apply_fused(alu);
                         alus += 1;
-                        self.insts_executed += 1;
+                        executed += 1;
                         comp = 1;
                         continue;
                     }
                     let addr = self.regs[base.index()].wrapping_add(offset);
                     self.regs[dst.index()] = mem.read_word_cached(addr);
-                    self.insts_executed += 1;
+                    executed += 1;
                     comp = 0;
                     cur += 1;
                     break Some(DynEvent::Load { addr: addr & !7 });
@@ -369,14 +374,14 @@ impl Interp {
                     if comp == 0 {
                         self.apply_fused(alu);
                         alus += 1;
-                        self.insts_executed += 1;
+                        executed += 1;
                         comp = 1;
                         continue;
                     }
                     let taken = cond.eval(self.regs[src.index()], self.operand(rhs));
                     let t = if taken { then_blk } else { else_blk };
                     alus += 1;
-                    self.insts_executed += 1;
+                    executed += 1;
                     cur = self.enter_block(dec, t, &mut alus, budget);
                     comp = 0;
                 }
@@ -385,6 +390,7 @@ impl Interp {
         // `point` is left lazy: cold readers (forks, reports, mode
         // switches) call `sync_point` first, so the hot path pays
         // three register-sized stores instead of a re-encode per batch.
+        self.insts_executed += executed;
         self.cursor = cur;
         self.comp = comp;
         self.cursor_valid = true;

@@ -10,6 +10,45 @@
 //! (full), half the ways (half), or none (zero: wait for the buffer
 //! entry to drain). The `stale-load` configuration disables snooping
 //! entirely and is used to quantify the stale-load problem of Fig. 6.
+//!
+//! The set-associative model is the memory path's hottest structure —
+//! every simulated load and store of every scheme passes through it —
+//! so it is laid out for the access loop rather than for readability
+//! of one line's state:
+//!
+//! * **SoA split**: tags live in one dense array and all remaining
+//!   per-line state in a second — a *stamp word* packing the LRU stamp
+//!   and the dirty bit as `(last_use << 1) | dirty`, with `0` meaning
+//!   invalid (a valid line always has `last_use ≥ 1`: the tick
+//!   increments before every fill and touch). A way scan walks a
+//!   contiguous `u64` tag run instead of striding 24-byte structs, the
+//!   hit probe is two loads, and a crash-sweep fork memcpys ~⅓ less
+//!   per cache. LRU victim ordering sorts the stamp words directly:
+//!   `last_use` occupies the high bits and is unique within a set (one
+//!   line touched per tick), so the order matches the reference model's
+//!   sort by `last_use` exactly;
+//! * **shift/mask address split**: every shipped geometry (sets, line
+//!   size) is a power of two, so set/tag extraction is two shifts and
+//!   a mask instead of two 64-bit divisions per access (a division
+//!   fallback covers exotic configs);
+//! * **MRU way memo**: the cache remembers the last (set, way) it hit
+//!   or filled; back-to-back accesses to the same line — the common
+//!   case in dense compute — revalidate the memo (tag compare + valid
+//!   bit) and skip the way scan entirely. The memo is advisory: it is
+//!   checked against live state on every use, so no operation needs to
+//!   invalidate it for correctness;
+//! * [`SetAssocCache::try_hit`] — the hit path alone, exposed so the
+//!   machine can answer "L1 hit, nothing else happens" without
+//!   constructing the snoop closure the general [`SetAssocCache::access`]
+//!   wants. On a miss it touches *nothing* (no tick, no counters) and
+//!   the caller falls back to `access`, which performs the single
+//!   canonical tick increment — preserving the exact per-access tick
+//!   sequence, and with it LRU order, bit-for-bit.
+//!
+//! The original array-of-structs implementation is retained as
+//! [`crate::cache_ref::SetAssocCacheRef`], the executable specification
+//! the differential proptests and the `mem_path` microbench run this
+//! model against.
 
 use lightwsp_ir::fxhash::FxHashMap;
 
@@ -37,14 +76,16 @@ impl VictimPolicy {
             VictimPolicy::StaleLoad => "stale-load",
         }
     }
-}
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
+    /// All four policies, in declaration order (test matrices).
+    pub fn all() -> [VictimPolicy; 4] {
+        [
+            VictimPolicy::Full,
+            VictimPolicy::Half,
+            VictimPolicy::Zero,
+            VictimPolicy::StaleLoad,
+        ]
+    }
 }
 
 /// Outcome of a cache access.
@@ -60,17 +101,33 @@ pub struct AccessResult {
     pub conflict_delayed: bool,
 }
 
-/// A set-associative write-back, write-allocate cache.
+/// A set-associative write-back, write-allocate cache (SoA fast-path
+/// layout; see the module docs for the design and the parity story).
 ///
-/// Lines live in one flat `set * ways + way` array: a clone (a crash-
-/// sweep machine fork copies every cache) is a single contiguous
-/// memcpy rather than one allocation per set.
+/// All state lives in two flat dense arrays: a clone (a crash-sweep
+/// machine fork copies every cache) is two contiguous memcpys rather
+/// than one allocation per set.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    lines: Vec<Line>,
+    /// `set * ways + way` → tag.
+    tags: Vec<u64>,
+    /// `set * ways + way` → stamp word `(last_use << 1) | dirty`;
+    /// `0` = invalid. `last_use` cannot reach `2^63`: it is bounded by
+    /// the tick, which increments once per access.
+    meta: Vec<u64>,
     num_sets: usize,
     ways: usize,
     line_bytes: u64,
+    /// Shift/mask address split (all shipped geometries are powers of
+    /// two); `pow2 == false` falls back to division.
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
+    pow2: bool,
+    /// MRU way memo: last set hit or filled (`u32::MAX` = none) and the
+    /// way within it. Advisory — revalidated against tags/valid on use.
+    mru_set: u32,
+    mru_way: u32,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -83,17 +140,28 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero.
+    /// Panics if any dimension is zero or `ways > 16` (the victim
+    /// scan's stack buffer).
     pub fn new(sets: usize, ways: usize, line_bytes: u64) -> SetAssocCache {
         assert!(
             sets > 0 && ways > 0 && line_bytes > 0,
             "cache dimensions must be positive"
         );
+        assert!(ways <= 16, "victim scan supports at most 16 ways");
+        let lines = sets * ways;
+        let pow2 = line_bytes.is_power_of_two() && sets.is_power_of_two();
         SetAssocCache {
-            lines: vec![Line::default(); sets * ways],
+            tags: vec![0; lines],
+            meta: vec![0; lines],
             num_sets: sets,
             ways,
             line_bytes,
+            line_shift: if pow2 { line_bytes.trailing_zeros() } else { 0 },
+            set_shift: if pow2 { sets.trailing_zeros() } else { 0 },
+            set_mask: (sets as u64).wrapping_sub(1),
+            pow2,
+            mru_set: u32::MAX,
+            mru_way: 0,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -102,12 +170,18 @@ impl SetAssocCache {
         }
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.line_bytes;
-        (
-            (line % self.num_sets as u64) as usize,
-            line / self.num_sets as u64,
-        )
+        if self.pow2 {
+            let line = addr >> self.line_shift;
+            ((line & self.set_mask) as usize, line >> self.set_shift)
+        } else {
+            let line = addr / self.line_bytes;
+            (
+                (line % self.num_sets as u64) as usize,
+                line / self.num_sets as u64,
+            )
+        }
     }
 
     /// Line base address from set/tag.
@@ -115,14 +189,47 @@ impl SetAssocCache {
         (tag * self.num_sets as u64 + set as u64) * self.line_bytes
     }
 
-    /// The ways of `set` as a slice of the flat line array.
-    fn set_lines(&self, set: usize) -> &[Line] {
-        &self.lines[set * self.ways..(set + 1) * self.ways]
+    /// Books a hit on the line at flat index `idx`: the tick increment,
+    /// LRU touch, dirty update, and hit count of the reference
+    /// semantics — one read-modify-write of the stamp word.
+    #[inline]
+    fn book_hit(&mut self, idx: usize, is_write: bool) {
+        self.tick += 1;
+        self.meta[idx] = (self.tick << 1) | (self.meta[idx] & 1) | is_write as u64;
+        self.hits += 1;
     }
 
-    /// Mutable counterpart of [`Self::set_lines`].
-    fn set_lines_mut(&mut self, set: usize) -> &mut [Line] {
-        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    /// The hit fast path: if `addr` is resident, performs the complete
+    /// hit bookkeeping (tick, LRU, dirty, hit counter) and returns
+    /// true. On a miss it changes **no state at all** — callers follow
+    /// up with [`SetAssocCache::access`], whose single tick increment
+    /// then reproduces the reference per-access tick sequence exactly.
+    #[inline]
+    pub fn try_hit(&mut self, addr: u64, is_write: bool) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.ways;
+        // MRU way memo: back-to-back same-line accesses skip the scan.
+        if set as u32 == self.mru_set {
+            let idx = base + self.mru_way as usize;
+            if self.tags[idx] == tag && self.meta[idx] != 0 {
+                self.book_hit(idx, is_write);
+                return true;
+            }
+        }
+        // Dense tag scan, one bounds check for the whole set. A stale
+        // tag can equal `tag` with its line invalid (after a power
+        // failure), so a match still checks the stamp word — and keeps
+        // scanning on a stale match rather than declaring a miss.
+        let tags = &self.tags[base..base + self.ways];
+        for (way, &t) in tags.iter().enumerate() {
+            if t == tag && self.meta[base + way] != 0 {
+                self.mru_set = set as u32;
+                self.mru_way = way as u32;
+                self.book_hit(base + way, is_write);
+                return true;
+            }
+        }
+        false
     }
 
     /// Accesses `addr`; on a miss the line is allocated, evicting a
@@ -134,96 +241,126 @@ impl SetAssocCache {
         addr: u64,
         is_write: bool,
         policy: VictimPolicy,
-        mut conflicts_with_buffer: impl FnMut(u64) -> bool,
+        conflicts_with_buffer: impl FnMut(u64) -> bool,
     ) -> AccessResult {
-        self.tick += 1;
-        let (set, tag) = self.set_and_tag(addr);
-        let ways = self.ways;
-        let tick = self.tick;
-
-        if let Some(line) = self
-            .set_lines_mut(set)
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
-            line.last_use = tick;
-            line.dirty |= is_write;
-            self.hits += 1;
+        if self.try_hit(addr, is_write) {
             return AccessResult {
                 hit: true,
                 evicted: None,
                 conflict_delayed: false,
             };
         }
+        self.miss_fill(addr, is_write, policy, conflicts_with_buffer)
+    }
+
+    /// The miss path: allocate, choosing a victim under `policy`.
+    fn miss_fill(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        policy: VictimPolicy,
+        mut conflicts_with_buffer: impl FnMut(u64) -> bool,
+    ) -> AccessResult {
+        self.tick += 1;
         self.misses += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.ways;
+        let ways = self.ways;
+        let tick = self.tick;
 
-        // Invalid way, if any.
-        if let Some(idx) = self.set_lines(set).iter().position(|l| !l.valid) {
-            self.set_lines_mut(set)[idx] = Line {
-                tag,
-                valid: true,
-                dirty: is_write,
-                last_use: tick,
-            };
-            return AccessResult {
-                hit: false,
-                evicted: None,
-                conflict_delayed: false,
-            };
+        // Invalid way, if any (first in way order).
+        for way in 0..ways {
+            let idx = base + way;
+            if self.meta[idx] == 0 {
+                self.fill(idx, tag, is_write, tick);
+                self.mru_set = set as u32;
+                self.mru_way = way as u32;
+                return AccessResult {
+                    hit: false,
+                    evicted: None,
+                    conflict_delayed: false,
+                };
+            }
         }
 
-        // LRU-ordered victim candidates (ways ≤ 16: stack insertion sort).
-        let mut order = [0usize; 16];
-        debug_assert!(ways <= 16);
-        for (i, slot) in order.iter_mut().enumerate().take(ways) {
-            *slot = i;
+        // LRU victim: the smallest stamp word is the least recently
+        // used (`last_use` occupies the high bits and is unique within
+        // a set, so stamp order is recency order). The full LRU order
+        // is only materialized on the rare conflict continuation below.
+        let mut min_way = 0usize;
+        let mut min_meta = self.meta[base];
+        for w in 1..ways {
+            let m = self.meta[base + w];
+            if m < min_meta {
+                min_meta = m;
+                min_way = w;
+            }
         }
-        let order = &mut order[..ways];
-        order.sort_unstable_by_key(|&i| self.set_lines(set)[i].last_use);
 
         let scan = match policy {
             VictimPolicy::Full => ways,
             VictimPolicy::Half => ways.div_ceil(2),
             VictimPolicy::Zero | VictimPolicy::StaleLoad => 1,
         };
-        let mut chosen = order[0];
+        let mut chosen = min_way;
         let mut delayed = false;
         if policy != VictimPolicy::StaleLoad {
+            // First candidate = the LRU way itself; no sort needed.
             // Only dirty victims can conflict (clean lines carry no
             // pending store data).
-            let mut found = None;
-            for &cand in order.iter().take(scan) {
-                let line = self.set_lines(set)[cand];
-                let la = self.line_addr(set, line.tag);
-                if line.dirty {
-                    self.snoops += 1;
-                    if conflicts_with_buffer(la) {
-                        self.conflicts += 1;
-                        continue;
-                    }
+            let mut first_conflicts = false;
+            if min_meta & 1 != 0 {
+                self.snoops += 1;
+                let la = self.line_addr(set, self.tags[base + min_way]);
+                if conflicts_with_buffer(la) {
+                    self.conflicts += 1;
+                    first_conflicts = true;
                 }
-                found = Some(cand);
-                break;
             }
-            match found {
-                Some(c) => chosen = c,
-                None => {
-                    // Every scanned candidate conflicts: the eviction is
-                    // delayed until the buffer entry drains.
-                    delayed = true;
-                    chosen = order[0];
+            if first_conflicts {
+                // Rare: resume the candidate scan in LRU order past the
+                // conflicting LRU way (ways ≤ 16: stack insertion sort).
+                let mut order = [0usize; 16];
+                for (i, slot) in order.iter_mut().enumerate().take(ways) {
+                    *slot = i;
+                }
+                let order = &mut order[..ways];
+                order.sort_unstable_by_key(|&w| self.meta[base + w]);
+                debug_assert_eq!(order[0], min_way, "stamp order vs argmin");
+                let mut found = None;
+                for &cand in order.iter().take(scan).skip(1) {
+                    let idx = base + cand;
+                    if self.meta[idx] & 1 != 0 {
+                        self.snoops += 1;
+                        let la = self.line_addr(set, self.tags[idx]);
+                        if conflicts_with_buffer(la) {
+                            self.conflicts += 1;
+                            continue;
+                        }
+                    }
+                    found = Some(cand);
+                    break;
+                }
+                match found {
+                    Some(c) => chosen = c,
+                    None => {
+                        // Every scanned candidate conflicts: the
+                        // eviction is delayed until the buffer drains.
+                        delayed = true;
+                        chosen = min_way;
+                    }
                 }
             }
         }
 
-        let victim = self.set_lines(set)[chosen];
-        let evicted = Some((self.line_addr(set, victim.tag), victim.dirty));
-        self.set_lines_mut(set)[chosen] = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            last_use: tick,
-        };
+        let vidx = base + chosen;
+        let evicted = Some((
+            self.line_addr(set, self.tags[vidx]),
+            self.meta[vidx] & 1 != 0,
+        ));
+        self.fill(vidx, tag, is_write, tick);
+        self.mru_set = set as u32;
+        self.mru_way = chosen as u32;
         AccessResult {
             hit: false,
             evicted,
@@ -231,18 +368,25 @@ impl SetAssocCache {
         }
     }
 
+    /// Installs `tag` at flat index `idx` (replaces the whole line, as
+    /// the reference model's struct overwrite does).
+    #[inline]
+    fn fill(&mut self, idx: usize, tag: u64, is_write: bool, tick: u64) {
+        self.tags[idx] = tag;
+        self.meta[idx] = (tick << 1) | is_write as u64;
+    }
+
     /// True if the line containing `addr` is present.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.set_lines(set).iter().any(|l| l.valid && l.tag == tag)
+        let base = set * self.ways;
+        (0..self.ways).any(|w| self.meta[base + w] != 0 && self.tags[base + w] == tag)
     }
 
     /// Invalidates every line (power failure: caches are volatile).
     pub fn invalidate_all(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-            line.dirty = false;
-        }
+        self.meta.fill(0);
+        self.mru_set = u32::MAX;
     }
 
     /// `(hits, misses)` counters.
@@ -267,12 +411,20 @@ impl SetAssocCache {
 }
 
 /// A sparse direct-mapped cache (the 4 GB DRAM LLC): only touched sets
-/// occupy host memory.
+/// occupy host memory. [`DirectMappedCache::invalidate_all`] retains
+/// the table's capacity, so a machine that survives a power failure
+/// (and a crash-sweep fork, whose clone sizes the table from its
+/// occupancy) re-faults lines without re-growing the table.
 #[derive(Clone, Debug)]
 pub struct DirectMappedCache {
     lines: FxHashMap<u64, (u64, bool)>, // set → (tag, dirty)
     num_sets: u64,
     line_bytes: u64,
+    /// Shift/mask split (capacity and line size are powers of two in
+    /// every shipped config); `pow2 == false` falls back to division.
+    line_shift: u32,
+    set_mask: u64,
+    pow2: bool,
     hits: u64,
     misses: u64,
 }
@@ -285,20 +437,42 @@ impl DirectMappedCache {
     /// Panics if the capacity is smaller than one line.
     pub fn new(capacity_bytes: u64, line_bytes: u64) -> DirectMappedCache {
         assert!(capacity_bytes >= line_bytes, "capacity below one line");
+        let num_sets = capacity_bytes / line_bytes;
+        let pow2 = line_bytes.is_power_of_two() && num_sets.is_power_of_two();
         DirectMappedCache {
             lines: FxHashMap::default(),
-            num_sets: capacity_bytes / line_bytes,
+            num_sets,
             line_bytes,
+            line_shift: if pow2 { line_bytes.trailing_zeros() } else { 0 },
+            set_mask: num_sets.wrapping_sub(1),
+            pow2,
             hits: 0,
             misses: 0,
         }
     }
 
+    #[inline]
+    fn split(&self, addr: u64) -> (u64, u64) {
+        if self.pow2 {
+            let line = addr >> self.line_shift;
+            (line & self.set_mask, line >> self.set_mask.count_ones())
+        } else {
+            let line = addr / self.line_bytes;
+            (line % self.num_sets, line / self.num_sets)
+        }
+    }
+
+    /// Pre-sizes the sparse tag table for `lines` resident lines, so
+    /// fork-sweep forks and warm-started runs stop paying incremental
+    /// rehash-and-grow on first touch.
+    pub fn reserve_lines(&mut self, lines: u64) {
+        let cap = lines.min(self.num_sets) as usize;
+        self.lines.reserve(cap.saturating_sub(self.lines.len()));
+    }
+
     /// Accesses `addr`; returns `(hit, evicted_dirty_line_addr)`.
     pub fn access(&mut self, addr: u64, is_write: bool) -> (bool, Option<u64>) {
-        let line = addr / self.line_bytes;
-        let set = line % self.num_sets;
-        let tag = line / self.num_sets;
+        let (set, tag) = self.split(addr);
         match self.lines.get_mut(&set) {
             Some((t, dirty)) if *t == tag => {
                 *dirty |= is_write;
@@ -323,10 +497,12 @@ impl DirectMappedCache {
 
     /// Pre-fills every line of `[start, end)` as present and clean —
     /// the state a long fast-forward would leave behind (the paper warms
-    /// caches over 10⁹ instructions before measuring, §V-A).
+    /// caches over 10⁹ instructions before measuring, §V-A). Reserves
+    /// table capacity for the whole range up front.
     pub fn prefill_range(&mut self, start: u64, end: u64) {
         let mut line = start / self.line_bytes;
         let last = end.div_ceil(self.line_bytes);
+        self.reserve_lines(last.saturating_sub(line));
         while line < last {
             let set = line % self.num_sets;
             let tag = line / self.num_sets;
@@ -335,7 +511,8 @@ impl DirectMappedCache {
         }
     }
 
-    /// Invalidates everything (power failure).
+    /// Invalidates everything (power failure). Retains capacity: the
+    /// post-failure refill re-faults into an already-sized table.
     pub fn invalidate_all(&mut self) {
         self.lines.clear();
     }
@@ -453,6 +630,55 @@ mod tests {
     }
 
     #[test]
+    fn try_hit_is_stateless_on_miss() {
+        let mut c = SetAssocCache::new(4, 2, 64);
+        assert!(!c.try_hit(0x100, false));
+        assert_eq!(c.hit_miss(), (0, 0), "a failed try_hit books nothing");
+        // The follow-up access performs the one canonical miss.
+        let r = c.access(0x100, false, VictimPolicy::Full, no_conflict);
+        assert!(!r.hit);
+        assert_eq!(c.hit_miss(), (0, 1));
+        // And now the fast path hits, with full hit bookkeeping.
+        assert!(c.try_hit(0x108, true));
+        assert_eq!(c.hit_miss(), (1, 1));
+        // The write through try_hit dirtied the line.
+        let r = c.access(0x140, false, VictimPolicy::Full, no_conflict);
+        assert!(!r.hit && r.evicted.is_none(), "fills the other way");
+        let mut c2 = SetAssocCache::new(1, 1, 64);
+        assert!(c2
+            .access(0x000, false, VictimPolicy::Full, no_conflict)
+            .evicted
+            .is_none());
+        assert!(c2.try_hit(0x000, true), "write hit via fast path");
+        let r = c2.access(0x040, false, VictimPolicy::StaleLoad, no_conflict);
+        assert_eq!(r.evicted, Some((0x000, true)), "dirty bit set by try_hit");
+    }
+
+    #[test]
+    fn mru_memo_survives_eviction_of_other_sets() {
+        // Same-line streak, interleaved with traffic to another set:
+        // the memo is revalidated on every use, so results stay exact.
+        let mut c = SetAssocCache::new(2, 1, 64);
+        c.access(0x000, false, VictimPolicy::Full, no_conflict); // set 0
+        c.access(0x040, false, VictimPolicy::Full, no_conflict); // set 1
+        assert!(c.try_hit(0x000, false), "memo miss, scan hit");
+        assert!(c.try_hit(0x008, false), "memo hit");
+        // Evict set 0's line; the stale memo must not report a hit.
+        c.access(0x080, false, VictimPolicy::Full, no_conflict);
+        assert!(!c.try_hit(0x000, false), "evicted line not hit via memo");
+    }
+
+    #[test]
+    fn non_pow2_geometry_uses_division_fallback() {
+        let mut c = SetAssocCache::new(3, 2, 48);
+        let r = c.access(100, false, VictimPolicy::Full, no_conflict);
+        assert!(!r.hit);
+        assert!(c.probe(100) && c.probe(96), "same 48-byte line");
+        assert!(!c.probe(144));
+        assert!(c.try_hit(101, false));
+    }
+
+    #[test]
     fn direct_mapped_conflict_eviction() {
         let mut d = DirectMappedCache::new(128, 64); // 2 sets
         assert_eq!(d.access(0x000, true), (false, None));
@@ -474,5 +700,23 @@ mod tests {
         assert_eq!(d.hit_miss(), (0, 0));
         // Construction of a 4 GB cache is O(1) memory — this test passing
         // quickly is itself the assertion.
+    }
+
+    #[test]
+    fn direct_mapped_reserve_caps_at_num_sets() {
+        let mut d = DirectMappedCache::new(256, 64); // 4 sets
+        d.reserve_lines(1 << 40); // absurd request clamps to 4
+        assert_eq!(d.access(0, true), (false, None));
+        assert_eq!(d.access(0, false), (true, None));
+    }
+
+    #[test]
+    fn direct_mapped_non_pow2_line_size() {
+        let mut d = DirectMappedCache::new(96, 48); // 2 sets of 48 B
+        assert_eq!(d.access(0, true), (false, None));
+        assert_eq!(d.access(47, false), (true, None), "same line");
+        let (hit, evicted) = d.access(96, false); // set 0 again
+        assert!(!hit);
+        assert_eq!(evicted, Some(0));
     }
 }

@@ -212,8 +212,16 @@ impl MemConfig {
     }
 
     /// The memory controller that owns `addr` (line-interleaved).
+    ///
+    /// Shift/mask when line size and MC count are powers of two (every
+    /// shipped config: 64-byte lines across 2 MCs), division otherwise.
     pub fn mc_of(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes) % self.num_mcs as u64) as usize
+        let mcs = self.num_mcs as u64;
+        if self.line_bytes.is_power_of_two() && mcs.is_power_of_two() {
+            ((addr >> self.line_bytes.trailing_zeros()) & (mcs - 1)) as usize
+        } else {
+            ((addr / self.line_bytes) % mcs) as usize
+        }
     }
 }
 

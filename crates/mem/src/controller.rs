@@ -72,6 +72,11 @@ pub struct MemController {
     flushed_entries: u64,
     overflow_events: u64,
     declined_in_overflow: u64,
+    /// Memoized [`MemController::next_event`] result, keyed on the
+    /// tracker generation it was computed against. Cleared by every
+    /// mutation of this controller that can move the horizon; a tracker
+    /// mutation invalidates it via the version key.
+    ev_memo: Option<(u64, Option<u64>)>,
 }
 
 impl MemController {
@@ -92,6 +97,7 @@ impl MemController {
             flushed_entries: 0,
             overflow_events: 0,
             declined_in_overflow: 0,
+            ev_memo: None,
         }
     }
 
@@ -103,11 +109,13 @@ impl MemController {
     /// Selects the flush mode (schemes without WPQ gating).
     pub fn set_mode(&mut self, mode: FlushMode) {
         self.mode = mode;
+        self.ev_memo = None;
     }
 
     /// Adds per-write channel occupancy (cWSP's undo-log copy delay).
     pub fn set_extra_write_occupancy(&mut self, extra: u64) {
         self.extra_write_occupancy = extra;
+        self.ev_memo = None;
     }
 
     /// Shared access to the WPQ (stats, searches).
@@ -116,6 +124,14 @@ impl MemController {
     }
 
     /// Mutable access to the WPQ (CAM search updates hit counters).
+    ///
+    /// Deliberately does **not** invalidate the `next_event` memo:
+    /// every caller mutates counters only (occupancy samples, CAM
+    /// search stats), which the event horizon does not read. Mutations
+    /// that move entries go through [`MemController::try_insert`] /
+    /// [`MemController::tick`] / [`MemController::on_power_failure`],
+    /// which do invalidate. The debug revalidation in
+    /// [`MemController::next_event`] enforces this contract under test.
     pub fn wpq_mut(&mut self) -> &mut Wpq {
         &mut self.wpq
     }
@@ -140,11 +156,24 @@ impl MemController {
             if !self.wpq.has_room() {
                 return false;
             }
+            // The horizon reads only queue emptiness: inserting into a
+            // non-empty queue cannot move it.
+            if self.wpq.is_empty() {
+                self.ev_memo = None;
+            }
             self.wpq.insert(WpqEntry::from_persist(entry, home));
             if entry.kind == PersistKind::Boundary {
                 tracker.deliver_boundary(entry.region, self.id, now);
             }
             return true;
+        }
+        // Gated horizon inputs: frontier pendingness, the overflow flag,
+        // and tracker state (covered by the version key). A rejected or
+        // accepted insert of a younger region changes none of them; the
+        // overflow transitions and frontier-region inserts below drop
+        // the memo explicitly.
+        if entry.region <= frontier {
+            self.ev_memo = None;
         }
         if self.overflow_mode {
             // Only the currently persisting region's stores (and its
@@ -174,6 +203,7 @@ impl MemController {
                         self.overflow_mode = true;
                         self.overflow_events += 1;
                         self.deadlock_since = None;
+                        self.ev_memo = None;
                     }
                     Some(_) => {}
                 }
@@ -210,6 +240,7 @@ impl MemController {
         pm: &mut PersistentMemory,
         flushed: &mut Vec<WpqEntry>,
     ) {
+        self.ev_memo = None;
         self.wpq.sample_occupancy();
 
         if self.mode == FlushMode::Immediate {
@@ -272,7 +303,32 @@ impl MemController {
     /// core's path). Occupancy sampling is *not* an event: the caller
     /// accounts skipped samples in closed form via
     /// [`crate::wpq::Wpq::sample_occupancy_n`].
-    pub fn next_event(&self, tracker: &RegionTracker) -> Option<u64> {
+    ///
+    /// The result is a pure function of controller + tracker state
+    /// (`now` is not read), so it is memoized keyed on
+    /// [`RegionTracker::version`]; controller mutations clear the memo
+    /// directly. In debug builds every memo hit is revalidated against
+    /// a fresh computation, which the parity suites exercise across all
+    /// schemes.
+    #[inline]
+    pub fn next_event(&mut self, tracker: &RegionTracker) -> Option<u64> {
+        let v = tracker.version();
+        if let Some((cached_v, cached)) = self.ev_memo {
+            if cached_v == v {
+                debug_assert_eq!(
+                    cached,
+                    self.compute_next_event(tracker),
+                    "stale MC event memo"
+                );
+                return cached;
+            }
+        }
+        let ev = self.compute_next_event(tracker);
+        self.ev_memo = Some((v, ev));
+        ev
+    }
+
+    fn compute_next_event(&self, tracker: &RegionTracker) -> Option<u64> {
         // Earliest free PM channel (0 if any channel is already idle).
         let ch_free = self.channels.iter().copied().min().unwrap_or(0);
         if self.mode == FlushMode::Immediate {
@@ -282,7 +338,7 @@ impl MemController {
         }
         let frontier = tracker.flush_pos(self.id);
         let pending = self.wpq.has_region(frontier);
-        let acked = tracker.bdry_acked_at(frontier);
+        let acked = tracker.frontier_acked(self.id);
         let mut ev: Option<u64> = None;
         let mut consider = |t: u64| ev = Some(ev.map_or(t, |e| e.min(t)));
         if pending {
@@ -308,6 +364,7 @@ impl MemController {
     /// are no longer needed (the region persisted completely).
     pub fn on_region_committed(&mut self, region: RegionId) {
         self.undo_log.retain(|(r, _, _)| *r != region);
+        self.ev_memo = None;
     }
 
     /// Power-failure handling (§IV-F steps 3–6) for this MC:
@@ -324,6 +381,7 @@ impl MemController {
         survivable: &[RegionId],
         pm: &mut PersistentMemory,
     ) -> FailureResolution {
+        self.ev_memo = None;
         let mut entries = self.wpq.drain_all();
         // §IV-F steps 3–5 flush region by region in flush-ID order;
         // entries from different cores may sit in the queue out of

@@ -8,7 +8,14 @@
 //!   Table I) and the CXL device variants of Table III;
 //! * [`cache`] — generic set-associative caches (L1D, L2) with LRU and
 //!   the pluggable victim-selection used by buffer snooping (§IV-G), and
-//!   a sparse direct-mapped model of the 4 GB off-chip DRAM cache;
+//!   a sparse direct-mapped model of the 4 GB off-chip DRAM cache. The
+//!   set-associative model carries the memory-path fast paths (SoA
+//!   layout, MRU way memo, shift/mask address split); [`cache_ref`]
+//!   retains the original array-of-structs model as the executable
+//!   specification the differential tests prove the fast path against;
+//! * [`line_filter`] — the incremental line-residency signature that
+//!   short-circuits the eviction snoop's buffer scans: a zero bucket
+//!   proves absence in one probe, positives are confirmed by the scan;
 //! * [`store_buffer`] / [`front_buffer`] — the per-core store buffer and
 //!   the repurposed write-combining buffer ("front-end buffer") that
 //!   feeds the persist path, CAM-searchable for eviction snooping;
@@ -38,11 +45,13 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cache_ref;
 pub mod cam;
 pub mod config;
 pub mod controller;
 pub mod energy;
 pub mod front_buffer;
+pub mod line_filter;
 pub mod persist_path;
 pub mod pm;
 pub mod protocol;

@@ -1,0 +1,169 @@
+//! A line-granular residency signature over a queue of 8-byte persist
+//! entries.
+//!
+//! The eviction-snoop path (§IV-G) asks "does this buffer hold any
+//! entry within cache line X?" on every dirty L1 victim candidate.
+//! Answering by scanning the queue costs a division per entry per
+//! probe; maintaining an exact hash table costs two table updates per
+//! queued store — pure overhead in compute-dense phases where stores
+//! are frequent and snoops rare. The filter therefore keeps a flat
+//! counting signature: a fixed array of per-bucket occupant counts,
+//! updated with one index per push/pop. A zero bucket proves the line
+//! absent (**no false negatives**); a non-zero bucket may be a
+//! collision, so the caller confirms a positive with the linear scan
+//! the signature short-circuits. The combined answer is exact, so the
+//! snoop/conflict counters it feeds stay bit-identical to a scan.
+
+/// Signature buckets. 512 buckets over queues of ≤ ~100 entries keep
+/// the false-positive rate (and thus the verifying scans) low while the
+/// table stays one cache line shy of 1 KiB.
+const BUCKETS: usize = 512;
+
+/// Incremental line-occupancy signature: how many queued entries hash
+/// into each bucket.
+#[derive(Clone, Debug)]
+pub struct LineFilter {
+    counts: Box<[u16; BUCKETS]>,
+    line_bytes: u64,
+    /// Shift for the power-of-two fast path (`line_bytes` is 64 in
+    /// every shipped config); `u32::MAX` forces the division fallback.
+    line_shift: u32,
+}
+
+impl LineFilter {
+    /// Creates a filter tracking lines of `line_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero.
+    pub fn new(line_bytes: u64) -> LineFilter {
+        assert!(line_bytes > 0, "line size must be positive");
+        LineFilter {
+            counts: Box::new([0; BUCKETS]),
+            line_bytes,
+            line_shift: if line_bytes.is_power_of_two() {
+                line_bytes.trailing_zeros()
+            } else {
+                u32::MAX
+            },
+        }
+    }
+
+    #[inline]
+    fn line_of(&self, addr: u64) -> u64 {
+        if self.line_shift != u32::MAX {
+            addr >> self.line_shift
+        } else {
+            addr / self.line_bytes
+        }
+    }
+
+    /// Fibonacci-multiplicative bucket of a line index.
+    #[inline]
+    fn bucket(&self, addr: u64) -> usize {
+        (self.line_of(addr).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - BUCKETS.trailing_zeros()))
+            as usize
+    }
+
+    /// The line granularity the filter was built with.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Records an entry at `addr` entering the tracked queue.
+    #[inline]
+    pub fn insert(&mut self, addr: u64) {
+        let b = self.bucket(addr);
+        self.counts[b] += 1;
+    }
+
+    /// Records the entry at `addr` leaving the tracked queue.
+    #[inline]
+    pub fn remove(&mut self, addr: u64) {
+        let b = self.bucket(addr);
+        debug_assert!(self.counts[b] > 0, "line filter out of sync with its queue");
+        self.counts[b] -= 1;
+    }
+
+    /// True if a tracked entry **may** fall within the line containing
+    /// `addr`; false proves none does. Callers confirm a positive with
+    /// a scan of the underlying queue.
+    #[inline]
+    pub fn maybe_contains_line(&self, addr: u64) -> bool {
+        self.counts[self.bucket(addr)] != 0
+    }
+
+    /// Forgets everything (the tracked queue was cleared).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_per_line() {
+        let mut f = LineFilter::new(64);
+        f.insert(0x148);
+        f.insert(0x150); // same line
+        assert!(f.maybe_contains_line(0x140), "no false negatives");
+        f.remove(0x148);
+        assert!(f.maybe_contains_line(0x140), "one occupant left");
+        f.remove(0x150);
+        assert!(
+            !f.maybe_contains_line(0x140),
+            "bucket drained exactly when its line empties"
+        );
+    }
+
+    #[test]
+    fn clear_forgets_all() {
+        let mut f = LineFilter::new(64);
+        f.insert(0);
+        f.insert(64);
+        f.clear();
+        assert!(!f.maybe_contains_line(0) && !f.maybe_contains_line(64));
+    }
+
+    #[test]
+    fn non_pow2_line_size_falls_back_to_division() {
+        let mut f = LineFilter::new(48);
+        f.insert(50);
+        assert!(f.maybe_contains_line(48));
+        f.remove(50);
+        assert!(!f.maybe_contains_line(48));
+    }
+
+    /// The signature's one-sided guarantee: inserted lines always probe
+    /// positive, and distinct lines rarely collide — pin a spread of
+    /// absent lines staying negative under the shipped hash.
+    #[test]
+    fn absent_lines_probe_negative() {
+        let mut f = LineFilter::new(64);
+        for i in 0..48u64 {
+            f.insert(i * 64 + 8);
+        }
+        let mut negatives = 0;
+        for i in 1000..1128u64 {
+            if !f.maybe_contains_line(i * 64) {
+                negatives += 1;
+            }
+        }
+        assert!(
+            negatives > 100,
+            "absent lines should mostly probe negative, got {negatives}/128"
+        );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of sync")]
+    fn removing_absent_entry_panics() {
+        let mut f = LineFilter::new(64);
+        f.remove(0);
+    }
+}

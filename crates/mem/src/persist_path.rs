@@ -13,6 +13,7 @@
 //! power failure (their region is necessarily unpersisted, because its
 //! boundary travels behind them).
 
+use crate::line_filter::LineFilter;
 use crate::protocol::RegionId;
 use std::collections::VecDeque;
 
@@ -53,17 +54,22 @@ pub struct PersistPath {
     /// small skid buffer, not a queue — when the head is blocked at a
     /// full WPQ, back-pressure must reach the front-end buffer.
     capacity: usize,
+    /// Incremental line-residency signature over the in-flight entries:
+    /// the eviction snoop's conflict check short-circuits on one table
+    /// probe in the common no-occupant case.
+    filter: LineFilter,
     issued: u64,
     hol_blocked_cycles: u64,
 }
 
 impl PersistPath {
-    /// Creates a path with the given transit latency and bandwidth gate.
+    /// Creates a path with the given transit latency and bandwidth gate,
+    /// snooped at `line_bytes` granularity.
     ///
     /// # Panics
     ///
-    /// Panics if `cycles_per_entry` is zero.
-    pub fn new(latency: u64, cycles_per_entry: u64) -> PersistPath {
+    /// Panics if `cycles_per_entry` or `line_bytes` is zero.
+    pub fn new(latency: u64, cycles_per_entry: u64, line_bytes: u64) -> PersistPath {
         assert!(cycles_per_entry > 0, "bandwidth gate must be positive");
         // Transit window plus a small skid buffer.
         let capacity = (2 * latency / cycles_per_entry).max(16) as usize;
@@ -73,6 +79,7 @@ impl PersistPath {
             latency,
             cycles_per_entry,
             capacity,
+            filter: LineFilter::new(line_bytes),
             issued: 0,
             hol_blocked_cycles: 0,
         }
@@ -106,6 +113,7 @@ impl PersistPath {
         assert!(weight > 0, "issue weight must be positive");
         self.next_issue = now + self.cycles_per_entry * weight;
         self.issued += 1;
+        self.filter.insert(entry.addr);
         self.in_flight.push_back((now + self.latency, entry));
     }
 
@@ -139,7 +147,11 @@ impl PersistPath {
 
     /// Removes the head entry (after successful WPQ delivery).
     pub fn pop_head(&mut self) -> Option<PersistEntry> {
-        self.in_flight.pop_front().map(|(_, e)| e)
+        let popped = self.in_flight.pop_front().map(|(_, e)| e);
+        if let Some(e) = &popped {
+            self.filter.remove(e.addr);
+        }
+        popped
     }
 
     /// Records one cycle of head-of-line blocking (full target WPQ).
@@ -150,7 +162,15 @@ impl PersistPath {
     /// True if any in-flight entry falls in the cache line at
     /// `line_addr` (used together with the front-end buffer for the
     /// eviction-snoop conflict check, §IV-G).
+    ///
+    /// At the path's own line granularity the residency signature
+    /// rejects the common no-occupant case with one probe; a signature
+    /// positive is confirmed by the linear scan, and a different
+    /// `line_bytes` always scans. The combined answer is exact.
     pub fn conflicts_with_line(&self, line_addr: u64, line_bytes: u64) -> bool {
+        if line_bytes == self.filter.line_bytes() && !self.filter.maybe_contains_line(line_addr) {
+            return false;
+        }
         self.in_flight
             .iter()
             .any(|(_, e)| e.addr / line_bytes == line_addr / line_bytes)
@@ -171,6 +191,7 @@ impl PersistPath {
     /// Discards all in-flight entries (power failure).
     pub fn clear(&mut self) {
         self.in_flight.clear();
+        self.filter.clear();
     }
 
     /// `(entries issued, cycles blocked at head-of-line)`.
@@ -195,7 +216,7 @@ mod tests {
 
     #[test]
     fn bandwidth_gate_spacing() {
-        let mut p = PersistPath::new(40, 4);
+        let mut p = PersistPath::new(40, 4, 64);
         assert!(p.can_issue(0));
         p.issue(0, entry(0, 1));
         assert!(!p.can_issue(3));
@@ -207,14 +228,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth gate")]
     fn issue_too_fast_panics() {
-        let mut p = PersistPath::new(40, 4);
+        let mut p = PersistPath::new(40, 4, 64);
         p.issue(0, entry(0, 1));
         p.issue(1, entry(8, 1));
     }
 
     #[test]
     fn transit_latency_respected() {
-        let mut p = PersistPath::new(40, 4);
+        let mut p = PersistPath::new(40, 4, 64);
         p.issue(0, entry(0, 1));
         assert!(p.head_arrived(39).is_none());
         assert!(p.head_arrived(40).is_some());
@@ -224,7 +245,7 @@ mod tests {
 
     #[test]
     fn in_order_delivery() {
-        let mut p = PersistPath::new(10, 1);
+        let mut p = PersistPath::new(10, 1, 64);
         p.issue(0, entry(0, 1));
         p.issue(1, entry(8, 1));
         // Even at cycle 100 the head is the first-issued entry.
@@ -235,7 +256,7 @@ mod tests {
 
     #[test]
     fn conflict_check_by_line() {
-        let mut p = PersistPath::new(10, 1);
+        let mut p = PersistPath::new(10, 1, 64);
         p.issue(0, entry(0x148, 1));
         assert!(p.conflicts_with_line(0x140, 64));
         assert!(p.conflicts_with_line(0x100, 128));
@@ -244,7 +265,7 @@ mod tests {
 
     #[test]
     fn clear_models_power_failure() {
-        let mut p = PersistPath::new(10, 1);
+        let mut p = PersistPath::new(10, 1, 64);
         p.issue(0, entry(0, 1));
         p.clear();
         assert!(p.is_empty());

@@ -64,12 +64,25 @@ pub struct RegionTracker {
     next_region: RegionId,
     /// Per-MC next region to flush.
     flush_pos: Vec<RegionId>,
+    /// Eagerly maintained bdry-ACK completion time of each MC's current
+    /// flush-position region: always equal to
+    /// `bdry_acked_at(flush_pos[mc])`, refreshed whenever either input
+    /// changes. The flush gate (`flushable`) and the MC event horizon
+    /// query this every active cycle — the cache answers them without
+    /// hashing into the regions map.
+    frontier_acked: Vec<Option<u64>>,
     /// Next region to durably commit.
     commit_frontier: RegionId,
     /// Scheduled commit: `(region, flush-ACK completion cycle)`.
     pending_commit: Option<(RegionId, u64)>,
     regions: FxHashMap<RegionId, RegionState>,
     committed: u64,
+    /// Mutation counter: bumped by every state transition (allocation,
+    /// boundary delivery, flush-done report, commit). Lets read-side
+    /// consumers — notably [`crate::controller::MemController`]'s
+    /// `next_event` memo — cache derived values keyed on the tracker
+    /// generation and revalidate in O(1).
+    version: u64,
 }
 
 impl RegionTracker {
@@ -86,11 +99,21 @@ impl RegionTracker {
             noc_latency,
             next_region: 1,
             flush_pos: vec![1; num_mcs],
+            frontier_acked: vec![None; num_mcs],
             commit_frontier: 1,
             pending_commit: None,
             regions: FxHashMap::default(),
             committed: 0,
+            version: 0,
         }
+    }
+
+    /// Current mutation generation. Any two calls returning the same
+    /// value bracket an interval in which no tracker state changed, so
+    /// any pure function of the tracker evaluates identically.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Atomically samples a fresh region ID (the `G.fetch_add` a thread
@@ -98,6 +121,7 @@ impl RegionTracker {
     pub fn alloc_region(&mut self) -> RegionId {
         let id = self.next_region;
         self.next_region += 1;
+        self.version += 1;
         id
     }
 
@@ -144,9 +168,17 @@ impl RegionTracker {
     /// Records that `mc`'s WPQ received the boundary token of `region`
     /// at cycle `now`.
     pub fn deliver_boundary(&mut self, region: RegionId, mc: usize, now: u64) {
+        self.version += 1;
         let st = self.state_mut(region);
         if st.delivered[mc].is_none() {
             st.delivered[mc] = Some(now);
+        }
+        // The delivery may complete the bdry-ACK exchange of `region`;
+        // refresh the cache of every MC currently parked at it.
+        for m in 0..self.num_mcs {
+            if self.flush_pos[m] == region {
+                self.frontier_acked[m] = self.bdry_acked_at(region);
+            }
         }
     }
 
@@ -189,9 +221,23 @@ impl RegionTracker {
         Some(max + self.noc_latency)
     }
 
+    /// Cached [`RegionTracker::bdry_acked_at`] of MC `mc`'s current
+    /// flush position — the one region whose ACK state gates that MC's
+    /// next action, queried every active cycle.
+    #[inline]
+    pub fn frontier_acked(&self, mc: usize) -> Option<u64> {
+        debug_assert_eq!(
+            self.frontier_acked[mc],
+            self.bdry_acked_at(self.flush_pos[mc]),
+            "stale frontier-ACK cache for MC {mc}"
+        );
+        self.frontier_acked[mc]
+    }
+
     /// True if MC `mc` may flush entries of `region` at cycle `now`.
+    #[inline]
     pub fn flushable(&self, mc: usize, region: RegionId, now: u64) -> bool {
-        region == self.flush_pos[mc] && self.bdry_acked_at(region).is_some_and(|t| t <= now)
+        region == self.flush_pos[mc] && self.frontier_acked(mc).is_some_and(|t| t <= now)
     }
 
     /// Records that `mc` finished issuing every entry of `region` at
@@ -199,7 +245,9 @@ impl RegionTracker {
     /// commit is scheduled once all MCs are done.
     pub fn note_flush_done(&mut self, region: RegionId, mc: usize, now: u64) {
         debug_assert_eq!(region, self.flush_pos[mc]);
+        self.version += 1;
         self.flush_pos[mc] = region + 1;
+        self.frontier_acked[mc] = self.bdry_acked_at(region + 1);
         let noc = self.noc_latency;
         let commit_frontier = self.commit_frontier;
         let st = self.state_mut(region);
@@ -231,6 +279,10 @@ impl RegionTracker {
     pub fn tick(&mut self, now: u64) -> Option<RegionId> {
         if let Some((region, at)) = self.pending_commit {
             if at <= now {
+                // A commit is a state transition; no-op ticks (the
+                // common per-cycle case) leave the version untouched so
+                // they never invalidate read-side memos.
+                self.version += 1;
                 self.pending_commit = None;
                 self.regions.remove(&region);
                 self.commit_frontier = region + 1;

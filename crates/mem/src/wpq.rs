@@ -11,7 +11,7 @@
 
 use crate::persist_path::{PersistEntry, PersistKind};
 use crate::protocol::RegionId;
-use lightwsp_ir::fxhash::FxHashMap;
+use std::collections::VecDeque;
 
 /// One quarantined store.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,11 +48,18 @@ impl WpqEntry {
 /// The battery-backed write pending queue of one MC.
 #[derive(Clone, Debug)]
 pub struct Wpq {
-    entries: Vec<WpqEntry>,
+    /// Arrival-ordered queue. A ring buffer, because flush scheduling
+    /// removes from the *front* (oldest-first) once per flushed entry —
+    /// a `Vec` would shift the whole tail each time.
+    entries: VecDeque<WpqEntry>,
     /// Entries per region, kept in lockstep with `entries` so the
     /// event-scan hot path answers [`Wpq::has_region`] /
-    /// [`Wpq::count_region`] without walking the queue.
-    region_counts: FxHashMap<RegionId, usize>,
+    /// [`Wpq::count_region`] without walking the queue. Sorted by
+    /// region ID and kept as a flat vec: regions arrive in roughly
+    /// ascending order and drain from the oldest, so inserts probe from
+    /// the back and lookups for the flush frontier hit the front — one
+    /// compare each in the common case, no hashing.
+    region_counts: Vec<(RegionId, u32)>,
     capacity: usize,
     inserts: u64,
     cam_searches: u64,
@@ -71,8 +78,8 @@ impl Wpq {
     pub fn new(capacity: usize) -> Wpq {
         assert!(capacity > 0, "WPQ capacity must be positive");
         Wpq {
-            entries: Vec::with_capacity(capacity),
-            region_counts: FxHashMap::default(),
+            entries: VecDeque::with_capacity(capacity),
+            region_counts: Vec::new(),
             capacity,
             inserts: 0,
             cam_searches: 0,
@@ -100,20 +107,39 @@ impl Wpq {
             "WPQ overflow must be handled by the caller"
         );
         self.inserts += 1;
-        *self.region_counts.entry(entry.region).or_insert(0) += 1;
-        self.entries.push(entry);
+        self.count(entry.region);
+        self.entries.push_back(entry);
         self.max_occupancy = self.max_occupancy.max(self.entries.len());
     }
 
-    /// Removes one entry of `region` from the count index.
+    /// Adds one entry of `region` to the count index. New regions are
+    /// the youngest almost always, so probe from the back.
+    fn count(&mut self, region: RegionId) {
+        let mut i = self.region_counts.len();
+        while i > 0 {
+            match self.region_counts[i - 1].0 {
+                r if r == region => {
+                    self.region_counts[i - 1].1 += 1;
+                    return;
+                }
+                r if r < region => break,
+                _ => i -= 1,
+            }
+        }
+        self.region_counts.insert(i, (region, 1));
+    }
+
+    /// Removes one entry of `region` from the count index. Drained
+    /// regions are the oldest almost always, so probe from the front.
     fn uncount(&mut self, region: RegionId) {
-        let n = self
+        let i = self
             .region_counts
-            .get_mut(&region)
+            .iter()
+            .position(|&(r, _)| r == region)
             .expect("count index out of sync");
-        *n -= 1;
-        if *n == 0 {
-            self.region_counts.remove(&region);
+        self.region_counts[i].1 -= 1;
+        if self.region_counts[i].1 == 0 {
+            self.region_counts.remove(i);
         }
     }
 
@@ -121,10 +147,13 @@ impl Wpq {
     /// within the cache line at `line_addr`.
     pub fn search_line(&mut self, line_addr: u64, line_bytes: u64) -> bool {
         self.cam_searches += 1;
+        // One division to find the line base, then a range compare per
+        // entry — not a division per entry.
+        let lo = line_addr - line_addr % line_bytes;
         let hit = self
             .entries
             .iter()
-            .any(|e| !e.is_boundary && e.addr / line_bytes == line_addr / line_bytes);
+            .any(|e| !e.is_boundary && e.addr.wrapping_sub(lo) < line_bytes);
         if hit {
             self.cam_hits += 1;
         }
@@ -139,34 +168,32 @@ impl Wpq {
         }
         let i = self.entries.iter().position(|e| e.region == region)?;
         self.uncount(region);
-        Some(self.entries.remove(i))
+        // Gated flushing drains the frontier region, whose entries are
+        // the oldest in the queue — `i == 0` is the common case and a
+        // ring-buffer pop; interleaved younger regions pay the shift.
+        if i == 0 {
+            self.entries.pop_front()
+        } else {
+            self.entries.remove(i)
+        }
     }
 
     /// Removes and returns the oldest entry regardless of region.
     pub fn take_one_oldest(&mut self) -> Option<WpqEntry> {
-        if self.entries.is_empty() {
-            None
-        } else {
-            let e = self.entries.remove(0);
-            self.uncount(e.region);
-            Some(e)
-        }
+        let e = self.entries.pop_front()?;
+        self.uncount(e.region);
+        Some(e)
     }
 
     /// Removes and returns up to `max` entries of `region`, oldest
     /// first (flush scheduling).
     pub fn take_region(&mut self, region: RegionId, max: usize) -> Vec<WpqEntry> {
         let mut out = Vec::new();
-        let mut i = 0;
-        while i < self.entries.len() && out.len() < max {
-            if self.entries[i].region == region {
-                out.push(self.entries.remove(i));
-            } else {
-                i += 1;
+        while out.len() < max {
+            match self.take_one_of_region(region) {
+                Some(e) => out.push(e),
+                None => break,
             }
-        }
-        for _ in &out {
-            self.uncount(region);
         }
         out
     }
@@ -183,18 +210,24 @@ impl Wpq {
         out
     }
 
-    /// Number of entries belonging to `region` (O(1) via the count
-    /// index).
+    /// Number of entries belonging to `region` (one compare in the
+    /// common frontier query, via the sorted count index).
     #[inline]
     pub fn count_region(&self, region: RegionId) -> usize {
-        self.region_counts.get(&region).copied().unwrap_or(0)
+        // The index is sorted ascending and queries target the flush
+        // frontier — the oldest region — so scan from the front.
+        for &(r, n) in &self.region_counts {
+            if r >= region {
+                return if r == region { n as usize } else { 0 };
+            }
+        }
+        0
     }
 
-    /// True if any entry belongs to `region` (O(1) via the count
-    /// index).
+    /// True if any entry belongs to `region` (via the count index).
     #[inline]
     pub fn has_region(&self, region: RegionId) -> bool {
-        self.region_counts.contains_key(&region)
+        self.count_region(region) != 0
     }
 
     /// The §IV-D deadlock-detection bit: does the queue hold the
@@ -209,14 +242,14 @@ impl Wpq {
     /// discards them).
     pub fn drain_all(&mut self) -> Vec<WpqEntry> {
         self.region_counts.clear();
-        std::mem::take(&mut self.entries)
+        std::mem::take(&mut self.entries).into_iter().collect()
     }
 
     /// Read-only view of the queued entries in arrival order. Exposed
     /// for property tests that cross-check the O(1) per-region count
     /// index against a full recount; operational code uses the indexed
     /// accessors above.
-    pub fn entries(&self) -> &[WpqEntry] {
+    pub fn entries(&self) -> &VecDeque<WpqEntry> {
         &self.entries
     }
 

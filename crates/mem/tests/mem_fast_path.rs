@@ -1,0 +1,151 @@
+//! Differential proptests for the memory-path fast paths: the SoA
+//! [`SetAssocCache`] (MRU way memo, stamp-word LRU, argmin victim
+//! selection, [`LineFilter`] probe-then-verify snooping) must be
+//! access-for-access equivalent to the array-of-structs
+//! [`SetAssocCacheRef`] specification (full way scans, linear buffer
+//! snoops) on random streams under every [`VictimPolicy`] — same
+//! [`AccessResult`] per access, same hit/miss/snoop/conflict counters,
+//! same resident lines. The streams mutate the snooped buffer as they
+//! go, so the filter's incremental maintenance is exercised alongside
+//! the cache itself.
+
+use lightwsp_mem::cache::{AccessResult, SetAssocCache, VictimPolicy};
+use lightwsp_mem::cache_ref::SetAssocCacheRef;
+use lightwsp_mem::line_filter::LineFilter;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One step of a stream: a cache access plus optional churn of the
+/// snooped buffer (modelling persist-path pushes and drains).
+#[derive(Clone, Debug)]
+struct Step {
+    addr: u64,
+    write: bool,
+    buf_push: Option<u64>,
+    buf_pop: bool,
+}
+
+fn steps(addr_bits: u32) -> impl Strategy<Value = Vec<Step>> {
+    let step = (
+        0u64..(1 << addr_bits),
+        any::<bool>(),
+        any::<bool>(),
+        0u64..(1 << addr_bits),
+        any::<bool>(),
+    )
+        .prop_map(|(addr, write, push, push_addr, buf_pop)| Step {
+            addr,
+            write,
+            buf_push: push.then_some(push_addr),
+            buf_pop,
+        });
+    prop::collection::vec(step, 1..300)
+}
+
+/// Drives `stream` through both models under `policy`, asserting
+/// per-access and aggregate equivalence. `use_try_hit` additionally
+/// routes fast-path accesses through the [`SetAssocCache::try_hit`] /
+/// `access` split the machine-level load fast path uses, proving a
+/// missing `try_hit` changes no state.
+fn run_differential(
+    stream: &[Step],
+    policy: VictimPolicy,
+    sets: usize,
+    ways: usize,
+    line: u64,
+    use_try_hit: bool,
+) -> Result<(), TestCaseError> {
+    let mut fast = SetAssocCache::new(sets, ways, line);
+    let mut reference = SetAssocCacheRef::new(sets, ways, line);
+    let mut filter = LineFilter::new(line);
+    let mut buf: VecDeque<u64> = VecDeque::new();
+
+    for step in stream {
+        if let Some(a) = step.buf_push {
+            buf.push_back(a);
+            filter.insert(a);
+        }
+        if step.buf_pop {
+            if let Some(a) = buf.pop_front() {
+                filter.remove(a);
+            }
+        }
+
+        let got = if use_try_hit && fast.try_hit(step.addr, step.write) {
+            AccessResult {
+                hit: true,
+                evicted: None,
+                conflict_delayed: false,
+            }
+        } else {
+            fast.access(step.addr, step.write, policy, |la| {
+                filter.maybe_contains_line(la) && buf.iter().any(|&x| x / line == la / line)
+            })
+        };
+        let want = reference.access(step.addr, step.write, policy, |la| {
+            buf.iter().any(|&x| x / line == la / line)
+        });
+        prop_assert_eq!(
+            got,
+            want,
+            "divergence at addr {:#x} under {}",
+            step.addr,
+            policy.name()
+        );
+    }
+
+    prop_assert_eq!(fast.hit_miss(), reference.hit_miss());
+    prop_assert_eq!(fast.snoop_stats(), reference.snoop_stats());
+    for step in stream {
+        prop_assert_eq!(
+            fast.probe(step.addr),
+            reference.probe(step.addr),
+            "residency divergence at {:#x}",
+            step.addr
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Fast path == specification on random streams, all four victim
+    /// policies, power-of-two geometry (the shipped configs).
+    #[test]
+    fn fast_path_matches_reference_pow2(
+        stream in steps(12),
+        sets_log2 in 1u32..5,
+        ways in 1usize..8,
+    ) {
+        for policy in VictimPolicy::all() {
+            run_differential(&stream, policy, 1 << sets_log2, ways, 64, false)?;
+        }
+    }
+
+    /// Same, with non-power-of-two set counts and line sizes so the
+    /// division fallbacks of the address split and the filter are
+    /// proven equivalent too.
+    #[test]
+    fn fast_path_matches_reference_non_pow2(
+        stream in steps(12),
+        sets in 3usize..12,
+        ways in 1usize..5,
+    ) {
+        for policy in VictimPolicy::all() {
+            run_differential(&stream, policy, sets, ways, 48, false)?;
+        }
+    }
+
+    /// The machine-level split — `try_hit` first, general `access` only
+    /// on a miss — is equivalent to calling `access` directly, which is
+    /// `try_hit`'s "a miss changes no state at all" contract.
+    #[test]
+    fn try_hit_then_access_matches_reference(
+        stream in steps(12),
+        sets_log2 in 1u32..5,
+        ways in 1usize..8,
+    ) {
+        for policy in VictimPolicy::all() {
+            run_differential(&stream, policy, 1 << sets_log2, ways, 64, true)?;
+        }
+    }
+}

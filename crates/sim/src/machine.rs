@@ -223,6 +223,18 @@ pub struct Machine {
     /// change any observable.
     active_streak: u32,
     scan_holdoff: u32,
+    /// Machinery-horizon memo for the decoded event-driven loop: the
+    /// last [`Machine::machinery_next_event`] result (only cached when
+    /// strictly beyond `now + 1`) and the [`Machine::machinery_stamp`]
+    /// it was computed under. Pure memoization — reused only while the
+    /// stamp proves the machinery untouched, so it cannot change any
+    /// observable (cross-checked by a debug assertion in `advance`).
+    mach_horizon: u64,
+    mach_horizon_stamp: u64,
+    /// Bumped by every operation that can change persist-machinery
+    /// state: a store-buffer push, a region close, a machinery cycle
+    /// ([`Machine::step_cycle`]), and power-failure recovery.
+    machinery_stamp: u64,
 }
 
 impl Machine {
@@ -282,8 +294,12 @@ impl Machine {
         let mut cores: Vec<CoreCtx> = (0..cfg.num_cores)
             .map(|_| CoreCtx {
                 sb: StoreBuffer::new(mem.store_buffer_entries),
-                feb: FrontBuffer::new(mem.front_buffer_entries),
-                path: PersistPath::new(mem.persist_path_latency, mem.persist_path_cycles_per_entry),
+                feb: FrontBuffer::new(mem.front_buffer_entries, mem.line_bytes),
+                path: PersistPath::new(
+                    mem.persist_path_latency,
+                    mem.persist_path_cycles_per_entry,
+                    mem.line_bytes,
+                ),
                 l1: SetAssocCache::new(mem.l1_sets(), mem.l1_ways, mem.line_bytes),
                 stall_until: 0,
                 wait_for_commit: None,
@@ -312,6 +328,15 @@ impl Machine {
         }
 
         let mut dram = DirectMappedCache::new(mem.dram_cache_bytes, mem.line_bytes);
+        // Pre-size the sparse tag table for the warm working set so
+        // neither this machine nor its crash-sweep forks pay incremental
+        // rehash-and-grow on first touch.
+        let warm_lines: u64 = cfg
+            .warm_dram
+            .iter()
+            .map(|&(start, end)| end.saturating_sub(start).div_ceil(mem.line_bytes))
+            .sum();
+        dram.reserve_lines(warm_lines);
         for &(start, end) in &cfg.warm_dram {
             dram.prefill_range(start, end);
         }
@@ -333,6 +358,9 @@ impl Machine {
             pm_read_free: 0,
             active_streak: 0,
             scan_holdoff: 0,
+            mach_horizon: 0,
+            mach_horizon_stamp: u64::MAX,
+            machinery_stamp: 0,
             threads,
             cores,
             program,
@@ -483,15 +511,35 @@ impl Machine {
                     // MC/tracker/queue ticks — provable no-ops — are
                     // replaced by the closed-form occupancy sample.
                     // Retire can arm the machinery (a store push, a
-                    // region boundary), but both horizons are
-                    // recomputed every iteration, so the next cycle
-                    // sees the new state; and machinery-before-retire
-                    // ordering within a cycle is preserved because a
-                    // machinery event due at `now + 1` always routes
-                    // through the full `step_cycle`.
-                    let mach = self.machinery_next_event();
-                    let ret = self.retire_next_event();
+                    // region boundary) — every such operation bumps
+                    // `machinery_stamp`, so the memoized horizon is
+                    // reused only across iterations where the machinery
+                    // provably did not move (retire-only cycles and
+                    // idle skips). Machinery-before-retire ordering
+                    // within a cycle is preserved because a machinery
+                    // event due at `now + 1` always routes through the
+                    // full `step_cycle` (which bumps the stamp).
                     let soon = self.now + 1;
+                    let mach = if self.mach_horizon_stamp == self.machinery_stamp
+                        && self.mach_horizon > soon
+                    {
+                        if cfg!(debug_assertions) {
+                            let fresh = self.machinery_next_event();
+                            assert_eq!(self.mach_horizon, fresh, "stale machinery horizon memo");
+                        }
+                        self.mach_horizon
+                    } else {
+                        let m = self.machinery_next_event();
+                        // Cache only future horizons: an active
+                        // machinery (`m <= soon`) routes through
+                        // `step_cycle`, which re-arms the stamp anyway.
+                        if m > soon {
+                            self.mach_horizon = m;
+                            self.mach_horizon_stamp = self.machinery_stamp;
+                        }
+                        m
+                    };
+                    let ret = self.retire_next_event();
                     if ret <= soon {
                         if mach <= soon {
                             self.step_cycle();
@@ -573,7 +621,7 @@ impl Machine {
     /// protocol state changes — their only per-cycle effects are the
     /// stall counters and occupancy samples that
     /// [`Machine::skip_idle_cycles`] applies in closed form.
-    fn next_interesting_cycle(&self) -> u64 {
+    fn next_interesting_cycle(&mut self) -> u64 {
         self.machinery_next_event().min(self.retire_next_event())
     }
 
@@ -587,7 +635,7 @@ impl Machine {
     /// skip-ahead core already relies on in [`Machine::skip_idle_cycles`],
     /// and what lets the decoded-mode loop retire instructions without
     /// ticking the machinery ([`Machine::step_cycle_retire_only`]).
-    fn machinery_next_event(&self) -> u64 {
+    fn machinery_next_event(&mut self) -> u64 {
         let now = self.now;
         let soon = now + 1;
         let mut next = u64::MAX;
@@ -632,8 +680,9 @@ impl Machine {
                 }
                 next = next.min(t);
             }
-            for mc in &self.mcs {
-                if let Some(t) = mc.next_event(&self.tracker) {
+            let tracker = &self.tracker;
+            for mc in &mut self.mcs {
+                if let Some(t) = mc.next_event(tracker) {
                     if t <= soon {
                         return soon;
                     }
@@ -810,13 +859,26 @@ impl Machine {
     pub fn step_cycle(&mut self) {
         self.now += 1;
         let now = self.now;
+        // The machinery phases below move queues and protocol state.
+        self.machinery_stamp += 1;
 
         // --- 1. memory controllers + region commits -------------------
         if self.cfg.scheme.uses_persist_path() {
             let mut flushed = std::mem::take(&mut self.flushed_scratch);
             flushed.clear();
-            for mc in &mut self.mcs {
-                mc.tick(now, &mut self.tracker, &mut self.pm, &mut flushed);
+            for i in 0..self.mcs.len() {
+                // An idle controller's tick is a no-op apart from the
+                // occupancy sample (the `next_event` contract), so pay
+                // only the sample. Earlier controllers' ticks may move
+                // the tracker, which the memoized horizon re-keys on.
+                let idle = self.mcs[i]
+                    .next_event(&self.tracker)
+                    .is_none_or(|t| t > now);
+                if idle {
+                    self.mcs[i].wpq_mut().sample_occupancy();
+                } else {
+                    self.mcs[i].tick(now, &mut self.tracker, &mut self.pm, &mut flushed);
+                }
             }
             for e in flushed.drain(..) {
                 if let Some(c) = self.cores.get_mut(e.core) {
@@ -934,6 +996,17 @@ impl Machine {
     /// Write `addr` through the cache hierarchy (regular path). Returns
     /// true if the L1 eviction was conflict-delayed.
     fn regular_path_store(&mut self, ci: usize, addr: u64) -> bool {
+        // L1 write hit: no eviction, so no snoop and no writeback — skip
+        // policy resolution and the snoop-closure setup entirely.
+        if self.cores[ci].l1.try_hit(addr, true) {
+            return false;
+        }
+        self.store_miss(ci, addr)
+    }
+
+    /// The store miss path: allocate in L1 (snooping the persist front
+    /// end for victim conflicts) and write back any dirty victim.
+    fn store_miss(&mut self, ci: usize, addr: u64) -> bool {
         let line_bytes = self.cfg.mem.line_bytes;
         let policy = self.effective_policy();
         let core = &mut self.cores[ci];
@@ -980,6 +1053,20 @@ impl Machine {
 
     /// Load timing through the hierarchy; returns total latency.
     fn load_latency(&mut self, ci: usize, addr: u64) -> u64 {
+        // L1 hit: fixed latency, no eviction, no contention bookkeeping
+        // — answered without policy resolution or snoop-closure setup.
+        // A hit through `try_hit` performs the cache's full hit
+        // bookkeeping, and a miss touches nothing, so the fallback's
+        // general access sees pristine state.
+        if self.cores[ci].l1.try_hit(addr, false) {
+            return self.cfg.mem.l1_latency;
+        }
+        self.load_miss_latency(ci, addr)
+    }
+
+    /// The load miss path: L1 fill (victim snoop + writeback), then the
+    /// L2 / DRAM-cache / PM walk with shared-port contention.
+    fn load_miss_latency(&mut self, ci: usize, addr: u64) -> u64 {
         let line_bytes = self.cfg.mem.line_bytes;
         let policy = self.effective_policy();
         {
@@ -1091,6 +1178,7 @@ impl Machine {
             core: ci,
         };
         self.cores[ci].sb.push(entry);
+        self.machinery_stamp += 1;
         self.cores[ci].outstanding += 1;
         self.trace.note_boundary(ending, tid, now);
         let (insts, stores) = {
@@ -1162,6 +1250,7 @@ impl Machine {
                 kind: PersistKind::Data,
                 core: ci,
             });
+            self.machinery_stamp += 1;
             self.stats.persist_stores += 1;
             self.stats.forced_ckpt_stores += 1;
             self.threads[tid].region_stores += 1;
@@ -1201,10 +1290,28 @@ impl Machine {
             self.cfg.scheme.uses_persist_path() && self.cfg.scheme.flush_mode() == FlushMode::Gated;
 
         let mut slots = self.cfg.width;
+        // Batched timing stats: the per-retire instruction counters
+        // (`Stats::insts`, the open region's instruction count)
+        // accumulate in locals inside this dispatch loop and fold into
+        // their owners only where a reader could observe them — before
+        // any region close (which sums `region_insts` into the region
+        // stats), on a thread switch, and unconditionally at loop exit.
+        // Crash captures happen at cycle boundaries, strictly after the
+        // exit fold, so observable `Stats` are byte-identical to
+        // unbatched counting (pinned by `batched_stats_fold_*` in
+        // tests/exec_mode_parity.rs).
+        let mut acc_insts: u64 = 0;
+        let mut acc_region: u64 = 0;
+        let mut acc_tid = usize::MAX;
         while slots > 0 {
             let Some(tid) = self.pick_thread(ci, now) else {
                 break;
             };
+            if acc_region != 0 && tid != acc_tid {
+                self.threads[acc_tid].region_insts += acc_region;
+                acc_region = 0;
+            }
+            acc_tid = tid;
 
             // Persist back-pressure: a full store buffer blocks retire.
             if !self.cores[ci].sb.has_room() {
@@ -1217,6 +1324,8 @@ impl Machine {
                 && self.threads[tid].cur_region.is_some()
                 && now.saturating_sub(self.threads[tid].region_open_since) > self.cfg.region_timeout
             {
+                self.threads[tid].region_insts += acc_region;
+                acc_region = 0;
                 self.synthetic_close(ci, tid, now);
                 slots -= 1;
                 continue;
@@ -1244,8 +1353,8 @@ impl Machine {
                 let (alus, ev) = self.threads[tid]
                     .interp
                     .step_batch(dp, &mut self.vmem, budget);
-                self.stats.insts += alus as u64;
-                self.threads[tid].region_insts += alus as u64;
+                acc_insts += alus as u64;
+                acc_region += alus as u64;
                 slots -= alus;
                 match ev {
                     Some(ev) => ev,
@@ -1256,13 +1365,13 @@ impl Machine {
             };
             match ev {
                 DynEvent::Alu | DynEvent::Fence => {
-                    self.stats.insts += 1;
-                    self.threads[tid].region_insts += 1;
+                    acc_insts += 1;
+                    acc_region += 1;
                     slots -= 1;
                 }
                 DynEvent::Load { addr } => {
-                    self.stats.insts += 1;
-                    self.threads[tid].region_insts += 1;
+                    acc_insts += 1;
+                    acc_region += 1;
                     let lat = self.load_latency(ci, addr);
                     if lat > self.cfg.mem.l1_latency {
                         let extra =
@@ -1274,7 +1383,7 @@ impl Machine {
                     }
                 }
                 DynEvent::Store { addr, val, kind } => {
-                    self.stats.insts += 1;
+                    acc_insts += 1;
                     if kind == StoreKind::Checkpoint {
                         self.stats.instrumentation_insts += 1;
                     }
@@ -1294,8 +1403,11 @@ impl Machine {
                     };
                     self.trace.note_store(region);
                     {
+                        // Fold the batched region counter here: the PPA
+                        // branch below reads `region_insts`.
                         let th = &mut self.threads[tid];
-                        th.region_insts += 1;
+                        th.region_insts += acc_region + 1;
+                        acc_region = 0;
                         th.region_stores += 1;
                     }
                     let entry = PersistEntry {
@@ -1306,6 +1418,7 @@ impl Machine {
                         core: ci,
                     };
                     self.cores[ci].sb.push(entry);
+                    self.machinery_stamp += 1;
                     slots -= 1;
 
                     // PPA: hardware-delineated region boundary when the
@@ -1331,9 +1444,11 @@ impl Machine {
                     }
                 }
                 DynEvent::Boundary { addr: _, pc_val } => {
-                    self.stats.insts += 1;
+                    acc_insts += 1;
                     self.stats.instrumentation_insts += 1;
-                    self.threads[tid].region_insts += 1;
+                    // Fold before `end_region` sums the region counters.
+                    self.threads[tid].region_insts += acc_region + 1;
+                    acc_region = 0;
                     if self.cfg.scheme.uses_persist_path() {
                         self.end_region(ci, tid, pc_val, now);
                     }
@@ -1343,8 +1458,8 @@ impl Machine {
                     }
                 }
                 DynEvent::Io { val } => {
-                    self.stats.insts += 1;
-                    self.threads[tid].region_insts += 1;
+                    acc_insts += 1;
+                    acc_region += 1;
                     self.io_log.push((now, tid, val));
                     slots -= 1;
                 }
@@ -1355,11 +1470,15 @@ impl Machine {
                     // the open region so the spinner never blocks the
                     // flush frontier (§IV-C liveness).
                     if gated {
+                        self.threads[tid].region_insts += acc_region;
+                        acc_region = 0;
                         self.synthetic_close(ci, tid, now);
                     }
                     slots = 0;
                 }
                 DynEvent::Halt => {
+                    self.threads[tid].region_insts += acc_region;
+                    acc_region = 0;
                     if gated && self.threads[tid].cur_region.is_some() {
                         // Broadcast the trailing region so the frontier
                         // can drain past this thread; retry while the
@@ -1373,6 +1492,15 @@ impl Machine {
                     slots = 0;
                 }
             }
+        }
+        // Exit fold: everything observable after this call (stats
+        // queries, crash captures, the next cycle's region checks) sees
+        // fully folded counters.
+        if acc_insts != 0 {
+            self.stats.insts += acc_insts;
+        }
+        if acc_region != 0 {
+            self.threads[acc_tid].region_insts += acc_region;
         }
     }
 
@@ -1425,6 +1553,8 @@ impl Machine {
     /// always records the tracker's honest survivable set alongside.
     pub fn inject_power_failure_audited(&mut self) -> CrashCapture {
         self.stats.failures += 1;
+        // Recovery clears the volatile machinery wholesale.
+        self.machinery_stamp += 1;
         let mut report = RecoveryReport::default();
 
         // §IV-F steps 1–2: in-flight ACKs are delivered on battery; the

@@ -171,6 +171,63 @@ fn zero_timeslice_rotation_parity() {
     assert_run_parity(&vac, 8_000, &cfg, 4);
 }
 
+/// The batched per-retire counters (`Stats::insts`, the open region's
+/// instruction count) accumulate in locals inside the retire dispatch
+/// loop and must fold into their owners before any observable point.
+/// Cycle boundaries are the finest-grained observable: stepping both
+/// exec modes in lockstep one cycle at a time, the full `Stats` must be
+/// equal after *every* cycle, not just at completion — a fold deferred
+/// across a boundary shows up as the decoded mode's counters lagging.
+#[test]
+fn batched_stats_fold_at_every_cycle_boundary() {
+    for scheme in [Scheme::LightWsp, Scheme::Baseline, Scheme::Ppa] {
+        let w = workload("hmmer").unwrap();
+        let cfg = SimConfig::new(scheme);
+        let (mut reference, mut decoded) = machine_pair(&w, 2_000, &cfg, 1);
+        let mut cycle = 0;
+        loop {
+            cycle += 1;
+            let rdone = reference.run_until(cycle);
+            let ddone = decoded.run_until(cycle);
+            assert_eq!(
+                reference.stats(),
+                decoded.stats(),
+                "{scheme:?}: stats differ at cycle boundary {cycle}"
+            );
+            assert_eq!(rdone, ddone, "{scheme:?}: completion skew at {cycle}");
+            if rdone {
+                break;
+            }
+        }
+    }
+}
+
+/// Crash captures happen at cycle boundaries, strictly after the exit
+/// fold: a power failure at an arbitrary cycle must observe identical,
+/// fully folded `Stats` under both exec modes — mid-run, and again
+/// after recovery completes.
+#[test]
+fn batched_stats_fold_at_crash_captures() {
+    let w = workload("mcf").unwrap();
+    let cfg = SimConfig::new(Scheme::LightWsp);
+    let (mut reference, mut decoded) = machine_pair(&w, 6_000, &cfg, 1);
+    for target in [97, 1_013, 4_999] {
+        assert!(!reference.run_until(target));
+        assert!(!decoded.run_until(target));
+        let rc = reference.inject_power_failure_audited();
+        let dc = decoded.inject_power_failure_audited();
+        assert_eq!(rc.at_cycle, dc.at_cycle, "@{target}");
+        assert_eq!(
+            reference.stats(),
+            decoded.stats(),
+            "stats differ at crash capture @{target}"
+        );
+    }
+    reference.run();
+    decoded.run();
+    assert_eq!(reference.stats(), decoded.stats(), "post-recovery");
+}
+
 /// Crash parity: power cut at identical, arbitrary cycles yields
 /// identical `FailureResolution`s (entry-by-entry), identical
 /// survivable sets, identical pre-resolution PM images and resume
